@@ -1,0 +1,60 @@
+// Ablation: is the database-driven estimator faithful to direct analog
+// re-simulation? The estimator's whole point (paper Section 3) is to spare
+// users the IFA + analogue runs; this bench samples random defects, asks
+// the detectability database for their corner outcomes, then re-simulates
+// the same defects directly on the transistor-level block and counts
+// disagreements. Expected: high agreement — disagreements only where the
+// defect parameter lands between database grid points.
+#include "bench/common.hpp"
+#include "estimator/detectability.hpp"
+#include "util/rng.hpp"
+
+using namespace memstress;
+
+int main() {
+  bench::print_header("Ablation",
+                      "Estimator (database) fidelity vs direct simulation");
+
+  auto pipeline = bench::cached_pipeline();
+  const auto& db = pipeline.database();
+  auto sampler = pipeline.make_sampler();
+  const sram::BlockSpec spec = bench::standard_block();
+  const analog::Netlist golden = sram::build_block(spec);
+
+  struct Corner { const char* name; double vdd; double period; };
+  const Corner corners[] = {
+      {"VLV", bench::Corners::vlv_v, bench::Corners::vlv_period},
+      {"Vnom", bench::Corners::vnom_v, bench::Corners::production_period},
+      {"Vmax", bench::Corners::vmax_v, bench::Corners::production_period},
+      {"at-speed", bench::Corners::vnom_v, bench::Corners::atspeed_period},
+  };
+
+  Rng rng(42);
+  const int samples = 24;
+  int checks = 0;
+  int agreements = 0;
+  for (int i = 0; i < samples; ++i) {
+    const defects::Defect defect = sampler.sample(rng);
+    for (const auto& corner : corners) {
+      const bool db_detected = db.detected(defect, {corner.vdd, corner.period});
+      const bool sim_detected =
+          !bench::passes(golden, spec, &defect, corner.vdd, corner.period);
+      ++checks;
+      if (db_detected == sim_detected) {
+        ++agreements;
+      } else {
+        std::printf("  disagreement: %s @ %s — db says %s, simulation says %s\n",
+                    defect.tag().c_str(), corner.name,
+                    db_detected ? "detected" : "escape",
+                    sim_detected ? "detected" : "escape");
+      }
+    }
+  }
+  const double agreement = 100.0 * agreements / checks;
+  std::printf("\n%d sampled defects x %zu corners: %d/%d outcomes agree "
+              "(%.1f%%)\n",
+              samples, std::size(corners), agreements, checks, agreement);
+  std::printf("Shape check (>= 85%% agreement): %s\n",
+              agreement >= 85.0 ? "HOLDS" : "DEVIATES");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Ablation: does the choice of march algorithm matter under each stress
+// condition? The paper uses a production 11N test (a MATS++ / March C- /
+// MOVI blend); this bench compares the library's march tests on a fixed
+// panel of injected defects at each stress corner, reporting how many of
+// the panel each (test, corner) pair catches. Expected: the stress corner
+// moves coverage far more than the algorithm (the paper's core claim), with
+// longer tests adding a little on top.
+#include "bench/common.hpp"
+#include "march/generator.hpp"
+#include "util/table.hpp"
+
+using namespace memstress;
+
+namespace {
+
+/// Synthesize a march test for the classical behavioral fault panel (the
+/// paper's future-work direction, run head-to-head with the library).
+march::MarchTest generated_test() {
+  using sram::FaultType;
+  std::vector<sram::InjectedFault> faults;
+  const auto add = [&faults](FaultType type, int row, int col, int aux_row,
+                             int aux_col) {
+    sram::InjectedFault f;
+    f.type = type;
+    f.row = row;
+    f.col = col;
+    f.aux_row = aux_row;
+    f.aux_col = aux_col;
+    f.envelope = sram::FailureEnvelope::always();
+    faults.push_back(f);
+  };
+  add(FaultType::StuckAt0, 1, 1, -1, -1);
+  add(FaultType::StuckAt1, 2, 2, -1, -1);
+  add(FaultType::TransitionUp, 0, 3, -1, -1);
+  add(FaultType::TransitionDown, 3, 0, -1, -1);
+  add(FaultType::CouplingInversion, 1, 2, 2, 3);
+  add(FaultType::ReadDestructive, 2, 1, -1, -1);
+  march::GeneratedMarch result = march::generate_march(faults);
+  result.test.name = "generated";
+  return result.test;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "March algorithm vs stress condition");
+
+  const sram::BlockSpec spec = bench::standard_block();
+  const analog::Netlist golden = sram::build_block(spec);
+
+  // Defect panel: one representative per physics class.
+  std::vector<defects::Defect> panel;
+  panel.push_back(defects::representative_bridge(
+      layout::BridgeCategory::CellTrueFalse, spec, 90e3));  // VLV class
+  panel.push_back(defects::representative_bridge(
+      layout::BridgeCategory::CellTrueFalse, spec, 1e3));  // gross bridge
+  panel.push_back(defects::representative_bridge(
+      layout::BridgeCategory::CellNodeBitline, spec, 60e3));  // VLV class
+  panel.push_back(defects::representative_open(
+      layout::OpenCategory::CellAccess, spec, 30e3));  // Vmax class
+  panel.push_back(defects::representative_open(
+      layout::OpenCategory::CellAccess, spec, 100e3));  // static open
+  panel.push_back(defects::representative_open(
+      layout::OpenCategory::SenseOut, spec, 8e6));  // at-speed class
+
+  struct Corner { const char* name; double vdd; double period; };
+  const Corner corners[] = {
+      {"VLV", bench::Corners::vlv_v, bench::Corners::vlv_period},
+      {"Vnom", bench::Corners::vnom_v, bench::Corners::production_period},
+      {"Vmax", bench::Corners::vmax_v, bench::Corners::production_period},
+      {"at-speed", bench::Corners::vnom_v, bench::Corners::atspeed_period},
+  };
+
+  std::vector<march::MarchTest> contenders = march::all_tests();
+  contenders.push_back(generated_test());
+
+  TextTable table({"march test", "N", "VLV", "Vnom", "Vmax", "at-speed", "union"});
+  int best_single_corner = 0;
+  int best_union = 0;
+  for (const auto& test : contenders) {
+    std::vector<std::string> row{test.name, std::to_string(test.complexity())};
+    std::vector<bool> caught_any(panel.size(), false);
+    for (const auto& corner : corners) {
+      int caught = 0;
+      for (std::size_t i = 0; i < panel.size(); ++i) {
+        analog::Netlist faulty = golden;
+        defects::inject(faulty, panel[i]);
+        const bool fail = !tester::run_march_analog(std::move(faulty), spec, test,
+                                                    {corner.vdd, corner.period})
+                               .log.passed();
+        if (fail) {
+          ++caught;
+          caught_any[i] = true;
+        }
+      }
+      best_single_corner = std::max(best_single_corner, caught);
+      row.push_back(std::to_string(caught) + "/" + std::to_string(panel.size()));
+    }
+    const int unioned = static_cast<int>(
+        std::count(caught_any.begin(), caught_any.end(), true));
+    best_union = std::max(best_union, unioned);
+    row.push_back(std::to_string(unioned) + "/" + std::to_string(panel.size()));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nExpected shape: no single corner catches the whole panel with"
+              " any algorithm,\nbut the corner union does — stress conditions"
+              " beat algorithm choice.\n");
+  std::printf("Measured: best single corner %d/%zu, best corner-union %d/%zu\n",
+              best_single_corner, panel.size(), best_union, panel.size());
+  std::printf("Shape check: %s\n",
+              (best_single_corner < static_cast<int>(panel.size()) &&
+               best_union == static_cast<int>(panel.size()))
+                  ? "HOLDS"
+                  : "DEVIATES");
+  return 0;
+}

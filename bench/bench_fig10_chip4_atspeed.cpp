@@ -1,0 +1,76 @@
+// Reproduces Figure 10: the shmoo of Chip-4 — also a timing failure, but
+// with a voltage-dependent pass/fail boundary. The defect sits in the
+// periphery (our sense/output path): its R*C delay adds to a path whose
+// healthy delay itself grows as the supply drops, so the boundary period
+// increases toward low Vdd, unlike Chip-3's vertical line. The paper draws
+// the same contrast: "as the supply voltage is lowered, the pass-fail
+// margin between the faulty chip and fault-free chip reduces... the defect
+// may be present in the periphery and not in the matrix".
+#include "bench/common.hpp"
+
+using namespace memstress;
+
+int main() {
+  bench::print_header("Figure 10",
+                      "Chip-4 shmoo: voltage-dependent timing failure");
+
+  const sram::BlockSpec spec = bench::standard_block();
+  const analog::Netlist golden = sram::build_block(spec);
+
+  // Scan the wordline-stitch open range for an at-speed-only defect. The
+  // slowly charging wordline must cross the access transistors' *fixed*
+  // threshold voltage: the target is a larger fraction of the swing at low
+  // supply, so the added delay grows as Vdd drops and the pass/fail
+  // boundary leans — the paper's Chip-4 signature. (The paper speculated a
+  // periphery location for its Chip-4; in our substrate the fixed-threshold
+  // site is the row line. The shmoo shape is the reproduced artifact.)
+  double r = 0.0;
+  std::printf("Searching the at-speed band of the wordline-stitch open:\n");
+  for (const double candidate : {0.5e6, 1e6, 1.5e6, 2e6, 3e6, 4e6}) {
+    const defects::Defect d = defects::representative_open(
+        layout::OpenCategory::Wordline, spec, candidate);
+    const bool production = bench::passes(golden, spec, &d,
+                                          bench::Corners::vnom_v,
+                                          bench::Corners::production_period);
+    const bool atspeed = bench::passes(golden, spec, &d, bench::Corners::vnom_v,
+                                       bench::Corners::atspeed_period);
+    std::printf("  scan R = %-9s : production %s, at-speed %s\n",
+                fmt_resistance(candidate).c_str(), production ? "pass" : "FAIL",
+                atspeed ? "pass" : "FAIL");
+    if (production && !atspeed && r == 0.0) r = candidate;
+  }
+  if (r == 0.0) {
+    std::printf("No at-speed-only band found — DEVIATES\n");
+    return 0;
+  }
+  const defects::Defect defect =
+      defects::representative_open(layout::OpenCategory::Wordline, spec, r);
+  std::printf("\nInjected defect: %s\n\n", defect.tag().c_str());
+
+  const ShmooGrid grid =
+      tester::run_shmoo(bench::shmoo_oracle(golden, spec, &defect),
+                        tester::standard_shmoo_vdds(),
+                        tester::standard_shmoo_periods());
+  std::printf("%s\n", grid.render("Chip-4, 11N march test").c_str());
+
+  const auto boundary = [&](double vdd) {
+    for (const double period : tester::standard_shmoo_periods()) {
+      if (bench::passes(golden, spec, &defect, vdd, period)) return period;
+    }
+    return 1e-6;
+  };
+  const double b_low = boundary(1.2);
+  const double b_nom = boundary(1.8);
+  const double b_high = boundary(2.1);
+  std::printf("Pass boundary period: %s @ 1.2 V, %s @ 1.8 V, %s @ 2.1 V\n",
+              fmt_time(b_low).c_str(), fmt_time(b_nom).c_str(),
+              fmt_time(b_high).c_str());
+
+  std::printf("\nPaper reference: the fail region grows as the supply drops "
+              "(voltage-dependent\ndelay, periphery defect) — the boundary "
+              "leans, unlike Chip-3's vertical line.\n");
+  const bool leans = b_low > b_high;
+  std::printf("Shape check (boundary period larger at low voltage): %s\n",
+              leans ? "HOLDS" : "DEVIATES");
+  return 0;
+}

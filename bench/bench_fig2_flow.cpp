@@ -1,0 +1,56 @@
+// Reproduces Figure 2: the simulation flow. The figure is a block diagram
+// (layout -> bridge/open extraction -> fault-free netlist -> defect
+// injection -> analogue simulation with march stimuli -> results database);
+// this harness runs the actual pipeline end to end on a reduced grid and
+// prints the artifact produced by every stage, demonstrating that each box
+// of the figure exists as a real component.
+#include "bench/common.hpp"
+
+using namespace memstress;
+
+int main() {
+  bench::print_header("Figure 2", "The IFA-based simulation flow, end to end");
+
+  core::PipelineConfig config;
+  config.block = bench::standard_block();
+  config.layout_rows = 8;
+  config.layout_cols = 8;
+  // Reduced grid: this bench demonstrates the flow, not the full database.
+  config.characterization.vdds = {1.0, 1.8, 1.95};
+  config.characterization.periods = {100e-9};
+  config.characterization.bridge_resistances = {1e3, 90e3};
+  config.characterization.open_resistances = {30e3, 5e6};
+  config.characterization.gox_vbds = {1.7};
+  core::StressEvaluationPipeline pipeline(std::move(config));
+
+  std::printf("[1] Layout generation:   %d x %d reference array, %zu shapes, "
+              "%.0f um^2 conductor\n",
+              pipeline.reference_layout().rows, pipeline.reference_layout().cols,
+              pipeline.reference_layout().shapes.size(),
+              pipeline.reference_layout().conductor_area());
+  std::printf("[2] Bridge extraction:   %zu aggregated bridge sites\n",
+              pipeline.bridge_sites().size());
+  std::printf("[3] Open extraction:     %zu open (joint/via) sites\n",
+              pipeline.open_sites().size());
+  const analog::Netlist netlist = sram::build_block(bench::standard_block());
+  std::printf("[4] Fault-free netlist:  %zu nodes, %zu MOSFETs, %zu joints\n",
+              netlist.node_count(), netlist.mosfets().size(),
+              netlist.joint_names().size());
+  const auto& db = pipeline.database();
+  std::printf("[5] Defect injection + analogue march simulation: %zu database "
+              "entries\n",
+              db.size());
+  long detected = 0;
+  for (const auto& e : db.entries())
+    if (e.detected) ++detected;
+  std::printf("[6] Results database:    %ld of %zu grid points detected\n",
+              detected, db.size());
+  std::printf("[7] Estimator + study consume the database (see Table 1 and "
+              "Figure 11 benches).\n");
+  std::printf("\nShape check (every stage produced a non-empty artifact): %s\n",
+              (!pipeline.bridge_sites().empty() && !pipeline.open_sites().empty() &&
+               db.size() > 0 && detected > 0)
+                  ? "HOLDS"
+                  : "DEVIATES");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Figure 7: the shmoo of Chip-2, which fails ONLY at Vmax and
+// above, irrespective of test frequency, and whose bitmap shows a single
+// matrix cell failing while reading '0' in {R0W1} and {R0W1R1}.
+//
+// Physics here: a resistive open in the access path of one cell contends
+// with the always-on bitline keeper. The keeper's pull-up current grows
+// ~(Vdd-Vt)^2 while the read path through the open only grows ~Vdd/R, so
+// above a supply threshold the keeper wins, the bitline never discharges,
+// and reads of '0' fail — at Vmax and above only.
+#include "bench/common.hpp"
+
+using namespace memstress;
+
+int main() {
+  bench::print_header("Figure 7", "Chip-2 shmoo: fails only at Vmax and above");
+
+  const sram::BlockSpec spec = bench::standard_block();
+  const analog::Netlist golden = sram::build_block(spec);
+
+  // Scan the cell-access open range for the Vmax-only band.
+  double r = 0.0;
+  std::printf("Searching the Vmax-only band of the cell-access open:\n");
+  for (const double candidate : {24e3, 26e3, 28e3, 30e3, 32e3, 34e3, 36e3}) {
+    const defects::Defect d = defects::representative_open(
+        layout::OpenCategory::CellAccess, spec, candidate);
+    const bool vnom = bench::passes(golden, spec, &d, bench::Corners::vnom_v,
+                                    bench::Corners::production_period);
+    const bool vmax = bench::passes(golden, spec, &d, bench::Corners::vmax_v,
+                                    bench::Corners::production_period);
+    std::printf("  scan R = %-9s : Vnom %s, Vmax %s\n",
+                fmt_resistance(candidate).c_str(), vnom ? "pass" : "FAIL",
+                vmax ? "pass" : "FAIL");
+    if (vnom && !vmax && r == 0.0) r = candidate;
+  }
+  if (r == 0.0) {
+    std::printf("No Vmax-only band found — DEVIATES\n");
+    return 0;
+  }
+  const defects::Defect defect =
+      defects::representative_open(layout::OpenCategory::CellAccess, spec, r);
+  std::printf("\nInjected defect: %s\n\n", defect.tag().c_str());
+
+  const ShmooGrid grid =
+      tester::run_shmoo(bench::shmoo_oracle(golden, spec, &defect),
+                        tester::standard_shmoo_vdds(),
+                        tester::standard_shmoo_periods());
+  std::printf("%s\n", grid.render("Chip-2, 11N march test").c_str());
+
+  // Bitmap at Vmax.
+  analog::Netlist faulty = golden;
+  defects::inject(faulty, defect);
+  const auto run = tester::run_march_analog(
+      std::move(faulty), spec, march::test_11n(),
+      {bench::Corners::vmax_v, bench::Corners::production_period});
+  std::printf("Bitmap at 1.95 V / 25 ns: %s\n",
+              run.log.summary(march::test_11n()).c_str());
+
+  // Shape checks: passes VLV and Vnom at every frequency of the shmoo's
+  // lower rows; fails the Vmax rows; single-cell bitmap reading '0'.
+  const bool vlv_pass = bench::passes(golden, spec, &defect,
+                                      bench::Corners::vlv_v,
+                                      bench::Corners::vlv_period);
+  const bool single_cell = run.log.failing_cells().size() == 1;
+  bool reads_zero = !run.log.passed();
+  for (const auto& f : run.log.fails()) reads_zero = reads_zero && !f.expected;
+
+  std::printf("\nPaper reference: fails only Vmax and above, frequency-"
+              "independent; single matrix cell; fails reading '0'.\n");
+  std::printf("Measured: VLV pass=%s, Vmax fail=%s, single cell=%s, reads-of-0"
+              " fail=%s\n",
+              vlv_pass ? "yes" : "NO", !run.log.passed() ? "yes" : "NO",
+              single_cell ? "yes" : "NO", reads_zero ? "yes" : "NO");
+  std::printf("Shape check: %s\n",
+              (vlv_pass && !run.log.passed() && single_cell && reads_zero)
+                  ? "HOLDS"
+                  : "DEVIATES");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// google-benchmark micro-benchmarks of the library's hot kernels: the MNA
+// solve, the MOSFET model, the transient engine on the SRAM block, and the
+// behavioral march engine that carries the 11k-device study.
+#include <benchmark/benchmark.h>
+
+#include "analog/engine.hpp"
+#include "analog/matrix.hpp"
+#include "analog/mos_model.hpp"
+#include "march/engine.hpp"
+#include "march/library.hpp"
+#include "sram/block.hpp"
+#include "tester/ate.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace memstress;
+
+void BM_LuFactorSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  analog::DenseMatrix m(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) m.at(r, c) = rng.uniform(-1, 1);
+    m.at(r, r) += 4.0;
+  }
+  std::vector<double> b(n, 1.0);
+  analog::LuSolver lu;
+  for (auto _ : state) {
+    lu.factor(m);
+    std::vector<double> x = b;
+    lu.solve(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LuFactorSolve)->Arg(16)->Arg(40)->Arg(64);
+
+void BM_MosCurrent(benchmark::State& state) {
+  const analog::MosParams p = analog::nmos_018(2.0);
+  double vg = 0.0;
+  for (auto _ : state) {
+    vg += 1e-6;
+    benchmark::DoNotOptimize(
+        analog::mos_current(analog::MosType::Nmos, p, 1.8, vg, 0.0));
+  }
+}
+BENCHMARK(BM_MosCurrent);
+
+void BM_AnalogMarchCycle(benchmark::State& state) {
+  // Whole-stack cost of one analog march run (MATS+ on the 2x1 block).
+  sram::BlockSpec spec;
+  spec.rows = 2;
+  spec.cols = 1;
+  const analog::Netlist golden = sram::build_block(spec);
+  for (auto _ : state) {
+    const auto run = tester::run_march_analog(golden, spec, march::mats_plus(),
+                                              {1.8, 25e-9});
+    benchmark::DoNotOptimize(run.log.passed());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          march::march_cycles(march::mats_plus(), 2));
+}
+BENCHMARK(BM_AnalogMarchCycle)->Unit(benchmark::kMillisecond);
+
+void BM_BehavioralMarch(benchmark::State& state) {
+  // The study-scale path: the 11N march on a 256-Kbit behavioral instance.
+  const long rows = state.range(0);
+  sram::BehavioralSram mem(static_cast<int>(rows), 512);
+  const march::MarchTest test = march::test_11n();
+  for (auto _ : state) {
+    const auto log = march::run_march(mem, test);
+    benchmark::DoNotOptimize(log.passed());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          march::march_cycles(test, rows * 512));
+}
+BENCHMARK(BM_BehavioralMarch)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

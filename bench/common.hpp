@@ -1,0 +1,76 @@
+// Shared setup for the experiment-reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper; they all
+// test the same "device": a 2x1 transistor-level SRAM block driven by the
+// paper's 11N march test. The expensive analog detectability database is
+// cached in the working directory so repeated bench runs are fast.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "defects/defect.hpp"
+#include "march/library.hpp"
+#include "sram/block.hpp"
+#include "tester/ate.hpp"
+#include "util/table.hpp"
+
+namespace memstress::bench {
+
+inline sram::BlockSpec standard_block() {
+  sram::BlockSpec spec;
+  spec.rows = 2;
+  spec.cols = 1;
+  return spec;
+}
+
+/// The paper's stress corners (Section 4/5): VLV at 10 MHz, the production
+/// corners at 40 MHz, at-speed at the tester floor of 15 ns.
+struct Corners {
+  static constexpr double vlv_v = 1.0;
+  static constexpr double vmin_v = 1.65;
+  static constexpr double vnom_v = 1.8;
+  static constexpr double vmax_v = 1.95;
+  static constexpr double vlv_period = 100e-9;
+  static constexpr double production_period = 25e-9;
+  static constexpr double atspeed_period = 15e-9;
+};
+
+/// Pass/fail of the 11N test on a (possibly defective) block.
+inline bool passes(const analog::Netlist& golden, const sram::BlockSpec& spec,
+                   const defects::Defect* defect, double vdd, double period) {
+  analog::Netlist netlist = golden;
+  if (defect) defects::inject(netlist, *defect);
+  return tester::run_march_analog(std::move(netlist), spec, march::test_11n(),
+                                  {vdd, period})
+      .log.passed();
+}
+
+/// Shmoo oracle for one defect.
+inline tester::StressOracle shmoo_oracle(const analog::Netlist& golden,
+                                         const sram::BlockSpec& spec,
+                                         const defects::Defect* defect) {
+  return [&golden, spec, defect](const sram::StressPoint& at) {
+    return passes(golden, spec, defect, at.vdd, at.period);
+  };
+}
+
+/// Pipeline with the shared on-disk database cache.
+inline core::StressEvaluationPipeline cached_pipeline() {
+  core::PipelineConfig config;
+  config.block = standard_block();
+  config.db_cache_path = "memstress_detectability_cache.csv";
+  config.progress = [](const std::string& line) {
+    std::fprintf(stderr, "  [characterize] %s\n", line.c_str());
+  };
+  return core::StressEvaluationPipeline(std::move(config));
+}
+
+inline void print_header(const char* id, const char* what) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("================================================================\n");
+}
+
+}  // namespace memstress::bench

@@ -1,0 +1,102 @@
+// On-chip self test: run the paper's full stress suite through the
+// programmable MBIST controller instead of a tester — the piece the
+// Veqtor4 test chip lacked ("Memory BIST was not implemented at the time
+// of design"). Shows the program listings, per-corner results, the MOVI
+// decoder sweep, and a retention pause, with the fail FIFO used for
+// diagnosis exactly like a scan-out.
+//
+// Usage: ./build/examples/mbist_selftest [rows cols]
+#include <cstdio>
+#include <cstdlib>
+
+#include "march/library.hpp"
+#include "mbist/controller.hpp"
+#include "study/diagnose.hpp"
+
+using namespace memstress;
+
+namespace {
+
+void report(const char* label, const mbist::Controller& controller) {
+  std::printf("  %-28s : %s (%llu cycles, %llu fails%s)\n", label,
+              controller.failed() ? "FAIL" : "pass",
+              static_cast<unsigned long long>(controller.cycle()),
+              static_cast<unsigned long long>(controller.fail_count()),
+              controller.fifo_overflowed() ? ", FIFO overflow" : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rows = argc > 1 ? std::atoi(argv[1]) : 64;
+  const int cols = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  // A device with two defects: a VLV-only weak cell and a retention cell.
+  sram::BehavioralSram memory(rows, cols);
+  sram::InjectedFault weak;
+  weak.type = sram::FaultType::StuckAt1;
+  weak.row = rows / 3;
+  weak.col = cols / 2;
+  weak.envelope = sram::FailureEnvelope::low_voltage(1.2);
+  memory.add_fault(weak);
+  sram::InjectedFault retention;
+  retention.type = sram::FaultType::DataRetention;
+  retention.row = rows / 2;
+  retention.col = cols / 4;
+  retention.value = false;
+  retention.retention_s = 1e-6;
+  retention.envelope = sram::FailureEnvelope::always();
+  memory.add_fault(retention);
+
+  const mbist::Program march_program = mbist::assemble(march::test_11n());
+  std::printf("BIST program (11N march):\n%s\n",
+              march_program.listing().c_str());
+
+  std::printf("Self-test across the stress corners:\n");
+  struct Corner { const char* name; sram::StressPoint at; };
+  const Corner corners[] = {
+      {"VLV 1.0 V / 10 MHz", {1.0, 100e-9}},
+      {"Vnom 1.8 V / 40 MHz", {1.8, 25e-9}},
+      {"Vmax 1.95 V / 40 MHz", {1.95, 25e-9}},
+      {"at-speed 1.8 V / 67 MHz", {1.8, 15e-9}},
+  };
+  for (const auto& corner : corners) {
+    memory.set_condition(corner.at);
+    mbist::BehavioralPort port(memory);
+    mbist::Controller controller(march_program, port);
+    controller.run();
+    report(corner.name, controller);
+    if (controller.failed()) {
+      const auto& capture = controller.fail_fifo().front();
+      std::printf("      first capture: cell(%d,%d) read %d expected %d "
+                  "@ cycle %llu\n",
+                  capture.row, capture.col, capture.observed, capture.expected,
+                  static_cast<unsigned long long>(capture.cycle));
+    }
+  }
+
+  // MOVI decoder sweep and retention pause at nominal conditions.
+  memory.set_condition({1.8, 25e-9});
+  int bits = 0;
+  while ((1 << bits) < rows * cols) ++bits;
+  {
+    mbist::BehavioralPort port(memory);
+    mbist::Controller controller(
+        mbist::assemble_movi(march::mats_plus_plus(), bits), port);
+    controller.run();
+    report("MOVI decoder sweep", controller);
+  }
+  {
+    mbist::BehavioralPort port(memory);
+    // 40000 cycles x 25 ns = 1 ms pause >> the cell's 1 us retention.
+    mbist::Controller controller(mbist::assemble_retention(40000), port);
+    controller.run();
+    report("retention (1 ms pause)", controller);
+  }
+
+  std::printf("\nThe VLV-only weak cell shows up only in the 1.0 V pass; the"
+              " retention cell only\nunder the pause program — the same"
+              " corner-dependence the paper measured with a\ntester, now"
+              " produced by the on-chip engine.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Interactive-ish defect debugging, the way a test engineer works a
+// returned part: pick a defect type and resistance, get the full ASCII
+// shmoo plot plus the bitmap at its worst corner.
+//
+// Usage: ./build/examples/shmoo_explorer [site] [resistance_ohms]
+//   site: tf | t-bl | t-vdd | t-gnd | wlwl | acc | wl | addr | bl | sense
+//   e.g.  ./build/examples/shmoo_explorer tf 90e3
+//         ./build/examples/shmoo_explorer acc 30e3
+//         ./build/examples/shmoo_explorer sense 8e6
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "defects/defect.hpp"
+#include "march/library.hpp"
+#include "sram/block.hpp"
+#include "tester/ate.hpp"
+#include "util/table.hpp"
+
+using namespace memstress;
+
+int main(int argc, char** argv) {
+  const std::string site = argc > 1 ? argv[1] : "tf";
+  const double r = argc > 2 ? std::atof(argv[2]) : 90e3;
+
+  sram::BlockSpec spec;
+  spec.rows = 2;
+  spec.cols = 1;
+  const analog::Netlist golden = sram::build_block(spec);
+
+  defects::Defect defect;
+  using layout::BridgeCategory;
+  using layout::OpenCategory;
+  if (site == "tf")
+    defect = defects::representative_bridge(BridgeCategory::CellTrueFalse, spec, r);
+  else if (site == "t-bl")
+    defect = defects::representative_bridge(BridgeCategory::CellNodeBitline, spec, r);
+  else if (site == "t-vdd")
+    defect = defects::representative_bridge(BridgeCategory::CellNodeVdd, spec, r);
+  else if (site == "t-gnd")
+    defect = defects::representative_bridge(BridgeCategory::CellNodeGnd, spec, r);
+  else if (site == "wlwl")
+    defect = defects::representative_bridge(BridgeCategory::WordlineWordline, spec, r);
+  else if (site == "acc")
+    defect = defects::representative_open(OpenCategory::CellAccess, spec, r);
+  else if (site == "wl")
+    defect = defects::representative_open(OpenCategory::Wordline, spec, r);
+  else if (site == "addr")
+    defect = defects::representative_open(OpenCategory::AddressInput, spec, r);
+  else if (site == "bl")
+    defect = defects::representative_open(OpenCategory::Bitline, spec, r);
+  else if (site == "sense")
+    defect = defects::representative_open(OpenCategory::SenseOut, spec, r);
+  else {
+    std::fprintf(stderr, "unknown site '%s'\n", site.c_str());
+    return 1;
+  }
+
+  std::printf("Device under debug: %s\n\n", defect.tag().c_str());
+
+  const march::MarchTest test = march::test_11n();
+  auto oracle = [&](const sram::StressPoint& at) {
+    analog::Netlist nl = golden;
+    defects::inject(nl, defect);
+    return tester::run_march_analog(std::move(nl), spec, test, at).log.passed();
+  };
+  const ShmooGrid grid = tester::run_shmoo(oracle, tester::standard_shmoo_vdds(),
+                                           tester::standard_shmoo_periods());
+  std::printf("%s\n", grid.render("Shmoo, 11N march test").c_str());
+
+  // Bitmap at the worst failing corner (lowest-left failing cell).
+  for (std::size_t yi = 0; yi < grid.y_count(); ++yi) {
+    for (std::size_t xi = grid.x_count(); xi-- > 0;) {
+      if (grid.at(yi, xi) != ShmooCell::Fail) continue;
+      const sram::StressPoint at{grid.y_value(yi), grid.x_value(xi)};
+      analog::Netlist nl = golden;
+      defects::inject(nl, defect);
+      const auto run = tester::run_march_analog(std::move(nl), spec, test, at);
+      std::printf("Bitmap at %.2f V / %s: %s\n", at.vdd,
+                  fmt_time(at.period).c_str(), run.log.summary(test).c_str());
+      return 0;
+    }
+  }
+  std::printf("Device passes the whole shmoo — defect is a test escape!\n");
+  return 0;
+}

@@ -1,0 +1,389 @@
+#include "analog/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace memstress::analog {
+
+Simulator::Simulator(const Netlist& netlist) : netlist_(netlist) {
+  num_nodes_ = netlist_.node_count() - 1;  // ground eliminated
+  num_unknowns_ = num_nodes_ + netlist_.vsources().size();
+  a_.resize(num_unknowns_);
+  rhs_.assign(num_unknowns_, 0.0);
+}
+
+void Simulator::set_initial(NodeId node, double volts) {
+  require(node != kGround, "Simulator::set_initial: ground is fixed at 0 V");
+  initial_[node] = volts;
+}
+
+void Simulator::set_initial(const std::string& node_name, double volts) {
+  set_initial(netlist_.find_node(node_name), volts);
+}
+
+void Simulator::assemble(double t, double dt, double gmin,
+                         const std::vector<double>& v,
+                         const std::vector<double>& v_prev) {
+  a_.set_zero();
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+  const auto idx = [](NodeId n) { return static_cast<std::size_t>(n) - 1; };
+
+  // gmin keeps floating nodes (e.g. behind an open) well-posed. During DC
+  // gmin stepping the conductance pulls toward the initial guess instead of
+  // ground, so large early gmin values do not erase the caller's chosen
+  // basin (a bistable latch would otherwise land on its metastable point).
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    a_.add(n, n, gmin);
+    if (!gmin_target_.empty()) rhs_[n] += gmin * gmin_target_[n];
+  }
+
+  for (const auto& r : netlist_.resistors()) {
+    const double g = 1.0 / r.ohms;
+    if (r.a != kGround) a_.add(idx(r.a), idx(r.a), g);
+    if (r.b != kGround) a_.add(idx(r.b), idx(r.b), g);
+    if (r.a != kGround && r.b != kGround) {
+      a_.add(idx(r.a), idx(r.b), -g);
+      a_.add(idx(r.b), idx(r.a), -g);
+    }
+  }
+
+  // Backward-Euler capacitor companion: g = C/dt, Ieq = g * Vc(prev).
+  for (const auto& c : netlist_.capacitors()) {
+    const double g = c.farads / dt;
+    const double v_hist = voltage_of(v_prev, c.a) - voltage_of(v_prev, c.b);
+    const double ieq = g * v_hist;  // flows a -> b inside the companion source
+    if (c.a != kGround) {
+      a_.add(idx(c.a), idx(c.a), g);
+      rhs_[idx(c.a)] += ieq;
+    }
+    if (c.b != kGround) {
+      a_.add(idx(c.b), idx(c.b), g);
+      rhs_[idx(c.b)] -= ieq;
+    }
+    if (c.a != kGround && c.b != kGround) {
+      a_.add(idx(c.a), idx(c.b), -g);
+      a_.add(idx(c.b), idx(c.a), -g);
+    }
+  }
+
+  // Voltage sources: branch current unknowns after the node block.
+  const auto& sources = netlist_.vsources();
+  for (std::size_t k = 0; k < sources.size(); ++k) {
+    const auto& src = sources[k];
+    const std::size_t br = num_nodes_ + k;
+    if (src.pos != kGround) {
+      a_.add(idx(src.pos), br, 1.0);
+      a_.add(br, idx(src.pos), 1.0);
+    }
+    if (src.neg != kGround) {
+      a_.add(idx(src.neg), br, -1.0);
+      a_.add(br, idx(src.neg), -1.0);
+    }
+    rhs_[br] = src.wave.value(t);
+  }
+
+  // Breakdown bridges: two-terminal nonlinear I(v), linearized around the
+  // current iterate.
+  for (const auto& br : netlist_.breakdowns()) {
+    const double vbr = voltage_of(v, br.a) - voltage_of(v, br.b);
+    const double i0 = br.current(vbr);
+    constexpr double kBrFd = 1e-5;
+    const double g =
+        (br.current(vbr + kBrFd) - br.current(vbr - kBrFd)) / (2 * kBrFd);
+    const double ieq = i0 - g * vbr;  // I ~= ieq + g * (Va - Vb)
+    if (br.a != kGround) {
+      a_.add(idx(br.a), idx(br.a), g);
+      rhs_[idx(br.a)] -= ieq;
+    }
+    if (br.b != kGround) {
+      a_.add(idx(br.b), idx(br.b), g);
+      rhs_[idx(br.b)] += ieq;
+    }
+    if (br.a != kGround && br.b != kGround) {
+      a_.add(idx(br.a), idx(br.b), -g);
+      a_.add(idx(br.b), idx(br.a), -g);
+    }
+  }
+
+  // MOSFETs: linearize I(vd, vg, vs) around the current iterate by central
+  // finite differences (one evaluation point is shared). The parameters
+  // were temperature-adjusted once at the start of the run.
+  constexpr double kFdStep = 1e-5;
+  const auto& mosfets = netlist_.mosfets();
+  for (std::size_t mi = 0; mi < mosfets.size(); ++mi) {
+    const auto& m = mosfets[mi];
+    const MosParams& params = run_params_[mi];
+    const double vd = voltage_of(v, m.d);
+    const double vg = voltage_of(v, m.g);
+    const double vs = voltage_of(v, m.s);
+    const double i0 = mos_current(m.type, params, vd, vg, vs);
+    const double gd = (mos_current(m.type, params, vd + kFdStep, vg, vs) -
+                       mos_current(m.type, params, vd - kFdStep, vg, vs)) /
+                      (2 * kFdStep);
+    const double gg = (mos_current(m.type, params, vd, vg + kFdStep, vs) -
+                       mos_current(m.type, params, vd, vg - kFdStep, vs)) /
+                      (2 * kFdStep);
+    const double gs = (mos_current(m.type, params, vd, vg, vs + kFdStep) -
+                       mos_current(m.type, params, vd, vg, vs - kFdStep)) /
+                      (2 * kFdStep);
+    // KCL: +I leaves node d, enters node s. Linear model:
+    //   I ~= i0 + gd*(Vd - vd) + gg*(Vg - vg) + gs*(Vs - vs)
+    const double ieq = i0 - gd * vd - gg * vg - gs * vs;
+    auto stamp_row = [&](NodeId row_node, double sign) {
+      if (row_node == kGround) return;
+      const std::size_t row = idx(row_node);
+      if (m.d != kGround) a_.add(row, idx(m.d), sign * gd);
+      if (m.g != kGround) a_.add(row, idx(m.g), sign * gg);
+      if (m.s != kGround) a_.add(row, idx(m.s), sign * gs);
+      rhs_[row] -= sign * ieq;
+    };
+    stamp_row(m.d, +1.0);
+    stamp_row(m.s, -1.0);
+  }
+}
+
+bool Simulator::solve_step(double t, double dt, const TransientSpec& spec,
+                           const std::vector<double>& v_prev,
+                           std::vector<double>& v, double damping,
+                           int max_newton) {
+  std::vector<double> x(num_unknowns_);
+  for (int iter = 0; iter < max_newton; ++iter) {
+    ++stats_.newton_iterations;
+    assemble(t, dt, spec.gmin, v, v_prev);
+    if (!lu_.factor(a_)) return false;
+    x = rhs_;
+    lu_.solve(x);
+    // Progressive damping: strongly nonlinear devices (breakdown bridges)
+    // can make full-size Newton steps oscillate across a kink; shrinking
+    // the clamp after a while forces the iteration to settle.
+    const double clamp = iter < 25 ? damping : 0.1 * damping;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < num_unknowns_; ++i) {
+      double delta = x[i] - v[i];
+      const double raw = std::fabs(delta);
+      if (i < num_nodes_) {
+        // Damp node-voltage updates; branch currents move freely.
+        delta = std::clamp(delta, -clamp, clamp);
+        worst = std::max(worst, raw);
+      }
+      v[i] += delta;
+    }
+    if (worst < spec.vtol) return true;
+    if (iter == max_newton - 1) {
+      // Record which unknown refused to settle, for diagnostics.
+      std::size_t worst_i = 0;
+      double worst_d = 0.0;
+      for (std::size_t i = 0; i < num_nodes_; ++i) {
+        const double d = std::fabs(x[i] - v[i]);
+        if (d > worst_d) {
+          worst_d = d;
+          worst_i = i;
+        }
+      }
+      stats_.last_failure =
+          "node " + netlist_.node_name(static_cast<NodeId>(worst_i + 1)) +
+          " delta " + std::to_string(worst_d) + " at t=" + std::to_string(t);
+    }
+  }
+  return false;
+}
+
+void Simulator::resolve_record(const std::vector<std::string>& record,
+                               std::vector<long>& index,
+                               std::vector<bool>& negate) const {
+  // Record entries are node voltages, or "I(NAME)" branch currents (stored
+  // at unknown index num_nodes_ + source_index; the MNA convention makes
+  // the stored branch current flow INTO the positive terminal, so it is
+  // negated to report conventional source output current).
+  index.clear();
+  negate.clear();
+  index.reserve(record.size());
+  for (const auto& name : record) {
+    if (name.size() > 3 && name.rfind("I(", 0) == 0 && name.back() == ')') {
+      const std::string source_name = name.substr(2, name.size() - 3);
+      bool found = false;
+      const auto& sources = netlist_.vsources();
+      for (std::size_t k = 0; k < sources.size(); ++k) {
+        if (sources[k].name == source_name) {
+          index.push_back(static_cast<long>(num_nodes_ + k));
+          negate.push_back(true);
+          found = true;
+          break;
+        }
+      }
+      require(found, "Simulator: unknown source in record entry " + name);
+    } else {
+      index.push_back(netlist_.find_node(name) - 1);
+      negate.push_back(false);
+      require(index.back() >= 0, "Simulator: cannot record the ground node");
+    }
+  }
+}
+
+Trace Simulator::solve_dc(const std::vector<std::string>& record, double temp_c) {
+  std::vector<long> record_index;
+  std::vector<bool> record_negate;
+  resolve_record(record, record_index, record_negate);
+
+  run_params_.clear();
+  run_params_.reserve(netlist_.mosfets().size());
+  for (const auto& m : netlist_.mosfets())
+    run_params_.push_back(temp_c == 25.0 ? m.params
+                                         : at_temperature(m.params, temp_c));
+
+  std::vector<double> v(num_unknowns_, 0.0);
+  for (const auto& [node, volts] : initial_)
+    v[static_cast<std::size_t>(node) - 1] = volts;
+  for (const auto& src : netlist_.vsources()) {
+    if (src.pos != kGround && src.neg == kGround)
+      v[static_cast<std::size_t>(src.pos) - 1] = src.wave.value(0.0);
+  }
+
+  // gmin stepping: successively tighten the conductance floor, reusing the
+  // previous solution as the next starting point. The enormous dt makes
+  // every capacitor companion vanish (open circuit at DC); the gmin pulls
+  // toward the initial guess so the caller's basin survives the early,
+  // strong steps.
+  constexpr double kDcDt = 1e30;
+  gmin_target_.assign(v.begin(), v.begin() + static_cast<long>(num_nodes_));
+  bool converged = false;
+  for (const double gmin : {1e-2, 1e-4, 1e-6, 1e-9, 1e-12}) {
+    TransientSpec spec;
+    spec.t_stop = 1.0;  // unused; keeps the spec self-consistent
+    spec.dt = kDcDt;
+    spec.gmin = gmin;
+    converged = solve_step(0.0, kDcDt, spec, v, v, 0.3, 400);
+  }
+  gmin_target_.clear();
+  require(converged, "solve_dc: Newton failed at the final gmin (" +
+                         stats_.last_failure + ")");
+
+  Trace trace(record);
+  std::vector<double> samples(record_index.size());
+  for (std::size_t i = 0; i < record_index.size(); ++i) {
+    const double value = v[static_cast<std::size_t>(record_index[i])];
+    samples[i] = record_negate[i] ? -value : value;
+  }
+  trace.append(0.0, samples);
+  return trace;
+}
+
+Trace Simulator::run(const TransientSpec& spec, const std::vector<std::string>& record) {
+  require(spec.t_stop > 0.0 && spec.dt > 0.0, "TransientSpec must be positive");
+  stats_ = Stats{};
+
+  run_params_.clear();
+  run_params_.reserve(netlist_.mosfets().size());
+  for (const auto& m : netlist_.mosfets())
+    run_params_.push_back(spec.temp_c == 25.0 ? m.params
+                                              : at_temperature(m.params, spec.temp_c));
+
+  std::vector<long> record_index;
+  std::vector<bool> record_negate;
+  resolve_record(record, record_index, record_negate);
+  Trace trace(record);
+
+  // State vector: node voltages then branch currents, seeded from ICs.
+  std::vector<double> v(num_unknowns_, 0.0);
+  for (const auto& [node, volts] : initial_)
+    v[static_cast<std::size_t>(node) - 1] = volts;
+  // Sources pin their nodes from the very first instant: seed them so the
+  // capacitor history at t=0 is consistent with the stimulus.
+  for (const auto& src : netlist_.vsources()) {
+    if (src.pos != kGround && src.neg == kGround)
+      v[static_cast<std::size_t>(src.pos) - 1] = src.wave.value(0.0);
+  }
+
+  std::vector<double> samples(record_index.size());
+  auto record_point = [&](double t) {
+    for (std::size_t i = 0; i < record_index.size(); ++i) {
+      const double value = v[static_cast<std::size_t>(record_index[i])];
+      samples[i] = record_negate[i] ? -value : value;
+    }
+    trace.append(t, samples);
+  };
+  record_point(0.0);
+
+  // Event awareness: mark the nominal steps that contain a stimulus
+  // breakpoint so they are integrated with fine substeps.
+  const long n_steps = static_cast<long>(spec.t_stop / spec.dt + 0.5);
+  std::vector<bool> has_edge(static_cast<std::size_t>(n_steps) + 1, false);
+  for (const auto& src : netlist_.vsources()) {
+    for (const double bp : src.wave.breakpoint_times()) {
+      if (bp <= 0.0 || bp >= spec.t_stop) continue;
+      const long step = static_cast<long>(bp / spec.dt);
+      if (step >= 0 && step <= n_steps) {
+        has_edge[static_cast<std::size_t>(step)] = true;
+        // Edges right at a grid point also affect the following step.
+        if (step + 1 <= n_steps &&
+            bp - step * spec.dt > 0.75 * spec.dt)
+          has_edge[static_cast<std::size_t>(step) + 1] = true;
+      }
+    }
+  }
+
+  double t = 0.0;
+  long step_index = 0;
+  std::vector<double> v_prev = v;
+  std::vector<double> v_backup;
+  while (t < spec.t_stop - 0.5 * spec.dt) {
+    const double t_next = t + spec.dt;
+    // Try a full nominal step; on Newton failure, re-integrate the interval
+    // with halved substeps (local, so the recorded grid stays uniform).
+    v_prev = v;
+    v_backup = v;
+    bool done = false;
+    const bool edge_step =
+        step_index < static_cast<long>(has_edge.size()) &&
+        has_edge[static_cast<std::size_t>(step_index)];
+    int base_pieces = 1;
+    if (edge_step) {
+      base_pieces = std::max(1, spec.edge_substeps);
+    }
+    int halvings = 0;
+    bool rescue = false;
+    while (!done) {
+      const int pieces = base_pieces * (1 << halvings);
+      const double h = spec.dt / pieces;
+      // Rescue pass: bistable flips (a gross defect overpowering a latch)
+      // can defeat plain damped Newton at any step size; a tiny clamp with
+      // a large iteration budget creeps monotonically into the new basin.
+      const double damping = rescue ? 0.02 : spec.damping;
+      const int max_newton = rescue ? 4000 : spec.max_newton;
+      bool ok = true;
+      v = v_backup;
+      std::vector<double> v_hist = v_backup;
+      for (int piece = 1; piece <= pieces && ok; ++piece) {
+        ok = solve_step(t + piece * h, h, spec, v_hist, v, damping, max_newton);
+        v_hist = v;
+      }
+      // In rescue mode allow much deeper halving: with a small enough step
+      // the backward-Euler companion conductance C/h dominates every device
+      // transconductance and the Jacobian cannot go singular even at the
+      // fold point of a flipping latch.
+      const int halving_limit = rescue ? 14 : spec.max_halvings;
+      if (ok) {
+        done = true;
+      } else if (halvings < halving_limit) {
+        ++halvings;
+        ++stats_.halvings;
+      } else {
+        require(!rescue, "Simulator: Newton failed to converge at t = " +
+                             std::to_string(t) + " (" + stats_.last_failure +
+                             ")");
+        rescue = true;
+        halvings = 6;
+      }
+    }
+    ++stats_.steps;
+    ++step_index;
+    t = t_next;
+    record_point(t);
+  }
+  return trace;
+}
+
+}  // namespace memstress::analog

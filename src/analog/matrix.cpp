@@ -1,0 +1,77 @@
+#include "analog/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace memstress::analog {
+
+DenseMatrix::DenseMatrix(std::size_t n) { resize(n); }
+
+void DenseMatrix::resize(std::size_t n) {
+  n_ = n;
+  data_.assign(n * n, 0.0);
+}
+
+void DenseMatrix::set_zero() { data_.assign(data_.size(), 0.0); }
+
+bool LuSolver::factor(const DenseMatrix& a) {
+  n_ = a.size();
+  lu_.resize(n_ * n_);
+  piv_.resize(n_);
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t c = 0; c < n_; ++c) lu_[r * n_ + c] = a.at(r, c);
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: largest magnitude in column k at/below the diagonal.
+    std::size_t pivot = k;
+    double best = std::fabs(lu_[k * n_ + k]);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double mag = std::fabs(lu_[r * n_ + k]);
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;  // Singular to working precision.
+    piv_[k] = pivot;
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n_; ++c)
+        std::swap(lu_[k * n_ + c], lu_[pivot * n_ + c]);
+    }
+    const double diag_inv = 1.0 / lu_[k * n_ + k];
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double factor = lu_[r * n_ + k] * diag_inv;
+      lu_[r * n_ + k] = factor;
+      if (factor == 0.0) continue;
+      const double* src = &lu_[k * n_ + k + 1];
+      double* dst = &lu_[r * n_ + k + 1];
+      for (std::size_t c = k + 1; c < n_; ++c) *dst++ -= factor * *src++;
+    }
+  }
+  return true;
+}
+
+void LuSolver::solve(std::vector<double>& b) const {
+  require(b.size() == n_, "LuSolver::solve dimension mismatch");
+  // The factorization swaps full rows (PA = LU), so apply the entire
+  // permutation to b first, then substitute against the final L and U.
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (piv_[k] != k) std::swap(b[k], b[piv_[k]]);
+  }
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double bk = b[k];
+    if (bk == 0.0) continue;
+    for (std::size_t r = k + 1; r < n_; ++r) b[r] -= lu_[r * n_ + k] * bk;
+  }
+  // Back substitution.
+  for (std::size_t k = n_; k-- > 0;) {
+    double sum = b[k];
+    const double* row = &lu_[k * n_];
+    for (std::size_t c = k + 1; c < n_; ++c) sum -= row[c] * b[c];
+    b[k] = sum / row[k];
+  }
+}
+
+}  // namespace memstress::analog

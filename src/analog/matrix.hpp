@@ -1,0 +1,53 @@
+// Dense linear algebra for the MNA solver.
+//
+// Circuit matrices in this library are small (tens of unknowns: one SRAM
+// block plus periphery), so a dense LU with partial pivoting is both the
+// simplest and the fastest option.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace memstress::analog {
+
+/// Row-major dense square matrix.
+class DenseMatrix {
+ public:
+  explicit DenseMatrix(std::size_t n = 0);
+
+  std::size_t size() const { return n_; }
+  void resize(std::size_t n);
+  void set_zero();
+
+  double& at(std::size_t row, std::size_t col) { return data_[row * n_ + col]; }
+  double at(std::size_t row, std::size_t col) const { return data_[row * n_ + col]; }
+
+  /// Accumulate `value` at (row, col) — the MNA "stamp" primitive.
+  void add(std::size_t row, std::size_t col, double value) {
+    data_[row * n_ + col] += value;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting, reusable across solves.
+///
+/// `factor` returns false if the matrix is numerically singular.
+class LuSolver {
+ public:
+  bool factor(const DenseMatrix& a);
+
+  /// Solve A x = b in place (b becomes x). Requires a prior successful factor.
+  void solve(std::vector<double>& b) const;
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> lu_;       // packed LU
+  std::vector<std::size_t> piv_; // row permutation
+};
+
+}  // namespace memstress::analog

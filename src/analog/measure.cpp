@@ -1,0 +1,87 @@
+#include "analog/measure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace memstress::analog {
+
+bool digital_at(const Trace& trace, const std::string& signal, double time_s,
+                double vdd) {
+  return trace.value_at(signal, time_s) >= 0.5 * vdd;
+}
+
+std::optional<double> cross_time(const Trace& trace, const std::string& signal,
+                                 double level, bool rising, double after_s) {
+  const std::size_t idx = trace.signal_index(signal);
+  const auto& times = trace.times();
+  const auto& ys = trace.samples(idx);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] < after_s) continue;
+    const double y0 = ys[i - 1];
+    const double y1 = ys[i];
+    const bool crossed = rising ? (y0 < level && y1 >= level)
+                                : (y0 > level && y1 <= level);
+    if (!crossed) continue;
+    const double f = (level - y0) / (y1 - y0);
+    const double t = times[i - 1] + f * (times[i] - times[i - 1]);
+    if (t >= after_s) return t;
+  }
+  return std::nullopt;
+}
+
+namespace {
+double extremum_between(const Trace& trace, const std::string& signal, double from_s,
+                        double to_s, bool want_min) {
+  const std::size_t idx = trace.signal_index(signal);
+  const auto& times = trace.times();
+  const auto& ys = trace.samples(idx);
+  require(!times.empty(), "extremum_between: empty trace");
+  double best = trace.value_at(idx, from_s);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] < from_s || times[i] > to_s) continue;
+    best = want_min ? std::min(best, ys[i]) : std::max(best, ys[i]);
+  }
+  const double edge = trace.value_at(idx, to_s);
+  return want_min ? std::min(best, edge) : std::max(best, edge);
+}
+}  // namespace
+
+double min_between(const Trace& trace, const std::string& signal, double from_s,
+                   double to_s) {
+  return extremum_between(trace, signal, from_s, to_s, true);
+}
+
+double max_between(const Trace& trace, const std::string& signal, double from_s,
+                   double to_s) {
+  return extremum_between(trace, signal, from_s, to_s, false);
+}
+
+std::string render_waveforms(const Trace& trace,
+                             const std::vector<std::string>& signals,
+                             double from_s, double to_s, double vdd, int columns) {
+  require(columns >= 8, "render_waveforms: need at least 8 columns");
+  require(to_s > from_s, "render_waveforms: empty window");
+  std::ostringstream out;
+  std::size_t label_width = 0;
+  for (const auto& s : signals) label_width = std::max(label_width, s.size());
+  for (const auto& s : signals) {
+    out << s << std::string(label_width - s.size(), ' ') << " |";
+    for (int c = 0; c < columns; ++c) {
+      const double t = from_s + (to_s - from_s) * c / (columns - 1);
+      const double v = trace.value_at(s, t);
+      char glyph = 'x';
+      if (v >= 0.7 * vdd) glyph = '-';       // solid high
+      else if (v <= 0.3 * vdd) glyph = '_';  // solid low
+      out << glyph;
+    }
+    out << "|\n";
+  }
+  out << std::string(label_width, ' ') << "  t = [" << from_s * 1e9 << " ns .. "
+      << to_s * 1e9 << " ns]   ('-' high, '_' low, 'x' mid-rail)\n";
+  return out.str();
+}
+
+}  // namespace memstress::analog

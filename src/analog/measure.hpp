@@ -1,0 +1,35 @@
+// Trace post-processing: digital interpretation and timing measurements.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analog/waveform.hpp"
+
+namespace memstress::analog {
+
+/// Interpret the signal at `time_s` as a logic level against Vdd/2.
+bool digital_at(const Trace& trace, const std::string& signal, double time_s,
+                double vdd);
+
+/// First time after `after_s` at which `signal` crosses `level` in the given
+/// direction (linear interpolation between samples). nullopt if never.
+std::optional<double> cross_time(const Trace& trace, const std::string& signal,
+                                 double level, bool rising, double after_s);
+
+/// Minimum / maximum of a signal over [from_s, to_s].
+double min_between(const Trace& trace, const std::string& signal, double from_s,
+                   double to_s);
+double max_between(const Trace& trace, const std::string& signal, double from_s,
+                   double to_s);
+
+/// Render a handful of signals from `trace` as a compact ASCII waveform view
+/// over [from_s, to_s] with `columns` time points: one row per signal, logic
+/// value shown as '_', '-', or 'x' for mid-rail. Used by the Fig. 5/6
+/// harnesses to print the simulated waveforms.
+std::string render_waveforms(const Trace& trace,
+                             const std::vector<std::string>& signals,
+                             double from_s, double to_s, double vdd,
+                             int columns = 72);
+
+}  // namespace memstress::analog

@@ -1,0 +1,73 @@
+#include "analog/mos_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace memstress::analog {
+
+MosParams nmos_018(double w_over_l) {
+  MosParams p;
+  p.vt = 0.45;
+  p.kp = 300e-6;
+  p.w_over_l = w_over_l;
+  p.lambda = 0.08;
+  return p;
+}
+
+MosParams pmos_018(double w_over_l) {
+  MosParams p;
+  p.vt = 0.45;
+  p.kp = 120e-6;
+  p.w_over_l = w_over_l;
+  p.lambda = 0.08;
+  return p;
+}
+
+namespace {
+
+/// NMOS-frame evaluation; requires vds >= 0.
+/// Smooth overdrive: vov_eff = 0.5*(vov + sqrt(vov^2 + 4 s^2)) is positive
+/// everywhere, ~= vov for vov >> s and ~ s^2/|vov| below threshold, which
+/// doubles as a tiny sub-threshold leakage and keeps the Jacobian
+/// non-singular in cutoff.
+double ids_nmos_frame(const MosParams& p, double vgs, double vds) {
+  const double beta = p.kp * p.w_over_l;
+  const double s = p.smooth;
+  const double vov = vgs - p.vt;
+  const double vov_eff = 0.5 * (vov + std::sqrt(vov * vov + 4.0 * s * s));
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds < vov_eff) {
+    return beta * (vov_eff * vds - 0.5 * vds * vds) * clm;  // triode
+  }
+  return beta * 0.5 * vov_eff * vov_eff * clm;  // saturation
+}
+
+}  // namespace
+
+MosParams at_temperature(const MosParams& p, double temp_c) {
+  MosParams adjusted = p;
+  // Threshold: ~ -1.5 mV/K; mobility: ~ (T/298K)^-1.5.
+  adjusted.vt = p.vt - 1.5e-3 * (temp_c - 25.0);
+  adjusted.kp = p.kp * std::pow((temp_c + 273.15) / 298.15, -1.5);
+  return adjusted;
+}
+
+double mos_current(MosType type, const MosParams& p, double vd, double vg,
+                   double vs, double temp_c) {
+  const MosParams effective =
+      temp_c == 25.0 ? p : at_temperature(p, temp_c);
+  double sign = 1.0;
+  if (type == MosType::Pmos) {
+    vd = -vd;
+    vg = -vg;
+    vs = -vs;
+    sign = -sign;
+  }
+  if (vd < vs) {
+    std::swap(vd, vs);
+    sign = -sign;
+  }
+  return sign * ids_nmos_frame(effective, vg - vs, vd - vs);
+}
+
+}  // namespace memstress::analog

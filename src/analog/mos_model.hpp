@@ -1,0 +1,55 @@
+// First-order (level-1 / quadratic) MOSFET model with smooth cutoff.
+//
+// The paper's conclusions rest on three first-order facts of MOS physics,
+// all of which this model reproduces:
+//   1. drive current scales ~ (Vdd - Vt)^2 while a resistive bridge conducts
+//      ~ Vdd / R, so lowering Vdd makes bridges win (VLV testing);
+//   2. a CMOS gate's switching threshold is Vm = a*Vdd + b with a fixed
+//      offset b from the device thresholds, so a resistively-divided node
+//      (a fixed fraction of Vdd) can cross Vm only above some supply
+//      (Vmax testing);
+//   3. charging a node through a resistive open adds an R*C delay that is
+//      almost independent of supply, so only a short enough clock period
+//      exposes it (at-speed testing).
+//
+// The model is exposed as a pure current function I(vd, vg, vs); the MNA
+// engine obtains the Newton Jacobian by finite differences, which keeps the
+// source/drain-swap and PMOS-mirroring logic in exactly one place.
+#pragma once
+
+namespace memstress::analog {
+
+enum class MosType { Nmos, Pmos };
+
+/// Level-1 parameters. `kp` is the process transconductance (uCox);
+/// the device factor is kp * w_over_l.
+struct MosParams {
+  double vt = 0.45;        ///< threshold voltage magnitude [V]
+  double kp = 300e-6;      ///< process transconductance [A/V^2]
+  double w_over_l = 2.0;   ///< device aspect ratio
+  double lambda = 0.08;    ///< channel-length modulation [1/V]
+  double smooth = 0.02;    ///< overdrive smoothing width [V] (keeps Newton happy)
+};
+
+/// 0.18 um-flavoured defaults used by the SRAM netlist builders.
+MosParams nmos_018(double w_over_l);
+MosParams pmos_018(double w_over_l);
+
+/// Current flowing from the `d` terminal to the `s` terminal at the given
+/// absolute terminal voltages. Symmetric in source/drain; PMOS is handled by
+/// voltage mirroring. Smooth in all arguments (C1), including across the
+/// cutoff boundary, so Newton iteration converges reliably.
+///
+/// Temperature enters through the two first-order effects that matter for
+/// stress testing: the threshold drops ~1.5 mV/degC (devices turn on
+/// earlier when hot) while mobility falls ~(T/300K)^1.5 (devices drive
+/// less current when hot). Their tug-of-war produces the classic
+/// "temperature inversion": low-overdrive operation speeds up with heat,
+/// high-overdrive slows down.
+double mos_current(MosType type, const MosParams& p, double vd, double vg,
+                   double vs, double temp_c = 25.0);
+
+/// Temperature-adjusted parameters (exposed for tests and documentation).
+MosParams at_temperature(const MosParams& p, double temp_c);
+
+}  // namespace memstress::analog

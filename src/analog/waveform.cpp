@@ -1,0 +1,95 @@
+#include "analog/waveform.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace memstress::analog {
+
+PwlWaveform PwlWaveform::dc(double volts) {
+  PwlWaveform w;
+  w.add_point(0.0, volts);
+  return w;
+}
+
+void PwlWaveform::add_point(double time_s, double volts) {
+  require(points_.empty() || time_s >= points_.back().time,
+          "PwlWaveform breakpoints must be non-decreasing in time");
+  points_.push_back({time_s, volts});
+}
+
+double PwlWaveform::value(double time_s) const {
+  if (points_.empty()) return 0.0;
+  if (time_s <= points_.front().time) return points_.front().volts;
+  if (time_s >= points_.back().time) return points_.back().volts;
+  // Binary search for the first breakpoint with time > time_s.
+  const auto upper = std::upper_bound(
+      points_.begin(), points_.end(), time_s,
+      [](double t, const Point& p) { return t < p.time; });
+  const Point& hi = *upper;
+  const Point& lo = *(upper - 1);
+  if (hi.time == lo.time) return hi.volts;
+  const double f = (time_s - lo.time) / (hi.time - lo.time);
+  return lo.volts + f * (hi.volts - lo.volts);
+}
+
+std::vector<double> PwlWaveform::breakpoint_times() const {
+  std::vector<double> times;
+  times.reserve(points_.size());
+  for (const Point& p : points_) times.push_back(p.time);
+  return times;
+}
+
+void PwlWaveform::step_to(double start_s, double volts, double ramp_s) {
+  if (points_.empty()) {
+    add_point(start_s, volts);
+    return;
+  }
+  const double hold = last_value();
+  if (start_s > last_time()) add_point(start_s, hold);
+  add_point(start_s + ramp_s, volts);
+}
+
+Trace::Trace(std::vector<std::string> signal_names) : names_(std::move(signal_names)) {
+  require(!names_.empty(), "Trace requires at least one signal");
+  samples_.resize(names_.size());
+}
+
+void Trace::append(double time_s, const std::vector<double>& values) {
+  require(values.size() == names_.size(), "Trace::append arity mismatch");
+  require(times_.empty() || time_s >= times_.back(),
+          "Trace::append times must be non-decreasing");
+  times_.push_back(time_s);
+  for (std::size_t i = 0; i < values.size(); ++i) samples_[i].push_back(values[i]);
+}
+
+std::size_t Trace::signal_index(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return i;
+  throw Error("Trace: unknown signal " + name);
+}
+
+const std::vector<double>& Trace::samples(std::size_t signal) const {
+  require(signal < samples_.size(), "Trace::samples out of range");
+  return samples_[signal];
+}
+
+double Trace::value_at(std::size_t signal, double time_s) const {
+  require(signal < samples_.size(), "Trace::value_at out of range");
+  require(!times_.empty(), "Trace::value_at on empty trace");
+  const auto& ys = samples_[signal];
+  if (time_s <= times_.front()) return ys.front();
+  if (time_s >= times_.back()) return ys.back();
+  const auto upper = std::upper_bound(times_.begin(), times_.end(), time_s);
+  const std::size_t hi = static_cast<std::size_t>(upper - times_.begin());
+  const std::size_t lo = hi - 1;
+  if (times_[hi] == times_[lo]) return ys[hi];
+  const double f = (time_s - times_[lo]) / (times_[hi] - times_[lo]);
+  return ys[lo] + f * (ys[hi] - ys[lo]);
+}
+
+double Trace::value_at(const std::string& name, double time_s) const {
+  return value_at(signal_index(name), time_s);
+}
+
+}  // namespace memstress::analog

@@ -1,0 +1,51 @@
+#include "core/pipeline.hpp"
+
+#include <filesystem>
+
+#include "util/log.hpp"
+
+namespace memstress::core {
+
+StressEvaluationPipeline::StressEvaluationPipeline(PipelineConfig config)
+    : config_(std::move(config)),
+      layout_(layout::generate_sram_layout(config_.layout_rows,
+                                           config_.layout_cols)) {
+  bridges_ = layout::extract_bridges(layout_, config_.extraction);
+  opens_ = layout::extract_opens(layout_, config_.extraction);
+  config_.characterization.block = config_.block;
+  config_.characterization.test = config_.test;
+}
+
+const estimator::DetectabilityDb& StressEvaluationPipeline::database() {
+  if (db_.has_value()) return *db_;
+  if (!config_.db_cache_path.empty() &&
+      std::filesystem::exists(config_.db_cache_path)) {
+    log_info("pipeline: loading detectability DB from ", config_.db_cache_path);
+    db_ = estimator::DetectabilityDb::load(config_.db_cache_path);
+    return *db_;
+  }
+  log_info("pipeline: characterizing detectability DB (analog simulation)");
+  db_ = estimator::characterize(config_.characterization, config_.progress);
+  if (!config_.db_cache_path.empty()) db_->save(config_.db_cache_path);
+  return *db_;
+}
+
+estimator::FaultCoverageEstimator StressEvaluationPipeline::make_estimator() {
+  return estimator::FaultCoverageEstimator(
+      database(),
+      estimator::PopulationModel::calibrate(config_.layout_rows,
+                                            config_.layout_cols),
+      config_.fab);
+}
+
+defects::DefectSampler StressEvaluationPipeline::make_sampler() const {
+  return defects::DefectSampler(defects::aggregate_sites(bridges_, opens_),
+                                config_.fab, config_.block);
+}
+
+study::StudyResult StressEvaluationPipeline::run_study(
+    const study::StudyConfig& study_config) {
+  return study::run_study(study_config, database(), make_sampler());
+}
+
+}  // namespace memstress::core

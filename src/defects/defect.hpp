@@ -1,0 +1,60 @@
+// Physical defect representation and electrical injection.
+//
+// A defect is a resistive bridge (extra resistor between two nets) or a
+// resistive open (a netlist joint whose resistance is raised from its
+// nominal ~0 to the defect value). Sites come from the IFA extraction
+// (layout module); injection happens on a copy of the fault-free netlist,
+// one defect at a time, exactly as in the paper's Figure 2 flow.
+#pragma once
+
+#include <string>
+
+#include "analog/netlist.hpp"
+#include "layout/critical_area.hpp"
+#include "sram/block.hpp"
+
+namespace memstress::defects {
+
+enum class DefectKind : unsigned char { Bridge, Open };
+
+struct Defect {
+  DefectKind kind = DefectKind::Bridge;
+  // Bridge: the two shorted nets. Open: `net_a` holds the joint name.
+  std::string net_a;
+  std::string net_b;
+  double resistance = 0.0;
+  /// > 0 for threshold-conducting (gate-oxide breakdown) bridges: the bridge
+  /// is an open circuit below this voltage and ohmic above it.
+  double breakdown_v = 0.0;
+  // Category indices allow DB lookups without re-deriving from names.
+  layout::BridgeCategory bridge_category = layout::BridgeCategory::Other;
+  layout::OpenCategory open_category = layout::OpenCategory::Other;
+
+  /// "bridge[cell-true-false] cell0_0_t~cell0_0_f R=90 kOhm" style tag.
+  std::string tag() const;
+};
+
+/// Inject the defect into a netlist (throws Error if the site does not
+/// exist in this netlist — e.g. a site folded onto a too-small block).
+void inject(analog::Netlist& netlist, const Defect& defect);
+
+/// Map an extracted bridge site onto its representative site in a small
+/// simulation block (the detectability of a category is measured on one
+/// representative; geometry only scales the *population*, not the physics).
+Defect representative_bridge(layout::BridgeCategory category,
+                             const sram::BlockSpec& spec, double resistance);
+
+/// Same for open sites.
+Defect representative_open(layout::OpenCategory category,
+                           const sram::BlockSpec& spec, double resistance);
+
+/// All bridge categories that have a representative in a block of this
+/// geometry (BitlineBitline needs >= 2 columns, AddressAddress >= 2 bits).
+std::vector<layout::BridgeCategory> simulatable_bridge_categories(
+    const sram::BlockSpec& spec);
+
+/// All open categories (every block hosts all of them).
+std::vector<layout::OpenCategory> simulatable_open_categories(
+    const sram::BlockSpec& spec);
+
+}  // namespace memstress::defects

@@ -1,0 +1,34 @@
+#include "defects/distributions.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace memstress::defects {
+
+double FabModel::sample_bridge_resistance(Rng& rng) const {
+  return rng.log_normal(bridge_log_mu, bridge_log_sigma);
+}
+
+double FabModel::sample_open_resistance(Rng& rng) const {
+  return rng.log_uniform(open_min_ohms, open_max_ohms);
+}
+
+double FabModel::sample_gox_resistance(Rng& rng) const {
+  return rng.log_uniform(gox_r_min, gox_r_max);
+}
+
+double FabModel::sample_gox_vbd(Rng& rng) const {
+  return rng.uniform(gox_vbd_min, gox_vbd_max);
+}
+
+double FabModel::expected_defects(double area_um2) const {
+  require(area_um2 >= 0.0, "FabModel::expected_defects: negative area");
+  return area_um2 * defect_density_per_um2;
+}
+
+double FabModel::yield(double area_um2) const {
+  return std::exp(-expected_defects(area_um2));
+}
+
+}  // namespace memstress::defects

@@ -1,0 +1,74 @@
+// Fab defect statistics: resistance distributions, defect density, and the
+// bridge/open mix.
+//
+// The paper takes these from Philips fab data, which we do not have; the
+// parametric stand-ins below are documented in DESIGN.md and chosen so that
+// (a) low-ohmic bridges dominate, as in every published resistance
+// distribution, and (b) open resistances span the huge range salicide
+// breaks and resistive vias show (kilo-ohms to giga-ohms).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace memstress::defects {
+
+/// Discrete resistance bin with its probability mass — Table 1's fault
+/// coverage columns are evaluated on exactly these bins.
+struct ResistanceBin {
+  double ohms = 0.0;
+  double probability = 0.0;
+};
+
+struct FabModel {
+  /// Bridge resistance bins (sum of probabilities = 1). Defaults follow the
+  /// paper's Table 1 bin set {20, 1k, 10k, 90k} with a low-ohmic-heavy mass.
+  std::vector<ResistanceBin> bridge_bins{
+      {20.0, 0.62}, {1e3, 0.20}, {10e3, 0.11}, {90e3, 0.07}};
+
+  /// Continuous bridge sampler: log-normal around a low-ohmic mode with a
+  /// heavy high-resistance tail (sigma in ln-space).
+  double bridge_log_mu = 5.0;     ///< ln(ohms): e^5 ~ 148 ohm mode
+  double bridge_log_sigma = 2.8;
+
+  /// Continuous open sampler: log-uniform across the electrically
+  /// meaningful range (below ~10 kOhm an open behaves as a healthy joint,
+  /// above ~100 MOhm as a hard break).
+  double open_min_ohms = 1e4;
+  double open_max_ohms = 1e8;
+
+  /// Gate-oxide pinhole bridges: ohmic resistance once broken down, and the
+  /// breakdown-voltage spread of the surviving (post-burn-in) population.
+  double gox_r_min = 2e3;
+  double gox_r_max = 2e4;
+  double gox_vbd_min = 1.0;
+  double gox_vbd_max = 2.6;
+
+  /// Fraction of defects that are bridges (the rest are opens). 0.18 um is
+  /// still bridge-dominated; copper processes shift this down.
+  double bridge_fraction = 0.85;
+
+  /// Defect density per um^2 of conductor critical area, scaled so that a
+  /// Veqtor4-class chip (4 x 256 Kbit) yields in the ~90% range like a
+  /// mature process.
+  double defect_density_per_um2 = 8.0e-8;
+
+  /// Sample one bridge resistance (continuous model).
+  double sample_bridge_resistance(Rng& rng) const;
+
+  /// Sample one open resistance (continuous model).
+  double sample_open_resistance(Rng& rng) const;
+
+  /// Sample gate-oxide pinhole parameters.
+  double sample_gox_resistance(Rng& rng) const;
+  double sample_gox_vbd(Rng& rng) const;
+
+  /// Expected defect count for a chip with this much conductor area [um^2].
+  double expected_defects(double area_um2) const;
+
+  /// Poisson yield Y = exp(-A * D0): the probability a chip has no defect.
+  double yield(double area_um2) const;
+};
+
+}  // namespace memstress::defects

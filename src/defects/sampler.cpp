@@ -1,0 +1,76 @@
+#include "defects/sampler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace memstress::defects {
+
+using layout::BridgeCategory;
+using layout::OpenCategory;
+
+double SitePopulation::bridge_weight_total() const {
+  double total = 0.0;
+  for (const auto& [cat, w] : bridges) total += w;
+  return total;
+}
+
+double SitePopulation::open_weight_total() const {
+  double total = 0.0;
+  for (const auto& [cat, w] : opens) total += w;
+  return total;
+}
+
+SitePopulation aggregate_sites(const std::vector<layout::BridgeSite>& bridges,
+                               const std::vector<layout::OpenSite>& opens) {
+  std::map<BridgeCategory, double> bridge_weight;
+  for (const auto& site : bridges) bridge_weight[site.category] += site.weight;
+  std::map<OpenCategory, double> open_weight;
+  for (const auto& site : opens) open_weight[site.category] += site.weight;
+
+  SitePopulation population;
+  for (const auto& [cat, w] : bridge_weight) population.bridges.emplace_back(cat, w);
+  for (const auto& [cat, w] : open_weight) population.opens.emplace_back(cat, w);
+  return population;
+}
+
+DefectSampler::DefectSampler(SitePopulation population, FabModel fab,
+                             sram::BlockSpec spec)
+    : population_(std::move(population)), fab_(fab), spec_(spec) {
+  // Drop categories the simulation block cannot host (they would otherwise
+  // sample un-injectable defects); the remaining weights renormalize
+  // implicitly inside Rng::weighted_index.
+  const auto sim_bridges = simulatable_bridge_categories(spec_);
+  std::erase_if(population_.bridges, [&](const auto& entry) {
+    return std::find(sim_bridges.begin(), sim_bridges.end(), entry.first) ==
+           sim_bridges.end();
+  });
+  require(!population_.bridges.empty() || !population_.opens.empty(),
+          "DefectSampler: empty site population");
+  for (const auto& [cat, w] : population_.bridges) bridge_weights_.push_back(w);
+  for (const auto& [cat, w] : population_.opens) open_weights_.push_back(w);
+}
+
+Defect DefectSampler::sample(Rng& rng) const {
+  const bool is_bridge =
+      !bridge_weights_.empty() &&
+      (open_weights_.empty() || rng.chance(fab_.bridge_fraction));
+  if (is_bridge) {
+    const std::size_t pick = rng.weighted_index(bridge_weights_);
+    const BridgeCategory category = population_.bridges[pick].first;
+    if (category == BridgeCategory::CellGateOxide) {
+      Defect defect = representative_bridge(category, spec_,
+                                            fab_.sample_gox_resistance(rng));
+      defect.breakdown_v = fab_.sample_gox_vbd(rng);
+      return defect;
+    }
+    return representative_bridge(category, spec_,
+                                 fab_.sample_bridge_resistance(rng));
+  }
+  const std::size_t pick = rng.weighted_index(open_weights_);
+  const OpenCategory category = population_.opens[pick].first;
+  return representative_open(category, spec_, fab_.sample_open_resistance(rng));
+}
+
+}  // namespace memstress::defects

@@ -1,0 +1,48 @@
+// Monte-Carlo defect sampling: combines the IFA site populations (relative
+// weights per category) with the fab model (defect kind mix, resistance
+// distributions) to draw the defects of one simulated device.
+#pragma once
+
+#include <vector>
+
+#include "defects/defect.hpp"
+#include "defects/distributions.hpp"
+#include "layout/critical_area.hpp"
+#include "util/rng.hpp"
+
+namespace memstress::defects {
+
+/// Aggregated IFA site populations: total relative weight per category.
+struct SitePopulation {
+  std::vector<std::pair<layout::BridgeCategory, double>> bridges;
+  std::vector<std::pair<layout::OpenCategory, double>> opens;
+
+  double bridge_weight_total() const;
+  double open_weight_total() const;
+};
+
+/// Aggregate extracted sites into per-category weights.
+SitePopulation aggregate_sites(const std::vector<layout::BridgeSite>& bridges,
+                               const std::vector<layout::OpenSite>& opens);
+
+/// Draws defect kind, category and resistance. The sampled defect is
+/// expressed as the category's representative site on `spec`'s block, which
+/// is what both the analog path and the detectability DB consume.
+class DefectSampler {
+ public:
+  DefectSampler(SitePopulation population, FabModel fab, sram::BlockSpec spec);
+
+  Defect sample(Rng& rng) const;
+
+  const SitePopulation& population() const { return population_; }
+  const FabModel& fab() const { return fab_; }
+
+ private:
+  SitePopulation population_;
+  FabModel fab_;
+  sram::BlockSpec spec_;
+  std::vector<double> bridge_weights_;
+  std::vector<double> open_weights_;
+};
+
+}  // namespace memstress::defects

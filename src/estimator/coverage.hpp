@@ -1,0 +1,122 @@
+// The paper's Fault Coverage and DPM Estimator (Section 3).
+//
+// Users enter four design parameters — #X rows, #Y columns, #bits per word
+// and #Z blocks — and get the fault coverage per stress condition, the
+// defect coverage (fault coverage weighted by the fab's defect-resistance
+// distribution), and the DPM level for the implied yield, without running
+// the IFA + analogue simulation themselves: everything physical comes from
+// the precomputed DetectabilityDb.
+//
+// Site populations scale with geometry analytically. Unit weights per
+// category are calibrated once from an actually-extracted small layout,
+// then multiplied by the category's count law:
+//   cell-local categories      ~ rows * cols * bits * blocks
+//   bitline-pair category      ~ (columns - 1) * rows        (facing length)
+//   wordline-pair category     ~ floor(rows / 2) * columns
+//   address-line categories    ~ (address_bits - 1 | 1) * rows
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "defects/distributions.hpp"
+#include "estimator/detectability.hpp"
+#include "layout/critical_area.hpp"
+
+namespace memstress::estimator {
+
+/// The four user-facing design parameters.
+struct MemoryGeometry {
+  int x_rows = 512;
+  int y_columns = 64;
+  int bits_per_word = 8;
+  int z_blocks = 1;
+
+  long cells() const {
+    return static_cast<long>(x_rows) * y_columns * bits_per_word * z_blocks;
+  }
+  int physical_columns() const { return y_columns * bits_per_word; }
+  int address_bits() const;
+
+  /// Conductor area for the yield model, from the floorplan cell pitch.
+  double conductor_area_um2(double area_per_cell_um2 = 1.1) const;
+};
+
+/// Per-category relative site weights for one geometry.
+struct ScaledPopulation {
+  std::map<layout::BridgeCategory, double> bridges;
+  std::map<layout::OpenCategory, double> opens;
+};
+
+/// Calibration: extract a small layout once and learn unit weights.
+class PopulationModel {
+ public:
+  /// Calibrate from an extracted reference layout (default 8x8).
+  static PopulationModel calibrate(int ref_rows = 8, int ref_cols = 8);
+
+  ScaledPopulation scale(const MemoryGeometry& geometry) const;
+
+ private:
+  // Unit weights: per cell / per pair-row / per pair-column etc.
+  std::map<layout::BridgeCategory, double> bridge_unit_;
+  std::map<layout::OpenCategory, double> open_unit_;
+};
+
+/// One row of the paper's Table 1.
+struct CoverageRow {
+  std::string label;            ///< "1.00 - VLV", "1.80 - Vnom", ...
+  double vdd = 0.0;
+  std::vector<double> fc_by_resistance;  ///< fault coverage per bridge bin
+  double defect_coverage = 0.0;          ///< bridge-distribution weighted
+  double dpm_value = 0.0;                ///< absolute DPM
+  double dpm_ratio = 0.0;                ///< normalized: VLV = 1x
+};
+
+struct EstimatorReport {
+  std::vector<double> resistance_bins;
+  std::vector<CoverageRow> rows;
+  double yield = 0.0;
+
+  /// Serialize as CSV (one row per test condition) for downstream tooling.
+  std::string to_csv() const;
+};
+
+/// The estimator itself.
+class FaultCoverageEstimator {
+ public:
+  FaultCoverageEstimator(DetectabilityDb db, PopulationModel population,
+                         defects::FabModel fab);
+
+  /// Fault coverage for bridges of one resistance at one stress condition
+  /// (site-weight-averaged detectability over all bridge categories).
+  double bridge_fault_coverage(const MemoryGeometry& geometry, double resistance,
+                               const sram::StressPoint& at) const;
+
+  /// Open-defect fault coverage at one condition (weight-averaged over the
+  /// open categories and the fab's open-resistance range).
+  double open_fault_coverage(const MemoryGeometry& geometry,
+                             const sram::StressPoint& at) const;
+
+  /// Bridge defect coverage: fault coverage weighted by the resistance bins.
+  double bridge_defect_coverage(const MemoryGeometry& geometry,
+                                const sram::StressPoint& at) const;
+
+  /// Reproduce Table 1 for a geometry: one row per supply voltage, each
+  /// evaluated at its production schedule — VLV at the slow 10 MHz rate it
+  /// requires, the Vmin/Vnom/Vmax legs at the production rate (the paper's
+  /// own recommendation: "VLV at low frequency, Vnom and Vmax at high
+  /// frequency"). Bins come from the fab model.
+  EstimatorReport table1(const MemoryGeometry& geometry,
+                         double vlv_period = 100e-9,
+                         double production_period = 25e-9) const;
+
+  const DetectabilityDb& db() const { return db_; }
+
+ private:
+  DetectabilityDb db_;
+  PopulationModel population_;
+  defects::FabModel fab_;
+};
+
+}  // namespace memstress::estimator

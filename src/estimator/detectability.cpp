@@ -1,0 +1,210 @@
+#include "estimator/detectability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace memstress::estimator {
+
+using defects::Defect;
+using defects::DefectKind;
+
+void DetectabilityDb::add(DbEntry entry) { entries_.push_back(entry); }
+
+bool DetectabilityDb::detected(DefectKind kind, int category, double resistance,
+                               double vdd, double period, double vbd) const {
+  const DbEntry* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  const double log_r = std::log(resistance);
+  for (const auto& e : entries_) {
+    if (e.kind != kind || e.category != category) continue;
+    // Condition distance dominates; defect parameters break ties within a
+    // corner.
+    const double dv = (e.vdd - vdd) / 0.05;
+    const double dt = (std::log(e.period) - std::log(period)) / 0.05;
+    const double dr = std::log(e.resistance) - log_r;
+    const double db = (e.vbd - vbd) * 10.0;  // 0.1 V of vbd ~ one ln unit of R
+    const double cost = (dv * dv + dt * dt) * 1e6 + dr * dr + db * db;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &e;
+    }
+  }
+  require(best != nullptr, "DetectabilityDb: no entries for this defect class");
+  return best->detected;
+}
+
+bool DetectabilityDb::detected(const Defect& defect,
+                               const sram::StressPoint& at) const {
+  const int category = defect.kind == DefectKind::Bridge
+                           ? static_cast<int>(defect.bridge_category)
+                           : static_cast<int>(defect.open_category);
+  return detected(defect.kind, category, defect.resistance, at.vdd, at.period,
+                  defect.breakdown_v);
+}
+
+std::vector<sram::StressPoint> DetectabilityDb::conditions() const {
+  std::vector<sram::StressPoint> result;
+  for (const auto& e : entries_) {
+    const bool seen = std::any_of(result.begin(), result.end(), [&](const auto& c) {
+      return c.vdd == e.vdd && c.period == e.period;
+    });
+    if (!seen) result.push_back({e.vdd, e.period});
+  }
+  return result;
+}
+
+std::string DetectabilityDb::to_csv() const {
+  CsvWriter csv(
+      {"kind", "category", "resistance", "vbd", "vdd", "period", "detected"});
+  const auto num = [](double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.9g", value);
+    return std::string(buffer);
+  };
+  for (const auto& e : entries_) {
+    csv.add_row({e.kind == DefectKind::Bridge ? "bridge" : "open",
+                 std::to_string(e.category), num(e.resistance), num(e.vbd),
+                 num(e.vdd), num(e.period), e.detected ? "1" : "0"});
+  }
+  return csv.to_string();
+}
+
+DetectabilityDb DetectabilityDb::from_csv(const std::string& csv_text) {
+  const CsvContent content = parse_csv(csv_text);
+  require(content.header.size() == 7, "DetectabilityDb: bad CSV header");
+  DetectabilityDb db;
+  for (const auto& row : content.rows) {
+    require(row.size() == 7, "DetectabilityDb: bad CSV row");
+    DbEntry e;
+    e.kind = row[0] == "bridge" ? DefectKind::Bridge : DefectKind::Open;
+    e.category = std::stoi(row[1]);
+    e.resistance = std::stod(row[2]);
+    e.vbd = std::stod(row[3]);
+    e.vdd = std::stod(row[4]);
+    e.period = std::stod(row[5]);
+    e.detected = row[6] == "1";
+    db.add(e);
+  }
+  return db;
+}
+
+void DetectabilityDb::save(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  require(file.good(), "DetectabilityDb::save: cannot open " + path);
+  file << to_csv();
+  require(file.good(), "DetectabilityDb::save: write failed for " + path);
+}
+
+DetectabilityDb DetectabilityDb::load(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  require(file.good(), "DetectabilityDb::load: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return from_csv(buffer.str());
+}
+
+DetectabilityDb characterize(const CharacterizeSpec& spec,
+                             void (*progress)(const std::string&)) {
+  DetectabilityDb db;
+  const analog::Netlist golden = sram::build_block(spec.block);
+
+  auto run_one = [&](const Defect& defect, double vdd, double period) {
+    analog::Netlist faulty = golden;
+    defects::inject(faulty, defect);
+    const sram::StressPoint at{vdd, period};
+    const tester::AnalogRun run =
+        tester::run_march_analog(std::move(faulty), spec.block, spec.test, at,
+                                 spec.ate);
+    return !run.log.passed();
+  };
+
+  auto report = [&](const Defect& defect, const DbEntry& e) {
+    if (progress)
+      progress(defect.tag() + " @ " + fmt_fixed(e.vdd, 2) + " V / " +
+               fmt_time(e.period) + " -> " + (e.detected ? "DETECTED" : "escape"));
+  };
+
+  for (const auto category : defects::simulatable_bridge_categories(spec.block)) {
+    if (category == layout::BridgeCategory::CellGateOxide) {
+      // Gate-oxide bridges sweep breakdown voltage at a fixed post-breakdown
+      // resistance.
+      for (const double vbd : spec.gox_vbds) {
+        Defect defect = defects::representative_bridge(category, spec.block,
+                                                       spec.gox_resistance);
+        defect.breakdown_v = vbd;
+        for (const double vdd : spec.vdds) {
+          for (const double period : spec.periods) {
+            DbEntry e;
+            e.kind = DefectKind::Bridge;
+            e.category = static_cast<int>(category);
+            e.resistance = spec.gox_resistance;
+            e.vbd = vbd;
+            e.vdd = vdd;
+            e.period = period;
+            e.detected = run_one(defect, vdd, period);
+            db.add(e);
+            report(defect, e);
+          }
+        }
+      }
+      continue;
+    }
+    for (const double r : spec.bridge_resistances) {
+      const Defect defect = defects::representative_bridge(category, spec.block, r);
+      for (const double vdd : spec.vdds) {
+        for (const double period : spec.periods) {
+          DbEntry e;
+          e.kind = DefectKind::Bridge;
+          e.category = static_cast<int>(category);
+          e.resistance = r;
+          e.vdd = vdd;
+          e.period = period;
+          e.detected = run_one(defect, vdd, period);
+          db.add(e);
+          report(defect, e);
+        }
+      }
+    }
+  }
+  for (const auto category : defects::simulatable_open_categories(spec.block)) {
+    for (const double r : spec.open_resistances) {
+      const Defect defect = defects::representative_open(category, spec.block, r);
+      for (const double vdd : spec.vdds) {
+        for (const double period : spec.periods) {
+          DbEntry e;
+          e.kind = DefectKind::Open;
+          e.category = static_cast<int>(category);
+          e.resistance = r;
+          e.vdd = vdd;
+          e.period = period;
+          e.detected = run_one(defect, vdd, period);
+          db.add(e);
+          report(defect, e);
+        }
+      }
+    }
+  }
+  return db;
+}
+
+CornerOutcomes corner_outcomes(const DetectabilityDb& db, const Defect& defect,
+                               double vlv_period, double production_period,
+                               double fast_period) {
+  CornerOutcomes out;
+  out.vlv = db.detected(defect, {1.0, vlv_period});
+  out.vmin = db.detected(defect, {1.65, production_period});
+  out.vnom = db.detected(defect, {1.8, production_period});
+  out.vmax = db.detected(defect, {1.95, production_period});
+  out.at_speed = db.detected(defect, {1.8, fast_period});
+  return out;
+}
+
+}  // namespace memstress::estimator

@@ -1,0 +1,114 @@
+// Detectability database: the precomputed simulation results that make
+// fault-coverage estimation "an easy job" (paper, Section 3).
+//
+// Each entry answers: does march test X detect a defect of (kind, category,
+// resistance) at stress condition (Vdd, period)? Entries are produced by
+// running the analog fault simulation once per grid point (characterize)
+// and can be persisted to CSV so downstream tools never re-run the
+// expensive IFA + analogue flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "defects/defect.hpp"
+#include "march/march.hpp"
+#include "sram/behavioral.hpp"
+#include "sram/block.hpp"
+#include "tester/ate.hpp"
+
+namespace memstress::estimator {
+
+struct DbEntry {
+  defects::DefectKind kind = defects::DefectKind::Bridge;
+  int category = 0;  ///< BridgeCategory or OpenCategory as int
+  double resistance = 0.0;
+  double vbd = 0.0;  ///< breakdown voltage (0 for ohmic defects)
+  double vdd = 0.0;
+  double period = 0.0;
+  bool detected = false;
+};
+
+class DetectabilityDb {
+ public:
+  void add(DbEntry entry);
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<DbEntry>& entries() const { return entries_; }
+
+  /// Nearest-neighbour lookup: exact (kind, category) match, nearest
+  /// condition, then nearest (log-resistance, breakdown-voltage) point.
+  /// Throws Error when no entry exists for the (kind, category) at all.
+  bool detected(defects::DefectKind kind, int category, double resistance,
+                double vdd, double period, double vbd = 0.0) const;
+  bool detected(const defects::Defect& defect, const sram::StressPoint& at) const;
+
+  /// All distinct stress conditions present in the database.
+  std::vector<sram::StressPoint> conditions() const;
+
+  // CSV persistence (schema: kind,category,resistance,vdd,period,detected).
+  std::string to_csv() const;
+  static DetectabilityDb from_csv(const std::string& csv_text);
+  void save(const std::string& path) const;
+  static DetectabilityDb load(const std::string& path);
+
+ private:
+  std::vector<DbEntry> entries_;
+};
+
+/// Grid over which to characterize. The defaults are the paper's corners:
+/// Vdd in {VLV 1.0, Vmin 1.65, Vnom 1.8, Vmax 1.95}; a slow production
+/// period (100 ns, i.e. the 10 MHz VLV-friendly rate) and the tester's
+/// fastest period (15 ns) for the at-speed condition.
+struct CharacterizeSpec {
+  sram::BlockSpec block;
+  march::MarchTest test;
+  std::vector<double> vdds{1.0, 1.65, 1.8, 1.95};
+  /// 100 ns = the 10 MHz VLV-compatible rate; 25 ns = the production rate
+  /// for Vmin/Vnom/Vmax; 15 ns = the tester's at-speed floor.
+  std::vector<double> periods{100e-9, 25e-9, 15e-9};
+  /// Resistance grids. Denser where the detectability bands live: bridges
+  /// transition between ~3 kOhm and ~300 kOhm; opens have narrow Vmax-only
+  /// (tens of kOhm, keeper contest) and at-speed-only (MOhm, RC delay)
+  /// bands that a coarse grid would miss entirely.
+  std::vector<double> bridge_resistances{20.0, 200.0, 1e3, 3e3, 10e3,
+                                         30e3, 90e3, 200e3, 500e3};
+  std::vector<double> open_resistances{1e4,   2e4,   2.8e4, 3.2e4, 4e4,  6e4,
+                                       1e5,   3e5,   1e6,   1.7e6, 2.4e6, 3e6,
+                                       6e6,   8e6,   1.2e7, 3e7,   1e8};
+  /// Breakdown-voltage grid for gate-oxide bridges (finer around the
+  /// Vnom..Vmax corners where the interesting transitions live).
+  std::vector<double> gox_vbds{0.8, 1.2, 1.5, 1.625, 1.7, 1.775,
+                               1.85, 1.925, 2.0, 2.2, 2.6};
+  double gox_resistance = 5e3;
+  tester::AteOptions ate;
+};
+
+/// Run the full analog characterization (expensive: one transient per grid
+/// point). `progress`, when non-null, receives a line per grid point.
+DetectabilityDb characterize(const CharacterizeSpec& spec,
+                             void (*progress)(const std::string&) = nullptr);
+
+/// Pass/fail outcome at the paper's standard stress corners.
+struct CornerOutcomes {
+  bool vlv = false;      ///< 1.0 V at the slow (10 MHz) rate
+  bool vmin = false;     ///< 1.65 V at the production rate
+  bool vnom = false;     ///< 1.8 V at the production rate
+  bool vmax = false;     ///< 1.95 V at the production rate
+  bool at_speed = false; ///< 1.8 V at the tester's fastest rate
+
+  bool any() const { return vlv || vmin || vnom || vmax || at_speed; }
+  /// Standard production test = Vmin + Vnom at the production rate. The
+  /// paper's Venn diagram counts VLV, Vmax and at-speed as the *stress*
+  /// screens that interesting devices fail after passing this standard
+  /// test (its Chip-2 "fails only the Vmax test").
+  bool standard() const { return vmin || vnom; }
+};
+
+/// Evaluate a defect against the corners stored in the DB.
+CornerOutcomes corner_outcomes(const DetectabilityDb& db,
+                               const defects::Defect& defect,
+                               double vlv_period = 100e-9,
+                               double production_period = 25e-9,
+                               double fast_period = 15e-9);
+
+}  // namespace memstress::estimator

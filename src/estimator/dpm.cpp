@@ -1,0 +1,26 @@
+#include "estimator/dpm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace memstress::estimator {
+
+double williams_brown_escape(double yield, double defect_coverage) {
+  require(yield > 0.0 && yield <= 1.0, "williams_brown: yield must be in (0, 1]");
+  require(defect_coverage >= 0.0 && defect_coverage <= 1.0,
+          "williams_brown: coverage must be in [0, 1]");
+  return 1.0 - std::pow(yield, 1.0 - defect_coverage);
+}
+
+double dpm(double yield, double defect_coverage) {
+  return 1e6 * williams_brown_escape(yield, defect_coverage);
+}
+
+double poisson_yield(double area_um2, double defect_density_per_um2) {
+  require(area_um2 >= 0.0 && defect_density_per_um2 >= 0.0,
+          "poisson_yield: inputs must be non-negative");
+  return std::exp(-area_um2 * defect_density_per_um2);
+}
+
+}  // namespace memstress::estimator

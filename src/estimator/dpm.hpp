@@ -1,0 +1,21 @@
+// Defect level (DPM) estimation: Williams & Brown model plus Poisson yield.
+//
+//   DL  = 1 - Y^(1 - DC)        [Williams 81]   (fraction of shipped parts
+//                                                that are defective)
+//   Y   = e^(-A * D0)           (Poisson yield for area A, density D0)
+//
+// The paper reports DPM normalized to the VLV condition (VLV = 1x).
+#pragma once
+
+namespace memstress::estimator {
+
+/// Escape fraction for a given yield and defect coverage (both in [0, 1]).
+double williams_brown_escape(double yield, double defect_coverage);
+
+/// Same, scaled to defects-per-million shipped parts.
+double dpm(double yield, double defect_coverage);
+
+/// Poisson yield from chip area [um^2] and defect density [1/um^2].
+double poisson_yield(double area_um2, double defect_density_per_um2);
+
+}  // namespace memstress::estimator

@@ -1,0 +1,124 @@
+#include "estimator/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "estimator/dpm.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace memstress::estimator {
+
+std::vector<TestLeg> standard_legs() {
+  return {
+      {"VLV 1.0 V / 10 MHz", {1.0, 100e-9}, 11},
+      {"Vmin 1.65 V / 40 MHz", {1.65, 25e-9}, 11},
+      {"Vnom 1.8 V / 40 MHz", {1.8, 25e-9}, 11},
+      {"Vmax 1.95 V / 40 MHz", {1.95, 25e-9}, 11},
+      {"at-speed 1.8 V / 67 MHz", {1.8, 15e-9}, 11},
+  };
+}
+
+std::string Schedule::describe() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    if (i) out << " + ";
+    out << legs[i].name;
+  }
+  out << "] escapes " << fmt_percent(escape_fraction) << "% of defects, "
+      << fmt_fixed(dpm, 0) << " DPM, " << fmt_time(test_time_per_cell)
+      << "/cell";
+  return out.str();
+}
+
+double escape_fraction(const std::vector<TestLeg>& legs,
+                       const DetectabilityDb& db,
+                       const defects::DefectSampler& sampler,
+                       const ScheduleSpec& spec) {
+  require(spec.monte_carlo_defects > 0, "escape_fraction: need samples");
+  Rng rng(spec.seed);
+  int escapes = 0;
+  for (int i = 0; i < spec.monte_carlo_defects; ++i) {
+    const defects::Defect defect = sampler.sample(rng);
+    bool caught = false;
+    for (const auto& leg : legs) {
+      if (db.detected(defect, leg.at)) {
+        caught = true;
+        break;
+      }
+    }
+    if (!caught) ++escapes;
+  }
+  return static_cast<double>(escapes) / spec.monte_carlo_defects;
+}
+
+namespace {
+
+Schedule evaluate_subset(const std::vector<TestLeg>& legs,
+                         const DetectabilityDb& db,
+                         const defects::DefectSampler& sampler,
+                         const ScheduleSpec& spec) {
+  Schedule schedule;
+  schedule.legs = legs;
+  schedule.escape_fraction = escape_fraction(legs, db, sampler, spec);
+  // Williams-Brown with the *defect* coverage implied by the escapes.
+  schedule.dpm = dpm(spec.yield, 1.0 - schedule.escape_fraction);
+  for (const auto& leg : legs) schedule.test_time_per_cell += leg.time_per_cell();
+  return schedule;
+}
+
+}  // namespace
+
+Schedule optimize_schedule(const std::vector<TestLeg>& candidates,
+                           const DetectabilityDb& db,
+                           const defects::DefectSampler& sampler,
+                           const ScheduleSpec& spec) {
+  require(!candidates.empty() && candidates.size() <= 16,
+          "optimize_schedule: 1..16 candidate legs");
+  Schedule best_meeting;
+  Schedule best_overall;
+  bool have_meeting = false;
+  bool have_any = false;
+  for (unsigned mask = 1; mask < (1u << candidates.size()); ++mask) {
+    std::vector<TestLeg> legs;
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      if (mask & (1u << i)) legs.push_back(candidates[i]);
+    const Schedule schedule = evaluate_subset(legs, db, sampler, spec);
+    if (!have_any || schedule.dpm < best_overall.dpm ||
+        (schedule.dpm == best_overall.dpm &&
+         schedule.test_time_per_cell < best_overall.test_time_per_cell)) {
+      best_overall = schedule;
+      have_any = true;
+    }
+    if (schedule.dpm <= spec.target_dpm &&
+        (!have_meeting ||
+         schedule.test_time_per_cell < best_meeting.test_time_per_cell)) {
+      best_meeting = schedule;
+      have_meeting = true;
+    }
+  }
+  return have_meeting ? best_meeting : best_overall;
+}
+
+std::vector<Schedule> schedule_tradeoff(const std::vector<TestLeg>& candidates,
+                                        const DetectabilityDb& db,
+                                        const defects::DefectSampler& sampler,
+                                        const ScheduleSpec& spec) {
+  require(!candidates.empty() && candidates.size() <= 16,
+          "schedule_tradeoff: 1..16 candidate legs");
+  std::vector<Schedule> all;
+  for (unsigned mask = 1; mask < (1u << candidates.size()); ++mask) {
+    std::vector<TestLeg> legs;
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      if (mask & (1u << i)) legs.push_back(candidates[i]);
+    all.push_back(evaluate_subset(legs, db, sampler, spec));
+  }
+  std::sort(all.begin(), all.end(), [](const Schedule& a, const Schedule& b) {
+    return a.test_time_per_cell < b.test_time_per_cell;
+  });
+  return all;
+}
+
+}  // namespace memstress::estimator

@@ -1,0 +1,173 @@
+#include "layout/critical_area.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace memstress::layout {
+namespace {
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+bool is_cell_node(const std::string& net) {
+  return starts_with(net, "cell") &&
+         (net.size() > 2 && (net.back() == 't' || net.back() == 'f'));
+}
+bool is_bitline(const std::string& net) { return starts_with(net, "bl"); }
+bool is_wordline(const std::string& net) { return starts_with(net, "wl"); }
+bool is_address(const std::string& net) {
+  return starts_with(net, "a") && net.find("_in") != std::string::npos;
+}
+bool is_vdd(const std::string& net) { return net == "vdd"; }
+bool is_gnd(const std::string& net) { return net == "0"; }
+
+}  // namespace
+
+const char* bridge_category_name(BridgeCategory c) {
+  switch (c) {
+    case BridgeCategory::CellTrueFalse: return "cell-true-false";
+    case BridgeCategory::CellNodeBitline: return "cell-node-bitline";
+    case BridgeCategory::CellNodeVdd: return "cell-node-vdd";
+    case BridgeCategory::CellNodeGnd: return "cell-node-gnd";
+    case BridgeCategory::BitlineBitline: return "bitline-bitline";
+    case BridgeCategory::WordlineWordline: return "wordline-wordline";
+    case BridgeCategory::AddressAddress: return "address-address";
+    case BridgeCategory::AddressVdd: return "address-vdd";
+    case BridgeCategory::CellGateOxide: return "cell-gate-oxide";
+    case BridgeCategory::Other: return "other";
+  }
+  return "?";
+}
+
+const char* open_category_name(OpenCategory c) {
+  switch (c) {
+    case OpenCategory::CellAccess: return "cell-access";
+    case OpenCategory::CellPullup: return "cell-pullup";
+    case OpenCategory::Wordline: return "wordline";
+    case OpenCategory::AddressInput: return "address-input";
+    case OpenCategory::Bitline: return "bitline";
+    case OpenCategory::SenseOut: return "sense-out";
+    case OpenCategory::Other: return "other";
+  }
+  return "?";
+}
+
+BridgeCategory classify_bridge(const std::string& net_a, const std::string& net_b) {
+  const bool cell_a = is_cell_node(net_a);
+  const bool cell_b = is_cell_node(net_b);
+  if (cell_a && cell_b) return BridgeCategory::CellTrueFalse;
+  if ((cell_a && is_bitline(net_b)) || (cell_b && is_bitline(net_a)))
+    return BridgeCategory::CellNodeBitline;
+  if ((cell_a && is_vdd(net_b)) || (cell_b && is_vdd(net_a)))
+    return BridgeCategory::CellNodeVdd;
+  if ((cell_a && is_gnd(net_b)) || (cell_b && is_gnd(net_a)))
+    return BridgeCategory::CellNodeGnd;
+  if (is_bitline(net_a) && is_bitline(net_b)) return BridgeCategory::BitlineBitline;
+  if (is_wordline(net_a) && is_wordline(net_b))
+    return BridgeCategory::WordlineWordline;
+  if (is_address(net_a) && is_address(net_b)) return BridgeCategory::AddressAddress;
+  if ((is_address(net_a) && is_vdd(net_b)) || (is_address(net_b) && is_vdd(net_a)))
+    return BridgeCategory::AddressVdd;
+  return BridgeCategory::Other;
+}
+
+OpenCategory classify_open(const std::string& joint) {
+  if (starts_with(joint, "cell") && joint.find(".acc") != std::string::npos)
+    return OpenCategory::CellAccess;
+  if (starts_with(joint, "cell") && joint.find(".pu") != std::string::npos)
+    return OpenCategory::CellPullup;
+  if (starts_with(joint, "wl")) return OpenCategory::Wordline;
+  if (starts_with(joint, "addr")) return OpenCategory::AddressInput;
+  if (starts_with(joint, "bl")) return OpenCategory::Bitline;
+  if (starts_with(joint, "sense")) return OpenCategory::SenseOut;
+  return OpenCategory::Other;
+}
+
+std::vector<BridgeSite> extract_bridges(const LayoutModel& model,
+                                        const ExtractionRules& rules) {
+  require(rules.defect_x0 > 0 && rules.max_bridge_spacing > 0,
+          "extract_bridges: rules must be positive");
+  const double x0_sq = rules.defect_x0 * rules.defect_x0;
+
+  std::map<std::pair<std::string, std::string>, BridgeSite> sites;
+  const auto& shapes = model.shapes;
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const Shape& a = shapes[i];
+    if (a.layer == Layer::Contact || a.layer == Layer::Via) continue;
+    for (std::size_t j = i + 1; j < shapes.size(); ++j) {
+      const Shape& b = shapes[j];
+      if (b.layer != a.layer || b.net == a.net) continue;
+      const ParallelRun run = parallel_run(a, b);
+      if (!run.facing || run.spacing > rules.max_bridge_spacing) continue;
+      // Defects smaller than the spacing cannot short the pair; the 1/x^3
+      // size density then integrates to L * x0^2 / (2 s) (we fold the 1/2
+      // into every site equally, so it cancels out of relative weights).
+      const double spacing = std::max(run.spacing, rules.defect_x0);
+      const double weight = run.length * x0_sq / spacing;
+
+      auto key = std::minmax(a.net, b.net);
+      auto [it, fresh] = sites.try_emplace({key.first, key.second});
+      BridgeSite& site = it->second;
+      if (fresh) {
+        site.net_a = key.first;
+        site.net_b = key.second;
+        site.layer = a.layer;
+        site.spacing = run.spacing;
+        site.category = classify_bridge(a.net, b.net);
+      }
+      site.weight += weight;
+      site.run_length += run.length;
+      site.spacing = std::min(site.spacing, run.spacing);
+    }
+  }
+
+  std::vector<BridgeSite> result;
+  result.reserve(sites.size());
+  for (auto& [key, site] : sites) result.push_back(std::move(site));
+
+  // Gate-oxide pinholes are vertical-stack defects (wordline poly over the
+  // cell channel), invisible to planar facing-run analysis; add one site per
+  // cell with the configured per-cell likelihood.
+  if (rules.gate_oxide_weight_per_cell > 0.0) {
+    for (int row = 0; row < model.rows; ++row) {
+      for (int col = 0; col < model.cols; ++col) {
+        BridgeSite site;
+        site.net_a = "cell" + std::to_string(row) + "_" + std::to_string(col) + "_t";
+        site.net_b = "wl" + std::to_string(row);
+        site.layer = Layer::Poly;
+        site.weight = rules.gate_oxide_weight_per_cell;
+        site.category = BridgeCategory::CellGateOxide;
+        result.push_back(std::move(site));
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<OpenSite> extract_opens(const LayoutModel& model,
+                                    const ExtractionRules& rules) {
+  require(rules.defect_x0 > 0, "extract_opens: rules must be positive");
+  const double x0_sq = rules.defect_x0 * rules.defect_x0;
+  std::vector<OpenSite> result;
+  for (const Shape& shape : model.shapes) {
+    if (shape.joint.empty()) continue;
+    OpenSite site;
+    site.joint = shape.joint;
+    site.net = shape.net;
+    site.layer = shape.layer;
+    site.category = classify_open(shape.joint);
+    if (shape.layer == Layer::Via || shape.layer == Layer::Contact) {
+      // Point-like site: fixed weight, boosted (resistive vias dominate).
+      site.weight = rules.via_open_boost * x0_sq;
+    } else {
+      site.weight = shape.length() * x0_sq / shape.width();
+    }
+    result.push_back(std::move(site));
+  }
+  return result;
+}
+
+}  // namespace memstress::layout

@@ -1,0 +1,91 @@
+// Inductive fault analysis: critical-area extraction of bridge and open
+// defect sites from a LayoutModel [Shen 85].
+//
+// Defect sizes follow the classic 1/x^3 density for x > x0. For a facing
+// run of length L at spacing s this integrates to a closed-form relative
+// likelihood  w_bridge = L * x0^2 / s ; a wire of length L and width w has
+// open likelihood  w_open = L * x0^2 / w ; point-like contacts/vias get a
+// fixed boosted weight (resistive vias dominate test escapes in deep
+// sub-micron processes [Needham 98]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/geometry.hpp"
+
+namespace memstress::layout {
+
+/// Categories let the estimator scale site populations analytically with
+/// memory geometry (#rows, #cols, #bits) instead of re-extracting layouts.
+enum class BridgeCategory {
+  CellTrueFalse,     ///< intra-cell storage-node pair
+  CellNodeBitline,   ///< storage node to its bitline
+  CellNodeVdd,       ///< storage node to the vdd rail
+  CellNodeGnd,       ///< storage node to the gnd rail
+  BitlineBitline,    ///< adjacent column bitlines
+  WordlineWordline,  ///< adjacent row wordlines (mirrored pair)
+  AddressAddress,    ///< adjacent decoder address lines
+  AddressVdd,        ///< address line to a supply strap
+  CellGateOxide,     ///< gate-oxide pinhole: wordline to storage node; only
+                     ///< conducts above its breakdown voltage (Vmax target)
+  Other,
+};
+
+enum class OpenCategory {
+  CellAccess,   ///< contact in the cell access path
+  CellPullup,   ///< contact in the cell pull-up path (data-retention fault)
+  Wordline,     ///< wordline stitch
+  AddressInput, ///< decoder input via
+  Bitline,      ///< bitline stitch via
+  SenseOut,     ///< sense/output path via
+  Other,
+};
+
+const char* bridge_category_name(BridgeCategory c);
+const char* open_category_name(OpenCategory c);
+
+struct BridgeSite {
+  std::string net_a;
+  std::string net_b;
+  Layer layer = Layer::Metal1;
+  double run_length = 0.0;  ///< total facing run [um]
+  double spacing = 0.0;     ///< tightest spacing seen [um]
+  double weight = 0.0;      ///< relative defect likelihood
+  BridgeCategory category = BridgeCategory::Other;
+};
+
+struct OpenSite {
+  std::string joint;  ///< netlist joint name to stress
+  std::string net;
+  Layer layer = Layer::Metal1;
+  double weight = 0.0;
+  OpenCategory category = OpenCategory::Other;
+};
+
+struct ExtractionRules {
+  double defect_x0 = 0.09;          ///< minimum defect size [um]
+  double max_bridge_spacing = 0.5;  ///< ignore runs further apart [um]
+  /// Weight multiplier for via/contact opens: resistive vias are the main
+  /// root cause of deep-sub-micron test escapes [Needham 98].
+  double via_open_boost = 1.5;
+  /// Gate-oxide pinhole likelihood per cell (vertical-stack defect: not a
+  /// planar adjacency, so it is added per cell rather than extracted from
+  /// facing runs). Set to 0 to disable.
+  double gate_oxide_weight_per_cell = 0.0015;
+};
+
+/// Extract bridge sites: same-layer facing runs between different nets,
+/// aggregated per net pair (weights summed, tightest spacing kept).
+std::vector<BridgeSite> extract_bridges(const LayoutModel& model,
+                                        const ExtractionRules& rules = {});
+
+/// Extract open sites: every shape carrying a joint tag becomes one site.
+std::vector<OpenSite> extract_opens(const LayoutModel& model,
+                                    const ExtractionRules& rules = {});
+
+/// Classify a net pair / joint by name (used by extraction and by tests).
+BridgeCategory classify_bridge(const std::string& net_a, const std::string& net_b);
+OpenCategory classify_open(const std::string& joint);
+
+}  // namespace memstress::layout

@@ -1,0 +1,45 @@
+#include "layout/geometry.hpp"
+
+#include <algorithm>
+
+namespace memstress::layout {
+
+const char* layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::Diffusion: return "diffusion";
+    case Layer::Poly: return "poly";
+    case Layer::Metal1: return "metal1";
+    case Layer::Metal2: return "metal2";
+    case Layer::Contact: return "contact";
+    case Layer::Via: return "via";
+  }
+  return "?";
+}
+
+double Shape::width() const { return std::min(x1 - x0, y1 - y0); }
+double Shape::length() const { return std::max(x1 - x0, y1 - y0); }
+
+ParallelRun parallel_run(const Shape& a, const Shape& b) {
+  ParallelRun run;
+  const double x_overlap = std::min(a.x1, b.x1) - std::max(a.x0, b.x0);
+  const double y_overlap = std::min(a.y1, b.y1) - std::max(a.y0, b.y0);
+  if (x_overlap > 0 && y_overlap > 0) return run;  // touching/overlapping: not a bridge site
+  if (x_overlap > 0) {
+    // Vertically separated, horizontally overlapping.
+    run.length = x_overlap;
+    run.spacing = std::max(a.y0, b.y0) - std::min(a.y1, b.y1);
+  } else if (y_overlap > 0) {
+    run.length = y_overlap;
+    run.spacing = std::max(a.x0, b.x0) - std::min(a.x1, b.x1);
+  }
+  run.facing = run.length > 0.0 && run.spacing > 0.0;
+  return run;
+}
+
+double LayoutModel::conductor_area() const {
+  double total = 0.0;
+  for (const auto& s : shapes) total += s.area();
+  return total;
+}
+
+}  // namespace memstress::layout

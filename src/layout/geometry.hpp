@@ -1,0 +1,61 @@
+// Layout geometry primitives for the synthetic SRAM floorplan.
+//
+// Everything is axis-aligned rectangles in microns. This is deliberately a
+// *stylized* layout — enough geometric truth (adjacency, overlap length,
+// spacing, wire widths) for inductive fault analysis to extract realistic
+// bridge/open site populations, without reproducing a foundry cell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memstress::layout {
+
+enum class Layer : unsigned char {
+  Diffusion,
+  Poly,
+  Metal1,
+  Metal2,
+  Contact,  ///< point-like: diffusion/poly to Metal1
+  Via,      ///< point-like: Metal1 to Metal2
+};
+
+const char* layer_name(Layer layer);
+
+/// One rectangle of conductor. `net` names the electrical net; `joint`
+/// is non-empty when the shape is a registered open-defect site (its name
+/// matches a joint in the analog netlist).
+struct Shape {
+  Layer layer = Layer::Metal1;
+  double x0 = 0, y0 = 0, x1 = 0, y1 = 0;  // microns, x0 < x1, y0 < y1
+  std::string net;
+  std::string joint;
+
+  double width() const;   ///< min dimension
+  double length() const;  ///< max dimension
+  double area() const { return (x1 - x0) * (y1 - y0); }
+};
+
+/// Parallel-run geometry between two rectangles on the same layer:
+/// the projected overlap length and the edge-to-edge spacing.
+struct ParallelRun {
+  double length = 0.0;   ///< microns of facing edge
+  double spacing = 0.0;  ///< microns of gap
+  bool facing = false;   ///< true if they face each other with a clean gap
+};
+
+/// Compute the facing run between two rectangles (0 if they overlap or are
+/// diagonal to each other).
+ParallelRun parallel_run(const Shape& a, const Shape& b);
+
+/// A complete layout: shapes plus the block geometry it was generated for.
+struct LayoutModel {
+  int rows = 0;
+  int cols = 0;
+  std::vector<Shape> shapes;
+
+  /// Total drawn conductor area [um^2] — the `A` of the yield model.
+  double conductor_area() const;
+};
+
+}  // namespace memstress::layout

@@ -1,0 +1,93 @@
+// Canonical net and open-site (joint) names shared by the layout generator,
+// the analog SRAM netlist builder, and the defect injectors.
+//
+// The IFA flow hands defect sites from the layout domain to the electrical
+// domain purely by name: a bridge site is a pair of net names, an open site
+// is a joint name. Both sides therefore derive names from these helpers and
+// nothing else.
+#pragma once
+
+#include <string>
+
+namespace memstress::layout {
+
+// --- nets -----------------------------------------------------------------
+
+inline std::string net_vdd() { return "vdd"; }
+inline std::string net_gnd() { return "0"; }
+
+/// Cell internal storage nodes (true / false side).
+inline std::string net_cell_t(int row, int col) {
+  return "cell" + std::to_string(row) + "_" + std::to_string(col) + "_t";
+}
+inline std::string net_cell_f(int row, int col) {
+  return "cell" + std::to_string(row) + "_" + std::to_string(col) + "_f";
+}
+
+/// Bitline pair of a column.
+inline std::string net_bl(int col) { return "bl" + std::to_string(col); }
+inline std::string net_blb(int col) { return "blb" + std::to_string(col); }
+
+/// Wordline of a row (the distributed poly line the cells see).
+inline std::string net_wl(int row) { return "wl" + std::to_string(row); }
+/// Wordline driver output (before the line's first open site).
+inline std::string net_wldrv(int row) { return "wldrv" + std::to_string(row); }
+
+/// Row-address inputs: pad-side node, post-open-site node, complement.
+inline std::string net_addr(int bit) { return "a" + std::to_string(bit); }
+inline std::string net_addr_in(int bit) { return "a" + std::to_string(bit) + "_in"; }
+inline std::string net_addr_b(int bit) { return "a" + std::to_string(bit) + "b"; }
+
+/// Row decoder NAND output (active low when the row is selected).
+inline std::string net_dec(int row) { return "dec" + std::to_string(row); }
+
+/// Column data output after the sense path.
+inline std::string net_q(int col) { return "q" + std::to_string(col); }
+/// Sense inverter output (internal, before the output buffer).
+inline std::string net_sa(int col) { return "sa" + std::to_string(col); }
+
+/// Shared write bus (true / complement) ahead of the column selects.
+inline std::string net_wbus() { return "wbus"; }
+inline std::string net_wbusb() { return "wbusb"; }
+
+// --- open (joint) sites -----------------------------------------------------
+
+/// Series open in the access-transistor path of a cell (matrix defect:
+/// pure RC delay on read/write of that one cell -> at-speed signature).
+inline std::string joint_cell_access(int row, int col) {
+  return "cell" + std::to_string(row) + "_" + std::to_string(col) + ".acc";
+}
+
+/// Series open in the pull-up path of a cell's true side: the stored '1'
+/// is only held dynamically and decays through junction leakage — the
+/// classic data-retention fault that no march corner catches without a
+/// pause element.
+inline std::string joint_cell_pullup(int row, int col) {
+  return "cell" + std::to_string(row) + "_" + std::to_string(col) + ".pu";
+}
+
+/// Open between the wordline driver and the wordline (row-wide delay).
+inline std::string joint_wordline(int row) {
+  return "wl" + std::to_string(row) + ".stitch";
+}
+
+/// Open at a row-address decoder input (the Fig. 5/6 site: combined with
+/// the site's parasitic leak it forms a supply-ratio divider that crosses
+/// the receiving gate threshold only at high Vdd).
+inline std::string joint_addr_input(int bit) {
+  return "addr" + std::to_string(bit) + ".in";
+}
+
+/// Open in the bitline between the cell area and the sense/write periphery
+/// (column-wide read delay -> at-speed signature in the periphery).
+inline std::string joint_bitline(int col) {
+  return "bl" + std::to_string(col) + ".stitch";
+}
+
+/// Open in the sense/output path of a column (periphery delay whose margin
+/// is voltage dependent -> the Chip-4 signature).
+inline std::string joint_sense(int col) {
+  return "sense" + std::to_string(col) + ".out";
+}
+
+}  // namespace memstress::layout

@@ -1,0 +1,31 @@
+// Synthetic 6T-SRAM layout generator.
+//
+// Substitutes for the paper's proprietary Philips layout + PIA extractor:
+// it draws a stylized but geometrically meaningful floorplan (cell matrix,
+// mirrored rows, bitline pairs, wordline poly, power rails, address wiring,
+// contacts and vias) whose nets and open sites carry exactly the names the
+// analog netlist builder uses, so extracted defect sites can be injected
+// electrically without any manual mapping.
+#pragma once
+
+#include "layout/geometry.hpp"
+
+namespace memstress::layout {
+
+/// Floorplan constants (microns), loosely scaled to a 0.18 um process.
+struct FloorplanRules {
+  double cell_pitch_x = 2.0;
+  double cell_pitch_y = 1.6;
+  double strap_width = 0.5;    ///< cell internal node strap
+  double line_width = 0.15;    ///< bitline / wordline / address line width
+  double rail_width = 0.12;    ///< power rail width
+  double via_size = 0.22;      ///< via / contact edge
+};
+
+/// Generate the layout of a `rows` x `cols` block. Row count and column
+/// count must be positive. Odd rows are mirrored vertically (as in real
+/// arrays), which is what brings adjacent wordlines close together.
+LayoutModel generate_sram_layout(int rows, int cols,
+                                 const FloorplanRules& rules = {});
+
+}  // namespace memstress::layout

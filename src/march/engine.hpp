@@ -1,0 +1,100 @@
+// March test execution on the behavioral SRAM model, with fail logging and
+// bitmap analysis (the datalog a production tester would produce).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "march/march.hpp"
+#include "sram/behavioral.hpp"
+
+namespace memstress::march {
+
+/// One miscompare observed during a march run.
+struct FailRecord {
+  long cycle = 0;    ///< global operation index (one op per clock cycle)
+  int element = 0;   ///< index into MarchTest::elements
+  int op = 0;        ///< index into the element's ops
+  int row = 0;
+  int col = 0;
+  bool expected = false;
+  bool observed = false;
+};
+
+/// Result of applying a march test at one stress condition.
+class FailLog {
+ public:
+  void record(FailRecord fail);
+
+  bool passed() const { return fails_.empty(); }
+  const std::vector<FailRecord>& fails() const { return fails_; }
+
+  /// Distinct failing cells (the tester "bitmap").
+  std::set<std::pair<int, int>> failing_cells() const;
+
+  /// Signatures of the march elements that produced fails, in the paper's
+  /// bitmap style (e.g. {"{R0W1}", "{R1W0R0}"}).
+  std::set<std::string> element_signatures(const MarchTest& test) const;
+
+  /// Human-readable bitmap summary for reports.
+  std::string summary(const MarchTest& test) const;
+
+ private:
+  std::vector<FailRecord> fails_;
+};
+
+/// Address stepping order across the matrix (row-major is the paper's
+/// default; the MOVI-style variant steps column-major so that successive
+/// accesses change row address every cycle, stressing the row decoder).
+enum class AddressMap : unsigned char { RowMajor, ColumnMajor };
+
+/// Data background: the physical value written for a logical '0'. With a
+/// checkerboard background, neighbouring cells hold opposite values, which
+/// activates state-coupling and bridge defects a solid background leaves
+/// dormant.
+enum class DataBackground : unsigned char { Solid, Checkerboard };
+
+struct RunOptions {
+  AddressMap address_map = AddressMap::RowMajor;
+  long max_fail_records = 4096;  ///< cap the log for grossly broken devices
+  /// MOVI-style address rotation: the linear index is rotated left by this
+  /// many bits before mapping to (row, col), so consecutive accesses toggle
+  /// a different address bit — the transition stress that exposes decoder
+  /// delay faults. Requires a power-of-two cell count when non-zero.
+  int rotate_bits = 0;
+  DataBackground background = DataBackground::Solid;
+};
+
+/// Apply `test` to `memory` at its current stress condition.
+FailLog run_march(sram::BehavioralSram& memory, const MarchTest& test,
+                  const RunOptions& options = {});
+
+/// Result of a MOVI run: the base test applied once per address-bit
+/// rotation (rotation 0 = plain order).
+struct MoviResult {
+  std::vector<FailLog> runs;  ///< one per rotation
+  bool passed() const;
+  long fail_count() const;
+};
+
+/// MOVI [vdGoor 98]: repeat `base` with every address-bit rotation so each
+/// address bit becomes the fastest-toggling one in turn. Total length is
+/// complexity * cells * log2(cells). Requires a power-of-two cell count.
+MoviResult run_movi(sram::BehavioralSram& memory, const MarchTest& base,
+                    const RunOptions& options = {});
+
+/// Data-retention test (the classical "MATS+ with Del" pattern): write a
+/// background, pause for `pause_s` with the memory unclocked, read it
+/// back; then repeat with the inverted background so both stored values
+/// are exercised. Retention faults decay during the pauses and are caught
+/// by the verifying reads; every march-detectable fault is NOT the target
+/// here (run a march first).
+FailLog run_retention(sram::BehavioralSram& memory, double pause_s,
+                      const RunOptions& options = {});
+
+/// Total clock cycles the run takes (complexity * cells) — used for test
+/// time accounting in the stress-schedule recommendations.
+long march_cycles(const MarchTest& test, long cells);
+
+}  // namespace memstress::march

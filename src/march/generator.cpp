@@ -1,0 +1,164 @@
+#include "march/generator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace memstress::march {
+
+namespace {
+
+/// Element templates. `entry` is the uniform background the element starts
+/// from; `exit` the background it leaves. All reads are consistent with
+/// the running state by construction.
+struct ElementTemplate {
+  // Build the element for entry state `s`.
+  MarchElement build(bool entry, AddressOrder order) const {
+    MarchElement element;
+    element.order = order;
+    for (const char* p = ops; *p != '\0'; ++p) {
+      switch (*p) {
+        case 'r': element.ops.push_back(entry ? MarchOp::r1() : MarchOp::r0()); break;
+        case 'w': element.ops.push_back(entry ? MarchOp::w0() : MarchOp::w1()); break;  // write complement
+        case 'b': element.ops.push_back(entry ? MarchOp::w1() : MarchOp::w0()); break;  // rewrite same
+        case 'c': element.ops.push_back(entry ? MarchOp::r0() : MarchOp::r1()); break;  // read complement
+      }
+    }
+    return element;
+  }
+  bool exit_state(bool entry) const { return flips ? !entry : entry; }
+
+  const char* ops;  // 'r' read state, 'w' write complement, 'c' read complement, 'b' rewrite state
+  bool flips;       // whether the background is complemented afterwards
+};
+
+// The classical element shapes (every march test in the library is a
+// composition of these).
+constexpr ElementTemplate kTemplates[] = {
+    {"r", false},       // (rs)
+    {"rw", true},       // (rs, w~s)
+    {"rwc", true},      // (rs, w~s, r~s)
+    {"w", true},        // (w~s)
+    {"rr", false},      // (rs, rs)  — read-destructive exposure
+    {"rwcb", false},    // (rs, w~s, r~s, ws) — transition both ways
+    {"rbr", false},     // (rs, ws, rs) — non-transition write exposure
+};
+
+MarchTest with_element(const MarchTest& base, const MarchElement& element) {
+  MarchTest extended = base;
+  extended.elements.push_back(element);
+  return extended;
+}
+
+}  // namespace
+
+int coverage_of(const MarchTest& test,
+                const std::vector<sram::InjectedFault>& faults,
+                const GeneratorOptions& options) {
+  int covered = 0;
+  for (const auto& fault : faults) {
+    sram::BehavioralSram memory(options.matrix_rows, options.matrix_cols);
+    memory.set_condition(options.condition);
+    memory.add_fault(fault);
+    if (!run_march(memory, test).passed()) ++covered;
+  }
+  return covered;
+}
+
+namespace {
+
+std::vector<bool> coverage_flags(const MarchTest& test,
+                                 const std::vector<sram::InjectedFault>& faults,
+                                 const GeneratorOptions& options) {
+  std::vector<bool> flags;
+  flags.reserve(faults.size());
+  for (const auto& fault : faults) {
+    sram::BehavioralSram memory(options.matrix_rows, options.matrix_cols);
+    memory.set_condition(options.condition);
+    memory.add_fault(fault);
+    flags.push_back(!run_march(memory, test).passed());
+  }
+  return flags;
+}
+
+}  // namespace
+
+GeneratedMarch generate_march(const std::vector<sram::InjectedFault>& faults,
+                              const GeneratorOptions& options) {
+  require(!faults.empty(), "generate_march: empty fault list");
+  require(options.max_elements >= 1, "generate_march: max_elements >= 1");
+
+  GeneratedMarch result;
+  result.total = static_cast<int>(faults.size());
+  result.test.name = "generated";
+  // Initializer: the canonical *(w0).
+  MarchElement init;
+  init.order = AddressOrder::Either;
+  init.ops = {MarchOp::w0()};
+  result.test.elements.push_back(init);
+  bool state = false;  // all cells hold 0
+
+  int covered = coverage_of(result.test, faults, options);
+  for (int round = 0; round < options.max_elements; ++round) {
+    int best_gain = 0;
+    MarchElement best_element;
+    bool best_exit = state;
+    for (const auto& element_template : kTemplates) {
+      for (const auto order : {AddressOrder::Ascending, AddressOrder::Descending}) {
+        const MarchElement candidate = element_template.build(state, order);
+        const int candidate_coverage =
+            coverage_of(with_element(result.test, candidate), faults, options);
+        if (candidate_coverage - covered > best_gain) {
+          best_gain = candidate_coverage - covered;
+          best_element = candidate;
+          best_exit = element_template.exit_state(state);
+        }
+      }
+    }
+    if (best_gain == 0) {
+      // No single element helps; flip the background once in case the
+      // remaining faults need the other polarity, then give up if the
+      // flip round also stalls.
+      if (covered == result.total || state) break;
+      ElementTemplate flip{"rw", true};
+      result.test.elements.push_back(
+          flip.build(state, AddressOrder::Ascending));
+      state = !state;
+      covered = coverage_of(result.test, faults, options);
+      continue;
+    }
+    result.test.elements.push_back(best_element);
+    state = best_exit;
+    covered += best_gain;
+    if (covered == result.total) break;
+  }
+
+  if (options.minimize)
+    result.test = minimize_march(result.test, faults, options);
+  result.covered = coverage_of(result.test, faults, options);
+  result.detected = coverage_flags(result.test, faults, options);
+  return result;
+}
+
+MarchTest minimize_march(const MarchTest& test,
+                         const std::vector<sram::InjectedFault>& faults,
+                         const GeneratorOptions& options) {
+  MarchTest current = test;
+  const int target = coverage_of(current, faults, options);
+  // Try dropping elements back to front (never the initializer); a drop
+  // sticks if coverage is preserved AND the test stays march-consistent
+  // (dropping a background-flipping element breaks read expectations, in
+  // which case coverage collapses and the drop is rejected naturally —
+  // but we also guard validity against a fault-free memory).
+  for (std::size_t i = current.elements.size(); i-- > 1;) {
+    MarchTest reduced = current;
+    reduced.elements.erase(reduced.elements.begin() + static_cast<long>(i));
+    sram::BehavioralSram clean(options.matrix_rows, options.matrix_cols);
+    clean.set_condition(options.condition);
+    if (!run_march(clean, reduced).passed()) continue;  // would false-fail
+    if (coverage_of(reduced, faults, options) >= target) current = reduced;
+  }
+  return current;
+}
+
+}  // namespace memstress::march

@@ -1,0 +1,59 @@
+// March-test synthesis: the paper's closing future work ("as continuation
+// of this research, we would like to explore new test algorithms for
+// targeting the soft defects") as a tool.
+//
+// Given a target fault list, the generator greedily assembles a march test
+// from valid element templates: each template is parameterized by the
+// uniform background its predecessor leaves behind, so every produced test
+// is march-consistent by construction (reads always expect the value last
+// written — verified against a fault-free memory in the test suite). At
+// each step the element that newly detects the most target faults is
+// appended; a final minimization pass drops elements that became
+// redundant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "march/engine.hpp"
+#include "march/march.hpp"
+#include "sram/behavioral.hpp"
+
+namespace memstress::march {
+
+struct GeneratorOptions {
+  int max_elements = 10;       ///< cap on appended elements (after the init)
+  int matrix_rows = 4;         ///< evaluation memory geometry
+  int matrix_cols = 4;
+  sram::StressPoint condition; ///< stress condition faults are evaluated at
+  bool minimize = true;        ///< drop redundant elements afterwards
+};
+
+/// Result of a synthesis run.
+struct GeneratedMarch {
+  MarchTest test;
+  int covered = 0;  ///< target faults the test detects
+  int total = 0;    ///< target fault count
+  std::vector<bool> detected;  ///< per-fault coverage flags
+
+  bool complete() const { return covered == total; }
+};
+
+/// Synthesize a march test covering as many of `faults` as possible.
+/// Each fault is evaluated in isolation (one defective device per fault).
+GeneratedMarch generate_march(const std::vector<sram::InjectedFault>& faults,
+                              const GeneratorOptions& options = {});
+
+/// Count how many of `faults` the given test detects (the generator's
+/// evaluation oracle, exposed for comparisons and tests).
+int coverage_of(const MarchTest& test,
+                const std::vector<sram::InjectedFault>& faults,
+                const GeneratorOptions& options = {});
+
+/// Remove elements whose removal does not reduce coverage of `faults`
+/// (keeps the initializing first element).
+MarchTest minimize_march(const MarchTest& test,
+                         const std::vector<sram::InjectedFault>& faults,
+                         const GeneratorOptions& options = {});
+
+}  // namespace memstress::march

@@ -1,0 +1,46 @@
+#include "march/library.hpp"
+
+namespace memstress::march {
+
+MarchTest mats_plus() {
+  return parse_march("MATS+", "{*(w0); ^(r0,w1); v(r1,w0)}");
+}
+
+MarchTest mats_plus_plus() {
+  return parse_march("MATS++", "{*(w0); ^(r0,w1); v(r1,w0,r0)}");
+}
+
+MarchTest march_c_minus() {
+  return parse_march("March C-",
+                     "{*(w0); ^(r0,w1); ^(r1,w0); v(r0,w1); v(r1,w0); *(r0)}");
+}
+
+MarchTest march_a() {
+  return parse_march(
+      "March A",
+      "{*(w0); ^(r0,w1,w0,w1); ^(r1,w0,w1); v(r1,w0,w1,w0); v(r0,w1,w0)}");
+}
+
+MarchTest march_b() {
+  return parse_march("March B",
+                     "{*(w0); ^(r0,w1,r1,w0,r0,w1); ^(r1,w0,w1); "
+                     "v(r1,w0,w1,w0); v(r0,w1,w0)}");
+}
+
+MarchTest march_ss() {
+  return parse_march("March SS",
+                     "{*(w0); ^(r0,r0,w0,r0,w1); ^(r1,r1,w1,r1,w0); "
+                     "v(r0,r0,w0,r0,w1); v(r1,r1,w1,r1,w0); *(r0)}");
+}
+
+MarchTest test_11n() {
+  return parse_march("11N",
+                     "{*(w0); ^(r0,w1); ^(r1,w0,r0); v(r0,w1,r1); v(r1,w0)}");
+}
+
+std::vector<MarchTest> all_tests() {
+  return {mats_plus(),  mats_plus_plus(), march_c_minus(), march_a(),
+          march_b(),    march_ss(),       test_11n()};
+}
+
+}  // namespace memstress::march

@@ -1,0 +1,39 @@
+// Library of standard march tests.
+//
+// The paper's silicon experiment uses an 11N march test described as "a
+// variation of MATS++, March C- and MOVI"; its bitmap excerpts show the
+// elements {R0W1}, {R1W0R0} and {R0W1R1}, all of which appear in test_11n()
+// below. The classical tests are provided both as baselines for the
+// coverage ablations and for general use.
+#pragma once
+
+#include "march/march.hpp"
+
+namespace memstress::march {
+
+/// MATS+ (5N): {*(w0); ^(r0,w1); v(r1,w0)}.
+MarchTest mats_plus();
+
+/// MATS++ (6N): {*(w0); ^(r0,w1); v(r1,w0,r0)}.
+MarchTest mats_plus_plus();
+
+/// March C- (10N): {*(w0); ^(r0,w1); ^(r1,w0); v(r0,w1); v(r1,w0); *(r0)}.
+MarchTest march_c_minus();
+
+/// March A (15N).
+MarchTest march_a();
+
+/// March B (17N).
+MarchTest march_b();
+
+/// March SS (22N) — targets static faults including read-destructive.
+MarchTest march_ss();
+
+/// The paper's 11N production test:
+/// {*(w0); ^(r0,w1); ^(r1,w0,r0); v(r0,w1,r1); v(r1,w0)}.
+MarchTest test_11n();
+
+/// All library tests (for parameterized sweeps and the ablation bench).
+std::vector<MarchTest> all_tests();
+
+}  // namespace memstress::march

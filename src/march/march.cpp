@@ -1,0 +1,142 @@
+#include "march/march.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace memstress::march {
+
+std::string MarchOp::to_string() const {
+  std::string text(1, is_read ? 'r' : 'w');
+  text += value ? '1' : '0';
+  return text;
+}
+
+std::string MarchElement::to_string() const {
+  std::string text;
+  switch (order) {
+    case AddressOrder::Ascending: text += '^'; break;
+    case AddressOrder::Descending: text += 'v'; break;
+    case AddressOrder::Either: text += '*'; break;
+  }
+  text += '(';
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i) text += ',';
+    text += ops[i].to_string();
+  }
+  text += ')';
+  return text;
+}
+
+std::string MarchElement::signature() const {
+  std::string text = "{";
+  for (const auto& op : ops) {
+    text += op.is_read ? 'R' : 'W';
+    text += op.value ? '1' : '0';
+  }
+  text += '}';
+  return text;
+}
+
+int MarchTest::complexity() const {
+  int total = 0;
+  for (const auto& element : elements)
+    total += static_cast<int>(element.ops.size());
+  return total;
+}
+
+std::string MarchTest::to_string() const {
+  std::string text = "{";
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i) text += "; ";
+    text += elements[i].to_string();
+  }
+  text += '}';
+  return text;
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_space() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  }
+
+  char peek() {
+    skip_space();
+    require(pos < text.size(), "parse_march: unexpected end of input");
+    return text[pos];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos;
+    return c;
+  }
+
+  void expect(char c) {
+    const char got = take();
+    require(got == c, std::string("parse_march: expected '") + c + "', got '" +
+                          got + "'");
+  }
+
+  bool done() {
+    skip_space();
+    return pos >= text.size();
+  }
+};
+
+MarchOp parse_op(Parser& p) {
+  const char kind = p.take();
+  require(kind == 'r' || kind == 'w',
+          "parse_march: operation must start with 'r' or 'w'");
+  const char value = p.take();
+  require(value == '0' || value == '1',
+          "parse_march: operation value must be 0 or 1");
+  MarchOp op;
+  op.is_read = kind == 'r';
+  op.value = value == '1';
+  return op;
+}
+
+MarchElement parse_element(Parser& p) {
+  MarchElement element;
+  const char order = p.take();
+  switch (order) {
+    case '^': element.order = AddressOrder::Ascending; break;
+    case 'v': element.order = AddressOrder::Descending; break;
+    case '*': element.order = AddressOrder::Either; break;
+    default: throw Error("parse_march: element must start with '^', 'v' or '*'");
+  }
+  p.expect('(');
+  element.ops.push_back(parse_op(p));
+  while (p.peek() == ',') {
+    p.take();
+    element.ops.push_back(parse_op(p));
+  }
+  p.expect(')');
+  require(!element.ops.empty(), "parse_march: empty element");
+  return element;
+}
+
+}  // namespace
+
+MarchTest parse_march(const std::string& name, const std::string& notation) {
+  Parser p{notation};
+  MarchTest test;
+  test.name = name;
+  p.expect('{');
+  test.elements.push_back(parse_element(p));
+  while (p.peek() == ';') {
+    p.take();
+    test.elements.push_back(parse_element(p));
+  }
+  p.expect('}');
+  require(p.done(), "parse_march: trailing characters after '}'");
+  return test;
+}
+
+}  // namespace memstress::march

@@ -1,0 +1,65 @@
+// March test notation: operations, elements, whole tests.
+//
+// A march test is a sequence of march elements; each element is an address
+// order (up / down / either) plus a sequence of read/write operations
+// applied to every address before moving to the next [vdGoor 98].
+// Example (the paper's 11N test):
+//   { up(w0); up(r0,w1); up(r1,w0,r0); down(r0,w1,r1); down(r1,w0) }
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memstress::march {
+
+/// One read or write of a single cell.
+struct MarchOp {
+  bool is_read = false;
+  bool value = false;  ///< expected value for reads, written value for writes
+
+  static MarchOp r0() { return {true, false}; }
+  static MarchOp r1() { return {true, true}; }
+  static MarchOp w0() { return {false, false}; }
+  static MarchOp w1() { return {false, true}; }
+
+  /// "r0", "r1", "w0", "w1".
+  std::string to_string() const;
+
+  bool operator==(const MarchOp&) const = default;
+};
+
+enum class AddressOrder : unsigned char { Ascending, Descending, Either };
+
+struct MarchElement {
+  AddressOrder order = AddressOrder::Either;
+  std::vector<MarchOp> ops;
+
+  /// "^(r0,w1)" / "v(r1,w0,r0)" / "*(w0)" — ASCII rendering of the
+  /// conventional arrows.
+  std::string to_string() const;
+
+  /// The paper's bitmap signature style: "{R0W1}".
+  std::string signature() const;
+
+  bool operator==(const MarchElement&) const = default;
+};
+
+struct MarchTest {
+  std::string name;
+  std::vector<MarchElement> elements;
+
+  /// Operations per cell (the `N` multiplier: MATS++ is 6N, March C- 10N...).
+  int complexity() const;
+
+  /// Full notation: "{^(w0); ^(r0,w1); v(r1,w0,r0)}".
+  std::string to_string() const;
+
+  bool operator==(const MarchTest&) const = default;
+};
+
+/// Parse the ASCII notation produced by MarchTest::to_string. Accepted
+/// order glyphs: '^' (ascending), 'v' (descending), '*' (either). Throws
+/// Error on malformed input.
+MarchTest parse_march(const std::string& name, const std::string& notation);
+
+}  // namespace memstress::march

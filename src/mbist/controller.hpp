@@ -1,0 +1,118 @@
+// Cycle-accurate programmable MBIST controller.
+//
+// Models the on-chip engine a production SoC uses to run the paper's test
+// suite without tester bandwidth: one memory operation per clock, an
+// up/down address generator with MOVI rotation, a background generator, a
+// comparator, status registers, and a bounded fail-capture FIFO with a
+// stop-on-first-fail diagnostic mode (for bitmapping through scan).
+//
+// The controller drives any memory through the MemoryPort interface; an
+// adapter for the behavioral SRAM is provided. Its end-to-end behaviour is
+// cross-checked against the software march engine in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mbist/program.hpp"
+#include "sram/behavioral.hpp"
+
+namespace memstress::mbist {
+
+/// One-operation-per-cycle memory interface.
+class MemoryPort {
+ public:
+  virtual ~MemoryPort() = default;
+  virtual int rows() const = 0;
+  virtual int cols() const = 0;
+  virtual bool read(int row, int col) = 0;
+  virtual void write(int row, int col, bool value) = 0;
+  /// Idle clock (pause instruction): `seconds` of wall time per cycle.
+  virtual void idle(double seconds) = 0;
+};
+
+/// Adapter: drive a behavioral SRAM through the port.
+class BehavioralPort final : public MemoryPort {
+ public:
+  explicit BehavioralPort(sram::BehavioralSram& memory) : memory_(memory) {}
+  int rows() const override { return memory_.rows(); }
+  int cols() const override { return memory_.cols(); }
+  bool read(int row, int col) override { return memory_.read(row, col); }
+  void write(int row, int col, bool value) override {
+    memory_.write(row, col, value);
+  }
+  void idle(double seconds) override { memory_.pause(seconds); }
+
+ private:
+  sram::BehavioralSram& memory_;
+};
+
+/// Captured miscompare (what the scan chain would shift out).
+struct FailCapture {
+  std::uint64_t cycle = 0;
+  int row = 0;
+  int col = 0;
+  bool expected = false;
+  bool observed = false;
+};
+
+struct ControllerConfig {
+  std::size_t fail_fifo_depth = 16;  ///< hardware fail-capture capacity
+  bool stop_on_first_fail = false;   ///< diagnostic mode
+  double clock_period = 25e-9;       ///< for pause instructions (idle time)
+};
+
+/// The BIST engine. Construct with a program, `step()` one clock at a
+/// time (or `run()` to completion), then inspect the status registers.
+class Controller {
+ public:
+  Controller(Program program, MemoryPort& port, ControllerConfig config = {});
+
+  /// Advance one clock. Returns false once the controller has stopped.
+  bool step();
+
+  /// Run until Stop (or stop-on-first-fail). Returns the cycle count.
+  std::uint64_t run();
+
+  // Status registers.
+  bool done() const { return done_; }
+  bool failed() const { return fail_count_ > 0; }
+  std::uint64_t cycle() const { return cycle_; }
+  std::uint64_t fail_count() const { return fail_count_; }
+  bool fifo_overflowed() const { return fifo_overflow_; }
+  const std::vector<FailCapture>& fail_fifo() const { return fifo_; }
+
+ private:
+  // Decode helpers.
+  void start_element(const march::MarchElement& element);
+  std::pair<int, int> current_address() const;
+  bool background_value(int row, int col, bool logical) const;
+
+  Program program_;
+  MemoryPort& port_;
+  ControllerConfig config_;
+
+  // Architectural state.
+  std::size_t pc_ = 0;
+  bool done_ = false;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t fail_count_ = 0;
+  bool fifo_overflow_ = false;
+  std::vector<FailCapture> fifo_;
+
+  // Datapath state.
+  bool checkerboard_ = false;
+  int rotation_ = 0;
+  // Element execution state.
+  const march::MarchElement* element_ = nullptr;
+  long address_index_ = 0;  // 0..cells-1 position within the element
+  std::size_t op_index_ = 0;
+  std::uint32_t pause_remaining_ = 0;
+};
+
+/// Convenience: run `program` on a behavioral memory and report pass/fail.
+bool self_test(sram::BehavioralSram& memory, const Program& program,
+               const ControllerConfig& config = {});
+
+}  // namespace memstress::mbist

@@ -1,0 +1,122 @@
+#include "mbist/program.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace memstress::mbist {
+
+std::string Instruction::to_string() const {
+  std::ostringstream out;
+  switch (opcode) {
+    case Opcode::SetBackground:
+      out << "SETBG   " << (operand ? "checkerboard" : "solid");
+      break;
+    case Opcode::SetRotation:
+      out << "SETROT  " << operand;
+      break;
+    case Opcode::Element:
+      out << "ELEMENT #" << operand;
+      break;
+    case Opcode::Pause:
+      out << "PAUSE   " << operand << " cycles";
+      break;
+    case Opcode::Stop:
+      out << "STOP";
+      break;
+  }
+  return out.str();
+}
+
+std::string Program::listing() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < instructions.size(); ++i) {
+    out << i << ": " << instructions[i].to_string();
+    if (instructions[i].opcode == Opcode::Element) {
+      const std::uint32_t index = instructions[i].operand;
+      if (index < elements.size())
+        out << "   ; " << elements[index].to_string();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+long Program::cycle_count(long cells) const {
+  long total = 0;
+  for (const auto& instruction : instructions) {
+    switch (instruction.opcode) {
+      case Opcode::Element: {
+        require(instruction.operand < elements.size(),
+                "Program: element index out of range");
+        // One fetch cycle, then one cycle per memory operation.
+        total += 1 + cells * static_cast<long>(
+                               elements[instruction.operand].ops.size());
+        break;
+      }
+      case Opcode::Pause:
+        total += instruction.operand;
+        break;
+      default:
+        ++total;  // control instructions take one cycle
+        break;
+    }
+  }
+  return total;
+}
+
+Program assemble(const march::MarchTest& test, march::DataBackground background,
+                 int rotate_bits) {
+  require(!test.elements.empty(), "assemble: empty march test");
+  Program program;
+  program.instructions.push_back(
+      {Opcode::SetBackground,
+       background == march::DataBackground::Checkerboard ? 1u : 0u});
+  program.instructions.push_back(
+      {Opcode::SetRotation, static_cast<std::uint32_t>(rotate_bits)});
+  for (const auto& element : test.elements) {
+    program.instructions.push_back(
+        {Opcode::Element, static_cast<std::uint32_t>(program.elements.size())});
+    program.elements.push_back(element);
+  }
+  program.instructions.push_back({Opcode::Stop, 0});
+  return program;
+}
+
+Program assemble_movi(const march::MarchTest& base, int address_bits) {
+  require(address_bits >= 1, "assemble_movi: need at least one address bit");
+  Program program;
+  program.instructions.push_back({Opcode::SetBackground, 0});
+  // Element table is shared across rotations.
+  for (const auto& element : base.elements) program.elements.push_back(element);
+  for (int rotation = 0; rotation < address_bits; ++rotation) {
+    program.instructions.push_back(
+        {Opcode::SetRotation, static_cast<std::uint32_t>(rotation)});
+    for (std::uint32_t e = 0; e < base.elements.size(); ++e)
+      program.instructions.push_back({Opcode::Element, e});
+  }
+  program.instructions.push_back({Opcode::Stop, 0});
+  return program;
+}
+
+Program assemble_retention(std::uint32_t pause_cycles) {
+  Program program;
+  program.instructions.push_back({Opcode::SetBackground, 0});
+  program.instructions.push_back({Opcode::SetRotation, 0});
+  const auto add_element = [&program](const char* notation) {
+    const march::MarchTest t = march::parse_march("retention", notation);
+    program.instructions.push_back(
+        {Opcode::Element, static_cast<std::uint32_t>(program.elements.size())});
+    program.elements.push_back(t.elements.front());
+  };
+  add_element("{^(w1)}");
+  program.instructions.push_back({Opcode::Pause, pause_cycles});
+  add_element("{^(r1)}");
+  add_element("{^(w0)}");
+  program.instructions.push_back({Opcode::Pause, pause_cycles});
+  add_element("{^(r0)}");
+  program.instructions.push_back({Opcode::Stop, 0});
+  return program;
+}
+
+}  // namespace memstress::mbist

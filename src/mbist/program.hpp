@@ -1,0 +1,64 @@
+// MBIST microcode: the instruction set of the programmable memory-BIST
+// controller (src/mbist/controller.hpp).
+//
+// The paper's Veqtor4 test chip had no BIST ("Memory BIST was not
+// implemented at the time of design"), forcing direct-access testing
+// through a controller — this module provides what production SoCs ship
+// instead: a small engine whose microcode expresses march elements, data
+// backgrounds, MOVI-style address rotation, and retention pauses, so the
+// entire stress-test suite of the paper can run on-chip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "march/engine.hpp"
+#include "march/march.hpp"
+
+namespace memstress::mbist {
+
+enum class Opcode : unsigned char {
+  SetBackground,  ///< operand: 0 = solid, 1 = checkerboard
+  SetRotation,    ///< operand: address-bit rotation for MOVI stepping
+  Element,        ///< operand: index into the program's element table
+  Pause,          ///< operand: pause duration in clock cycles
+  Stop,           ///< end of program
+};
+
+struct Instruction {
+  Opcode opcode = Opcode::Stop;
+  std::uint32_t operand = 0;
+
+  std::string to_string() const;
+};
+
+/// A complete BIST program: instruction stream plus the march-element
+/// table the Element instructions index into.
+struct Program {
+  std::vector<Instruction> instructions;
+  std::vector<march::MarchElement> elements;
+
+  /// Human-readable listing (for datasheets / debug).
+  std::string listing() const;
+
+  /// Total clock cycles the program takes on an N-cell memory (pauses
+  /// counted in cycles as programmed).
+  long cycle_count(long cells) const;
+};
+
+/// Assemble a march test into a BIST program (optionally with a data
+/// background and MOVI rotation prologue).
+Program assemble(const march::MarchTest& test,
+                 march::DataBackground background = march::DataBackground::Solid,
+                 int rotate_bits = 0);
+
+/// Assemble the full MOVI schedule: the base test once per address-bit
+/// rotation. `address_bits` = log2(cells).
+Program assemble_movi(const march::MarchTest& base, int address_bits);
+
+/// Assemble a retention test: write background, pause, verify, inverted
+/// background, pause, verify. `pause_cycles` at the BIST clock.
+Program assemble_retention(std::uint32_t pause_cycles);
+
+}  // namespace memstress::mbist

@@ -1,0 +1,157 @@
+#include "repair/repair.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace memstress::repair {
+
+namespace {
+
+using Cell = std::pair<int, int>;
+
+struct SearchState {
+  std::set<int> rows;
+  std::set<int> cols;
+};
+
+/// Branch and bound: cover `fails` using at most (sr, sc) additional row /
+/// column spares. On success fills `best` with a minimal-spare plan.
+bool search(const std::vector<Cell>& fails, std::size_t index, int sr, int sc,
+            SearchState& state, SearchState& best, bool& have_best) {
+  // Prune: already worse than the best complete plan found.
+  if (have_best &&
+      state.rows.size() + state.cols.size() >= best.rows.size() + best.cols.size())
+    return false;
+  // Find the next uncovered fail.
+  while (index < fails.size() &&
+         (state.rows.count(fails[index].first) ||
+          state.cols.count(fails[index].second)))
+    ++index;
+  if (index == fails.size()) {
+    best = state;
+    have_best = true;
+    return true;
+  }
+  const Cell& cell = fails[index];
+  bool found = false;
+  if (sr > 0) {
+    state.rows.insert(cell.first);
+    found |= search(fails, index + 1, sr - 1, sc, state, best, have_best);
+    state.rows.erase(cell.first);
+  }
+  if (sc > 0) {
+    state.cols.insert(cell.second);
+    found |= search(fails, index + 1, sr, sc - 1, state, best, have_best);
+    state.cols.erase(cell.second);
+  }
+  return found;
+}
+
+}  // namespace
+
+std::string RepairPlan::describe() const {
+  if (!feasible) return "UNREPAIRABLE";
+  std::ostringstream out;
+  out << "repairable with " << rows_replaced.size() << " spare row(s)";
+  for (const int r : rows_replaced) out << " [row " << r << "]";
+  out << " and " << cols_replaced.size() << " spare column(s)";
+  for (const int c : cols_replaced) out << " [col " << c << "]";
+  return out.str();
+}
+
+RepairPlan allocate_repair(const std::set<Cell>& failing_cells,
+                           const SpareConfig& spares) {
+  require(spares.spare_rows >= 0 && spares.spare_cols >= 0,
+          "allocate_repair: negative spare counts");
+  RepairPlan plan;
+  if (failing_cells.empty()) {
+    plan.feasible = true;
+    return plan;
+  }
+
+  // Must-repair analysis: a row with more fails than the column-spare
+  // budget can only be covered by a row spare (and vice versa). Iterate to
+  // a fixed point — each committed spare shrinks the remaining bitmap.
+  std::set<Cell> remaining = failing_cells;
+  std::set<int> row_spares;
+  std::set<int> col_spares;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<int, int> per_row;
+    std::map<int, int> per_col;
+    for (const auto& [r, c] : remaining) {
+      ++per_row[r];
+      ++per_col[c];
+    }
+    const int col_budget =
+        spares.spare_cols - static_cast<int>(col_spares.size());
+    const int row_budget =
+        spares.spare_rows - static_cast<int>(row_spares.size());
+    for (const auto& [row, count] : per_row) {
+      if (count > col_budget && !row_spares.count(row)) {
+        if (static_cast<int>(row_spares.size()) >= spares.spare_rows)
+          return plan;  // must-repair exceeds the budget: unrepairable
+        row_spares.insert(row);
+        changed = true;
+      }
+    }
+    for (const auto& [col, count] : per_col) {
+      if (count > row_budget && !col_spares.count(col)) {
+        if (static_cast<int>(col_spares.size()) >= spares.spare_cols)
+          return plan;
+        col_spares.insert(col);
+        changed = true;
+      }
+    }
+    if (changed) {
+      std::erase_if(remaining, [&](const Cell& cell) {
+        return row_spares.count(cell.first) || col_spares.count(cell.second);
+      });
+    }
+  }
+
+  // Branch and bound on the sparse remainder.
+  require(remaining.size() <= 64,
+          "allocate_repair: bitmap too dense for exact repair search");
+  const std::vector<Cell> fails(remaining.begin(), remaining.end());
+  SearchState state;
+  SearchState best;
+  bool have_best = false;
+  search(fails, 0, spares.spare_rows - static_cast<int>(row_spares.size()),
+         spares.spare_cols - static_cast<int>(col_spares.size()), state, best,
+         have_best);
+  if (!have_best) return plan;
+
+  plan.feasible = true;
+  for (const int r : row_spares) plan.rows_replaced.push_back(r);
+  for (const int r : best.rows) plan.rows_replaced.push_back(r);
+  for (const int c : col_spares) plan.cols_replaced.push_back(c);
+  for (const int c : best.cols) plan.cols_replaced.push_back(c);
+  std::sort(plan.rows_replaced.begin(), plan.rows_replaced.end());
+  std::sort(plan.cols_replaced.begin(), plan.cols_replaced.end());
+  return plan;
+}
+
+RepairPlan allocate_repair(const march::FailLog& log, const SpareConfig& spares) {
+  return allocate_repair(log.failing_cells(), spares);
+}
+
+bool plan_covers(const RepairPlan& plan, const std::set<Cell>& failing_cells) {
+  if (!plan.feasible) return false;
+  for (const auto& [r, c] : failing_cells) {
+    const bool row_covered =
+        std::find(plan.rows_replaced.begin(), plan.rows_replaced.end(), r) !=
+        plan.rows_replaced.end();
+    const bool col_covered =
+        std::find(plan.cols_replaced.begin(), plan.cols_replaced.end(), c) !=
+        plan.cols_replaced.end();
+    if (!row_covered && !col_covered) return false;
+  }
+  return true;
+}
+
+}  // namespace memstress::repair

@@ -1,0 +1,55 @@
+// Redundancy repair allocation: from a tester bitmap to a spare row/column
+// assignment.
+//
+// Embedded memories ship with spare rows and columns; after the march/
+// stress suite produces a bitmap, the repair allocator decides which
+// spares cover the failing cells (or declares the die unrepairable). This
+// is the step that turns the paper's fault coverage into shipped yield:
+// a defect that is *detected* costs nothing if the die can be repaired,
+// while a test escape ships broken — the DPM story and the repair story
+// are two sides of the same bitmap.
+//
+// The allocator runs exact must-repair analysis followed by
+// branch-and-bound on the sparse remainder (optimal for the spare counts
+// embedded memories actually have).
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "march/engine.hpp"
+
+namespace memstress::repair {
+
+struct SpareConfig {
+  int spare_rows = 2;
+  int spare_cols = 2;
+};
+
+struct RepairPlan {
+  bool feasible = false;
+  std::vector<int> rows_replaced;
+  std::vector<int> cols_replaced;
+
+  int spares_used() const {
+    return static_cast<int>(rows_replaced.size() + cols_replaced.size());
+  }
+  std::string describe() const;
+};
+
+/// Allocate spares to cover every failing cell. Optimal: if any assignment
+/// within the spare budget exists, one is returned (minimizing used spares
+/// among feasible plans).
+RepairPlan allocate_repair(const std::set<std::pair<int, int>>& failing_cells,
+                           const SpareConfig& spares);
+
+/// Convenience: allocate directly from a march fail log.
+RepairPlan allocate_repair(const march::FailLog& log, const SpareConfig& spares);
+
+/// Sanity: does the plan actually cover every failing cell?
+bool plan_covers(const RepairPlan& plan,
+                 const std::set<std::pair<int, int>>& failing_cells);
+
+}  // namespace memstress::repair

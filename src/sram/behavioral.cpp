@@ -1,0 +1,251 @@
+#include "sram/behavioral.hpp"
+
+#include "util/error.hpp"
+
+namespace memstress::sram {
+
+bool FailureEnvelope::active(const StressPoint& at) const {
+  switch (kind) {
+    case Kind::Never:
+      return false;
+    case Kind::Always:
+      return true;
+    case Kind::LowVoltage:
+      return at.vdd < v_threshold;
+    case Kind::HighVoltage:
+      return at.vdd > v_threshold;
+    case Kind::AtSpeed:
+      return at.period < t_threshold + t_slope * (v_ref - at.vdd);
+  }
+  return false;
+}
+
+FailureEnvelope FailureEnvelope::never() { return {}; }
+
+FailureEnvelope FailureEnvelope::always() {
+  FailureEnvelope e;
+  e.kind = Kind::Always;
+  return e;
+}
+
+FailureEnvelope FailureEnvelope::low_voltage(double fails_below_v) {
+  FailureEnvelope e;
+  e.kind = Kind::LowVoltage;
+  e.v_threshold = fails_below_v;
+  return e;
+}
+
+FailureEnvelope FailureEnvelope::high_voltage(double fails_above_v) {
+  FailureEnvelope e;
+  e.kind = Kind::HighVoltage;
+  e.v_threshold = fails_above_v;
+  return e;
+}
+
+FailureEnvelope FailureEnvelope::at_speed(double fails_below_period, double slope,
+                                          double v_ref) {
+  FailureEnvelope e;
+  e.kind = Kind::AtSpeed;
+  e.t_threshold = fails_below_period;
+  e.t_slope = slope;
+  e.v_ref = v_ref;
+  return e;
+}
+
+const char* fault_type_name(FaultType type) {
+  switch (type) {
+    case FaultType::StuckAt0: return "stuck-at-0";
+    case FaultType::StuckAt1: return "stuck-at-1";
+    case FaultType::TransitionUp: return "transition-up";
+    case FaultType::TransitionDown: return "transition-down";
+    case FaultType::ReadDestructive: return "read-destructive";
+    case FaultType::CouplingInversion: return "coupling-inversion";
+    case FaultType::CouplingState: return "coupling-state";
+    case FaultType::DecoderWrongRow: return "decoder-wrong-row";
+    case FaultType::DecoderNoSelect: return "decoder-no-select";
+    case FaultType::DecoderMultiRow: return "decoder-multi-row";
+    case FaultType::DecoderStaleBit: return "decoder-stale-bit";
+    case FaultType::SlowRead: return "slow-read";
+    case FaultType::DataRetention: return "data-retention";
+  }
+  return "?";
+}
+
+BehavioralSram::BehavioralSram(int rows, int cols) : rows_(rows), cols_(cols) {
+  require(rows > 0 && cols > 0, "BehavioralSram: rows/cols must be positive");
+  storage_.assign(static_cast<std::size_t>(rows) * cols, 0);
+  output_latch_.assign(static_cast<std::size_t>(cols), 0);
+}
+
+void BehavioralSram::add_fault(InjectedFault fault) {
+  require(fault.row >= 0 && fault.row < rows_, "add_fault: row out of range");
+  require(fault.col >= -1 && fault.col < cols_, "add_fault: col out of range");
+  faults_.push_back(std::move(fault));
+}
+
+void BehavioralSram::set_condition(const StressPoint& at) { condition_ = at; }
+
+void BehavioralSram::fill(bool value) {
+  storage_.assign(storage_.size(), value ? 1 : 0);
+}
+
+bool& BehavioralSram::cell(int row, int col) {
+  return reinterpret_cast<bool&>(
+      storage_[static_cast<std::size_t>(row) * cols_ + col]);
+}
+
+void BehavioralSram::write_raw(int row, int col, bool value) {
+  const bool old_value = cell(row, col);
+  bool effective = value;
+  for (const auto& f : faults_) {
+    if (!f.envelope.active(condition_)) continue;
+    const bool hits_cell = f.row == row && (f.col == col || f.col == -1);
+    if (!hits_cell) continue;
+    switch (f.type) {
+      case FaultType::StuckAt0: effective = false; break;
+      case FaultType::StuckAt1: effective = true; break;
+      case FaultType::TransitionUp:
+        if (!old_value && value) effective = old_value;
+        break;
+      case FaultType::TransitionDown:
+        if (old_value && !value) effective = old_value;
+        break;
+      default: break;
+    }
+  }
+  cell(row, col) = effective;
+  apply_coupling_after_write(row, col, old_value, effective);
+}
+
+void BehavioralSram::apply_coupling_after_write(int row, int col, bool old_value,
+                                                bool new_value) {
+  for (const auto& f : faults_) {
+    if (!f.envelope.active(condition_)) continue;
+    // Coupling faults store the aggressor in (row, col) and the victim in
+    // (aux_row, aux_col).
+    if (f.row != row || f.col != col || f.aux_row < 0 || f.aux_col < 0) continue;
+    if (f.type == FaultType::CouplingInversion) {
+      if (old_value != new_value) {
+        bool& victim = cell(f.aux_row, f.aux_col);
+        victim = !victim;
+      }
+    } else if (f.type == FaultType::CouplingState) {
+      if (new_value) cell(f.aux_row, f.aux_col) = f.value;
+    }
+  }
+}
+
+int BehavioralSram::resolve_row(int row) {
+  int resolved = row;
+  for (const auto& f : faults_) {
+    if (f.type != FaultType::DecoderStaleBit) continue;
+    if (!f.envelope.active(condition_)) continue;
+    const int bit = f.aux_row;
+    if (bit < 0) continue;
+    // When the requested row differs from the previous access in the stale
+    // bit, the decoder resolves with the bit's old value.
+    if (((row >> bit) & 1) != ((last_row_ >> bit) & 1)) {
+      resolved = (row & ~(1 << bit)) | (last_row_ & (1 << bit));
+      if (resolved >= rows_) resolved = row;  // outside the matrix: no cell
+    }
+  }
+  last_row_ = row;  // the decoder eventually settles to the requested row
+  return resolved;
+}
+
+void BehavioralSram::pause(double seconds) {
+  require(seconds >= 0.0, "BehavioralSram::pause: negative pause");
+  for (const auto& f : faults_) {
+    if (f.type != FaultType::DataRetention) continue;
+    if (!f.envelope.active(condition_)) continue;
+    if (seconds < f.retention_s) continue;
+    if (f.col >= 0) {
+      // Cell decays only if it currently holds the doomed state's inverse.
+      cell(f.row, f.col) = f.value;
+    }
+  }
+}
+
+void BehavioralSram::write(int row, int col, bool value) {
+  require(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+          "BehavioralSram::write out of range");
+  row = resolve_row(row);
+  // Decoder faults redirect or widen the access before cell semantics apply.
+  for (const auto& f : faults_) {
+    if (!f.envelope.active(condition_)) continue;
+    if (f.row != row || f.col != -1) continue;
+    switch (f.type) {
+      case FaultType::DecoderWrongRow:
+        write_raw(f.aux_row, col, value);
+        return;
+      case FaultType::DecoderNoSelect:
+        return;  // write lost
+      case FaultType::DecoderMultiRow:
+        write_raw(f.aux_row, col, value);
+        break;  // also falls through to the addressed row
+      default:
+        break;
+    }
+  }
+  write_raw(row, col, value);
+}
+
+bool BehavioralSram::read(int row, int col) {
+  require(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+          "BehavioralSram::read out of range");
+  row = resolve_row(row);
+  int effective_row = row;
+  bool no_select = false;
+  bool multi_and = false;
+  int multi_row = -1;
+  for (const auto& f : faults_) {
+    if (!f.envelope.active(condition_)) continue;
+    if (f.row != row || f.col != -1) continue;
+    switch (f.type) {
+      case FaultType::DecoderWrongRow: effective_row = f.aux_row; break;
+      case FaultType::DecoderNoSelect: no_select = true; break;
+      case FaultType::DecoderMultiRow:
+        multi_and = true;
+        multi_row = f.aux_row;
+        break;
+      default: break;
+    }
+  }
+
+  bool value;
+  if (no_select) {
+    // Nothing drives the bitline: the keeper holds it precharged-high and
+    // the sense path reads the bitline, i.e. a constant.
+    value = true;
+  } else {
+    value = cell(effective_row, col);
+    if (multi_and && multi_row >= 0) {
+      // Two cells fight on the same bitline; a stored 0 wins the pulldown.
+      value = value && cell(multi_row, col);
+    }
+  }
+
+  for (const auto& f : faults_) {
+    if (!f.envelope.active(condition_)) continue;
+    const bool hits_cell = f.row == row && f.col == col;
+    if (!hits_cell) continue;
+    switch (f.type) {
+      case FaultType::StuckAt0: value = false; break;
+      case FaultType::StuckAt1: value = true; break;
+      case FaultType::ReadDestructive: {
+        bool& c = cell(effective_row, col);
+        value = c;
+        c = !c;
+        break;
+      }
+      case FaultType::SlowRead:
+        value = output_latch_[static_cast<std::size_t>(col)];
+        break;
+      default: break;
+    }
+  }
+  output_latch_[static_cast<std::size_t>(col)] = value ? 1 : 0;
+  return value;
+}
+
+}  // namespace memstress::sram

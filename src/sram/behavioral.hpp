@@ -1,0 +1,141 @@
+// Cycle-level behavioral SRAM model with stress-dependent fault injection.
+//
+// The analog block (block.hpp) carries the physics but only scales to a few
+// cells; this model carries full-size memories (the 256 Kbit instances of
+// the paper's Veqtor4 test chip) at production-test speed. Physical defects
+// are mapped onto behavioral faults with a *failure envelope* over the
+// (supply voltage, clock period) plane — the envelope itself is derived
+// from analog simulation by the defects module, so the behavioral layer
+// never invents physics of its own.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memstress::sram {
+
+/// One point of the stress space. Temperature defaults to room (the
+/// paper's experiments ran at room temperature; the temperature axis is
+/// explored in the ablation benches).
+struct StressPoint {
+  double vdd = 1.8;       ///< supply [V]
+  double period = 100e-9; ///< clock period [s]
+  double temp_c = 25.0;   ///< junction temperature [degC]
+};
+
+/// Region of the stress plane in which a defect misbehaves.
+///
+/// The shapes mirror the paper's shmoo signatures:
+///  * LowVoltage  — fails for vdd <  v_threshold          (Chip-1, Fig. 4)
+///  * HighVoltage — fails for vdd >  v_threshold          (Chip-2, Fig. 7)
+///  * AtSpeed     — fails for period < t_threshold + t_slope*(v_ref - vdd)
+///                  (Chip-3 with t_slope ~ 0, Chip-4 with t_slope > 0;
+///                   Figs. 9 and 10)
+///  * Always / Never — gross defects / benign defects.
+/// Composite behaviours (e.g. a device failing both VLV and at-speed) are
+/// expressed by attaching several faults to the same device.
+struct FailureEnvelope {
+  enum class Kind : unsigned char { Never, Always, LowVoltage, HighVoltage, AtSpeed };
+  Kind kind = Kind::Never;
+  double v_threshold = 0.0;
+  double t_threshold = 0.0;
+  double t_slope = 0.0;
+  double v_ref = 1.8;
+
+  bool active(const StressPoint& at) const;
+
+  static FailureEnvelope never();
+  static FailureEnvelope always();
+  static FailureEnvelope low_voltage(double fails_below_v);
+  static FailureEnvelope high_voltage(double fails_above_v);
+  static FailureEnvelope at_speed(double fails_below_period, double slope = 0.0,
+                                  double v_ref = 1.8);
+};
+
+/// Behavioral fault types (classical functional fault models plus the
+/// decoder faults the paper's open defects produce).
+enum class FaultType : unsigned char {
+  StuckAt0,
+  StuckAt1,
+  TransitionUp,     ///< cell cannot make a 0 -> 1 transition
+  TransitionDown,   ///< cell cannot make a 1 -> 0 transition
+  ReadDestructive,  ///< reading the cell flips it (value still returned pre-flip)
+  CouplingInversion, ///< aggressor write transition inverts the victim
+  CouplingState,    ///< victim forced to a value while aggressor holds one
+  DecoderWrongRow,  ///< accesses to row A land on row B
+  DecoderNoSelect,  ///< accesses to row A hit no cell (reads return float value)
+  DecoderMultiRow,  ///< accesses to row A also hit row B
+  DecoderStaleBit,  ///< address bit `aux_row` resolves late: when consecutive
+                    ///< accesses differ in that row-address bit, the access
+                    ///< uses the bit's previous value (the decoder-delay
+                    ///< fault MOVI-style address rotation targets)
+  SlowRead,         ///< read returns the previous value on the output latch
+  DataRetention,    ///< the cell decays to `value` when left unaccessed for
+                    ///< longer than `retention_s` (pull-up/pull-down open:
+                    ///< state held only dynamically). Exposed by pause
+                    ///< elements, invisible to back-to-back march corners.
+};
+
+const char* fault_type_name(FaultType type);
+
+/// One injected fault. Address fields are interpreted per type: `addr` is
+/// the victim cell (or the row for decoder faults, in which case col == -1);
+/// `aux_addr` is the aggressor cell or target row.
+struct InjectedFault {
+  FaultType type = FaultType::StuckAt0;
+  int row = 0;
+  int col = 0;
+  int aux_row = -1;
+  int aux_col = -1;
+  bool value = false;  ///< forced value for CouplingState / decay target
+  double retention_s = 0.0;  ///< DataRetention: decay time constant
+  FailureEnvelope envelope;
+  std::string defect_tag;  ///< provenance (site / resistance), for reports
+};
+
+/// Single-bit-per-cell SRAM matrix, row-major addressing.
+class BehavioralSram {
+ public:
+  BehavioralSram(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  long size() const { return static_cast<long>(rows_) * cols_; }
+
+  void add_fault(InjectedFault fault);
+  const std::vector<InjectedFault>& faults() const { return faults_; }
+
+  /// Select the stress condition for subsequent operations.
+  void set_condition(const StressPoint& at);
+  const StressPoint& condition() const { return condition_; }
+
+  /// Reset all cells to `value` (power-up; does not bypass stuck-at faults).
+  void fill(bool value);
+
+  void write(int row, int col, bool value);
+  bool read(int row, int col);
+
+  /// Idle for `seconds` (tester pause element): cells with an active
+  /// DataRetention fault whose retention time is exceeded decay to their
+  /// fault value.
+  void pause(double seconds);
+
+ private:
+  bool& cell(int row, int col);
+  void apply_coupling_after_write(int row, int col, bool old_value, bool new_value);
+  void write_raw(int row, int col, bool value);
+  /// Resolve address-resolution faults (stale decoder bits) and update the
+  /// previous-row tracking.
+  int resolve_row(int row);
+
+  int rows_;
+  int cols_;
+  std::vector<std::uint8_t> storage_;
+  std::vector<std::uint8_t> output_latch_;  // per-column previous read value
+  std::vector<InjectedFault> faults_;
+  StressPoint condition_;
+  int last_row_ = 0;  ///< previously accessed row (decoder history)
+};
+
+}  // namespace memstress::sram

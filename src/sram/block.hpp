@@ -1,0 +1,83 @@
+// Transistor-level SRAM block builder.
+//
+// Builds the flat fault-free netlist of a small rows x cols 6T-SRAM block
+// with its real periphery: row-address decoder (inverter + NAND + wordline
+// driver), bitline precharge, always-on keepers, NMOS write path with
+// column selects, and a two-inverter single-ended sense path per column.
+//
+// Every node and every open-defect joint carries the canonical name from
+// layout/netnames.hpp, so IFA-extracted sites inject directly.
+//
+// Device sizing notes (these ratios carry the paper's physics):
+//  * bitline keepers are deliberately weak (W/L ~ 0.15): the contest between
+//    a keeper and a bridge to ground is what makes high-ohmic bridges
+//    detectable only at very low supply voltage;
+//  * decoder gates are NMOS-skewed (weak PMOS): their switching threshold is
+//    Vm ~= a*Vdd + b with a large fixed offset b, so a resistively-divided
+//    decoder input crosses Vm only at high supply — the Vmax mechanism;
+//  * decoder inputs carry a high-ohmic parasitic leak to vdd, modelling the
+//    residual conduction of a void/salicide-break defect cluster (Fig. 1 of
+//    the paper); with a healthy input joint it is electrically invisible.
+#pragma once
+
+#include "analog/netlist.hpp"
+
+namespace memstress::sram {
+
+struct BlockSpec {
+  int rows = 2;  ///< power of two, >= 2
+  int cols = 1;  ///< >= 1
+
+  // Transistor aspect ratios.
+  double wl_cell_pulldown = 2.0;
+  double wl_cell_pullup = 0.5;
+  double wl_cell_access = 1.0;
+  double wl_precharge = 2.0;
+  double wl_keeper = 0.15;
+  double wl_dec_nmos = 2.0;
+  double wl_dec_pmos = 0.4;
+  double wl_driver_pmos = 4.0;
+  double wl_driver_nmos = 2.0;
+  double wl_write = 4.0;
+  double wl_sense_pmos = 2.0;
+  double wl_sense_nmos = 1.0;
+
+  // Parasitics.
+  double cap_node = 2e-15;      ///< storage node [F]
+  double cap_access = 0.5e-15;  ///< access-joint intermediate node [F]
+  double cap_bitline = 20e-15;
+  double cap_wordline = 10e-15;
+  double cap_logic = 2e-15;    ///< decoder / sense internal nodes
+  double cap_addr = 0.4e-15;   ///< decoder input nodes (short stubs)
+  double cap_stack = 0.2e-15;  ///< junction cap of series-stack internal nodes
+  double cap_bus = 5e-15;      ///< write bus
+  double cap_output = 5e-15;   ///< q outputs
+  double leak_addr_ohms = 1e7; ///< decoder-input parasitic leak to vdd
+  /// Junction leakage from each storage node to ground, as a resistance.
+  /// 0 disables the leak (the default: normal test flows don't need it).
+  /// Retention experiments set an *accelerated* value (e.g. 2 MOhm, giving
+  /// a microsecond decay constant instead of the real milliseconds) so the
+  /// pause fits in simulated time; the R*C scaling is what matters.
+  double cell_leak_ohms = 0.0;
+
+  int address_bits() const;
+};
+
+/// Names of the stimulus sources the block exposes. The tester drives these.
+struct BlockSources {
+  static constexpr const char* vdd = "VDD";
+  static constexpr const char* din = "DIN";
+  static constexpr const char* dinb = "DINB";
+  static constexpr const char* we = "WE";
+  static constexpr const char* pre = "PRE";      ///< active low
+  static constexpr const char* wlen_b = "WLENB"; ///< wordline enable, active low
+  /// Address bit sources are "A0", "A1", ...; column selects "CSEL0", ...
+  static std::string addr(int bit);
+  static std::string csel(int col);
+};
+
+/// Build the fault-free netlist. All sources start as DC 0 except VDD (DC
+/// 1.8); the stimulus compiler replaces the waveforms per test.
+analog::Netlist build_block(const BlockSpec& spec);
+
+}  // namespace memstress::sram

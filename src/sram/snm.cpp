@@ -1,0 +1,119 @@
+#include "sram/snm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analog/engine.hpp"
+#include "util/error.hpp"
+
+namespace memstress::sram {
+
+namespace {
+
+using analog::kGround;
+using analog::MosType;
+using analog::Netlist;
+using analog::NodeId;
+using analog::nmos_018;
+using analog::pmos_018;
+using analog::PwlWaveform;
+
+/// DC transfer curve of one half-cell: force the input storage node, read
+/// the output node. `read_condition` adds the conducting access transistor
+/// (wordline high, bitline precharged) that degrades the curve during
+/// reads. The optional bridge loads the output node toward the forced
+/// input, exactly like a t-f bridge in the real cell.
+std::vector<double> half_cell_curve(const BlockSpec& spec,
+                                    const SnmOptions& options,
+                                    bool read_condition,
+                                    const std::vector<double>& inputs) {
+  std::vector<double> outputs;
+  outputs.reserve(inputs.size());
+  for (const double vin : inputs) {
+    Netlist nl;
+    const NodeId vdd = nl.node("vdd");
+    const NodeId in = nl.node("in");    // forced storage node
+    const NodeId out = nl.node("out");  // observed storage node
+    nl.add_vsource("VDD", vdd, kGround, PwlWaveform::dc(options.vdd));
+    nl.add_vsource("VIN", in, kGround, PwlWaveform::dc(vin));
+    nl.add_mosfet("pu", MosType::Pmos, out, in, vdd,
+                  pmos_018(spec.wl_cell_pullup));
+    nl.add_mosfet("pd", MosType::Nmos, out, in, kGround,
+                  nmos_018(spec.wl_cell_pulldown));
+    if (read_condition) {
+      const NodeId bl = nl.node("bl");
+      const NodeId wl = nl.node("wl");
+      nl.add_vsource("BL", bl, kGround, PwlWaveform::dc(options.vdd));
+      nl.add_vsource("WL", wl, kGround, PwlWaveform::dc(options.vdd));
+      nl.add_mosfet("acc", MosType::Nmos, bl, wl, out,
+                    nmos_018(spec.wl_cell_access));
+    }
+    if (options.bridge_tf_ohms > 0.0)
+      nl.add_resistor("bridge", in, out, options.bridge_tf_ohms);
+    analog::Simulator sim(nl);
+    // Seed the output opposite to the input so the solve lands on the
+    // transfer curve's proper branch.
+    sim.set_initial("out", vin < options.vdd / 2 ? options.vdd : 0.0);
+    outputs.push_back(sim.solve_dc({"out"}, options.temp_c).value_at("out", 0.0));
+  }
+  return outputs;
+}
+
+/// Largest square inscribed in the butterfly lobes of two (identical,
+/// mirrored) transfer curves. `f` maps input -> output on the grid `xs`.
+double max_square_side(const std::vector<double>& xs,
+                       const std::vector<double>& f) {
+  // Interpolating accessor (curves are monotone decreasing).
+  const auto value_at = [&](double x) {
+    if (x <= xs.front()) return f.front();
+    if (x >= xs.back()) return f.back();
+    const auto upper = std::upper_bound(xs.begin(), xs.end(), x);
+    const std::size_t hi = static_cast<std::size_t>(upper - xs.begin());
+    const double t = (x - xs[hi - 1]) / (xs[hi] - xs[hi - 1]);
+    return f[hi - 1] + t * (f[hi] - f[hi - 1]);
+  };
+  // A square [x, x+s] x [y, y+s] fits in the upper-left lobe iff the
+  // forward curve stays above its top-right corner and the mirrored curve
+  // stays left of its top-left corner:
+  //   value_at(x + s) >= y + s   and   value_at(y + s) <= x.
+  const auto fits = [&](double s) {
+    for (const double x : xs) {
+      const double y_top = value_at(x + s);   // curve A above x+s
+      const double y = y_top - s;
+      if (y < 0.0) continue;
+      if (value_at(y + s) <= x) return true;  // mirrored curve B clears left edge
+    }
+    return false;
+  };
+  double lo = 0.0, hi = xs.back();
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (fits(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+double snm_for(const BlockSpec& spec, const SnmOptions& options,
+               bool read_condition) {
+  std::vector<double> xs(static_cast<std::size_t>(options.sweep_points));
+  for (int i = 0; i < options.sweep_points; ++i)
+    xs[static_cast<std::size_t>(i)] =
+        options.vdd * i / (options.sweep_points - 1);
+  const std::vector<double> curve =
+      half_cell_curve(spec, options, read_condition, xs);
+  return max_square_side(xs, curve);
+}
+
+}  // namespace
+
+SnmResult measure_cell_snm(const BlockSpec& spec, const SnmOptions& options) {
+  require(options.vdd > 0.0, "measure_cell_snm: vdd must be positive");
+  require(options.sweep_points >= 16, "measure_cell_snm: sweep too coarse");
+  SnmResult result;
+  result.hold_snm = snm_for(spec, options, false);
+  result.read_snm = snm_for(spec, options, true);
+  return result;
+}
+
+}  // namespace memstress::sram

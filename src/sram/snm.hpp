@@ -1,0 +1,34 @@
+// Static noise margin (SNM) of the 6T cell: the butterfly-curve metric
+// that quantifies cell stability — and therefore *why* very-low-voltage
+// testing works: a resistive defect eats a fixed slice of noise margin,
+// and the margin itself shrinks with supply voltage, so the defective
+// cell's margin hits zero at VLV first.
+//
+// Measured the classical way: DC-sweep each cross-coupled inverter's
+// transfer curve (with the access transistors conducting for the read
+// condition), overlay the two curves, and report the side of the largest
+// square that fits inside a butterfly lobe.
+#pragma once
+
+#include "sram/block.hpp"
+
+namespace memstress::sram {
+
+struct SnmResult {
+  double hold_snm = 0.0;  ///< margin with wordline off [V]
+  double read_snm = 0.0;  ///< margin during a read (wordline on, bitlines high)
+};
+
+struct SnmOptions {
+  double vdd = 1.8;
+  double temp_c = 25.0;
+  /// Optional resistive bridge across the storage nodes (0 = healthy) —
+  /// the Chip-1 defect, to watch the margin collapse.
+  double bridge_tf_ohms = 0.0;
+  int sweep_points = 81;  ///< transfer-curve resolution
+};
+
+/// Measure hold and read SNM of the block's cell at the given condition.
+SnmResult measure_cell_snm(const BlockSpec& spec, const SnmOptions& options = {});
+
+}  // namespace memstress::sram

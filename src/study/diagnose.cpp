@@ -1,0 +1,129 @@
+#include "study/diagnose.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace memstress::study {
+
+const char* defect_class_name(DefectClass c) {
+  switch (c) {
+    case DefectClass::None: return "none";
+    case DefectClass::CellBridgeVlv: return "cell-bridge-vlv";
+    case DefectClass::CellOpenVmax: return "cell-open-vmax";
+    case DefectClass::MatrixDelay: return "matrix-delay";
+    case DefectClass::PeripheryDelay: return "periphery-delay";
+    case DefectClass::StuckCell: return "stuck-cell";
+    case DefectClass::RowDefect: return "row-defect";
+    case DefectClass::ColumnDefect: return "column-defect";
+    case DefectClass::Coupling: return "coupling";
+    case DefectClass::Gross: return "gross";
+  }
+  return "?";
+}
+
+Diagnosis diagnose_bitmap(const march::FailLog& log, const march::MarchTest& test,
+                          int rows, int cols) {
+  Diagnosis d;
+  std::ostringstream why;
+  if (log.passed()) {
+    d.rationale = "log is clean";
+    return d;
+  }
+
+  for (const auto& f : log.fails()) {
+    if (f.expected) {
+      d.reads_of_one_fail = true;
+    } else {
+      d.reads_of_zero_fail = true;
+    }
+  }
+
+  const auto cells = log.failing_cells();
+  std::set<int> rows_hit;
+  std::set<int> cols_hit;
+  for (const auto& [r, c] : cells) {
+    rows_hit.insert(r);
+    cols_hit.insert(c);
+  }
+  why << cells.size() << " failing cell(s) across " << rows_hit.size()
+      << " row(s) and " << cols_hit.size() << " column(s); ";
+  why << "fails read " << (d.reads_of_zero_fail ? "'0' " : "")
+      << (d.reads_of_one_fail ? "'1' " : "") << "in";
+  for (const auto& sig : log.element_signatures(test)) why << ' ' << sig;
+
+  if (cells.size() == 1) {
+    d.suspect_row = cells.begin()->first;
+    d.suspect_col = cells.begin()->second;
+    d.defect_class = DefectClass::StuckCell;
+    why << "; single-cell signature";
+  } else if (rows_hit.size() == 1 &&
+             static_cast<int>(cells.size()) >= std::max(2, cols / 2)) {
+    d.suspect_row = *rows_hit.begin();
+    d.defect_class = DefectClass::RowDefect;
+    why << "; full-row signature (wordline/decoder suspect)";
+  } else if (cols_hit.size() == 1 &&
+             static_cast<int>(cells.size()) >= std::max(2, rows / 2)) {
+    d.suspect_col = *cols_hit.begin();
+    d.defect_class = DefectClass::ColumnDefect;
+    why << "; full-column signature (bitline/sense suspect)";
+  } else if (cells.size() == 2) {
+    d.defect_class = DefectClass::Coupling;
+    d.suspect_row = cells.begin()->first;
+    d.suspect_col = cells.begin()->second;
+    why << "; two-cell signature (victim/aggressor suspect)";
+  } else {
+    d.defect_class = DefectClass::Gross;
+    why << "; scattered signature";
+  }
+  d.rationale = why.str();
+  return d;
+}
+
+Diagnosis diagnose(const march::FailLog& log, const march::MarchTest& test,
+                   int rows, int cols,
+                   const estimator::CornerOutcomes& corners) {
+  Diagnosis d = diagnose_bitmap(log, test, rows, cols);
+  if (d.defect_class == DefectClass::None) return d;
+
+  std::ostringstream why;
+  why << d.rationale << "; stress signature:";
+  if (corners.vlv) why << " VLV";
+  if (corners.vmin) why << " Vmin";
+  if (corners.vnom) why << " Vnom";
+  if (corners.vmax) why << " Vmax";
+  if (corners.at_speed) why << " at-speed";
+
+  const bool vlv_only =
+      corners.vlv && !corners.standard() && !corners.vmax && !corners.at_speed;
+  const bool vmax_only =
+      corners.vmax && !corners.standard() && !corners.vlv && !corners.at_speed;
+  const bool atspeed_only =
+      corners.at_speed && !corners.standard() && !corners.vlv && !corners.vmax;
+
+  if (d.defect_class == DefectClass::StuckCell) {
+    if (vlv_only) {
+      d.defect_class = DefectClass::CellBridgeVlv;
+      why << " -> high-ohmic resistive bridge in the cell, visible only when"
+             " the weakened transistors lose the divider contest (Chip-1)";
+    } else if (vmax_only) {
+      d.defect_class = DefectClass::CellOpenVmax;
+      why << " -> resistive open in the access path, exposed when the keeper"
+             " overpowers the slowed read current at high supply (Chip-2)";
+    } else if (atspeed_only) {
+      d.defect_class = DefectClass::MatrixDelay;
+      why << " -> added R*C delay in the matrix cell path (Chip-3 class)";
+    }
+  } else if (d.defect_class == DefectClass::RowDefect && atspeed_only) {
+    d.defect_class = DefectClass::PeripheryDelay;
+    why << " -> delay in the row-access path; margin shifts with voltage"
+           " (Chip-4 class)";
+  } else if (d.defect_class == DefectClass::ColumnDefect && atspeed_only) {
+    d.defect_class = DefectClass::PeripheryDelay;
+    why << " -> delay in the sense/output path (Chip-4 class)";
+  }
+  d.rationale = why.str();
+  return d;
+}
+
+}  // namespace memstress::study

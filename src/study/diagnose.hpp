@@ -1,0 +1,55 @@
+// Bitmap diagnosis: from a tester fail log to a physical-defect hypothesis.
+//
+// The paper closes with "physical failure analysis may be carried out to
+// determine the real root cause of these soft defects"; this module is the
+// software front-end of that step. It combines the spatial signature of
+// the bitmap (single cell / row / column / scattered), the data polarity
+// of the miscompares, and the stress signature (which corners fail) into
+// the defect-class hypotheses the paper's chips illustrate:
+//   Chip-1: single cell, reads '0' fail, VLV-only  -> high-ohmic cell bridge
+//   Chip-2: single cell, reads '0' fail, Vmax-only -> access-path open
+//   Chip-3/4: timing-only fails                    -> resistive open (R*C)
+#pragma once
+
+#include <string>
+
+#include "estimator/detectability.hpp"
+#include "march/engine.hpp"
+
+namespace memstress::study {
+
+enum class DefectClass {
+  None,             ///< log is clean
+  CellBridgeVlv,    ///< high-ohmic bridge in a cell (Chip-1 signature)
+  CellOpenVmax,     ///< resistive open in a cell access path (Chip-2)
+  MatrixDelay,      ///< resistance-induced delay in the matrix (Chip-3)
+  PeripheryDelay,   ///< delay with voltage-dependent margin (Chip-4)
+  StuckCell,        ///< hard single-cell fault, all conditions
+  RowDefect,        ///< whole row failing: wordline / decoder
+  ColumnDefect,     ///< whole column failing: bitline / sense path
+  Coupling,         ///< two-cell victim/aggressor signature
+  Gross,            ///< scattered fails: supply/gross defect
+};
+
+const char* defect_class_name(DefectClass c);
+
+struct Diagnosis {
+  DefectClass defect_class = DefectClass::None;
+  std::string rationale;       ///< human-readable reasoning chain
+  int suspect_row = -1;        ///< cell / row / column hints, -1 if n/a
+  int suspect_col = -1;
+  bool reads_of_zero_fail = false;
+  bool reads_of_one_fail = false;
+};
+
+/// Spatial + polarity classification of one fail log. `rows`/`cols` are the
+/// matrix dimensions (to recognize full-row / full-column signatures).
+Diagnosis diagnose_bitmap(const march::FailLog& log, const march::MarchTest& test,
+                          int rows, int cols);
+
+/// Refine a bitmap diagnosis with the stress signature (which corners the
+/// device fails). This is where Chip-1 vs Chip-2 vs Chip-3/4 separate.
+Diagnosis diagnose(const march::FailLog& log, const march::MarchTest& test,
+                   int rows, int cols, const estimator::CornerOutcomes& corners);
+
+}  // namespace memstress::study

@@ -1,0 +1,123 @@
+#include "study/study.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace memstress::study {
+
+using defects::Defect;
+
+std::string VennCounts::render() const {
+  std::ostringstream out;
+  out << "Failing devices per stress condition (passing the standard test):\n";
+  out << "\n";
+  out << "        VLV only ............ " << vlv_only << "\n";
+  out << "        Vmax only ........... " << vmax_only << "\n";
+  out << "        at-speed only ....... " << atspeed_only << "\n";
+  out << "        VLV & Vmax .......... " << vlv_and_vmax << "\n";
+  out << "        VLV & at-speed ...... " << vlv_and_atspeed << "\n";
+  out << "        Vmax & at-speed ..... " << vmax_and_atspeed << "\n";
+  out << "        all three ........... " << all_three << "\n";
+  out << "        total interesting ... " << total() << "\n";
+  return out.str();
+}
+
+std::string StudyResult::summary() const {
+  std::ostringstream out;
+  out << "Devices tested: " << devices << "\n";
+  out << "Defective: " << defective << " (yield "
+      << 100.0 * (devices - defective) / devices << "%)\n";
+  out << "Failing the standard production test: " << standard_fails << "\n";
+  out << "Interesting (pass standard, fail a stress condition): "
+      << venn.total() << "\n";
+  out << venn.render();
+  out << "Escapes if production adds no stress screen: " << escapes_standard_only
+      << "\n";
+  out << "Escapes with +VLV screen: " << escapes_with_vlv << " (VLV rescues "
+      << caught_by_vlv() << ")\n";
+  out << "Escapes with +Vmax screen: " << escapes_with_vmax << " (Vmax rescues "
+      << caught_by_vmax() << ")\n";
+  out << "Escapes with +at-speed screen: " << escapes_with_atspeed
+      << " (at-speed rescues " << caught_by_atspeed() << ")\n";
+  if (caught_by_vmax() > 0)
+    out << "Screen effectiveness ratio (VLV rescues / Vmax rescues): "
+        << static_cast<double>(caught_by_vlv()) / caught_by_vmax() << "x\n";
+  return out.str();
+}
+
+DeviceOutcome evaluate_device(const std::vector<Defect>& defect_list,
+                              const StudyConfig& config,
+                              const estimator::DetectabilityDb& db) {
+  DeviceOutcome outcome;
+  outcome.defect_count = static_cast<int>(defect_list.size());
+  for (const Defect& defect : defect_list) {
+    outcome.defect_tags.push_back(defect.tag());
+    // Standard production test: Vmin / Vnom at the production rate. The
+    // paper's Venn treats VLV, Vmax and at-speed as the *stress* screens
+    // that interesting devices fail after passing the standard test.
+    const bool std_fail = db.detected(defect, {1.65, config.slow_period}) ||
+                          db.detected(defect, {1.8, config.slow_period});
+    outcome.standard_fail = outcome.standard_fail || std_fail;
+    outcome.vlv_fail =
+        outcome.vlv_fail || db.detected(defect, {1.0, config.vlv_period});
+    outcome.vmax_fail =
+        outcome.vmax_fail || db.detected(defect, {1.95, config.slow_period});
+    outcome.atspeed_fail =
+        outcome.atspeed_fail || db.detected(defect, {1.8, config.fast_period});
+  }
+  outcome.escape = outcome.defect_count > 0 && !outcome.standard_fail &&
+                   !outcome.vlv_fail && !outcome.vmax_fail &&
+                   !outcome.atspeed_fail;
+  return outcome;
+}
+
+StudyResult run_study(const StudyConfig& config,
+                      const estimator::DetectabilityDb& db,
+                      const defects::DefectSampler& sampler) {
+  require(config.device_count > 0, "run_study: device_count must be positive");
+  Rng rng(config.seed);
+  const double lambda =
+      sampler.fab().expected_defects(config.chip_area_um2());
+
+  StudyResult result;
+  result.devices = config.device_count;
+
+  for (long d = 0; d < config.device_count; ++d) {
+    const unsigned n = rng.poisson(lambda);
+    if (n == 0) continue;
+    std::vector<Defect> defect_list;
+    defect_list.reserve(n);
+    for (unsigned i = 0; i < n; ++i) defect_list.push_back(sampler.sample(rng));
+    const DeviceOutcome outcome = evaluate_device(defect_list, config, db);
+    ++result.defective;
+
+    if (outcome.standard_fail) ++result.standard_fails;
+    if (outcome.escape) ++result.escapes;
+
+    // Escape accounting per augmentation strategy. The standard test is
+    // always applied; each strategy adds one stress screen.
+    if (!outcome.standard_fail) {
+      ++result.escapes_standard_only;
+      if (!outcome.vlv_fail) ++result.escapes_with_vlv;
+      if (!outcome.vmax_fail) ++result.escapes_with_vmax;
+      if (!outcome.atspeed_fail) ++result.escapes_with_atspeed;
+    }
+
+    if (outcome.interesting()) {
+      const bool v = outcome.vlv_fail;
+      const bool m = outcome.vmax_fail;
+      const bool s = outcome.atspeed_fail;
+      if (v && m && s) ++result.venn.all_three;
+      else if (v && m) ++result.venn.vlv_and_vmax;
+      else if (v && s) ++result.venn.vlv_and_atspeed;
+      else if (m && s) ++result.venn.vmax_and_atspeed;
+      else if (v) ++result.venn.vlv_only;
+      else if (m) ++result.venn.vmax_only;
+      else ++result.venn.atspeed_only;
+    }
+  }
+  return result;
+}
+
+}  // namespace memstress::study

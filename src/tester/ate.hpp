@@ -1,0 +1,51 @@
+// Virtual ATE: applies march tests to the transistor-level SRAM block at a
+// chosen (Vdd, period) stress condition, strobes the outputs, and produces
+// the same FailLog/bitmap a production tester datalog would.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analog/engine.hpp"
+#include "march/engine.hpp"
+#include "sram/block.hpp"
+#include "tester/stimulus.hpp"
+#include "util/ascii_plot.hpp"
+
+namespace memstress::tester {
+
+struct AteOptions {
+  int steps_per_cycle = 96;  ///< transient resolution per clock cycle
+  std::vector<std::string> extra_record;  ///< additional nodes to trace
+};
+
+struct AnalogRun {
+  march::FailLog log;
+  analog::Trace trace;  ///< q outputs plus any extra_record nodes
+  analog::Simulator::Stats sim_stats;
+};
+
+/// Run `test` on (a defect-injected copy of) the block netlist.
+/// The netlist is taken by value because the stimulus waveforms are
+/// installed into it.
+AnalogRun run_march_analog(analog::Netlist netlist, const sram::BlockSpec& spec,
+                           const march::MarchTest& test,
+                           const sram::StressPoint& at,
+                           const AteOptions& options = {});
+
+/// Pass/fail oracle over the stress plane.
+using StressOracle = std::function<bool(const sram::StressPoint&)>;
+
+/// Sweep the (Vdd, period) plane and build the shmoo plot: Y axis = supply
+/// voltage, X axis = clock period, exactly like the paper's Figs. 3-10.
+ShmooGrid run_shmoo(const StressOracle& passes, const std::vector<double>& vdds,
+                    const std::vector<double>& periods);
+
+/// Standard axes used by the paper's experimental shmoos: Vdd 0.8..2.2 V in
+/// 0.1 V steps; period 10..100 ns (log-ish spread, including the tester's
+/// 15 ns floor).
+std::vector<double> standard_shmoo_vdds();
+std::vector<double> standard_shmoo_periods();
+
+}  // namespace memstress::tester

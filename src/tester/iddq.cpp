@@ -1,0 +1,58 @@
+#include "tester/iddq.hpp"
+
+#include "analog/engine.hpp"
+#include "analog/measure.hpp"
+#include "march/library.hpp"
+#include "tester/stimulus.hpp"
+#include "util/error.hpp"
+
+namespace memstress::tester {
+
+namespace {
+
+/// Quiescent current of one netlist: run a short write-zeros prefix, then
+/// a long parked stretch, and average I(VDD) over the final quarter.
+double quiescent_current(analog::Netlist netlist, const sram::BlockSpec& spec,
+                         const sram::StressPoint& at) {
+  // A 2N write-zeros pattern establishes the background state.
+  const march::MarchTest prefix =
+      march::parse_march("iddq-prefix", "{*(w0)}");
+  const CompiledMarch compiled = compile_march(netlist, spec, prefix, at);
+
+  // Park the controls after the pattern: every source holds its final
+  // value (PWL waveforms clamp), so simply extending the simulation past
+  // t_stop leaves the block quiescent.
+  const double settle = 10 * at.period;
+  analog::Simulator sim(netlist);
+  seed_block_state(sim, netlist, spec, at.vdd);
+  analog::TransientSpec transient;
+  transient.t_stop = compiled.t_stop + settle;
+  transient.dt = at.period / 64;
+  const analog::Trace trace = sim.run(transient, {"I(VDD)"});
+
+  // Average over the final quarter of the settle window.
+  const double from = compiled.t_stop + 0.75 * settle;
+  const double to = transient.t_stop;
+  double sum = 0.0;
+  int count = 0;
+  for (double t = from; t <= to; t += transient.dt) {
+    sum += trace.value_at("I(VDD)", t);
+    ++count;
+  }
+  require(count > 0, "measure_iddq: empty averaging window");
+  return sum / count;
+}
+
+}  // namespace
+
+IddqMeasurement measure_iddq(const analog::Netlist& golden,
+                             analog::Netlist faulty,
+                             const sram::BlockSpec& spec,
+                             const sram::StressPoint& at) {
+  IddqMeasurement m;
+  m.baseline_a = quiescent_current(golden, spec, at);
+  m.current_a = quiescent_current(std::move(faulty), spec, at);
+  return m;
+}
+
+}  // namespace memstress::tester

@@ -1,0 +1,56 @@
+// Iddq testing: quiescent supply-current measurement.
+//
+// The classic alternative the paper's VLV work is measured against
+// [Kruseman 02, "Comparison of Iddq Testing and Very-Low Voltage Testing"]:
+// write a pattern, stop the clock, and measure the supply current. A
+// bridge anywhere in the die draws a DC path and shows up as microamps; a
+// healthy CMOS array draws only leakage. Iddq's famous weakness — and the
+// reason VLV took over — is that the *background* leakage scales with the
+// number of cells while the defect current does not, so the defect
+// disappears into the noise for large memories. `IddqScreen` models
+// exactly that trade-off.
+#pragma once
+
+#include "analog/netlist.hpp"
+#include "march/march.hpp"
+#include "sram/behavioral.hpp"
+#include "sram/block.hpp"
+
+namespace memstress::tester {
+
+struct IddqMeasurement {
+  double current_a = 0.0;       ///< measured quiescent supply current
+  double baseline_a = 0.0;      ///< fault-free block's quiescent current
+  double defect_current_a() const { return current_a - baseline_a; }
+};
+
+/// Measure the quiescent VDD current of (a possibly defect-injected copy
+/// of) the block: writes a background of zeros, parks all controls, lets
+/// the circuit settle for ~10 cycles, then averages I(VDD) over the last
+/// quiet stretch. `baseline_a` is measured on the supplied golden netlist.
+IddqMeasurement measure_iddq(const analog::Netlist& golden,
+                             analog::Netlist faulty,
+                             const sram::BlockSpec& spec,
+                             const sram::StressPoint& at);
+
+/// The production Iddq screen with realistic background-scaling limits.
+struct IddqScreen {
+  /// Per-cell background leakage of the real (full-size) array [A]. The
+  /// 2x1 analog block measures the *defect* current; the screen compares
+  /// it against the leakage floor of the memory it stands in for.
+  double leakage_per_cell_a = 0.1e-9;
+  /// Cells of the memory under test (sets the background floor).
+  long cells = 256 * 1024;
+  /// Detection requires the defect current to exceed this fraction of the
+  /// background (measurement repeatability limit on real testers).
+  double detect_fraction = 0.2;
+
+  double background_a() const { return leakage_per_cell_a * cells; }
+  double threshold_a() const { return detect_fraction * background_a(); }
+
+  bool detects(const IddqMeasurement& measurement) const {
+    return measurement.defect_current_a() > threshold_a();
+  }
+};
+
+}  // namespace memstress::tester

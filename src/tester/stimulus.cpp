@@ -1,0 +1,155 @@
+#include "tester/stimulus.hpp"
+
+#include <algorithm>
+
+#include "layout/netnames.hpp"
+#include "util/error.hpp"
+
+namespace memstress::tester {
+
+using analog::PwlWaveform;
+using sram::BlockSources;
+namespace nn = memstress::layout;
+
+namespace {
+
+constexpr double kAddrFrac = 0.02;
+constexpr double kPreOnFrac = 0.04;
+constexpr double kPreOffFrac = 0.30;
+constexpr double kWlOnFrac = 0.32;
+constexpr double kWlOffFrac = 0.94;
+constexpr double kWeOnFrac = 0.38;
+constexpr double kWeOffFrac = 0.92;
+constexpr double kSampleFrac = 0.90;
+
+double edge_ramp(double period) { return std::min(0.5e-9, 0.04 * period); }
+
+}  // namespace
+
+double CompiledMarch::sample_time(std::size_t cycle_index) const {
+  return cycle_index * period + kSampleFrac * period;
+}
+
+CompiledMarch compile_march(analog::Netlist& netlist, const sram::BlockSpec& spec,
+                            const march::MarchTest& test,
+                            const sram::StressPoint& at) {
+  require(at.vdd > 0 && at.period > 0, "compile_march: bad stress point");
+  require(!test.elements.empty(), "compile_march: empty march test");
+
+  CompiledMarch compiled;
+  compiled.period = at.period;
+
+  // Build the per-cycle schedule (row-major address stepping).
+  const long cells = static_cast<long>(spec.rows) * spec.cols;
+  for (std::size_t e = 0; e < test.elements.size(); ++e) {
+    const march::MarchElement& element = test.elements[e];
+    for (long i = 0; i < cells; ++i) {
+      const long index =
+          element.order == march::AddressOrder::Descending ? cells - 1 - i : i;
+      const int row = static_cast<int>(index / spec.cols);
+      const int col = static_cast<int>(index % spec.cols);
+      for (std::size_t o = 0; o < element.ops.size(); ++o) {
+        compiled.cycles.push_back({static_cast<int>(e), static_cast<int>(o), row,
+                                   col, element.ops[o]});
+      }
+    }
+  }
+  compiled.t_stop = compiled.cycles.size() * at.period;
+
+  // Waveform builders.
+  const double vdd = at.vdd;
+  const double T = at.period;
+  const double ramp = edge_ramp(T);
+  const int bits = spec.address_bits();
+
+  std::vector<PwlWaveform> addr(static_cast<std::size_t>(bits));
+  std::vector<PwlWaveform> csel(static_cast<std::size_t>(spec.cols));
+  PwlWaveform din, dinb, we, pre, wlen_b;
+
+  auto start_level = [&](PwlWaveform& w, double level) { w.add_point(0.0, level); };
+  for (int b = 0; b < bits; ++b) start_level(addr[static_cast<std::size_t>(b)], 0.0);
+  for (int c = 0; c < spec.cols; ++c) start_level(csel[static_cast<std::size_t>(c)], 0.0);
+  start_level(din, 0.0);
+  start_level(dinb, vdd);
+  start_level(we, 0.0);
+  start_level(pre, vdd);
+  start_level(wlen_b, vdd);
+
+  for (std::size_t k = 0; k < compiled.cycles.size(); ++k) {
+    const CycleInfo& cycle = compiled.cycles[k];
+    const double t0 = k * T;
+    // Address and data lines settle early in the cycle.
+    for (int b = 0; b < bits; ++b) {
+      const double level = ((cycle.row >> b) & 1) ? vdd : 0.0;
+      addr[static_cast<std::size_t>(b)].step_to(t0 + kAddrFrac * T, level, ramp);
+    }
+    const bool write = !cycle.operation.is_read;
+    const double d = cycle.operation.value ? vdd : 0.0;
+    din.step_to(t0 + kAddrFrac * T, write ? d : 0.0, ramp);
+    dinb.step_to(t0 + kAddrFrac * T, write ? vdd - d : vdd, ramp);
+    // Precharge pulse (active low).
+    pre.step_to(t0 + kPreOnFrac * T, 0.0, ramp);
+    pre.step_to(t0 + kPreOffFrac * T, vdd, ramp);
+    // Wordline enable window (active low), after precharge completes.
+    wlen_b.step_to(t0 + kWlOnFrac * T, 0.0, ramp);
+    wlen_b.step_to(t0 + kWlOffFrac * T, vdd, ramp);
+    // Write window.
+    if (write) {
+      we.step_to(t0 + kWeOnFrac * T, vdd, ramp);
+      we.step_to(t0 + kWeOffFrac * T, 0.0, ramp);
+      auto& sel = csel[static_cast<std::size_t>(cycle.col)];
+      sel.step_to(t0 + kWeOnFrac * T, vdd, ramp);
+      sel.step_to(t0 + kWeOffFrac * T, 0.0, ramp);
+    }
+  }
+
+  netlist.set_vsource_wave(BlockSources::vdd, PwlWaveform::dc(vdd));
+  for (int b = 0; b < bits; ++b)
+    netlist.set_vsource_wave(BlockSources::addr(b),
+                             std::move(addr[static_cast<std::size_t>(b)]));
+  for (int c = 0; c < spec.cols; ++c)
+    netlist.set_vsource_wave(BlockSources::csel(c),
+                             std::move(csel[static_cast<std::size_t>(c)]));
+  netlist.set_vsource_wave(BlockSources::din, std::move(din));
+  netlist.set_vsource_wave(BlockSources::dinb, std::move(dinb));
+  netlist.set_vsource_wave(BlockSources::we, std::move(we));
+  netlist.set_vsource_wave(BlockSources::pre, std::move(pre));
+  netlist.set_vsource_wave(BlockSources::wlen_b, std::move(wlen_b));
+  return compiled;
+}
+
+void seed_block_state(analog::Simulator& sim, const analog::Netlist& netlist,
+                      const sram::BlockSpec& spec, double vdd) {
+  auto set = [&](const std::string& name, double volts) {
+    if (netlist.has_node(name)) sim.set_initial(name, volts);
+  };
+  for (int r = 0; r < spec.rows; ++r) {
+    for (int c = 0; c < spec.cols; ++c) {
+      set(nn::net_cell_t(r, c), 0.0);
+      set(nn::net_cell_t(r, c) + "_acc", 0.0);
+      set(nn::net_cell_f(r, c), vdd);
+    }
+    // Wordlines start disabled (WLENB is high until the first enable
+    // window), regardless of the decoded address.
+    set(nn::net_dec(r), r == 0 ? 0.0 : vdd);
+    set(nn::net_wldrv(r), 0.0);
+    set(nn::net_wl(r), 0.0);
+  }
+  for (int b = 0; b < spec.address_bits(); ++b) {
+    set(nn::net_addr_in(b), 0.0);
+    set(nn::net_addr_b(b), vdd);
+  }
+  for (int c = 0; c < spec.cols; ++c) {
+    set(nn::net_bl(c), vdd);
+    set(nn::net_bl(c) + "_spine", vdd);
+    set(nn::net_blb(c), vdd);
+    set(nn::net_sa(c), 0.0);
+    set(nn::net_sa(c) + "_j", 0.0);
+    set(nn::net_q(c), vdd);
+  }
+  set("dinb", vdd);
+  set("pre", vdd);
+  set("wlenb", vdd);
+}
+
+}  // namespace memstress::tester

@@ -1,0 +1,57 @@
+// March-to-analog stimulus compiler.
+//
+// Turns a march test into the piecewise-linear waveforms a tester would
+// drive into the SRAM block (address bits, data, write/precharge/column
+// controls), one clock cycle per march operation, and the schedule of
+// strobe (sample) events for the read compares.
+//
+// Cycle timing (fractions of the period T):
+//   0.02 T  address and data change (the decoder resolves during precharge)
+//   0.04 T .. 0.30 T  PRE low (bitlines precharged high)
+//   0.32 T .. 0.94 T  WLENB low (wordline enable window)
+//   0.38 T .. 0.92 T  WE + CSEL(col) high on write cycles
+//   0.90 T  output strobe on read cycles (while the wordline is still open:
+//          the bitline keeper restores the rail right after wordline close)
+#pragma once
+
+#include <vector>
+
+#include "analog/engine.hpp"
+#include "analog/netlist.hpp"
+#include "march/march.hpp"
+#include "sram/behavioral.hpp"
+#include "sram/block.hpp"
+
+namespace memstress::tester {
+
+/// One clock cycle of the compiled schedule.
+struct CycleInfo {
+  int element = 0;  ///< march element index
+  int op = 0;       ///< op index within the element
+  int row = 0;
+  int col = 0;
+  march::MarchOp operation;
+};
+
+struct CompiledMarch {
+  std::vector<CycleInfo> cycles;
+  double period = 0.0;
+  double t_stop = 0.0;
+
+  /// Strobe time of cycle k.
+  double sample_time(std::size_t cycle_index) const;
+};
+
+/// Install the waveforms for `test` at the given stress condition into the
+/// block netlist's sources (VDD, A*, DIN/DINB, WE, PRE, CSEL*) and return
+/// the schedule. Addresses step row-major in element order.
+CompiledMarch compile_march(analog::Netlist& netlist, const sram::BlockSpec& spec,
+                            const march::MarchTest& test,
+                            const sram::StressPoint& at);
+
+/// Seed the simulator-friendly initial node voltages of a block (all cells
+/// storing 0, bitlines precharged, decoder resolved for address 0).
+void seed_block_state(analog::Simulator& sim, const analog::Netlist& netlist,
+                      const sram::BlockSpec& spec, double vdd);
+
+}  // namespace memstress::tester

@@ -1,0 +1,124 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace memstress {
+
+ShmooGrid::ShmooGrid(std::vector<double> y_values, std::vector<double> x_values)
+    : y_values_(std::move(y_values)), x_values_(std::move(x_values)) {
+  require(!y_values_.empty() && !x_values_.empty(),
+          "ShmooGrid requires non-empty axes");
+  require(std::is_sorted(y_values_.begin(), y_values_.end()) &&
+              std::adjacent_find(y_values_.begin(), y_values_.end()) ==
+                  y_values_.end(),
+          "ShmooGrid Y axis must be strictly increasing");
+  require(std::is_sorted(x_values_.begin(), x_values_.end()) &&
+              std::adjacent_find(x_values_.begin(), x_values_.end()) ==
+                  x_values_.end(),
+          "ShmooGrid X axis must be strictly increasing");
+  cells_.assign(y_values_.size() * x_values_.size(), ShmooCell::Untested);
+}
+
+void ShmooGrid::set(std::size_t y_index, std::size_t x_index, ShmooCell cell) {
+  require(y_index < y_count() && x_index < x_count(), "ShmooGrid::set out of range");
+  cells_[y_index * x_count() + x_index] = cell;
+}
+
+ShmooCell ShmooGrid::at(std::size_t y_index, std::size_t x_index) const {
+  require(y_index < y_count() && x_index < x_count(), "ShmooGrid::at out of range");
+  return cells_[y_index * x_count() + x_index];
+}
+
+std::size_t ShmooGrid::fail_count() const {
+  return static_cast<std::size_t>(
+      std::count(cells_.begin(), cells_.end(), ShmooCell::Fail));
+}
+
+bool ShmooGrid::all_pass() const {
+  return std::none_of(cells_.begin(), cells_.end(),
+                      [](ShmooCell c) { return c == ShmooCell::Fail; });
+}
+
+std::string ShmooGrid::render(const std::string& title) const {
+  std::ostringstream out;
+  out << title << "\n";
+  out << "  ('+' pass, 'X' fail, '.' untested)\n";
+  // Highest voltage first.
+  for (std::size_t yi = y_count(); yi-- > 0;) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%5.2f V |", y_values_[yi]);
+    out << label;
+    for (std::size_t xi = 0; xi < x_count(); ++xi) {
+      switch (at(yi, xi)) {
+        case ShmooCell::Pass: out << " +"; break;
+        case ShmooCell::Fail: out << " X"; break;
+        case ShmooCell::Untested: out << " ."; break;
+      }
+    }
+    out << "\n";
+  }
+  out << "        +";
+  for (std::size_t xi = 0; xi < x_count(); ++xi) out << "--";
+  out << "\n         ";
+  // Label every other tick to keep the axis readable.
+  for (std::size_t xi = 0; xi < x_count(); ++xi) {
+    if (xi % 4 == 0) {
+      char label[16];
+      std::snprintf(label, sizeof label, "%-8.0f", x_values_[xi] * 1e9);
+      out << label;
+      xi += 3;
+    }
+  }
+  out << " (clock period, ns)\n";
+  return out.str();
+}
+
+std::string render_xy_series(const std::string& title, const std::string& x_label,
+                             const std::string& y_label,
+                             const std::vector<double>& xs,
+                             const std::vector<double>& ys, bool log_y,
+                             int height) {
+  require(xs.size() == ys.size() && !xs.empty(),
+          "render_xy_series requires matching non-empty series");
+  require(height >= 2, "render_xy_series requires height >= 2");
+
+  auto transform = [log_y](double v) { return log_y ? std::log10(v) : v; };
+  double lo = transform(ys.front());
+  double hi = lo;
+  for (double y : ys) {
+    lo = std::min(lo, transform(y));
+    hi = std::max(hi, transform(y));
+  }
+  if (hi == lo) hi = lo + 1.0;
+
+  const int width = static_cast<int>(xs.size());
+  std::vector<std::string> rows(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (int i = 0; i < width; ++i) {
+    const double t = (transform(ys[static_cast<std::size_t>(i)]) - lo) / (hi - lo);
+    int r = static_cast<int>(std::lround(t * (height - 1)));
+    r = std::clamp(r, 0, height - 1);
+    rows[static_cast<std::size_t>(height - 1 - r)][static_cast<std::size_t>(i)] = '*';
+  }
+
+  std::ostringstream out;
+  out << title << "\n";
+  for (int r = 0; r < height; ++r) {
+    const double level = hi - (hi - lo) * r / (height - 1);
+    char label[32];
+    const double shown = log_y ? std::pow(10.0, level) : level;
+    std::snprintf(label, sizeof label, "%10.3g |", shown);
+    out << label << rows[static_cast<std::size_t>(r)] << "\n";
+  }
+  out << "           +" << std::string(static_cast<std::size_t>(width), '-') << "\n";
+  out << "            " << x_label << " ->   (Y: " << y_label
+      << (log_y ? ", log scale)" : ")") << "\n";
+  return out.str();
+}
+
+}  // namespace memstress

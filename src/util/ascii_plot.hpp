@@ -1,0 +1,60 @@
+// ASCII rendering of shmoo plots and simple XY series.
+//
+// The paper's experimental section is built around tester shmoo plots
+// (supply voltage on Y, clock period on X, pass/fail per cell); the
+// benchmark harnesses print the same plots as character grids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memstress {
+
+/// One shmoo cell outcome.
+enum class ShmooCell : unsigned char { Pass, Fail, Untested };
+
+/// A rectangular pass/fail grid with labelled axes.
+///
+/// Row 0 corresponds to the *highest* Y value so the rendered plot has the
+/// conventional orientation (voltage increasing upward).
+class ShmooGrid {
+ public:
+  /// `y_values` must be strictly increasing (e.g. volts), `x_values`
+  /// strictly increasing (e.g. clock period in seconds).
+  ShmooGrid(std::vector<double> y_values, std::vector<double> x_values);
+
+  void set(std::size_t y_index, std::size_t x_index, ShmooCell cell);
+  ShmooCell at(std::size_t y_index, std::size_t x_index) const;
+
+  std::size_t y_count() const { return y_values_.size(); }
+  std::size_t x_count() const { return x_values_.size(); }
+  double y_value(std::size_t i) const { return y_values_[i]; }
+  double x_value(std::size_t i) const { return x_values_[i]; }
+
+  /// Count of failing cells.
+  std::size_t fail_count() const;
+
+  /// True if every tested cell passes.
+  bool all_pass() const;
+
+  /// Render as text: '+' pass, 'X' fail, '.' untested; Y axis labelled in
+  /// volts, X axis in nanoseconds. `title` goes on the first line.
+  std::string render(const std::string& title) const;
+
+ private:
+  std::vector<double> y_values_;
+  std::vector<double> x_values_;
+  std::vector<ShmooCell> cells_;
+};
+
+/// Render a monotone XY series as a rough ASCII scatter/step chart
+/// (used for Fig. 8: detectable open resistance vs test frequency).
+/// Values are plotted on log10 Y when `log_y` is set.
+std::string render_xy_series(const std::string& title,
+                             const std::string& x_label,
+                             const std::string& y_label,
+                             const std::vector<double>& xs,
+                             const std::vector<double>& ys, bool log_y,
+                             int height = 16);
+
+}  // namespace memstress

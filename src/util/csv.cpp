@@ -1,0 +1,133 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace memstress {
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void emit_row(std::ostringstream& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out << ',';
+    out << quote(row[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "CsvWriter requires a header");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "CsvWriter row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream out;
+  emit_row(out, header_);
+  for (const auto& row : rows_) emit_row(out, row);
+  return out.str();
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  require(file.good(), "CsvWriter: cannot open " + path);
+  file << to_string();
+  require(file.good(), "CsvWriter: write failed for " + path);
+}
+
+CsvContent parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_data = false;
+
+  auto end_field = [&] {
+    row.push_back(field);
+    field.clear();
+    row_has_data = true;
+  };
+  auto end_row = [&] {
+    if (row_has_data || !row.empty()) {
+      row.push_back(field);
+      field.clear();
+      rows.push_back(row);
+      row.clear();
+      row_has_data = false;
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        require(field.empty(), "parse_csv: quote inside unquoted field");
+        in_quotes = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // Tolerate CRLF.
+      case '\n':
+        if (!field.empty() || row_has_data) end_row();
+        break;
+      default:
+        field += c;
+        row_has_data = true;
+        break;
+    }
+  }
+  require(!in_quotes, "parse_csv: unterminated quoted field");
+  if (!field.empty() || row_has_data) end_row();
+
+  CsvContent content;
+  require(!rows.empty(), "parse_csv: empty input");
+  content.header = rows.front();
+  content.rows.assign(rows.begin() + 1, rows.end());
+  return content;
+}
+
+CsvContent load_csv(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  require(file.good(), "load_csv: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace memstress

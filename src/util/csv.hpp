@@ -1,0 +1,40 @@
+// Minimal CSV writer/reader used to persist the detectability database and
+// experiment outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memstress {
+
+/// Accumulates rows and serializes them as RFC-4180-ish CSV (fields with
+/// commas, quotes, or newlines are quoted; embedded quotes doubled).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  std::string to_string() const;
+
+  /// Write to a file; throws Error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parsed CSV content: a header plus data rows.
+struct CsvContent {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parse CSV text; throws Error on malformed quoting.
+CsvContent parse_csv(const std::string& text);
+
+/// Load and parse a CSV file; throws Error on I/O failure.
+CsvContent load_csv(const std::string& path);
+
+}  // namespace memstress

@@ -1,0 +1,24 @@
+// Error type used throughout the memstress library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace memstress {
+
+/// Exception thrown for all recoverable library errors (bad configuration,
+/// malformed march-test strings, singular circuit matrices, ...).
+///
+/// Library code throws `Error`; programming bugs (violated preconditions
+/// that indicate caller error inside the library itself) use assertions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throw `Error` with `message` unless `condition` holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace memstress

@@ -1,0 +1,45 @@
+// Tiny leveled logger.
+//
+// The library stays quiet by default (Level::Warn); experiment binaries can
+// raise verbosity to trace simulator convergence or study progress.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace memstress {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Set the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message at `level` (stderr, single line, prefixed).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::Info) log_message(LogLevel::Info, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::Debug) log_message(LogLevel::Debug, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::Warn) log_message(LogLevel::Warn, detail::concat(args...));
+}
+
+}  // namespace memstress

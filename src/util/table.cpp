@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace memstress {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "TextTable requires at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(),
+          "TextTable row arity must match the header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](std::ostringstream& out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      out << std::string(width[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+
+  std::ostringstream out;
+  emit_row(out, header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) emit_row(out, row);
+  return out.str();
+}
+
+std::string fmt_fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+namespace {
+
+std::string with_unit(double value, const char* unit) {
+  // Use up to two decimals but strip trailing zeros for readability.
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.2f", value);
+  std::string text = buffer;
+  while (text.find('.') != std::string::npos &&
+         (text.back() == '0' || text.back() == '.')) {
+    const bool dot = text.back() == '.';
+    text.pop_back();
+    if (dot) break;
+  }
+  return text + " " + unit;
+}
+
+}  // namespace
+
+std::string fmt_resistance(double ohms) {
+  if (ohms >= 1e6) return with_unit(ohms / 1e6, "MOhm");
+  if (ohms >= 1e3) return with_unit(ohms / 1e3, "kOhm");
+  return with_unit(ohms, "Ohm");
+}
+
+std::string fmt_time(double seconds) {
+  if (seconds >= 1.0) return with_unit(seconds, "s");
+  if (seconds >= 1e-3) return with_unit(seconds * 1e3, "ms");
+  if (seconds >= 1e-6) return with_unit(seconds * 1e6, "us");
+  if (seconds >= 1e-9) return with_unit(seconds * 1e9, "ns");
+  return with_unit(seconds * 1e12, "ps");
+}
+
+std::string fmt_ratio(double ratio) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.2fx", ratio);
+  std::string text = buffer;
+  // "1.00x" -> "1x", "4.40x" -> "4.4x" to match the paper's style.
+  auto x = text.find('x');
+  std::string digits = text.substr(0, x);
+  while (digits.find('.') != std::string::npos &&
+         (digits.back() == '0' || digits.back() == '.')) {
+    const bool dot = digits.back() == '.';
+    digits.pop_back();
+    if (dot) break;
+  }
+  return digits + "x";
+}
+
+std::string fmt_percent(double fraction) { return fmt_fixed(fraction * 100.0, 2); }
+
+}  // namespace memstress

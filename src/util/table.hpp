@@ -1,0 +1,45 @@
+// Plain-text table rendering for experiment reports.
+//
+// The benchmark harnesses print the reproduced paper tables/figures as
+// monospace tables; this keeps all of that formatting in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memstress {
+
+/// A simple left-padded text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column-aligned cells, a rule under the header.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant decimal places (fixed).
+std::string fmt_fixed(double value, int digits);
+
+/// Format a resistance in engineering notation (e.g. "90 kOhm", "4 MOhm").
+std::string fmt_resistance(double ohms);
+
+/// Format a time in engineering notation (e.g. "15 ns").
+std::string fmt_time(double seconds);
+
+/// Format a ratio like the paper's DPM column: "4.4x".
+std::string fmt_ratio(double ratio);
+
+/// Format a percentage like "98.92".
+std::string fmt_percent(double fraction);
+
+}  // namespace memstress

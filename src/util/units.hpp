@@ -1,0 +1,27 @@
+// Physical-unit helpers for the memstress library.
+//
+// All quantities are carried as plain `double` in SI base units (volts,
+// seconds, ohms, farads, amperes, metres).  These helpers exist so that the
+// *source* reads in the units engineers use: `180 * NANO` metres,
+// `4 * MEGA` ohms, `15 * NANO` seconds.
+#pragma once
+
+namespace memstress {
+
+inline constexpr double TERA = 1e12;
+inline constexpr double GIGA = 1e9;
+inline constexpr double MEGA = 1e6;
+inline constexpr double KILO = 1e3;
+inline constexpr double MILLI = 1e-3;
+inline constexpr double MICRO = 1e-6;
+inline constexpr double NANO = 1e-9;
+inline constexpr double PICO = 1e-12;
+inline constexpr double FEMTO = 1e-15;
+
+/// Convert a clock period in seconds to a frequency in hertz.
+constexpr double period_to_freq(double period_s) { return 1.0 / period_s; }
+
+/// Convert a frequency in hertz to a clock period in seconds.
+constexpr double freq_to_period(double freq_hz) { return 1.0 / freq_hz; }
+
+}  // namespace memstress

@@ -1,0 +1,89 @@
+// Branch-current recording ("I(NAME)" record entries) — the facility the
+// Iddq measurement is built on.
+#include <gtest/gtest.h>
+
+#include "analog/engine.hpp"
+#include "util/error.hpp"
+
+namespace memstress::analog {
+namespace {
+
+TEST(CurrentRecording, OhmsLawThroughASource) {
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  nl.add_vsource("V1", vin, kGround, PwlWaveform::dc(2.0));
+  nl.add_resistor("R1", vin, kGround, 1000.0);
+  Simulator sim(nl);
+  const Trace trace = sim.run({.t_stop = 5e-9, .dt = 0.5e-9}, {"I(V1)"});
+  // Conventional current out of the positive terminal: 2 V / 1 kOhm = 2 mA.
+  EXPECT_NEAR(trace.value_at("I(V1)", 5e-9), 2e-3, 1e-8);
+}
+
+TEST(CurrentRecording, SeriesSourcesShareTheCurrent) {
+  // vin -- R -- mid, with a second source from mid to ground: both branch
+  // currents must match the loop current.
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  const NodeId mid = nl.node("mid");
+  nl.add_vsource("VA", vin, kGround, PwlWaveform::dc(3.0));
+  nl.add_vsource("VB", mid, kGround, PwlWaveform::dc(1.0));
+  nl.add_resistor("R1", vin, mid, 2000.0);
+  Simulator sim(nl);
+  const Trace trace =
+      sim.run({.t_stop = 5e-9, .dt = 0.5e-9}, {"I(VA)", "I(VB)"});
+  // Loop current = (3 - 1) / 2k = 1 mA; VA sources it, VB sinks it.
+  EXPECT_NEAR(trace.value_at("I(VA)", 5e-9), 1e-3, 1e-8);
+  EXPECT_NEAR(trace.value_at("I(VB)", 5e-9), -1e-3, 1e-8);
+}
+
+TEST(CurrentRecording, CapacitorChargingCurrentDecays) {
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  const NodeId out = nl.node("out");
+  PwlWaveform step;
+  step.add_point(0.0, 0.0);
+  step.add_point(1e-12, 1.0);
+  nl.add_vsource("V1", vin, kGround, step);
+  nl.add_resistor("R1", vin, out, 1000.0);
+  nl.add_capacitor("C1", out, kGround, 1e-12);  // tau = 1 ns
+  Simulator sim(nl);
+  const Trace trace = sim.run({.t_stop = 6e-9, .dt = 0.02e-9}, {"I(V1)"});
+  const double early = trace.value_at("I(V1)", 0.1e-9);
+  const double late = trace.value_at("I(V1)", 6e-9);
+  EXPECT_GT(early, 5e-4);       // ~1 mA at the step
+  EXPECT_LT(late, 1e-5);        // quiescent: capacitor full
+  EXPECT_GT(late, -1e-6);       // and not negative
+}
+
+TEST(CurrentRecording, MixedWithNodeVoltages) {
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  nl.add_vsource("V1", vin, kGround, PwlWaveform::dc(1.0));
+  nl.add_resistor("R1", vin, kGround, 500.0);
+  Simulator sim(nl);
+  const Trace trace = sim.run({.t_stop = 2e-9, .dt = 0.5e-9}, {"vin", "I(V1)"});
+  EXPECT_NEAR(trace.value_at("vin", 2e-9), 1.0, 1e-9);
+  EXPECT_NEAR(trace.value_at("I(V1)", 2e-9), 2e-3, 1e-8);
+}
+
+TEST(CurrentRecording, UnknownSourceRejected) {
+  Netlist nl;
+  nl.add_vsource("V1", nl.node("vin"), kGround, PwlWaveform::dc(1.0));
+  nl.add_resistor("R1", nl.node("vin"), kGround, 500.0);
+  Simulator sim(nl);
+  EXPECT_THROW(sim.run({.t_stop = 1e-9, .dt = 0.5e-9}, {"I(NOPE)"}), Error);
+}
+
+TEST(CurrentRecording, NodeNamedLikeCurrentStillResolves) {
+  // A node whose *name* looks like a current request must not be shadowed:
+  // the I(...) syntax only matches existing sources.
+  Netlist nl;
+  nl.add_vsource("V1", nl.node("vin"), kGround, PwlWaveform::dc(1.0));
+  nl.add_resistor("R1", nl.node("vin"), kGround, 500.0);
+  Simulator sim(nl);
+  // "I(V1)" resolves to the source current even though no node is named so.
+  EXPECT_NO_THROW(sim.run({.t_stop = 1e-9, .dt = 0.5e-9}, {"I(V1)"}));
+}
+
+}  // namespace
+}  // namespace memstress::analog

@@ -1,0 +1,108 @@
+// DC operating-point solves.
+#include <gtest/gtest.h>
+
+#include "analog/engine.hpp"
+#include "util/error.hpp"
+
+namespace memstress::analog {
+namespace {
+
+TEST(SolveDc, ResistiveDivider) {
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  const NodeId mid = nl.node("mid");
+  nl.add_vsource("V1", vin, kGround, PwlWaveform::dc(2.0));
+  nl.add_resistor("R1", vin, mid, 1000.0);
+  nl.add_resistor("R2", mid, kGround, 3000.0);
+  Simulator sim(nl);
+  const Trace dc = sim.solve_dc({"mid", "I(V1)"});
+  EXPECT_NEAR(dc.value_at("mid", 0.0), 1.5, 1e-6);
+  EXPECT_NEAR(dc.value_at("I(V1)", 0.0), 0.5e-3, 1e-9);
+}
+
+TEST(SolveDc, CapacitorIsOpenAtDc) {
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  const NodeId mid = nl.node("mid");
+  nl.add_vsource("V1", vin, kGround, PwlWaveform::dc(1.8));
+  nl.add_resistor("R1", vin, mid, 1000.0);
+  nl.add_capacitor("C1", mid, kGround, 1e-12);
+  Simulator sim(nl);
+  // No DC path to ground except gmin: mid floats up to the source level.
+  const Trace dc = sim.solve_dc({"mid"});
+  EXPECT_NEAR(dc.value_at("mid", 0.0), 1.8, 1e-3);
+}
+
+TEST(SolveDc, InverterOperatingPoints) {
+  for (const double vin_level : {0.0, 1.8}) {
+    Netlist nl;
+    const NodeId vdd = nl.node("vdd");
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("VDD", vdd, kGround, PwlWaveform::dc(1.8));
+    nl.add_vsource("VIN", in, kGround, PwlWaveform::dc(vin_level));
+    nl.add_mosfet("MP", MosType::Pmos, out, in, vdd, pmos_018(4.0));
+    nl.add_mosfet("MN", MosType::Nmos, out, in, kGround, nmos_018(2.0));
+    Simulator sim(nl);
+    const Trace dc = sim.solve_dc({"out"});
+    if (vin_level < 0.9) {
+      EXPECT_GT(dc.value_at("out", 0.0), 1.7);
+    } else {
+      EXPECT_LT(dc.value_at("out", 0.0), 0.1);
+    }
+  }
+}
+
+TEST(SolveDc, InitialConditionSelectsLatchState) {
+  for (const bool start_high : {false, true}) {
+    Netlist nl;
+    const NodeId vdd = nl.node("vdd");
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_vsource("VDD", vdd, kGround, PwlWaveform::dc(1.8));
+    nl.add_mosfet("MP1", MosType::Pmos, a, b, vdd, pmos_018(0.5));
+    nl.add_mosfet("MN1", MosType::Nmos, a, b, kGround, nmos_018(2.0));
+    nl.add_mosfet("MP2", MosType::Pmos, b, a, vdd, pmos_018(0.5));
+    nl.add_mosfet("MN2", MosType::Nmos, b, a, kGround, nmos_018(2.0));
+    Simulator sim(nl);
+    sim.set_initial("a", start_high ? 1.8 : 0.0);
+    sim.set_initial("b", start_high ? 0.0 : 1.8);
+    const Trace dc = sim.solve_dc({"a", "b"});
+    if (start_high) {
+      EXPECT_GT(dc.value_at("a", 0.0), 1.6);
+      EXPECT_LT(dc.value_at("b", 0.0), 0.2);
+    } else {
+      EXPECT_LT(dc.value_at("a", 0.0), 0.2);
+      EXPECT_GT(dc.value_at("b", 0.0), 1.6);
+    }
+  }
+}
+
+TEST(SolveDc, TemperatureShiftsTheBalance) {
+  // Pseudo-NMOS style divider: always-on PMOS load vs NMOS driven at a
+  // low gate voltage. Hot lowers Vt and strengthens the near-threshold
+  // NMOS relative to the strongly-inverted PMOS: the output drops.
+  auto out_at = [](double temp_c) {
+    Netlist nl;
+    const NodeId vdd = nl.node("vdd");
+    const NodeId gate = nl.node("gate");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("VDD", vdd, kGround, PwlWaveform::dc(1.8));
+    nl.add_vsource("VG", gate, kGround, PwlWaveform::dc(0.55));
+    nl.add_mosfet("MP", MosType::Pmos, out, kGround, vdd, pmos_018(0.5));
+    nl.add_mosfet("MN", MosType::Nmos, out, gate, kGround, nmos_018(2.0));
+    Simulator sim(nl);
+    return sim.solve_dc({"out"}, temp_c).value_at("out", 0.0);
+  };
+  EXPECT_LT(out_at(125.0), out_at(-40.0));
+}
+
+TEST(SolveDc, UnknownRecordRejected) {
+  Netlist nl;
+  nl.add_resistor("R", nl.node("a"), kGround, 1.0);
+  Simulator sim(nl);
+  EXPECT_THROW(sim.solve_dc({"nope"}), Error);
+}
+
+}  // namespace
+}  // namespace memstress::analog

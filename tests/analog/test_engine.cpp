@@ -1,0 +1,220 @@
+#include "analog/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/measure.hpp"
+#include "util/error.hpp"
+
+namespace memstress::analog {
+namespace {
+
+TransientSpec spec_for(double t_stop, double dt) {
+  TransientSpec s;
+  s.t_stop = t_stop;
+  s.dt = dt;
+  return s;
+}
+
+TEST(Engine, ResistiveDividerSettlesToAnalyticValue) {
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  const NodeId mid = nl.node("mid");
+  nl.add_vsource("V1", vin, kGround, PwlWaveform::dc(2.0));
+  nl.add_resistor("R1", vin, mid, 1000.0);
+  nl.add_resistor("R2", mid, kGround, 3000.0);
+  Simulator sim(nl);
+  const Trace trace = sim.run(spec_for(10e-9, 1e-9), {"mid"});
+  EXPECT_NEAR(trace.value_at("mid", 10e-9), 1.5, 1e-6);
+}
+
+TEST(Engine, RcChargeMatchesClosedForm) {
+  // 1 kOhm into 1 pF: tau = 1 ns. After 2 tau the node should be at
+  // V * (1 - e^-2) within backward-Euler discretization error.
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  const NodeId out = nl.node("out");
+  PwlWaveform step;
+  step.add_point(0.0, 0.0);
+  step.add_point(1e-12, 1.0);  // near-instant step
+  nl.add_vsource("V1", vin, kGround, step);
+  nl.add_resistor("R1", vin, out, 1000.0);
+  nl.add_capacitor("C1", out, kGround, 1e-12);
+  Simulator sim(nl);
+  const Trace trace = sim.run(spec_for(5e-9, 0.02e-9), {"out"});
+  const double expected = 1.0 - std::exp(-2.0);
+  EXPECT_NEAR(trace.value_at("out", 2e-9), expected, 0.02);
+  EXPECT_NEAR(trace.value_at("out", 5e-9), 1.0 - std::exp(-5.0), 0.02);
+}
+
+TEST(Engine, RcDelayScalesWithResistance) {
+  // The at-speed premise: delay through a resistive open grows ~ R*C.
+  auto rise_time = [](double ohms) {
+    Netlist nl;
+    const NodeId vin = nl.node("vin");
+    const NodeId out = nl.node("out");
+    PwlWaveform step;
+    step.add_point(0.0, 0.0);
+    step.add_point(0.1e-9, 1.8);
+    nl.add_vsource("V1", vin, kGround, step);
+    nl.add_resistor("Ropen", vin, out, ohms);
+    nl.add_capacitor("Cnode", out, kGround, 4e-15);
+    Simulator sim(nl);
+    const Trace trace = sim.run({.t_stop = 400e-9, .dt = 0.2e-9}, {"out"});
+    const auto t = cross_time(trace, "out", 0.9, true, 0.0);
+    EXPECT_TRUE(t.has_value());
+    return t.value_or(1.0);
+  };
+  const double t1 = rise_time(1e6);
+  const double t4 = rise_time(4e6);
+  EXPECT_NEAR(t4 / t1, 4.0, 0.5);
+}
+
+TEST(Engine, InitialConditionRespected) {
+  Netlist nl;
+  const NodeId out = nl.node("out");
+  nl.add_resistor("Rleak", out, kGround, 1e6);
+  nl.add_capacitor("C1", out, kGround, 1e-12);
+  Simulator sim(nl);
+  sim.set_initial("out", 1.0);
+  const Trace trace = sim.run(spec_for(1e-9, 0.05e-9), {"out"});
+  // tau = 1 us, so after 1 ns the node has barely moved from its IC.
+  EXPECT_NEAR(trace.value_at("out", 1e-9), 1.0, 1e-2);
+}
+
+TEST(Engine, CmosInverterInverts) {
+  Netlist nl;
+  const double vdd_v = 1.8;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add_vsource("VDD", vdd, kGround, PwlWaveform::dc(vdd_v));
+  PwlWaveform drive;
+  drive.add_point(0.0, 0.0);
+  drive.step_to(5e-9, vdd_v, 0.5e-9);
+  nl.add_vsource("VIN", in, kGround, drive);
+  nl.add_mosfet("MP", MosType::Pmos, out, in, vdd, pmos_018(4.0));
+  nl.add_mosfet("MN", MosType::Nmos, out, in, kGround, nmos_018(2.0));
+  nl.add_capacitor("CL", out, kGround, 5e-15);
+  Simulator sim(nl);
+  const Trace trace = sim.run(spec_for(10e-9, 0.05e-9), {"out"});
+  EXPECT_GT(trace.value_at("out", 4e-9), 0.9 * vdd_v);  // input low -> out high
+  EXPECT_LT(trace.value_at("out", 9e-9), 0.1 * vdd_v);  // input high -> out low
+}
+
+TEST(Engine, InverterSwitchingThresholdHasFixedOffsetComponent) {
+  // Vm(Vdd) = a*Vdd + b with b > 0: the Vmax-testing premise. Measure Vm at
+  // two supplies by slow-ramping the input and finding where out crosses
+  // Vdd/2; then check Vm/Vdd *decreases* with Vdd.
+  auto measure_vm = [](double vdd_v) {
+    Netlist nl;
+    const NodeId vdd = nl.node("vdd");
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("VDD", vdd, kGround, PwlWaveform::dc(vdd_v));
+    PwlWaveform ramp;
+    ramp.add_point(0.0, 0.0);
+    ramp.add_point(200e-9, vdd_v);  // slow ramp: quasi-static
+    nl.add_vsource("VIN", in, kGround, ramp);
+    nl.add_mosfet("MP", MosType::Pmos, out, in, vdd, pmos_018(4.0));
+    nl.add_mosfet("MN", MosType::Nmos, out, in, kGround, nmos_018(2.0));
+    nl.add_capacitor("CL", out, kGround, 1e-15);
+    Simulator sim(nl);
+    sim.set_initial("out", vdd_v);
+    const Trace trace = sim.run({.t_stop = 200e-9, .dt = 0.5e-9}, {"in", "out"});
+    const auto t = cross_time(trace, "out", vdd_v / 2, false, 0.0);
+    EXPECT_TRUE(t.has_value());
+    return trace.value_at("in", t.value_or(0.0));
+  };
+  const double vm_low = measure_vm(1.0);
+  const double vm_high = measure_vm(1.95);
+  EXPECT_GT(vm_low / 1.0, vm_high / 1.95);
+  EXPECT_GT(vm_low, 0.3);
+  EXPECT_LT(vm_high, 1.95);
+}
+
+TEST(Engine, BistableLatchHoldsBothStates) {
+  // Two cross-coupled inverters must retain whichever state they start in —
+  // the 6T cell core. Run both polarities.
+  for (const bool start_high : {false, true}) {
+    Netlist nl;
+    const double vdd_v = 1.8;
+    const NodeId vdd = nl.node("vdd");
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_vsource("VDD", vdd, kGround, PwlWaveform::dc(vdd_v));
+    nl.add_mosfet("MP1", MosType::Pmos, a, b, vdd, pmos_018(2.0));
+    nl.add_mosfet("MN1", MosType::Nmos, a, b, kGround, nmos_018(2.0));
+    nl.add_mosfet("MP2", MosType::Pmos, b, a, vdd, pmos_018(2.0));
+    nl.add_mosfet("MN2", MosType::Nmos, b, a, kGround, nmos_018(2.0));
+    nl.add_capacitor("CA", a, kGround, 2e-15);
+    nl.add_capacitor("CB", b, kGround, 2e-15);
+    Simulator sim(nl);
+    sim.set_initial("a", start_high ? vdd_v : 0.0);
+    sim.set_initial("b", start_high ? 0.0 : vdd_v);
+    const Trace trace = sim.run(spec_for(50e-9, 0.25e-9), {"a", "b"});
+    const double va = trace.value_at("a", 50e-9);
+    const double vb = trace.value_at("b", 50e-9);
+    if (start_high) {
+      EXPECT_GT(va, 0.9 * vdd_v);
+      EXPECT_LT(vb, 0.1 * vdd_v);
+    } else {
+      EXPECT_LT(va, 0.1 * vdd_v);
+      EXPECT_GT(vb, 0.9 * vdd_v);
+    }
+  }
+}
+
+TEST(Engine, StatsAreRecorded) {
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  nl.add_vsource("V1", vin, kGround, PwlWaveform::dc(1.0));
+  nl.add_resistor("R1", vin, kGround, 1000.0);
+  Simulator sim(nl);
+  sim.run(spec_for(10e-9, 1e-9), {"vin"});
+  EXPECT_EQ(sim.stats().steps, 10);
+  EXPECT_GE(sim.stats().newton_iterations, 10);
+}
+
+TEST(Engine, RejectsNonPositiveSpec) {
+  Netlist nl;
+  nl.add_resistor("R1", nl.node("a"), kGround, 1.0);
+  Simulator sim(nl);
+  EXPECT_THROW(sim.run(spec_for(0.0, 1e-9), {"a"}), Error);
+  EXPECT_THROW(sim.run(spec_for(1e-9, 0.0), {"a"}), Error);
+}
+
+TEST(Engine, RecordingUnknownNodeThrows) {
+  Netlist nl;
+  nl.add_resistor("R1", nl.node("a"), kGround, 1.0);
+  Simulator sim(nl);
+  EXPECT_THROW(sim.run(spec_for(1e-9, 0.1e-9), {"nope"}), Error);
+}
+
+TEST(Engine, GroundInitialConditionRejected) {
+  Netlist nl;
+  nl.add_resistor("R1", nl.node("a"), kGround, 1.0);
+  Simulator sim(nl);
+  EXPECT_THROW(sim.set_initial(kGround, 1.0), Error);
+}
+
+TEST(Engine, VoltageDividerWithBridgeMimicsDefect) {
+  // A 10 kOhm bridge to ground under a 30 kOhm pull-up: the defective node
+  // sits at a fixed fraction of Vdd regardless of supply — the mechanism the
+  // Vmax test exploits when that fraction crosses a gate threshold.
+  for (const double vdd_v : {1.0, 1.8, 1.95}) {
+    Netlist nl;
+    const NodeId vdd = nl.node("vdd");
+    const NodeId n = nl.node("n");
+    nl.add_vsource("VDD", vdd, kGround, PwlWaveform::dc(vdd_v));
+    nl.add_resistor("Rup", vdd, n, 30e3);
+    nl.add_resistor("Rbridge", n, kGround, 10e3);
+    Simulator sim(nl);
+    const Trace trace = sim.run(spec_for(5e-9, 0.5e-9), {"n"});
+    EXPECT_NEAR(trace.value_at("n", 5e-9) / vdd_v, 0.25, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace memstress::analog

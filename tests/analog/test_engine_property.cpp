@@ -1,0 +1,145 @@
+// Property-style sweeps of the analog engine: physical invariants that must
+// hold across component values, supply voltages, and step sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/engine.hpp"
+#include "analog/measure.hpp"
+
+namespace memstress::analog {
+namespace {
+
+// --- resistive dividers settle to the exact algebraic ratio ---------------
+
+class DividerSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(DividerSweep, SettlesToAlgebraicRatio) {
+  const auto [r_top, r_bottom, supply] = GetParam();
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  const NodeId mid = nl.node("mid");
+  nl.add_vsource("V", vin, kGround, PwlWaveform::dc(supply));
+  nl.add_resistor("Rt", vin, mid, r_top);
+  nl.add_resistor("Rb", mid, kGround, r_bottom);
+  Simulator sim(nl);
+  const Trace trace = sim.run({.t_stop = 4e-9, .dt = 0.5e-9}, {"mid"});
+  const double expected = supply * r_bottom / (r_top + r_bottom);
+  EXPECT_NEAR(trace.value_at("mid", 4e-9), expected, 1e-6 + 1e-6 * supply);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValuesAndSupplies, DividerSweep,
+    ::testing::Combine(::testing::Values(10.0, 1e3, 1e6),
+                       ::testing::Values(10.0, 1e3, 1e6),
+                       ::testing::Values(1.0, 1.8, 1.95)));
+
+// --- RC settling time is invariant under the nominal step size ------------
+
+class StepSizeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StepSizeSweep, RcCrossingTimeIsStepIndependent) {
+  const double dt = GetParam();
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  const NodeId out = nl.node("out");
+  PwlWaveform step;
+  step.add_point(0.0, 0.0);
+  step.add_point(0.2e-9, 1.8);  // this breakpoint forces edge substepping
+  nl.add_vsource("V", vin, kGround, step);
+  nl.add_resistor("R", vin, out, 10e3);
+  nl.add_capacitor("C", out, kGround, 100e-15);  // tau = 1 ns
+  Simulator sim(nl);
+  const Trace trace = sim.run({.t_stop = 10e-9, .dt = dt}, {"out"});
+  const auto crossing = cross_time(trace, "out", 0.9, true, 0.0);
+  ASSERT_TRUE(crossing.has_value());
+  // tau * ln(1/(1-0.5)) = 0.69 ns after the edge; tolerate discretization.
+  EXPECT_NEAR(*crossing, 0.2e-9 + 0.69e-9, 0.3e-9) << "dt = " << dt;
+}
+
+INSTANTIATE_TEST_SUITE_P(NominalSteps, StepSizeSweep,
+                         ::testing::Values(0.05e-9, 0.25e-9, 1e-9));
+
+// --- the bistable latch holds state across supply voltages ----------------
+
+class LatchSupplySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LatchSupplySweep, HoldsStateAtEverySupply) {
+  const double vdd_v = GetParam();
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  nl.add_vsource("VDD", vdd, kGround, PwlWaveform::dc(vdd_v));
+  nl.add_mosfet("MP1", MosType::Pmos, a, b, vdd, pmos_018(0.5));
+  nl.add_mosfet("MN1", MosType::Nmos, a, b, kGround, nmos_018(2.0));
+  nl.add_mosfet("MP2", MosType::Pmos, b, a, vdd, pmos_018(0.5));
+  nl.add_mosfet("MN2", MosType::Nmos, b, a, kGround, nmos_018(2.0));
+  nl.add_capacitor("CA", a, kGround, 2e-15);
+  nl.add_capacitor("CB", b, kGround, 2e-15);
+  Simulator sim(nl);
+  sim.set_initial("a", 0.0);
+  sim.set_initial("b", vdd_v);
+  const Trace trace = sim.run({.t_stop = 30e-9, .dt = 0.25e-9}, {"a", "b"});
+  EXPECT_LT(trace.value_at("a", 30e-9), 0.1 * vdd_v);
+  EXPECT_GT(trace.value_at("b", 30e-9), 0.9 * vdd_v);
+}
+
+INSTANTIATE_TEST_SUITE_P(SupplyRange, LatchSupplySweep,
+                         ::testing::Values(0.8, 1.0, 1.2, 1.65, 1.8, 1.95, 2.2));
+
+// --- inverter DC transfer is monotone at every supply ---------------------
+
+class InverterSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(InverterSweep, TransferIsMonotoneAndRailToRail) {
+  const double vdd_v = GetParam();
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add_vsource("VDD", vdd, kGround, PwlWaveform::dc(vdd_v));
+  PwlWaveform ramp;
+  ramp.add_point(0.0, 0.0);
+  ramp.add_point(100e-9, vdd_v);
+  nl.add_vsource("VIN", in, kGround, ramp);
+  nl.add_mosfet("MP", MosType::Pmos, out, in, vdd, pmos_018(4.0));
+  nl.add_mosfet("MN", MosType::Nmos, out, in, kGround, nmos_018(2.0));
+  nl.add_capacitor("CL", out, kGround, 1e-15);
+  Simulator sim(nl);
+  sim.set_initial("out", vdd_v);
+  const Trace trace = sim.run({.t_stop = 100e-9, .dt = 0.5e-9}, {"out"});
+  double prev = trace.value_at("out", 0.0);
+  for (double t = 1e-9; t <= 100e-9; t += 1e-9) {
+    const double now = trace.value_at("out", t);
+    EXPECT_LE(now, prev + 0.02 * vdd_v) << "non-monotone at t=" << t;
+    prev = now;
+  }
+  EXPECT_GT(trace.value_at("out", 2e-9), 0.95 * vdd_v);
+  EXPECT_LT(trace.value_at("out", 99e-9), 0.05 * vdd_v);
+}
+
+INSTANTIATE_TEST_SUITE_P(SupplyRange, InverterSweep,
+                         ::testing::Values(1.0, 1.4, 1.8, 2.2));
+
+// --- charge conservation: an isolated capacitor pair shares charge --------
+
+TEST(ChargeSharing, TwoCapacitorsThroughResistor) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  nl.add_capacitor("Ca", a, kGround, 10e-15);
+  nl.add_capacitor("Cb", b, kGround, 30e-15);
+  nl.add_resistor("R", a, b, 1e3);
+  Simulator sim(nl);
+  sim.set_initial("a", 2.0);
+  sim.set_initial("b", 0.0);
+  const Trace trace = sim.run({.t_stop = 10e-9, .dt = 0.01e-9}, {"a", "b"});
+  // Final voltage = Q/C_total = 20 fC / 40 fF = 0.5 V on both nodes.
+  EXPECT_NEAR(trace.value_at("a", 10e-9), 0.5, 0.01);
+  EXPECT_NEAR(trace.value_at("b", 10e-9), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace memstress::analog

@@ -1,0 +1,110 @@
+#include "analog/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace memstress::analog {
+namespace {
+
+TEST(DenseMatrix, StartsZeroAndAccumulates) {
+  DenseMatrix m(3);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+  m.add(1, 2, 4.0);
+  m.add(1, 2, -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 3.0);
+  m.set_zero();
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+}
+
+TEST(LuSolver, SolvesIdentity) {
+  DenseMatrix m(3);
+  for (std::size_t i = 0; i < 3; ++i) m.at(i, i) = 1.0;
+  LuSolver lu;
+  ASSERT_TRUE(lu.factor(m));
+  std::vector<double> b{1.0, 2.0, 3.0};
+  lu.solve(b);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+  EXPECT_DOUBLE_EQ(b[2], 3.0);
+}
+
+TEST(LuSolver, SolvesKnownSystem) {
+  // 2x + y = 5 ; x + 3y = 10  ->  x = 1, y = 3
+  DenseMatrix m(2);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 3;
+  LuSolver lu;
+  ASSERT_TRUE(lu.factor(m));
+  std::vector<double> b{5.0, 10.0};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(LuSolver, RequiresPivoting) {
+  // Zero on the initial diagonal: only solvable with row exchange.
+  DenseMatrix m(2);
+  m.at(0, 0) = 0;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 0;
+  LuSolver lu;
+  ASSERT_TRUE(lu.factor(m));
+  std::vector<double> b{2.0, 7.0};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 7.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(LuSolver, DetectsSingularMatrix) {
+  DenseMatrix m(2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 2;
+  m.at(1, 1) = 4;  // rank 1
+  LuSolver lu;
+  EXPECT_FALSE(lu.factor(m));
+}
+
+TEST(LuSolver, RandomSystemsRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.below(20);
+    DenseMatrix m(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) m.at(r, c) = rng.uniform(-1.0, 1.0);
+      m.at(r, r) += 3.0;  // diagonally dominant -> well conditioned
+    }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.uniform(-10.0, 10.0);
+    std::vector<double> b(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) b[r] += m.at(r, c) * x_true[c];
+    LuSolver lu;
+    ASSERT_TRUE(lu.factor(m));
+    lu.solve(b);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_NEAR(b[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(LuSolver, SolveReusableAcrossRightHandSides) {
+  DenseMatrix m(2);
+  m.at(0, 0) = 4;
+  m.at(1, 1) = 2;
+  LuSolver lu;
+  ASSERT_TRUE(lu.factor(m));
+  std::vector<double> b1{4.0, 2.0};
+  std::vector<double> b2{8.0, 6.0};
+  lu.solve(b1);
+  lu.solve(b2);
+  EXPECT_NEAR(b1[0], 1.0, 1e-12);
+  EXPECT_NEAR(b2[1], 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace memstress::analog

@@ -1,0 +1,77 @@
+#include "analog/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace memstress::analog {
+namespace {
+
+Trace ramp_trace() {
+  Trace t({"sig"});
+  // 0 V at t=0 rising linearly to 1.8 V at t=10ns, then flat.
+  for (int i = 0; i <= 20; ++i) {
+    const double time = i * 1e-9;
+    const double v = time <= 10e-9 ? 1.8 * time / 10e-9 : 1.8;
+    t.append(time, {v});
+  }
+  return t;
+}
+
+TEST(Measure, DigitalAtUsesHalfVdd) {
+  const Trace t = ramp_trace();
+  EXPECT_FALSE(digital_at(t, "sig", 2e-9, 1.8));
+  EXPECT_TRUE(digital_at(t, "sig", 8e-9, 1.8));
+}
+
+TEST(Measure, CrossTimeRising) {
+  const Trace t = ramp_trace();
+  const auto when = cross_time(t, "sig", 0.9, true, 0.0);
+  ASSERT_TRUE(when.has_value());
+  EXPECT_NEAR(*when, 5e-9, 1e-10);
+}
+
+TEST(Measure, CrossTimeRespectsAfter) {
+  const Trace t = ramp_trace();
+  EXPECT_FALSE(cross_time(t, "sig", 0.9, true, 12e-9).has_value());
+}
+
+TEST(Measure, CrossTimeFallingAbsentOnRamp) {
+  const Trace t = ramp_trace();
+  EXPECT_FALSE(cross_time(t, "sig", 0.9, false, 0.0).has_value());
+}
+
+TEST(Measure, MinMaxBetween) {
+  const Trace t = ramp_trace();
+  EXPECT_NEAR(min_between(t, "sig", 2e-9, 6e-9), 1.8 * 0.2, 1e-9);
+  EXPECT_NEAR(max_between(t, "sig", 2e-9, 6e-9), 1.8 * 0.6, 1e-9);
+  EXPECT_NEAR(max_between(t, "sig", 0.0, 20e-9), 1.8, 1e-12);
+}
+
+TEST(Measure, RenderWaveformsProducesRowPerSignal) {
+  Trace t({"a", "b"});
+  t.append(0.0, {0.0, 1.8});
+  t.append(10e-9, {0.0, 1.8});
+  const std::string text = render_waveforms(t, {"a", "b"}, 0.0, 10e-9, 1.8, 16);
+  EXPECT_NE(text.find("a |________________|"), std::string::npos);
+  EXPECT_NE(text.find("b |----------------|"), std::string::npos);
+}
+
+TEST(Measure, RenderWaveformsMarksMidRail) {
+  Trace t({"m"});
+  t.append(0.0, {0.9});
+  t.append(10e-9, {0.9});
+  const std::string text = render_waveforms(t, {"m"}, 0.0, 10e-9, 1.8, 8);
+  EXPECT_NE(text.find("xxxxxxxx"), std::string::npos);
+}
+
+TEST(Measure, RenderWaveformsValidatesArgs) {
+  Trace t({"a"});
+  t.append(0.0, {0.0});
+  t.append(1e-9, {0.0});
+  EXPECT_THROW(render_waveforms(t, {"a"}, 0.0, 1e-9, 1.8, 4), Error);
+  EXPECT_THROW(render_waveforms(t, {"a"}, 1e-9, 1e-9, 1.8, 16), Error);
+}
+
+}  // namespace
+}  // namespace memstress::analog

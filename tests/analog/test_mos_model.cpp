@@ -1,0 +1,103 @@
+#include "analog/mos_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace memstress::analog {
+namespace {
+
+TEST(MosModel, NmosCutoffCurrentIsNegligible) {
+  const MosParams p = nmos_018(2.0);
+  const double i = mos_current(MosType::Nmos, p, 1.8, 0.0, 0.0);
+  EXPECT_LT(std::fabs(i), 1e-6);  // leakage floor only
+  EXPECT_GT(i, 0.0);              // smooth model keeps a tiny positive leak
+}
+
+TEST(MosModel, NmosSaturationQuadraticInOverdrive) {
+  const MosParams p = nmos_018(2.0);
+  // Deep saturation: Ids ~ overdrive^2 (lambda introduces a small deviation).
+  const double i1 = mos_current(MosType::Nmos, p, 1.8, p.vt + 0.4, 0.0);
+  const double i2 = mos_current(MosType::Nmos, p, 1.8, p.vt + 0.8, 0.0);
+  EXPECT_NEAR(i2 / i1, 4.0, 0.3);
+}
+
+TEST(MosModel, NmosTriodeLinearInSmallVds) {
+  const MosParams p = nmos_018(2.0);
+  const double i1 = mos_current(MosType::Nmos, p, 0.05, 1.8, 0.0);
+  const double i2 = mos_current(MosType::Nmos, p, 0.10, 1.8, 0.0);
+  EXPECT_NEAR(i2 / i1, 2.0, 0.1);
+}
+
+TEST(MosModel, SourceDrainSymmetry) {
+  const MosParams p = nmos_018(2.0);
+  // Swapping drain and source must exactly negate the current.
+  const double fwd = mos_current(MosType::Nmos, p, 1.0, 1.8, 0.2);
+  const double rev = mos_current(MosType::Nmos, p, 0.2, 1.8, 1.0);
+  EXPECT_DOUBLE_EQ(fwd, -rev);
+}
+
+TEST(MosModel, PmosMirrorsNmos) {
+  const MosParams pn = nmos_018(2.0);
+  MosParams pp = pn;  // same kp so the mirror is exact
+  const double in = mos_current(MosType::Nmos, pn, 1.0, 1.8, 0.0);
+  const double ip = mos_current(MosType::Pmos, pp, -1.0, -1.8, 0.0);
+  EXPECT_DOUBLE_EQ(in, -ip);
+}
+
+TEST(MosModel, PmosConductsWithGateLow) {
+  const MosParams p = pmos_018(4.0);
+  // Source at Vdd, gate at 0, drain at 0: strongly on, current flows s->d,
+  // i.e. the d->s current is negative.
+  const double i = mos_current(MosType::Pmos, p, 0.0, 0.0, 1.8);
+  EXPECT_LT(i, -1e-4);
+}
+
+TEST(MosModel, PmosOffWithGateHigh) {
+  const MosParams p = pmos_018(4.0);
+  const double i = mos_current(MosType::Pmos, p, 0.0, 1.8, 1.8);
+  EXPECT_LT(std::fabs(i), 1e-6);
+}
+
+TEST(MosModel, CurrentContinuousAcrossCutoff) {
+  const MosParams p = nmos_018(2.0);
+  // Sweep the gate through threshold; adjacent samples must stay close
+  // (the smoothing guarantees C1 continuity).
+  double prev = mos_current(MosType::Nmos, p, 1.8, 0.0, 0.0);
+  for (double vg = 0.01; vg <= 1.2; vg += 0.01) {
+    const double cur = mos_current(MosType::Nmos, p, 1.8, vg, 0.0);
+    EXPECT_LT(std::fabs(cur - prev), 2e-4) << "jump at vg = " << vg;
+    EXPECT_GE(cur, prev - 1e-12) << "non-monotone at vg = " << vg;
+    prev = cur;
+  }
+}
+
+TEST(MosModel, CurrentContinuousAcrossSaturationBoundary) {
+  const MosParams p = nmos_018(2.0);
+  double prev = mos_current(MosType::Nmos, p, 0.0, 1.8, 0.0);
+  for (double vd = 0.01; vd <= 1.8; vd += 0.01) {
+    const double cur = mos_current(MosType::Nmos, p, vd, 1.8, 0.0);
+    EXPECT_LT(std::fabs(cur - prev), 5e-5) << "jump at vd = " << vd;
+    prev = cur;
+  }
+}
+
+TEST(MosModel, DriveCurrentCollapsesFasterThanLinearWithVdd) {
+  // The VLV premise: I(Vdd)/I(Vdd/2) > 2 because drive ~ (Vdd - Vt)^2,
+  // while a resistive bridge only scales linearly. This ratio is what makes
+  // low-voltage testing expose high-ohmic bridges.
+  const MosParams p = nmos_018(2.0);
+  const double i_nom = mos_current(MosType::Nmos, p, 1.8, 1.8, 0.0);
+  const double i_vlv = mos_current(MosType::Nmos, p, 1.0, 1.0, 0.0);
+  EXPECT_GT(i_nom / i_vlv, 1.8 / 1.0 * 1.5);
+}
+
+TEST(MosModel, DefaultParamFactoriesDiffer) {
+  const MosParams n = nmos_018(1.0);
+  const MosParams pm = pmos_018(1.0);
+  EXPECT_GT(n.kp, pm.kp);  // electrons beat holes
+  EXPECT_GT(n.vt, 0.0);
+}
+
+}  // namespace
+}  // namespace memstress::analog

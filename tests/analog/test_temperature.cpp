@@ -1,0 +1,97 @@
+// Temperature physics of the MOSFET model and its propagation through the
+// transient engine.
+#include <gtest/gtest.h>
+
+#include "analog/engine.hpp"
+#include "analog/measure.hpp"
+#include "analog/mos_model.hpp"
+#include "sram/behavioral.hpp"
+
+namespace memstress::analog {
+namespace {
+
+TEST(Temperature, RoomTemperatureIsIdentity) {
+  const MosParams p = nmos_018(2.0);
+  const MosParams adjusted = at_temperature(p, 25.0);
+  EXPECT_DOUBLE_EQ(adjusted.vt, p.vt);
+  EXPECT_DOUBLE_EQ(adjusted.kp, p.kp);
+  EXPECT_DOUBLE_EQ(mos_current(MosType::Nmos, p, 1.8, 1.8, 0.0),
+                   mos_current(MosType::Nmos, p, 1.8, 1.8, 0.0, 25.0));
+}
+
+TEST(Temperature, ThresholdDropsWhenHot) {
+  const MosParams p = nmos_018(2.0);
+  EXPECT_LT(at_temperature(p, 125.0).vt, p.vt);
+  EXPECT_GT(at_temperature(p, -40.0).vt, p.vt);
+  // ~1.5 mV/K.
+  EXPECT_NEAR(at_temperature(p, 125.0).vt, p.vt - 0.15, 1e-9);
+}
+
+TEST(Temperature, MobilityDropsWhenHot) {
+  const MosParams p = nmos_018(2.0);
+  EXPECT_LT(at_temperature(p, 125.0).kp, p.kp);
+  EXPECT_GT(at_temperature(p, -40.0).kp, p.kp);
+}
+
+TEST(Temperature, InversionPoint) {
+  // The classic effect: at high overdrive, mobility loss wins (hot is
+  // slower); near threshold, the Vt drop wins (hot is faster).
+  const MosParams p = nmos_018(2.0);
+  const double strong_cold = mos_current(MosType::Nmos, p, 1.8, 1.8, 0.0, -40.0);
+  const double strong_hot = mos_current(MosType::Nmos, p, 1.8, 1.8, 0.0, 125.0);
+  EXPECT_GT(strong_cold, strong_hot);
+
+  const double weak_cold = mos_current(MosType::Nmos, p, 1.8, 0.55, 0.0, -40.0);
+  const double weak_hot = mos_current(MosType::Nmos, p, 1.8, 0.55, 0.0, 125.0);
+  EXPECT_LT(weak_cold, weak_hot);
+}
+
+TEST(Temperature, PmosMirrorsTheAdjustment) {
+  const MosParams p = pmos_018(2.0);
+  const double room = mos_current(MosType::Pmos, p, 0.0, 0.0, 1.8, 25.0);
+  const double hot = mos_current(MosType::Pmos, p, 0.0, 0.0, 1.8, 125.0);
+  // Strong inversion: hot PMOS drives less (|current| smaller).
+  EXPECT_LT(std::abs(hot), std::abs(room));
+}
+
+TEST(Temperature, EnginePropagatesToInverterDelay) {
+  // An inverter discharging a load at full overdrive is slower when hot.
+  auto fall_delay = [](double temp_c) {
+    Netlist nl;
+    const NodeId vdd = nl.node("vdd");
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("VDD", vdd, kGround, PwlWaveform::dc(1.8));
+    PwlWaveform step;
+    step.add_point(0.0, 0.0);
+    step.add_point(1e-9, 0.0);
+    step.add_point(1.1e-9, 1.8);
+    nl.add_vsource("VIN", in, kGround, step);
+    nl.add_mosfet("MP", MosType::Pmos, out, in, vdd, pmos_018(4.0));
+    nl.add_mosfet("MN", MosType::Nmos, out, in, kGround, nmos_018(2.0));
+    nl.add_capacitor("CL", out, kGround, 50e-15);
+    Simulator sim(nl);
+    sim.set_initial("out", 1.8);
+    TransientSpec spec;
+    spec.t_stop = 10e-9;
+    spec.dt = 0.02e-9;
+    spec.temp_c = temp_c;
+    const Trace trace = sim.run(spec, {"out"});
+    const auto t = cross_time(trace, "out", 0.9, false, 1e-9);
+    EXPECT_TRUE(t.has_value());
+    return t.value_or(0.0);
+  };
+  const double cold = fall_delay(-40.0);
+  const double room = fall_delay(25.0);
+  const double hot = fall_delay(125.0);
+  EXPECT_LT(cold, room);
+  EXPECT_LT(room, hot);
+}
+
+TEST(Temperature, StressPointDefaultsToRoom) {
+  const sram::StressPoint at{1.8, 25e-9};
+  EXPECT_DOUBLE_EQ(at.temp_c, 25.0);
+}
+
+}  // namespace
+}  // namespace memstress::analog

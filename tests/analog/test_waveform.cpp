@@ -1,0 +1,91 @@
+#include "analog/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace memstress::analog {
+namespace {
+
+TEST(PwlWaveform, DcHoldsValueEverywhere) {
+  const PwlWaveform w = PwlWaveform::dc(1.8);
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 1.8);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 1.8);
+  EXPECT_DOUBLE_EQ(w.value(1e9), 1.8);
+}
+
+TEST(PwlWaveform, InterpolatesBetweenBreakpoints) {
+  PwlWaveform w;
+  w.add_point(0.0, 0.0);
+  w.add_point(10e-9, 1.0);
+  EXPECT_DOUBLE_EQ(w.value(5e-9), 0.5);
+  EXPECT_DOUBLE_EQ(w.value(2.5e-9), 0.25);
+}
+
+TEST(PwlWaveform, ClampsOutsideRange) {
+  PwlWaveform w;
+  w.add_point(1e-9, 0.3);
+  w.add_point(2e-9, 0.9);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.3);
+  EXPECT_DOUBLE_EQ(w.value(5e-9), 0.9);
+}
+
+TEST(PwlWaveform, RejectsTimeGoingBackwards) {
+  PwlWaveform w;
+  w.add_point(5e-9, 1.0);
+  EXPECT_THROW(w.add_point(1e-9, 0.0), Error);
+}
+
+TEST(PwlWaveform, StepToHoldsThenRamps) {
+  PwlWaveform w;
+  w.add_point(0.0, 0.0);
+  w.step_to(10e-9, 1.8, 1e-9);
+  EXPECT_DOUBLE_EQ(w.value(9e-9), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(10e-9), 0.0);
+  EXPECT_NEAR(w.value(10.5e-9), 0.9, 1e-9);
+  EXPECT_NEAR(w.value(11e-9), 1.8, 1e-9);
+}
+
+TEST(PwlWaveform, StepToOnEmptyWaveformSetsLevel) {
+  PwlWaveform w;
+  w.step_to(2e-9, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(3e-9), 1.0);
+}
+
+TEST(PwlWaveform, VerticalStepAtSameTime) {
+  PwlWaveform w;
+  w.add_point(1e-9, 0.0);
+  w.add_point(1e-9, 1.0);  // zero-width step is allowed
+  EXPECT_DOUBLE_EQ(w.value(0.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(1.5e-9), 1.0);
+}
+
+TEST(Trace, AppendAndInterpolate) {
+  Trace trace({"a", "b"});
+  trace.append(0.0, {0.0, 1.0});
+  trace.append(1e-9, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(trace.value_at("a", 0.5e-9), 0.5);
+  EXPECT_DOUBLE_EQ(trace.value_at("b", 0.5e-9), 2.0);
+  EXPECT_DOUBLE_EQ(trace.value_at("a", 5e-9), 1.0);  // clamped
+}
+
+TEST(Trace, SignalIndexLookup) {
+  Trace trace({"x", "y", "z"});
+  EXPECT_EQ(trace.signal_index("y"), 1u);
+  EXPECT_THROW(trace.signal_index("nope"), Error);
+}
+
+TEST(Trace, RejectsArityMismatch) {
+  Trace trace({"a"});
+  EXPECT_THROW(trace.append(0.0, {1.0, 2.0}), Error);
+}
+
+TEST(Trace, RejectsNonMonotonicTime) {
+  Trace trace({"a"});
+  trace.append(1e-9, {0.0});
+  EXPECT_THROW(trace.append(0.5e-9, {0.0}), Error);
+}
+
+}  // namespace
+}  // namespace memstress::analog

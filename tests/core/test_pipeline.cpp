@@ -1,0 +1,95 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace memstress::core {
+namespace {
+
+/// Tiny characterization grids keep the analog cost of the integration
+/// test in the seconds range while still exercising the full Figure-2 flow.
+PipelineConfig tiny_config() {
+  PipelineConfig config;
+  config.block.rows = 2;
+  config.block.cols = 1;
+  config.layout_rows = 4;
+  config.layout_cols = 4;
+  config.characterization.vdds = {1.0, 1.8};
+  config.characterization.periods = {100e-9};
+  config.characterization.bridge_resistances = {1e3};
+  config.characterization.open_resistances = {1e6};
+  config.characterization.gox_vbds = {1.7};
+  return config;
+}
+
+TEST(Pipeline, ExtractsSitesEagerly) {
+  StressEvaluationPipeline pipeline(tiny_config());
+  EXPECT_FALSE(pipeline.bridge_sites().empty());
+  EXPECT_FALSE(pipeline.open_sites().empty());
+  EXPECT_EQ(pipeline.reference_layout().rows, 4);
+}
+
+TEST(Pipeline, EndToEndFlowProducesConsistentArtifacts) {
+  StressEvaluationPipeline pipeline(tiny_config());
+
+  // 1. Detectability database from analog characterization.
+  const auto& db = pipeline.database();
+  // 7 bridge categories on a 2x1 block: 6 ohmic * 1 R + 1 gox * 1 vbd;
+  // 6 open categories * 1 R; each at 2 vdd * 1 period.
+  EXPECT_EQ(db.size(), (6u + 1u + 6u) * 2u);
+
+  // 2. Estimator built on that database reproduces a Table-1 style report.
+  auto estimator = pipeline.make_estimator();
+  const auto report = estimator.table1({64, 16, 4, 1});
+  ASSERT_EQ(report.rows.size(), 4u);
+  for (const auto& row : report.rows) {
+    EXPECT_GE(row.defect_coverage, 0.0);
+    EXPECT_LE(row.defect_coverage, 1.0);
+  }
+
+  // 3. Monte-Carlo study runs against the same database.
+  study::StudyConfig study_config;
+  study_config.device_count = 200;
+  study_config.seed = 5;
+  const auto result = pipeline.run_study(study_config);
+  EXPECT_EQ(result.devices, 200);
+  EXPECT_GE(result.defective, 0);
+}
+
+TEST(Pipeline, DatabaseCacheRoundTrip) {
+  const std::string cache =
+      ::testing::TempDir() + "/memstress_pipeline_cache.csv";
+  std::remove(cache.c_str());
+
+  PipelineConfig config = tiny_config();
+  config.db_cache_path = cache;
+  std::size_t fresh_size = 0;
+  {
+    StressEvaluationPipeline pipeline(config);
+    fresh_size = pipeline.database().size();
+    EXPECT_TRUE(std::filesystem::exists(cache));
+  }
+  {
+    // Second pipeline loads from the cache (no analog work); the database
+    // must be identical in size and content.
+    StressEvaluationPipeline pipeline(config);
+    EXPECT_EQ(pipeline.database().size(), fresh_size);
+  }
+  std::remove(cache.c_str());
+}
+
+TEST(Pipeline, SamplerMatchesExtractedPopulation) {
+  StressEvaluationPipeline pipeline(tiny_config());
+  auto sampler = pipeline.make_sampler();
+  Rng rng(3);
+  analog::Netlist golden = sram::build_block(tiny_config().block);
+  for (int i = 0; i < 50; ++i) {
+    analog::Netlist nl = golden;
+    EXPECT_NO_THROW(defects::inject(nl, sampler.sample(rng)));
+  }
+}
+
+}  // namespace
+}  // namespace memstress::core

@@ -1,0 +1,86 @@
+#include "defects/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace memstress::defects {
+namespace {
+
+TEST(FabModel, BridgeBinsSumToOne) {
+  const FabModel fab;
+  double total = 0.0;
+  for (const auto& bin : fab.bridge_bins) total += bin.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(FabModel, BridgeBinsAreLowOhmicHeavy) {
+  const FabModel fab;
+  ASSERT_GE(fab.bridge_bins.size(), 2u);
+  EXPECT_GT(fab.bridge_bins.front().probability,
+            fab.bridge_bins.back().probability);
+}
+
+TEST(FabModel, BridgeSamplesArePositive) {
+  FabModel fab;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(fab.sample_bridge_resistance(rng), 0.0);
+}
+
+TEST(FabModel, BridgeSamplesMostlyLowOhmic) {
+  FabModel fab;
+  Rng rng(2);
+  int below_10k = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i)
+    if (fab.sample_bridge_resistance(rng) < 10e3) ++below_10k;
+  EXPECT_GT(below_10k, n / 2);
+}
+
+TEST(FabModel, OpenSamplesRespectRange) {
+  FabModel fab;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double r = fab.sample_open_resistance(rng);
+    EXPECT_GE(r, fab.open_min_ohms);
+    EXPECT_LT(r, fab.open_max_ohms);
+  }
+}
+
+TEST(FabModel, GoxSamplesRespectRanges) {
+  FabModel fab;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double r = fab.sample_gox_resistance(rng);
+    EXPECT_GE(r, fab.gox_r_min);
+    EXPECT_LT(r, fab.gox_r_max);
+    const double vbd = fab.sample_gox_vbd(rng);
+    EXPECT_GE(vbd, fab.gox_vbd_min);
+    EXPECT_LT(vbd, fab.gox_vbd_max);
+  }
+}
+
+TEST(FabModel, YieldIsPoissonInArea) {
+  FabModel fab;
+  const double y1 = fab.yield(1e6);
+  const double y2 = fab.yield(2e6);
+  EXPECT_NEAR(y2, y1 * y1, 1e-12);
+  EXPECT_NEAR(fab.yield(0.0), 1.0, 1e-12);
+}
+
+TEST(FabModel, ExpectedDefectsLinearInArea) {
+  FabModel fab;
+  EXPECT_NEAR(fab.expected_defects(2e6), 2.0 * fab.expected_defects(1e6), 1e-12);
+  EXPECT_THROW(fab.expected_defects(-1.0), Error);
+}
+
+TEST(FabModel, YieldMatchesExpectedDefects) {
+  FabModel fab;
+  const double area = 5e6;
+  EXPECT_NEAR(fab.yield(area), std::exp(-fab.expected_defects(area)), 1e-12);
+}
+
+}  // namespace
+}  // namespace memstress::defects

@@ -1,0 +1,134 @@
+#include "defects/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/sram_layout.hpp"
+#include "util/error.hpp"
+
+namespace memstress::defects {
+namespace {
+
+using layout::BridgeCategory;
+using layout::OpenCategory;
+
+sram::BlockSpec block_2x1() {
+  sram::BlockSpec spec;
+  spec.rows = 2;
+  spec.cols = 1;
+  return spec;
+}
+
+SitePopulation extracted_population() {
+  const auto model = layout::generate_sram_layout(8, 8);
+  return aggregate_sites(layout::extract_bridges(model),
+                         layout::extract_opens(model));
+}
+
+TEST(AggregateSites, SumsWeightsPerCategory) {
+  std::vector<layout::BridgeSite> bridges(2);
+  bridges[0].category = BridgeCategory::CellTrueFalse;
+  bridges[0].weight = 1.0;
+  bridges[1].category = BridgeCategory::CellTrueFalse;
+  bridges[1].weight = 2.0;
+  std::vector<layout::OpenSite> opens(1);
+  opens[0].category = OpenCategory::Wordline;
+  opens[0].weight = 0.5;
+  const SitePopulation pop = aggregate_sites(bridges, opens);
+  ASSERT_EQ(pop.bridges.size(), 1u);
+  EXPECT_DOUBLE_EQ(pop.bridges[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(pop.bridge_weight_total(), 3.0);
+  EXPECT_DOUBLE_EQ(pop.open_weight_total(), 0.5);
+}
+
+TEST(DefectSampler, RejectsEmptyPopulation) {
+  EXPECT_THROW(DefectSampler({}, FabModel{}, block_2x1()), Error);
+}
+
+TEST(DefectSampler, SamplesAreAlwaysInjectable) {
+  DefectSampler sampler(extracted_population(), FabModel{}, block_2x1());
+  const analog::Netlist golden = sram::build_block(block_2x1());
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    analog::Netlist nl = golden;
+    const Defect d = sampler.sample(rng);
+    EXPECT_NO_THROW(inject(nl, d)) << d.tag();
+  }
+}
+
+TEST(DefectSampler, MixFollowsBridgeFraction) {
+  FabModel fab;
+  fab.bridge_fraction = 0.8;
+  DefectSampler sampler(extracted_population(), fab, block_2x1());
+  Rng rng(11);
+  int bridges = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i)
+    if (sampler.sample(rng).kind == DefectKind::Bridge) ++bridges;
+  EXPECT_NEAR(bridges / static_cast<double>(n), 0.8, 0.03);
+}
+
+TEST(DefectSampler, GateOxideDefectsGetBreakdownVoltage) {
+  DefectSampler sampler(extracted_population(), FabModel{}, block_2x1());
+  Rng rng(13);
+  bool saw_gox = false;
+  for (int i = 0; i < 5000 && !saw_gox; ++i) {
+    const Defect d = sampler.sample(rng);
+    if (d.kind == DefectKind::Bridge &&
+        d.bridge_category == BridgeCategory::CellGateOxide) {
+      saw_gox = true;
+      EXPECT_GT(d.breakdown_v, 0.0);
+    } else if (d.kind == DefectKind::Bridge) {
+      EXPECT_DOUBLE_EQ(d.breakdown_v, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_gox);
+}
+
+TEST(DefectSampler, DropsCategoriesTheBlockCannotHost) {
+  // 2x1 block with 1 address bit cannot host BitlineBitline or
+  // AddressAddress bridges; the sampler must never produce them.
+  DefectSampler sampler(extracted_population(), FabModel{}, block_2x1());
+  Rng rng(17);
+  for (int i = 0; i < 3000; ++i) {
+    const Defect d = sampler.sample(rng);
+    if (d.kind != DefectKind::Bridge) continue;
+    EXPECT_NE(d.bridge_category, BridgeCategory::BitlineBitline);
+    EXPECT_NE(d.bridge_category, BridgeCategory::AddressAddress);
+  }
+}
+
+TEST(DefectSampler, DeterministicForSameSeed) {
+  DefectSampler sampler(extracted_population(), FabModel{}, block_2x1());
+  Rng a(23), b(23);
+  for (int i = 0; i < 50; ++i) {
+    const Defect da = sampler.sample(a);
+    const Defect db = sampler.sample(b);
+    EXPECT_EQ(da.tag(), db.tag());
+  }
+}
+
+TEST(DefectSampler, CellCategoriesDominateTheMix) {
+  // Per-cell sites outnumber per-row/column sites by construction; the
+  // sampled population must reflect that.
+  DefectSampler sampler(extracted_population(), FabModel{}, block_2x1());
+  Rng rng(29);
+  int cell_local = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const Defect d = sampler.sample(rng);
+    const bool is_cell =
+        (d.kind == DefectKind::Bridge &&
+         (d.bridge_category == BridgeCategory::CellTrueFalse ||
+          d.bridge_category == BridgeCategory::CellNodeBitline ||
+          d.bridge_category == BridgeCategory::CellNodeVdd ||
+          d.bridge_category == BridgeCategory::CellNodeGnd ||
+          d.bridge_category == BridgeCategory::CellGateOxide)) ||
+        (d.kind == DefectKind::Open &&
+         d.open_category == OpenCategory::CellAccess);
+    if (is_cell) ++cell_local;
+  }
+  EXPECT_GT(cell_local, n / 2);
+}
+
+}  // namespace
+}  // namespace memstress::defects

@@ -1,0 +1,175 @@
+#include "estimator/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+
+namespace memstress::estimator {
+namespace {
+
+using defects::DefectKind;
+using layout::BridgeCategory;
+using layout::OpenCategory;
+
+/// Synthetic DB: every bridge category detected iff (vdd < 1.2 or R <= 1k);
+/// opens detected iff vdd > 1.9.
+DetectabilityDb synthetic_db() {
+  DetectabilityDb db;
+  for (int cat = 0; cat <= static_cast<int>(BridgeCategory::CellGateOxide); ++cat) {
+    for (const double r : {20.0, 1e3, 10e3, 90e3}) {
+      for (const double vdd : {1.0, 1.65, 1.8, 1.95}) {
+        for (const double period : {100e-9, 25e-9}) {
+          DbEntry e;
+          e.kind = DefectKind::Bridge;
+          e.category = cat;
+          e.resistance = r;
+          e.vdd = vdd;
+          e.period = period;
+          e.detected = vdd < 1.2 || r <= 1e3;
+          db.add(e);
+        }
+      }
+    }
+  }
+  for (int cat = 0; cat <= static_cast<int>(OpenCategory::SenseOut); ++cat) {
+    for (const double r : {1e4, 1e6, 1e8}) {
+      for (const double vdd : {1.0, 1.65, 1.8, 1.95}) {
+        for (const double period : {100e-9, 25e-9}) {
+          DbEntry e;
+          e.kind = DefectKind::Open;
+          e.category = cat;
+          e.resistance = r;
+          e.vdd = vdd;
+          e.period = period;
+          e.detected = vdd > 1.9;
+          db.add(e);
+        }
+      }
+    }
+  }
+  return db;
+}
+
+FaultCoverageEstimator make_estimator() {
+  return FaultCoverageEstimator(synthetic_db(), PopulationModel::calibrate(),
+                                defects::FabModel{});
+}
+
+TEST(MemoryGeometry, DerivedQuantities) {
+  MemoryGeometry g;
+  g.x_rows = 512;
+  g.y_columns = 64;
+  g.bits_per_word = 8;
+  g.z_blocks = 1;
+  EXPECT_EQ(g.cells(), 512L * 64 * 8);
+  EXPECT_EQ(g.physical_columns(), 512);
+  EXPECT_EQ(g.address_bits(), 9);
+  EXPECT_GT(g.conductor_area_um2(), 0.0);
+}
+
+TEST(PopulationModel, ScalesCellCategoriesWithCellCount) {
+  const PopulationModel pm = PopulationModel::calibrate();
+  MemoryGeometry small{128, 32, 4, 1};
+  MemoryGeometry doubled{128, 32, 4, 2};  // two blocks: everything doubles
+  const ScaledPopulation a = pm.scale(small);
+  const ScaledPopulation b = pm.scale(doubled);
+  for (const auto& [cat, w] : a.bridges)
+    EXPECT_NEAR(b.bridges.at(cat), 2.0 * w, 1e-9 * w)
+        << layout::bridge_category_name(cat);
+  for (const auto& [cat, w] : a.opens)
+    EXPECT_NEAR(b.opens.at(cat), 2.0 * w, 1e-9 * w);
+}
+
+TEST(PopulationModel, CellSitesDominateLargeMemories) {
+  const PopulationModel pm = PopulationModel::calibrate();
+  const ScaledPopulation pop = pm.scale({512, 64, 8, 1});
+  const double cell_weight = pop.bridges.at(BridgeCategory::CellTrueFalse);
+  const double addr_weight = pop.bridges.at(BridgeCategory::AddressVdd);
+  EXPECT_GT(cell_weight, 100.0 * addr_weight);
+}
+
+TEST(Estimator, LowOhmicBridgesCoveredEverywhere) {
+  const auto est = make_estimator();
+  const MemoryGeometry g{256, 32, 8, 1};
+  EXPECT_NEAR(est.bridge_fault_coverage(g, 20.0, {1.8, 100e-9}), 1.0, 1e-9);
+  EXPECT_NEAR(est.bridge_fault_coverage(g, 20.0, {1.0, 100e-9}), 1.0, 1e-9);
+}
+
+TEST(Estimator, HighOhmicBridgesOnlyCoveredAtVlv) {
+  const auto est = make_estimator();
+  const MemoryGeometry g{256, 32, 8, 1};
+  EXPECT_NEAR(est.bridge_fault_coverage(g, 90e3, {1.0, 100e-9}), 1.0, 1e-9);
+  EXPECT_NEAR(est.bridge_fault_coverage(g, 90e3, {1.8, 100e-9}), 0.0, 1e-9);
+}
+
+TEST(Estimator, DefectCoverageIsBinWeightedAverage) {
+  const auto est = make_estimator();
+  const MemoryGeometry g{256, 32, 8, 1};
+  defects::FabModel fab;
+  // At 1.8 V only bins <= 1 kOhm are covered in the synthetic world.
+  double expected = 0.0;
+  for (const auto& bin : fab.bridge_bins)
+    if (bin.ohms <= 1e3) expected += bin.probability;
+  EXPECT_NEAR(est.bridge_defect_coverage(g, {1.8, 100e-9}), expected, 1e-9);
+  EXPECT_NEAR(est.bridge_defect_coverage(g, {1.0, 100e-9}), 1.0, 1e-9);
+}
+
+TEST(Estimator, OpenCoverageFollowsVmaxRule) {
+  const auto est = make_estimator();
+  const MemoryGeometry g{256, 32, 8, 1};
+  EXPECT_NEAR(est.open_fault_coverage(g, {1.95, 25e-9}), 1.0, 1e-9);
+  EXPECT_NEAR(est.open_fault_coverage(g, {1.8, 25e-9}), 0.0, 1e-9);
+}
+
+TEST(Estimator, Table1HasFourCornersAndVlvNormalization) {
+  const auto est = make_estimator();
+  const EstimatorReport report = est.table1({512, 64, 8, 1});
+  ASSERT_EQ(report.rows.size(), 4u);
+  EXPECT_EQ(report.rows[0].label, "1.00 - VLV");
+  EXPECT_EQ(report.rows[3].label, "1.95 - Vmax");
+  EXPECT_NEAR(report.rows[0].dpm_ratio, 1.0, 1e-9);
+  // In the synthetic world VLV covers everything -> zero DPM at VLV, so the
+  // normalization degrades gracefully to ratio 0 checks elsewhere; verify
+  // the non-VLV rows have *more* DPM.
+  EXPECT_GE(report.rows[2].dpm_value, report.rows[0].dpm_value);
+  EXPECT_GT(report.yield, 0.0);
+  EXPECT_LE(report.yield, 1.0);
+}
+
+TEST(Estimator, Table1CoverageColumnsMatchBins) {
+  const auto est = make_estimator();
+  defects::FabModel fab;
+  const EstimatorReport report = est.table1({512, 64, 8, 1});
+  ASSERT_EQ(report.resistance_bins.size(), fab.bridge_bins.size());
+  for (const auto& row : report.rows)
+    EXPECT_EQ(row.fc_by_resistance.size(), report.resistance_bins.size());
+}
+
+TEST(Estimator, ReportSerializesToCsv) {
+  const auto est = make_estimator();
+  const EstimatorReport report = est.table1({512, 64, 8, 1});
+  const std::string text = report.to_csv();
+  const CsvContent parsed = parse_csv(text);
+  // Header: condition, vdd, one fc per bin, DC, DPM, ratio.
+  EXPECT_EQ(parsed.header.size(), 2 + report.resistance_bins.size() + 3);
+  ASSERT_EQ(parsed.rows.size(), 4u);
+  EXPECT_EQ(parsed.rows[0][0], "1.00 - VLV");
+  EXPECT_EQ(parsed.rows[3][0], "1.95 - Vmax");
+  // Values round-trip as parseable numbers.
+  for (const auto& row : parsed.rows)
+    for (std::size_t i = 1; i < row.size(); ++i)
+      EXPECT_NO_THROW((void)std::stod(row[i]));
+}
+
+TEST(Estimator, VlvRowDominatesCoverageInTable1) {
+  const auto est = make_estimator();
+  const EstimatorReport report = est.table1({512, 64, 8, 1});
+  const CoverageRow& vlv = report.rows[0];
+  for (std::size_t i = 1; i < report.rows.size(); ++i) {
+    EXPECT_GE(vlv.defect_coverage, report.rows[i].defect_coverage);
+    EXPECT_LE(vlv.dpm_value, report.rows[i].dpm_value);
+  }
+}
+
+}  // namespace
+}  // namespace memstress::estimator

@@ -1,0 +1,64 @@
+#include "estimator/dpm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace memstress::estimator {
+namespace {
+
+TEST(WilliamsBrown, PerfectCoverageShipsNoDefects) {
+  EXPECT_DOUBLE_EQ(williams_brown_escape(0.9, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(dpm(0.9, 1.0), 0.0);
+}
+
+TEST(WilliamsBrown, ZeroCoverageShipsDefectFraction) {
+  EXPECT_NEAR(williams_brown_escape(0.9, 0.0), 1.0 - 0.9, 1e-12);
+}
+
+TEST(WilliamsBrown, KnownValue) {
+  // DL = 1 - Y^(1-DC): Y = 0.9, DC = 0.95 -> 1 - 0.9^0.05 ~= 0.5255%.
+  EXPECT_NEAR(williams_brown_escape(0.9, 0.95), 1.0 - std::pow(0.9, 0.05), 1e-15);
+  EXPECT_NEAR(dpm(0.9, 0.95), 5255.0, 20.0);
+}
+
+TEST(WilliamsBrown, MonotoneInCoverage) {
+  double previous = 1.0;
+  for (double dc = 0.0; dc <= 1.0; dc += 0.1) {
+    const double escape = williams_brown_escape(0.85, dc);
+    EXPECT_LE(escape, previous);
+    previous = escape;
+  }
+}
+
+TEST(WilliamsBrown, MonotoneInYield) {
+  // Lower yield -> more escapes at fixed coverage.
+  EXPECT_GT(williams_brown_escape(0.7, 0.9), williams_brown_escape(0.95, 0.9));
+}
+
+TEST(WilliamsBrown, ValidatesInput) {
+  EXPECT_THROW(williams_brown_escape(0.0, 0.5), Error);
+  EXPECT_THROW(williams_brown_escape(1.5, 0.5), Error);
+  EXPECT_THROW(williams_brown_escape(0.9, -0.1), Error);
+  EXPECT_THROW(williams_brown_escape(0.9, 1.1), Error);
+}
+
+TEST(PoissonYield, MatchesFormula) {
+  EXPECT_NEAR(poisson_yield(1e6, 1e-7), std::exp(-0.1), 1e-12);
+  EXPECT_DOUBLE_EQ(poisson_yield(0.0, 1e-7), 1.0);
+  EXPECT_THROW(poisson_yield(-1.0, 1e-7), Error);
+}
+
+TEST(PoissonYield, PaperScaleSanity) {
+  // A 4 x 256 Kbit device at ~1.1 um^2/cell with a healthy D0 should land
+  // in the 85-99% yield band the study assumes.
+  const double area = 4.0 * 256 * 1024 * 1.1;
+  const double y = poisson_yield(area, 2.0e-8);
+  EXPECT_GT(y, 0.85);
+  EXPECT_LT(y, 0.999);
+}
+
+}  // namespace
+}  // namespace memstress::estimator

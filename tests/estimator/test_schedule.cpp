@@ -1,0 +1,174 @@
+#include "estimator/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/sram_layout.hpp"
+#include "util/error.hpp"
+
+namespace memstress::estimator {
+namespace {
+
+using defects::DefectKind;
+using layout::BridgeCategory;
+using layout::OpenCategory;
+
+/// Synthetic detectability: VLV catches all bridges, Vmax all opens,
+/// nothing else catches anything.
+DetectabilityDb split_db() {
+  DetectabilityDb db;
+  auto add = [&db](DefectKind kind, int category, auto&& detector) {
+    for (const double vdd : {1.0, 1.65, 1.8, 1.95})
+      for (const double period : {100e-9, 25e-9, 15e-9}) {
+        DbEntry e;
+        e.kind = kind;
+        e.category = category;
+        e.resistance = 1e4;
+        e.vdd = vdd;
+        e.period = period;
+        e.detected = detector(vdd, period);
+        db.add(e);
+      }
+  };
+  for (int cat = 0; cat <= static_cast<int>(BridgeCategory::Other); ++cat)
+    add(DefectKind::Bridge, cat, [](double vdd, double) { return vdd < 1.2; });
+  for (int cat = 0; cat <= static_cast<int>(OpenCategory::Other); ++cat)
+    add(DefectKind::Open, cat, [](double vdd, double) { return vdd > 1.9; });
+  return db;
+}
+
+defects::DefectSampler make_sampler(double bridge_fraction) {
+  const auto model = layout::generate_sram_layout(8, 8);
+  sram::BlockSpec block;
+  block.rows = 2;
+  block.cols = 1;
+  defects::FabModel fab;
+  fab.bridge_fraction = bridge_fraction;
+  return defects::DefectSampler(
+      defects::aggregate_sites(layout::extract_bridges(model),
+                               layout::extract_opens(model)),
+      fab, block);
+}
+
+TEST(StandardLegs, MatchThePaperSchedule) {
+  const auto legs = standard_legs();
+  ASSERT_EQ(legs.size(), 5u);
+  EXPECT_DOUBLE_EQ(legs[0].at.vdd, 1.0);
+  EXPECT_DOUBLE_EQ(legs[0].at.period, 100e-9);  // VLV at low frequency
+  EXPECT_DOUBLE_EQ(legs[3].at.vdd, 1.95);
+  EXPECT_DOUBLE_EQ(legs[3].at.period, 25e-9);   // Vmax at high frequency
+}
+
+TEST(TestLeg, TimeIsComplexityTimesPeriod)  {
+  TestLeg leg{"x", {1.8, 25e-9}, 11};
+  EXPECT_DOUBLE_EQ(leg.time_per_cell(), 11 * 25e-9);
+}
+
+TEST(EscapeFraction, ZeroLegsCatchNothing) {
+  const auto db = split_db();
+  const auto sampler = make_sampler(0.7);
+  ScheduleSpec spec;
+  spec.monte_carlo_defects = 500;
+  EXPECT_DOUBLE_EQ(escape_fraction({}, db, sampler, spec), 1.0);
+}
+
+TEST(EscapeFraction, VlvCatchesTheBridgeFraction) {
+  const auto db = split_db();
+  const auto sampler = make_sampler(0.7);
+  ScheduleSpec spec;
+  spec.monte_carlo_defects = 4000;
+  const std::vector<TestLeg> vlv_only{standard_legs()[0]};
+  // VLV catches all bridges (70%): escapes ~30%.
+  EXPECT_NEAR(escape_fraction(vlv_only, db, sampler, spec), 0.3, 0.03);
+}
+
+TEST(EscapeFraction, VlvPlusVmaxCatchesEverything) {
+  const auto db = split_db();
+  const auto sampler = make_sampler(0.7);
+  ScheduleSpec spec;
+  spec.monte_carlo_defects = 2000;
+  const std::vector<TestLeg> both{standard_legs()[0], standard_legs()[3]};
+  EXPECT_DOUBLE_EQ(escape_fraction(both, db, sampler, spec), 0.0);
+}
+
+TEST(OptimizeSchedule, PicksTheCheapestMeetingSchedule) {
+  const auto db = split_db();
+  const auto sampler = make_sampler(0.7);
+  ScheduleSpec spec;
+  spec.monte_carlo_defects = 2000;
+  spec.target_dpm = 1.0;  // essentially zero escapes required
+  const Schedule best = optimize_schedule(standard_legs(), db, sampler, spec);
+  // In the split world only VLV + Vmax reach zero escapes; the optimizer
+  // must pick exactly those two (other legs only add time).
+  ASSERT_EQ(best.legs.size(), 2u);
+  EXPECT_DOUBLE_EQ(best.legs[0].at.vdd, 1.0);
+  EXPECT_DOUBLE_EQ(best.legs[1].at.vdd, 1.95);
+  EXPECT_LE(best.dpm, 1.0);
+}
+
+TEST(OptimizeSchedule, FallsBackToBestWhenTargetUnreachable) {
+  // A DB in which nothing is ever detected.
+  DetectabilityDb db;
+  for (int cat = 0; cat <= static_cast<int>(BridgeCategory::Other); ++cat)
+    for (const double vdd : {1.0, 1.65, 1.8, 1.95})
+      for (const double period : {100e-9, 25e-9, 15e-9}) {
+        DbEntry e;
+        e.kind = DefectKind::Bridge;
+        e.category = cat;
+        e.resistance = 1e4;
+        e.vdd = vdd;
+        e.period = period;
+        e.detected = false;
+        db.add(e);
+      }
+  for (int cat = 0; cat <= static_cast<int>(OpenCategory::Other); ++cat)
+    for (const double vdd : {1.0, 1.65, 1.8, 1.95})
+      for (const double period : {100e-9, 25e-9, 15e-9}) {
+        DbEntry e;
+        e.kind = DefectKind::Open;
+        e.category = cat;
+        e.resistance = 1e4;
+        e.vdd = vdd;
+        e.period = period;
+        e.detected = false;
+        db.add(e);
+      }
+  const auto sampler = make_sampler(0.7);
+  ScheduleSpec spec;
+  spec.monte_carlo_defects = 200;
+  spec.target_dpm = 1.0;
+  const Schedule best = optimize_schedule(standard_legs(), db, sampler, spec);
+  EXPECT_DOUBLE_EQ(best.escape_fraction, 1.0);
+  EXPECT_GT(best.dpm, spec.target_dpm);
+}
+
+TEST(ScheduleTradeoff, EnumeratesAllSubsetsSortedByTime) {
+  const auto db = split_db();
+  const auto sampler = make_sampler(0.7);
+  ScheduleSpec spec;
+  spec.monte_carlo_defects = 200;
+  const auto curve = schedule_tradeoff(standard_legs(), db, sampler, spec);
+  EXPECT_EQ(curve.size(), 31u);  // 2^5 - 1
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i].test_time_per_cell, curve[i - 1].test_time_per_cell);
+}
+
+TEST(Schedule, DescribeMentionsLegsAndDpm) {
+  Schedule s;
+  s.legs = {standard_legs()[0]};
+  s.escape_fraction = 0.25;
+  s.dpm = 1234.0;
+  s.test_time_per_cell = 1.1e-6;
+  const std::string text = s.describe();
+  EXPECT_NE(text.find("VLV"), std::string::npos);
+  EXPECT_NE(text.find("1234"), std::string::npos);
+}
+
+TEST(OptimizeSchedule, ValidatesInput) {
+  const auto db = split_db();
+  const auto sampler = make_sampler(0.7);
+  ScheduleSpec spec;
+  EXPECT_THROW(optimize_schedule({}, db, sampler, spec), Error);
+}
+
+}  // namespace
+}  // namespace memstress::estimator

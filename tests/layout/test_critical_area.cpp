@@ -1,0 +1,170 @@
+#include "layout/critical_area.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "layout/netnames.hpp"
+#include "layout/sram_layout.hpp"
+
+namespace memstress::layout {
+namespace {
+
+LayoutModel two_wires(double spacing, double overlap) {
+  LayoutModel model;
+  model.rows = 1;
+  model.cols = 1;
+  model.shapes.push_back({Layer::Metal1, 0, 0, overlap, 0.2, "a", {}});
+  model.shapes.push_back({Layer::Metal1, 0, 0.2 + spacing, overlap,
+                          0.4 + spacing, "b", {}});
+  return model;
+}
+
+TEST(Classify, BridgeCategoriesFromNames) {
+  EXPECT_EQ(classify_bridge("cell0_0_t", "cell0_0_f"), BridgeCategory::CellTrueFalse);
+  EXPECT_EQ(classify_bridge("cell1_2_t", "bl2"), BridgeCategory::CellNodeBitline);
+  EXPECT_EQ(classify_bridge("vdd", "cell0_0_t"), BridgeCategory::CellNodeVdd);
+  EXPECT_EQ(classify_bridge("cell0_0_f", "0"), BridgeCategory::CellNodeGnd);
+  EXPECT_EQ(classify_bridge("blb0", "bl1"), BridgeCategory::BitlineBitline);
+  EXPECT_EQ(classify_bridge("wl0", "wl1"), BridgeCategory::WordlineWordline);
+  EXPECT_EQ(classify_bridge("a0_in", "a1_in"), BridgeCategory::AddressAddress);
+  EXPECT_EQ(classify_bridge("a0_in", "vdd"), BridgeCategory::AddressVdd);
+  EXPECT_EQ(classify_bridge("foo", "bar"), BridgeCategory::Other);
+}
+
+TEST(Classify, OpenCategoriesFromJointNames) {
+  EXPECT_EQ(classify_open("cell0_0.acc"), OpenCategory::CellAccess);
+  EXPECT_EQ(classify_open("wl3.stitch"), OpenCategory::Wordline);
+  EXPECT_EQ(classify_open("addr1.in"), OpenCategory::AddressInput);
+  EXPECT_EQ(classify_open("bl2.stitch"), OpenCategory::Bitline);
+  EXPECT_EQ(classify_open("sense0.out"), OpenCategory::SenseOut);
+  EXPECT_EQ(classify_open("mystery"), OpenCategory::Other);
+}
+
+TEST(ExtractBridges, WeightInverselyProportionalToSpacing) {
+  ExtractionRules rules;
+  rules.gate_oxide_weight_per_cell = 0.0;
+  const auto near = extract_bridges(two_wires(0.2, 1.0), rules);
+  const auto far = extract_bridges(two_wires(0.4, 1.0), rules);
+  ASSERT_EQ(near.size(), 1u);
+  ASSERT_EQ(far.size(), 1u);
+  EXPECT_NEAR(near[0].weight / far[0].weight, 2.0, 1e-9);
+}
+
+TEST(ExtractBridges, WeightProportionalToRunLength) {
+  ExtractionRules rules;
+  rules.gate_oxide_weight_per_cell = 0.0;
+  const auto short_run = extract_bridges(two_wires(0.2, 1.0), rules);
+  const auto long_run = extract_bridges(two_wires(0.2, 3.0), rules);
+  EXPECT_NEAR(long_run[0].weight / short_run[0].weight, 3.0, 1e-9);
+}
+
+TEST(ExtractBridges, IgnoresFarApartWires) {
+  ExtractionRules rules;
+  rules.gate_oxide_weight_per_cell = 0.0;
+  const auto sites = extract_bridges(two_wires(0.6, 1.0), rules);
+  EXPECT_TRUE(sites.empty());
+}
+
+TEST(ExtractBridges, IgnoresSameNetPairs) {
+  LayoutModel model = two_wires(0.2, 1.0);
+  model.shapes[1].net = "a";
+  ExtractionRules rules;
+  rules.gate_oxide_weight_per_cell = 0.0;
+  EXPECT_TRUE(extract_bridges(model, rules).empty());
+}
+
+TEST(ExtractBridges, IgnoresCrossLayerPairs) {
+  LayoutModel model = two_wires(0.2, 1.0);
+  model.shapes[1].layer = Layer::Poly;
+  ExtractionRules rules;
+  rules.gate_oxide_weight_per_cell = 0.0;
+  EXPECT_TRUE(extract_bridges(model, rules).empty());
+}
+
+TEST(ExtractBridges, AggregatesMultipleRunsPerNetPair) {
+  LayoutModel model = two_wires(0.2, 1.0);
+  // A second disjoint facing run of the same net pair.
+  model.shapes.push_back({Layer::Metal1, 5, 0, 6, 0.2, "a", {}});
+  model.shapes.push_back({Layer::Metal1, 5, 0.4, 6, 0.6, "b", {}});
+  ExtractionRules rules;
+  rules.gate_oxide_weight_per_cell = 0.0;
+  const auto sites = extract_bridges(model, rules);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_GT(sites[0].run_length, 1.5);
+}
+
+TEST(ExtractBridges, SramLayoutYieldsExpectedCategories) {
+  const LayoutModel model = generate_sram_layout(4, 2);
+  const auto sites = extract_bridges(model);
+  std::map<BridgeCategory, int> count;
+  for (const auto& site : sites) ++count[site.category];
+  EXPECT_GT(count[BridgeCategory::CellTrueFalse], 0);
+  EXPECT_GT(count[BridgeCategory::CellNodeBitline], 0);
+  EXPECT_GT(count[BridgeCategory::CellNodeVdd], 0);
+  EXPECT_GT(count[BridgeCategory::CellNodeGnd], 0);
+  EXPECT_GT(count[BridgeCategory::BitlineBitline], 0);
+  EXPECT_GT(count[BridgeCategory::WordlineWordline], 0);
+  EXPECT_GT(count[BridgeCategory::AddressAddress], 0);
+  EXPECT_GT(count[BridgeCategory::AddressVdd], 0);
+  EXPECT_GT(count[BridgeCategory::CellGateOxide], 0);
+}
+
+TEST(ExtractBridges, GateOxideSitesOnePerCell) {
+  const LayoutModel model = generate_sram_layout(4, 2);
+  ExtractionRules rules;
+  const auto sites = extract_bridges(model, rules);
+  int gox = 0;
+  for (const auto& site : sites)
+    if (site.category == BridgeCategory::CellGateOxide) ++gox;
+  EXPECT_EQ(gox, 8);
+}
+
+TEST(ExtractBridges, GateOxideDisabled) {
+  ExtractionRules rules;
+  rules.gate_oxide_weight_per_cell = 0.0;
+  const auto sites = extract_bridges(generate_sram_layout(2, 1), rules);
+  for (const auto& site : sites)
+    EXPECT_NE(site.category, BridgeCategory::CellGateOxide);
+}
+
+TEST(ExtractOpens, EveryJointBecomesASite) {
+  const LayoutModel model = generate_sram_layout(2, 1);
+  const auto opens = extract_opens(model);
+  std::map<OpenCategory, int> count;
+  for (const auto& site : opens) ++count[site.category];
+  EXPECT_EQ(count[OpenCategory::CellAccess], 2);   // 2 cells
+  EXPECT_EQ(count[OpenCategory::Wordline], 2);     // 2 rows
+  EXPECT_EQ(count[OpenCategory::AddressInput], 1); // 1 address bit
+  EXPECT_EQ(count[OpenCategory::Bitline], 1);
+  EXPECT_EQ(count[OpenCategory::SenseOut], 1);
+}
+
+TEST(ExtractOpens, ViaBoostApplies) {
+  LayoutModel model;
+  model.rows = model.cols = 1;
+  // Same dimensions: a via open site and a wire open site.
+  model.shapes.push_back({Layer::Via, 0, 0, 0.22, 0.22, "n1", "addr0.in"});
+  model.shapes.push_back({Layer::Metal1, 1, 0, 1.22, 0.22, "n2", "wl0.stitch"});
+  ExtractionRules rules;
+  const auto opens = extract_opens(model, rules);
+  ASSERT_EQ(opens.size(), 2u);
+  const double via_w = opens[0].weight;
+  const double wire_w = opens[1].weight;
+  EXPECT_NEAR(via_w / wire_w, rules.via_open_boost, 1e-9);
+}
+
+TEST(ExtractBridges, MoreCellsMoreWeight) {
+  ExtractionRules rules;
+  const auto small = extract_bridges(generate_sram_layout(2, 2), rules);
+  const auto large = extract_bridges(generate_sram_layout(4, 4), rules);
+  auto total = [](const std::vector<BridgeSite>& sites) {
+    double sum = 0.0;
+    for (const auto& s : sites) sum += s.weight;
+    return sum;
+  };
+  EXPECT_GT(total(large), 2.0 * total(small));
+}
+
+}  // namespace
+}  // namespace memstress::layout

@@ -1,0 +1,82 @@
+#include "layout/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memstress::layout {
+namespace {
+
+Shape rect(Layer layer, double x0, double y0, double x1, double y1,
+           const std::string& net) {
+  return Shape{layer, x0, y0, x1, y1, net, {}};
+}
+
+TEST(Shape, WidthLengthArea) {
+  const Shape s = rect(Layer::Metal1, 0, 0, 4, 1, "n");
+  EXPECT_DOUBLE_EQ(s.width(), 1.0);
+  EXPECT_DOUBLE_EQ(s.length(), 4.0);
+  EXPECT_DOUBLE_EQ(s.area(), 4.0);
+}
+
+TEST(ParallelRun, VerticalGapHorizontalOverlap) {
+  const Shape a = rect(Layer::Metal1, 0, 0, 4, 1, "a");
+  const Shape b = rect(Layer::Metal1, 1, 1.5, 5, 2.5, "b");
+  const ParallelRun run = parallel_run(a, b);
+  EXPECT_TRUE(run.facing);
+  EXPECT_DOUBLE_EQ(run.length, 3.0);   // overlap [1, 4]
+  EXPECT_DOUBLE_EQ(run.spacing, 0.5);  // 1.5 - 1.0
+}
+
+TEST(ParallelRun, HorizontalGapVerticalOverlap) {
+  const Shape a = rect(Layer::Metal2, 0, 0, 1, 10, "a");
+  const Shape b = rect(Layer::Metal2, 1.2, 2, 2.2, 8, "b");
+  const ParallelRun run = parallel_run(a, b);
+  EXPECT_TRUE(run.facing);
+  EXPECT_DOUBLE_EQ(run.length, 6.0);
+  EXPECT_NEAR(run.spacing, 0.2, 1e-12);
+}
+
+TEST(ParallelRun, SymmetricInArguments) {
+  const Shape a = rect(Layer::Metal1, 0, 0, 4, 1, "a");
+  const Shape b = rect(Layer::Metal1, 1, 1.5, 5, 2.5, "b");
+  const ParallelRun ab = parallel_run(a, b);
+  const ParallelRun ba = parallel_run(b, a);
+  EXPECT_DOUBLE_EQ(ab.length, ba.length);
+  EXPECT_DOUBLE_EQ(ab.spacing, ba.spacing);
+}
+
+TEST(ParallelRun, OverlappingRectanglesDoNotFace) {
+  const Shape a = rect(Layer::Metal1, 0, 0, 4, 2, "a");
+  const Shape b = rect(Layer::Metal1, 1, 1, 3, 3, "b");
+  EXPECT_FALSE(parallel_run(a, b).facing);
+}
+
+TEST(ParallelRun, AbuttingRectanglesDoNotFace) {
+  const Shape a = rect(Layer::Metal1, 0, 0, 4, 1, "a");
+  const Shape b = rect(Layer::Metal1, 0, 1, 4, 2, "b");  // share an edge
+  EXPECT_FALSE(parallel_run(a, b).facing);
+}
+
+TEST(ParallelRun, DiagonalRectanglesDoNotFace) {
+  const Shape a = rect(Layer::Metal1, 0, 0, 1, 1, "a");
+  const Shape b = rect(Layer::Metal1, 2, 2, 3, 3, "b");
+  EXPECT_FALSE(parallel_run(a, b).facing);
+}
+
+TEST(LayoutModel, ConductorAreaSumsShapes) {
+  LayoutModel model;
+  model.shapes.push_back(rect(Layer::Metal1, 0, 0, 2, 1, "a"));
+  model.shapes.push_back(rect(Layer::Poly, 0, 0, 3, 1, "b"));
+  EXPECT_DOUBLE_EQ(model.conductor_area(), 5.0);
+}
+
+TEST(LayerName, AllLayersNamed) {
+  EXPECT_STREQ(layer_name(Layer::Poly), "poly");
+  EXPECT_STREQ(layer_name(Layer::Metal1), "metal1");
+  EXPECT_STREQ(layer_name(Layer::Metal2), "metal2");
+  EXPECT_STREQ(layer_name(Layer::Via), "via");
+  EXPECT_STREQ(layer_name(Layer::Contact), "contact");
+  EXPECT_STREQ(layer_name(Layer::Diffusion), "diffusion");
+}
+
+}  // namespace
+}  // namespace memstress::layout

@@ -1,0 +1,115 @@
+#include "layout/sram_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/netnames.hpp"
+#include "util/error.hpp"
+
+namespace memstress::layout {
+namespace {
+
+std::set<std::string> nets_of(const LayoutModel& model) {
+  std::set<std::string> nets;
+  for (const auto& s : model.shapes) nets.insert(s.net);
+  return nets;
+}
+
+TEST(SramLayout, RejectsBadDimensions) {
+  EXPECT_THROW(generate_sram_layout(0, 4), Error);
+  EXPECT_THROW(generate_sram_layout(4, 0), Error);
+}
+
+TEST(SramLayout, ContainsAllExpectedNets) {
+  const LayoutModel model = generate_sram_layout(4, 2);
+  const auto nets = nets_of(model);
+  EXPECT_TRUE(nets.count(net_vdd()));
+  EXPECT_TRUE(nets.count(net_gnd()));
+  for (int r = 0; r < 4; ++r) EXPECT_TRUE(nets.count(net_wl(r))) << r;
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_TRUE(nets.count(net_bl(c)));
+    EXPECT_TRUE(nets.count(net_blb(c)));
+    EXPECT_TRUE(nets.count(net_q(c)));
+  }
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_TRUE(nets.count(net_cell_t(r, c)));
+      EXPECT_TRUE(nets.count(net_cell_f(r, c)));
+    }
+  // 4 rows -> 2 address bits.
+  EXPECT_TRUE(nets.count(net_addr_in(0)));
+  EXPECT_TRUE(nets.count(net_addr_in(1)));
+  EXPECT_FALSE(nets.count(net_addr_in(2)));
+}
+
+TEST(SramLayout, JointTagsPresent) {
+  const LayoutModel model = generate_sram_layout(2, 1);
+  std::set<std::string> joints;
+  for (const auto& s : model.shapes)
+    if (!s.joint.empty()) joints.insert(s.joint);
+  EXPECT_TRUE(joints.count(joint_wordline(0)));
+  EXPECT_TRUE(joints.count(joint_wordline(1)));
+  EXPECT_TRUE(joints.count(joint_bitline(0)));
+  EXPECT_TRUE(joints.count(joint_sense(0)));
+  EXPECT_TRUE(joints.count(joint_addr_input(0)));
+  EXPECT_TRUE(joints.count(joint_cell_access(0, 0)));
+  EXPECT_TRUE(joints.count(joint_cell_access(1, 0)));
+}
+
+TEST(SramLayout, ShapeCountScalesWithCells) {
+  const LayoutModel small = generate_sram_layout(2, 2);
+  const LayoutModel large = generate_sram_layout(4, 4);
+  EXPECT_GT(large.shapes.size(), 2 * small.shapes.size());
+  EXPECT_EQ(small.rows, 2);
+  EXPECT_EQ(large.cols, 4);
+}
+
+TEST(SramLayout, MirroredRowWordlinesFaceEachOther) {
+  const LayoutModel model = generate_sram_layout(2, 1);
+  const Shape* wl0 = nullptr;
+  const Shape* wl1 = nullptr;
+  for (const auto& s : model.shapes) {
+    if (s.layer != Layer::Poly) continue;
+    if (s.net == net_wl(0)) wl0 = &s;
+    if (s.net == net_wl(1)) wl1 = &s;
+  }
+  ASSERT_NE(wl0, nullptr);
+  ASSERT_NE(wl1, nullptr);
+  const ParallelRun run = parallel_run(*wl0, *wl1);
+  EXPECT_TRUE(run.facing);
+  EXPECT_LT(run.spacing, 0.5);  // close enough for bridge extraction
+}
+
+TEST(SramLayout, BitlinesRunFullArrayHeight) {
+  const FloorplanRules rules;
+  const LayoutModel model = generate_sram_layout(4, 1);
+  for (const auto& s : model.shapes) {
+    if (s.layer == Layer::Metal2 && s.net == net_bl(0)) {
+      EXPECT_DOUBLE_EQ(s.y0, 0.0);
+      EXPECT_DOUBLE_EQ(s.y1, 4 * rules.cell_pitch_y);
+    }
+  }
+}
+
+TEST(SramLayout, AllShapesHaveNets) {
+  const LayoutModel model = generate_sram_layout(4, 4);
+  for (const auto& s : model.shapes) EXPECT_FALSE(s.net.empty());
+}
+
+TEST(SramLayout, AllShapesWellFormed) {
+  const LayoutModel model = generate_sram_layout(4, 4);
+  for (const auto& s : model.shapes) {
+    EXPECT_LT(s.x0, s.x1);
+    EXPECT_LT(s.y0, s.y1);
+  }
+}
+
+TEST(SramLayout, ConductorAreaGrowsWithArray) {
+  const double a22 = generate_sram_layout(2, 2).conductor_area();
+  const double a44 = generate_sram_layout(4, 4).conductor_area();
+  EXPECT_GT(a44, 2.0 * a22);
+}
+
+}  // namespace
+}  // namespace memstress::layout

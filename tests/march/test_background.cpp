@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "march/engine.hpp"
+#include "march/library.hpp"
+
+namespace memstress::march {
+namespace {
+
+using sram::BehavioralSram;
+using sram::FailureEnvelope;
+using sram::FaultType;
+using sram::InjectedFault;
+
+TEST(Checkerboard, FaultFreePassesWithEveryLibraryTest) {
+  for (const auto& test : all_tests()) {
+    BehavioralSram mem(6, 6);
+    RunOptions options;
+    options.background = DataBackground::Checkerboard;
+    EXPECT_TRUE(run_march(mem, test, options).passed()) << test.name;
+  }
+}
+
+TEST(Checkerboard, StillDetectsStuckAtFaults) {
+  for (const bool stuck_value : {false, true}) {
+    BehavioralSram mem(4, 4);
+    InjectedFault f;
+    f.type = stuck_value ? FaultType::StuckAt1 : FaultType::StuckAt0;
+    f.row = 2;
+    f.col = 1;
+    f.envelope = FailureEnvelope::always();
+    mem.add_fault(f);
+    RunOptions options;
+    options.background = DataBackground::Checkerboard;
+    EXPECT_FALSE(run_march(mem, test_11n(), options).passed());
+  }
+}
+
+TEST(Checkerboard, ActivatesNeighbourStateCouplingThatSolidMisses) {
+  // CFst: the victim is forced to 0 while the aggressor (a direct
+  // neighbour) holds 1. Under a solid background both cells always carry
+  // the same value through the march elements, so an aggressor-at-1 /
+  // victim-at-0 combination never arises within an element; the
+  // checkerboard background creates it on every visit.
+  auto make_memory = [] {
+    BehavioralSram mem(4, 4);
+    InjectedFault f;
+    f.type = FaultType::CouplingState;
+    f.row = 1;       // aggressor
+    f.col = 1;
+    f.aux_row = 1;   // victim: horizontal neighbour
+    f.aux_col = 2;
+    f.value = false; // victim forced to 0 while aggressor holds 1
+    f.envelope = FailureEnvelope::always();
+    mem.add_fault(f);
+    return mem;
+  };
+
+  // MATS++ with a solid background misses it: by the time the victim is
+  // read, the march has rewritten it.
+  {
+    BehavioralSram mem = make_memory();
+    RunOptions options;
+    options.background = DataBackground::Solid;
+    EXPECT_TRUE(run_march(mem, mats_plus_plus(), options).passed());
+  }
+  // The same test with a checkerboard background exposes it.
+  {
+    BehavioralSram mem = make_memory();
+    RunOptions options;
+    options.background = DataBackground::Checkerboard;
+    EXPECT_FALSE(run_march(mem, mats_plus_plus(), options).passed());
+  }
+}
+
+TEST(Checkerboard, FailLogReportsPhysicalExpectedValues) {
+  BehavioralSram mem(4, 4);
+  InjectedFault f;
+  f.type = FaultType::StuckAt1;
+  f.row = 0;
+  f.col = 1;  // odd parity: logical values are inverted here
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  RunOptions options;
+  options.background = DataBackground::Checkerboard;
+  const FailLog log = run_march(mem, test_11n(), options);
+  ASSERT_FALSE(log.passed());
+  for (const auto& fail : log.fails()) {
+    // A stuck-at-1 cell fails exactly when the physically expected value
+    // is 0, whatever the logical march op said.
+    EXPECT_FALSE(fail.expected);
+    EXPECT_TRUE(fail.observed);
+  }
+}
+
+}  // namespace
+}  // namespace memstress::march

@@ -1,0 +1,185 @@
+#include "march/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "march/library.hpp"
+#include "util/error.hpp"
+
+namespace memstress::march {
+namespace {
+
+using sram::BehavioralSram;
+using sram::FailureEnvelope;
+using sram::FaultType;
+using sram::InjectedFault;
+
+InjectedFault fault(FaultType type, int row, int col,
+                    FailureEnvelope envelope = FailureEnvelope::always()) {
+  InjectedFault f;
+  f.type = type;
+  f.row = row;
+  f.col = col;
+  f.envelope = envelope;
+  return f;
+}
+
+TEST(RunMarch, FaultFreeMemoryPassesEveryLibraryTest) {
+  for (const auto& test : all_tests()) {
+    BehavioralSram mem(8, 8);
+    const FailLog log = run_march(mem, test);
+    EXPECT_TRUE(log.passed()) << test.name << ": " << log.summary(test);
+  }
+}
+
+TEST(RunMarch, DetectsStuckAt0) {
+  BehavioralSram mem(4, 4);
+  mem.add_fault(fault(FaultType::StuckAt0, 1, 2));
+  const FailLog log = run_march(mem, test_11n());
+  ASSERT_FALSE(log.passed());
+  const auto cells = log.failing_cells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(*cells.begin(), std::make_pair(1, 2));
+  // Stuck-at-0 fails when reading expected 1s.
+  for (const auto& f : log.fails()) {
+    EXPECT_TRUE(f.expected);
+    EXPECT_FALSE(f.observed);
+  }
+}
+
+TEST(RunMarch, DetectsStuckAt1WithChip1Signature) {
+  // A stuck-at-1 cell (the paper's Chip-1 behaviour at VLV) must fail
+  // exactly the three bitmap elements the paper reports, all reading '0'.
+  BehavioralSram mem(4, 4);
+  mem.add_fault(fault(FaultType::StuckAt1, 2, 1));
+  const MarchTest test = test_11n();
+  const FailLog log = run_march(mem, test);
+  ASSERT_FALSE(log.passed());
+  const auto sigs = log.element_signatures(test);
+  EXPECT_EQ(sigs, (std::set<std::string>{"{R0W1}", "{R1W0R0}", "{R0W1R1}"}));
+  for (const auto& f : log.fails()) {
+    EXPECT_FALSE(f.expected);  // fails while reading 0
+    EXPECT_TRUE(f.observed);
+  }
+}
+
+TEST(RunMarch, DetectsTransitionFaults) {
+  for (const auto type : {FaultType::TransitionUp, FaultType::TransitionDown}) {
+    BehavioralSram mem(4, 4);
+    mem.add_fault(fault(type, 0, 0));
+    EXPECT_FALSE(run_march(mem, test_11n()).passed());
+  }
+}
+
+TEST(RunMarch, DetectsReadDestructiveWithMarchSs) {
+  // March SS performs back-to-back reads, the canonical detector for
+  // read-destructive faults.
+  BehavioralSram mem(4, 4);
+  mem.add_fault(fault(FaultType::ReadDestructive, 3, 3));
+  EXPECT_FALSE(run_march(mem, march_ss()).passed());
+}
+
+TEST(RunMarch, DetectsCouplingInversion) {
+  BehavioralSram mem(4, 4);
+  InjectedFault f = fault(FaultType::CouplingInversion, 1, 1);
+  f.aux_row = 2;
+  f.aux_col = 2;
+  mem.add_fault(f);
+  EXPECT_FALSE(run_march(mem, march_c_minus()).passed());
+  BehavioralSram mem2(4, 4);
+  mem2.add_fault(f);
+  EXPECT_FALSE(run_march(mem2, test_11n()).passed());
+}
+
+TEST(RunMarch, DetectsDecoderFaults) {
+  for (const auto type : {FaultType::DecoderWrongRow, FaultType::DecoderNoSelect,
+                          FaultType::DecoderMultiRow}) {
+    BehavioralSram mem(4, 2);
+    InjectedFault f = fault(type, 1, -1);
+    f.aux_row = 2;
+    mem.add_fault(f);
+    EXPECT_FALSE(run_march(mem, test_11n()).passed())
+        << fault_type_name(type);
+  }
+}
+
+TEST(RunMarch, EnvelopeControlsDetection) {
+  BehavioralSram mem(4, 4);
+  mem.add_fault(fault(FaultType::StuckAt1, 0, 0, FailureEnvelope::low_voltage(1.2)));
+  mem.set_condition({1.8, 25e-9});
+  EXPECT_TRUE(run_march(mem, test_11n()).passed());
+  mem.set_condition({1.0, 100e-9});
+  EXPECT_FALSE(run_march(mem, test_11n()).passed());
+}
+
+TEST(RunMarch, MatsPlusMissesSomeCouplingThatMarchCMinusCatches) {
+  // CFst with a victim at a *higher* address than the aggressor, forced
+  // while the aggressor holds 1: the down-elements of March C- catch it.
+  InjectedFault f = fault(FaultType::CouplingState, 2, 2);
+  f.aux_row = 1;
+  f.aux_col = 1;
+  f.value = true;
+  BehavioralSram mem(4, 4);
+  mem.add_fault(f);
+  EXPECT_FALSE(run_march(mem, march_c_minus()).passed());
+}
+
+TEST(RunMarch, FailLogRecordsCycleAndOpIndices) {
+  BehavioralSram mem(2, 2);
+  mem.add_fault(fault(FaultType::StuckAt0, 0, 0));
+  const FailLog log = run_march(mem, test_11n());
+  ASSERT_FALSE(log.passed());
+  const FailRecord& first = log.fails().front();
+  EXPECT_GE(first.cycle, 0);
+  EXPECT_GE(first.element, 1);  // element 0 is the write-only initializer
+  EXPECT_EQ(first.row, 0);
+  EXPECT_EQ(first.col, 0);
+}
+
+TEST(RunMarch, MaxFailRecordsCapsTheLog) {
+  BehavioralSram mem(8, 8);
+  // Whole-memory stuck-at: enormous fail count.
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) mem.add_fault(fault(FaultType::StuckAt0, r, c));
+  RunOptions options;
+  options.max_fail_records = 10;
+  const FailLog log = run_march(mem, test_11n(), options);
+  EXPECT_EQ(log.fails().size(), 10u);
+}
+
+TEST(RunMarch, ColumnMajorAddressMapVisitsAllCells) {
+  BehavioralSram mem(4, 4);
+  mem.add_fault(fault(FaultType::StuckAt1, 3, 1));
+  RunOptions options;
+  options.address_map = AddressMap::ColumnMajor;
+  EXPECT_FALSE(run_march(mem, test_11n(), options).passed());
+}
+
+TEST(RunMarch, SummaryMentionsElements) {
+  BehavioralSram mem(2, 2);
+  mem.add_fault(fault(FaultType::StuckAt1, 0, 1));
+  const MarchTest test = test_11n();
+  const FailLog log = run_march(mem, test);
+  const std::string text = log.summary(test);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("{R0W1}"), std::string::npos);
+}
+
+TEST(RunMarch, PassSummaryIsShort) {
+  BehavioralSram mem(2, 2);
+  const FailLog log = run_march(mem, mats_plus_plus());
+  EXPECT_EQ(log.summary(mats_plus_plus()), "PASS (MATS++)");
+}
+
+TEST(MarchCycles, MultipliesComplexityByCells) {
+  EXPECT_EQ(march_cycles(test_11n(), 256 * 1024), 11L * 256 * 1024);
+  EXPECT_EQ(march_cycles(mats_plus_plus(), 100), 600);
+}
+
+TEST(RunMarch, EmptyTestRejected) {
+  BehavioralSram mem(2, 2);
+  MarchTest empty;
+  EXPECT_THROW(run_march(mem, empty), Error);
+}
+
+}  // namespace
+}  // namespace memstress::march

@@ -1,0 +1,155 @@
+// Property-style sweeps of the march engine: invariants that must hold for
+// every library test, every matrix geometry, and every fault position.
+#include <gtest/gtest.h>
+
+#include "march/engine.hpp"
+#include "march/library.hpp"
+
+namespace memstress::march {
+namespace {
+
+using sram::BehavioralSram;
+using sram::FailureEnvelope;
+using sram::FaultType;
+using sram::InjectedFault;
+
+// --- every library test x every geometry: fault-free always passes --------
+
+struct GeometryCase {
+  int rows;
+  int cols;
+};
+
+class FaultFreeSweep
+    : public ::testing::TestWithParam<std::tuple<int, GeometryCase>> {};
+
+TEST_P(FaultFreeSweep, FaultFreePasses) {
+  const auto [test_index, geometry] = GetParam();
+  const MarchTest test = all_tests()[static_cast<std::size_t>(test_index)];
+  BehavioralSram mem(geometry.rows, geometry.cols);
+  const FailLog log = run_march(mem, test);
+  EXPECT_TRUE(log.passed()) << test.name;
+}
+
+std::string fault_free_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, GeometryCase>>& info) {
+  const int t = std::get<0>(info.param);
+  const GeometryCase g = std::get<1>(info.param);
+  return "test" + std::to_string(t) + "_" + std::to_string(g.rows) + "x" +
+         std::to_string(g.cols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTestsAllGeometries, FaultFreeSweep,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(GeometryCase{1, 1}, GeometryCase{2, 2},
+                                         GeometryCase{5, 3}, GeometryCase{8, 8},
+                                         GeometryCase{16, 4})),
+    fault_free_case_name);
+
+// --- every library test detects a stuck-at fault at any position ----------
+
+class StuckAtSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(StuckAtSweep, DetectedEverywhere) {
+  const auto [test_index, position, stuck_value] = GetParam();
+  const MarchTest test = all_tests()[static_cast<std::size_t>(test_index)];
+  BehavioralSram mem(4, 4);
+  InjectedFault f;
+  f.type = stuck_value ? FaultType::StuckAt1 : FaultType::StuckAt0;
+  f.row = position / 4;
+  f.col = position % 4;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  const FailLog log = run_march(mem, test);
+  ASSERT_FALSE(log.passed()) << test.name;
+  // And the bitmap localizes it exactly.
+  const auto cells = log.failing_cells();
+  ASSERT_EQ(cells.size(), 1u) << test.name;
+  EXPECT_EQ(*cells.begin(), std::make_pair(f.row, f.col)) << test.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTestsAllPositions, StuckAtSweep,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Values(0, 5, 10, 15),
+                                            ::testing::Bool()));
+
+// --- transition faults: detected by every test that rereads after writes --
+
+class TransitionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransitionSweep, DetectedPerMarchTheory) {
+  const MarchTest test = all_tests()[static_cast<std::size_t>(GetParam())];
+  for (const auto type : {FaultType::TransitionUp, FaultType::TransitionDown}) {
+    // March theory: MATS+ (5N) does not cover falling-transition faults —
+    // its final w0 is never re-read. That gap is precisely why MATS++ adds
+    // the trailing r0. Every other library test covers both directions.
+    const bool covered =
+        !(test.name == "MATS+" && type == FaultType::TransitionDown);
+    BehavioralSram mem(3, 3);
+    InjectedFault f;
+    f.type = type;
+    f.row = 1;
+    f.col = 1;
+    f.envelope = FailureEnvelope::always();
+    mem.add_fault(f);
+    EXPECT_EQ(run_march(mem, test).passed(), !covered)
+        << test.name << " vs " << fault_type_name(type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTests, TransitionSweep, ::testing::Range(0, 7));
+
+// --- coupling faults: March C- and stronger always detect them ------------
+
+class CouplingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CouplingSweep, InversionCouplingDetectedByStrongTests) {
+  const auto [aggressor, victim] = GetParam();
+  if (aggressor == victim) return;
+  for (const auto& test : {march_c_minus(), march_a(), march_b(), march_ss(),
+                           test_11n()}) {
+    BehavioralSram mem(3, 3);
+    InjectedFault f;
+    f.type = FaultType::CouplingInversion;
+    f.row = aggressor / 3;
+    f.col = aggressor % 3;
+    f.aux_row = victim / 3;
+    f.aux_col = victim % 3;
+    f.envelope = FailureEnvelope::always();
+    mem.add_fault(f);
+    EXPECT_FALSE(run_march(mem, test).passed())
+        << test.name << " missed CFin " << aggressor << "->" << victim;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AggressorVictimPairs, CouplingSweep,
+                         ::testing::Combine(::testing::Values(0, 4, 8),
+                                            ::testing::Values(0, 2, 6)));
+
+// --- the march engine runs identically regardless of address map ----------
+
+class AddressMapSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AddressMapSweep, StuckAtDetectedUnderBothMaps) {
+  const MarchTest test = all_tests()[static_cast<std::size_t>(GetParam())];
+  for (const auto map : {AddressMap::RowMajor, AddressMap::ColumnMajor}) {
+    BehavioralSram mem(4, 6);
+    InjectedFault f;
+    f.type = FaultType::StuckAt0;
+    f.row = 2;
+    f.col = 5;
+    f.envelope = FailureEnvelope::always();
+    mem.add_fault(f);
+    RunOptions options;
+    options.address_map = map;
+    EXPECT_FALSE(run_march(mem, test, options).passed()) << test.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTests, AddressMapSweep, ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace memstress::march

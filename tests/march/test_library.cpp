@@ -1,0 +1,76 @@
+#include "march/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace memstress::march {
+namespace {
+
+TEST(Library, ComplexitiesMatchTheLiterature) {
+  EXPECT_EQ(mats_plus().complexity(), 5);
+  EXPECT_EQ(mats_plus_plus().complexity(), 6);
+  EXPECT_EQ(march_c_minus().complexity(), 10);
+  EXPECT_EQ(march_a().complexity(), 15);
+  EXPECT_EQ(march_b().complexity(), 17);
+  EXPECT_EQ(march_ss().complexity(), 22);
+  EXPECT_EQ(test_11n().complexity(), 11);
+}
+
+TEST(Library, ElevenNContainsThePaperBitmapElements) {
+  // The paper's Chip-1 bitmap shows fails in {R0W1}, {R1W0R0} and {R0W1R1};
+  // Chip-2 shows {R0W1} and {R0W1R1}. All must exist in the 11N test.
+  const MarchTest t = test_11n();
+  std::set<std::string> signatures;
+  for (const auto& e : t.elements) signatures.insert(e.signature());
+  EXPECT_TRUE(signatures.count("{R0W1}"));
+  EXPECT_TRUE(signatures.count("{R1W0R0}"));
+  EXPECT_TRUE(signatures.count("{R0W1R1}"));
+}
+
+TEST(Library, NamesAreSet) {
+  for (const auto& t : all_tests()) EXPECT_FALSE(t.name.empty());
+}
+
+TEST(Library, AllTestsStartByInitializingMemory) {
+  for (const auto& t : all_tests()) {
+    ASSERT_FALSE(t.elements.empty()) << t.name;
+    const auto& first = t.elements.front();
+    ASSERT_FALSE(first.ops.empty()) << t.name;
+    EXPECT_FALSE(first.ops.front().is_read) << t.name;
+  }
+}
+
+TEST(Library, ReadsAlwaysMatchPrecedingState) {
+  // Sanity of each definition: simulate a perfect memory symbolically and
+  // confirm every read expects the value last written to that cell.
+  for (const auto& t : all_tests()) {
+    // Since all library elements apply the same ops to every address, a
+    // single-cell symbolic execution is sufficient.
+    bool value = false;
+    bool initialized = false;
+    for (const auto& e : t.elements) {
+      for (const auto& op : e.ops) {
+        if (op.is_read) {
+          ASSERT_TRUE(initialized) << t.name << ": read before any write";
+          EXPECT_EQ(op.value, value) << t.name << " expects a wrong value";
+        } else {
+          value = op.value;
+          initialized = true;
+        }
+      }
+    }
+  }
+}
+
+TEST(Library, AllTestsReturnedOnce) {
+  const auto tests = all_tests();
+  EXPECT_EQ(tests.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& t : tests) names.insert(t.name);
+  EXPECT_EQ(names.size(), tests.size());
+}
+
+}  // namespace
+}  // namespace memstress::march

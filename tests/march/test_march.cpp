@@ -1,0 +1,82 @@
+#include "march/march.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace memstress::march {
+namespace {
+
+TEST(MarchOp, Factories) {
+  EXPECT_TRUE(MarchOp::r0().is_read);
+  EXPECT_FALSE(MarchOp::r0().value);
+  EXPECT_TRUE(MarchOp::r1().value);
+  EXPECT_FALSE(MarchOp::w0().is_read);
+  EXPECT_TRUE(MarchOp::w1().value);
+}
+
+TEST(MarchOp, ToString) {
+  EXPECT_EQ(MarchOp::r0().to_string(), "r0");
+  EXPECT_EQ(MarchOp::r1().to_string(), "r1");
+  EXPECT_EQ(MarchOp::w0().to_string(), "w0");
+  EXPECT_EQ(MarchOp::w1().to_string(), "w1");
+}
+
+TEST(MarchElement, ToStringAndSignature) {
+  MarchElement e;
+  e.order = AddressOrder::Ascending;
+  e.ops = {MarchOp::r0(), MarchOp::w1()};
+  EXPECT_EQ(e.to_string(), "^(r0,w1)");
+  EXPECT_EQ(e.signature(), "{R0W1}");
+
+  e.order = AddressOrder::Descending;
+  e.ops = {MarchOp::r1(), MarchOp::w0(), MarchOp::r0()};
+  EXPECT_EQ(e.to_string(), "v(r1,w0,r0)");
+  EXPECT_EQ(e.signature(), "{R1W0R0}");
+}
+
+TEST(MarchTest, ComplexityCountsAllOps) {
+  const MarchTest t = parse_march("x", "{*(w0); ^(r0,w1); v(r1,w0,r0)}");
+  EXPECT_EQ(t.complexity(), 6);
+}
+
+TEST(Parse, RoundTripsNotation) {
+  const std::string notation = "{*(w0); ^(r0,w1); v(r1,w0,r0)}";
+  const MarchTest t = parse_march("MATS++", notation);
+  EXPECT_EQ(t.to_string(), notation);
+  EXPECT_EQ(t.name, "MATS++");
+  const MarchTest again = parse_march("MATS++", t.to_string());
+  EXPECT_EQ(t, again);
+}
+
+TEST(Parse, OrdersRecognized) {
+  const MarchTest t = parse_march("x", "{^(r0); v(w1); *(r1)}");
+  EXPECT_EQ(t.elements[0].order, AddressOrder::Ascending);
+  EXPECT_EQ(t.elements[1].order, AddressOrder::Descending);
+  EXPECT_EQ(t.elements[2].order, AddressOrder::Either);
+}
+
+TEST(Parse, ToleratesWhitespace) {
+  const MarchTest t = parse_march("x", "{ ^( r0 , w1 ) ;  v( r1 ) }");
+  EXPECT_EQ(t.complexity(), 3);
+}
+
+TEST(Parse, RejectsMalformedInput) {
+  EXPECT_THROW(parse_march("x", ""), Error);
+  EXPECT_THROW(parse_march("x", "{}"), Error);
+  EXPECT_THROW(parse_march("x", "{^()}"), Error);
+  EXPECT_THROW(parse_march("x", "{^(r2)}"), Error);
+  EXPECT_THROW(parse_march("x", "{^(x0)}"), Error);
+  EXPECT_THROW(parse_march("x", "{^(r0)"), Error);
+  EXPECT_THROW(parse_march("x", "{^(r0)} trailing"), Error);
+  EXPECT_THROW(parse_march("x", "{(r0)}"), Error);
+}
+
+TEST(Parse, SingleElementSingleOp) {
+  const MarchTest t = parse_march("scan", "{*(r0)}");
+  EXPECT_EQ(t.elements.size(), 1u);
+  EXPECT_EQ(t.complexity(), 1);
+}
+
+}  // namespace
+}  // namespace memstress::march

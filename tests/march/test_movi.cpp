@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "march/engine.hpp"
+#include "march/library.hpp"
+#include "util/error.hpp"
+
+namespace memstress::march {
+namespace {
+
+using sram::BehavioralSram;
+using sram::FailureEnvelope;
+using sram::FaultType;
+using sram::InjectedFault;
+
+InjectedFault stale_bit(int bit, FailureEnvelope envelope) {
+  InjectedFault f;
+  f.type = FaultType::DecoderStaleBit;
+  f.row = 0;
+  f.col = -1;
+  f.aux_row = bit;
+  f.envelope = envelope;
+  return f;
+}
+
+TEST(RotatedAddressing, VisitsEveryCellExactlyOncePerElement) {
+  // A stuck-at in any cell must still be found under every rotation: the
+  // rotated order is a permutation, not a subset.
+  for (int rotation = 0; rotation < 6; ++rotation) {
+    BehavioralSram mem(8, 8);  // 64 cells = 2^6
+    InjectedFault f;
+    f.type = FaultType::StuckAt0;
+    f.row = 5;
+    f.col = 3;
+    f.envelope = FailureEnvelope::always();
+    mem.add_fault(f);
+    RunOptions options;
+    options.rotate_bits = rotation;
+    EXPECT_FALSE(run_march(mem, test_11n(), options).passed())
+        << "rotation " << rotation;
+  }
+}
+
+TEST(RotatedAddressing, RequiresPowerOfTwo) {
+  BehavioralSram mem(3, 3);
+  RunOptions options;
+  options.rotate_bits = 1;
+  EXPECT_THROW(run_march(mem, test_11n(), options), Error);
+  options.rotate_bits = 0;  // plain order is fine for any size
+  EXPECT_NO_THROW(run_march(mem, test_11n(), options));
+}
+
+TEST(RotatedAddressing, FaultFreePassesUnderEveryRotation) {
+  for (int rotation = 0; rotation < 5; ++rotation) {
+    BehavioralSram mem(8, 4);  // 32 cells = 2^5
+    RunOptions options;
+    options.rotate_bits = rotation;
+    EXPECT_TRUE(run_march(mem, test_11n(), options).passed());
+  }
+}
+
+TEST(StaleBit, RedirectsOnlyOnBitTransitions) {
+  BehavioralSram mem(8, 1);
+  mem.add_fault(stale_bit(2, FailureEnvelope::always()));
+  // Access row 3 (011) then row 7 (111): bit 2 changes, so the second
+  // access resolves with the old bit-2 value -> row 3 again.
+  mem.write(3, 0, true);
+  mem.write(7, 0, false);  // actually lands on row 3 (clears it)
+  // Re-read row 3 twice: the first read follows an access whose row (7)
+  // differs in bit 2, so it redirects to row 7; the second read is stable.
+  mem.read(3, 0);
+  EXPECT_FALSE(mem.read(3, 0));  // row 3 was overwritten by the stray write
+}
+
+TEST(StaleBit, InactiveWithoutTransitions) {
+  BehavioralSram mem(8, 1);
+  mem.add_fault(stale_bit(2, FailureEnvelope::always()));
+  // Stay within rows 0..3 (bit 2 never changes): behaviour is healthy.
+  mem.write(1, 0, true);
+  mem.write(2, 0, false);
+  EXPECT_TRUE(mem.read(1, 0));
+  EXPECT_FALSE(mem.read(2, 0));
+}
+
+TEST(StaleBit, DetectedByPlainMarch) {
+  // Ascending order crosses each bit boundary with changed data around it,
+  // so even the plain 11N sees a stale bit...
+  BehavioralSram mem(8, 1);
+  mem.add_fault(stale_bit(1, FailureEnvelope::always()));
+  EXPECT_FALSE(run_march(mem, test_11n()).passed());
+}
+
+TEST(Movi, RunsOneRotationPerAddressBit) {
+  BehavioralSram mem(8, 4);  // 32 cells -> 5 rotations
+  const MoviResult result = run_movi(mem, mats_plus_plus());
+  EXPECT_EQ(result.runs.size(), 5u);
+  EXPECT_TRUE(result.passed());
+  EXPECT_EQ(result.fail_count(), 0);
+}
+
+TEST(Movi, RequiresPowerOfTwo) {
+  BehavioralSram mem(3, 3);
+  EXPECT_THROW(run_movi(mem, mats_plus_plus()), Error);
+}
+
+TEST(Movi, DetectsStaleBitsOnEveryAddressBit) {
+  // The MOVI property: whatever address bit is slow, some rotation makes
+  // it the fastest-toggling bit and hammers its transitions.
+  for (int bit = 0; bit < 3; ++bit) {
+    BehavioralSram mem(8, 1);
+    mem.add_fault(stale_bit(bit, FailureEnvelope::always()));
+    const MoviResult result = run_movi(mem, mats_plus_plus());
+    EXPECT_FALSE(result.passed()) << "stale bit " << bit;
+  }
+}
+
+TEST(Movi, AtSpeedOnlyStaleBitGatedByEnvelope) {
+  BehavioralSram mem(8, 1);
+  mem.add_fault(stale_bit(1, FailureEnvelope::at_speed(16e-9)));
+  mem.set_condition({1.8, 25e-9});
+  EXPECT_TRUE(run_movi(mem, mats_plus_plus()).passed());
+  mem.set_condition({1.8, 15e-9});
+  EXPECT_FALSE(run_movi(mem, mats_plus_plus()).passed());
+}
+
+TEST(Movi, FailCountAggregatesAcrossRotations) {
+  BehavioralSram mem(4, 4);
+  InjectedFault f;
+  f.type = FaultType::StuckAt0;
+  f.row = 0;
+  f.col = 0;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  const MoviResult result = run_movi(mem, mats_plus_plus());
+  EXPECT_FALSE(result.passed());
+  EXPECT_GE(result.fail_count(), static_cast<long>(result.runs.size()));
+}
+
+}  // namespace
+}  // namespace memstress::march

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "march/engine.hpp"
+#include "march/library.hpp"
+#include "util/error.hpp"
+
+namespace memstress::march {
+namespace {
+
+using sram::BehavioralSram;
+using sram::FailureEnvelope;
+using sram::FaultType;
+using sram::InjectedFault;
+
+InjectedFault retention_fault(int row, int col, bool decays_to,
+                              double retention_s,
+                              FailureEnvelope envelope = FailureEnvelope::always()) {
+  InjectedFault f;
+  f.type = FaultType::DataRetention;
+  f.row = row;
+  f.col = col;
+  f.value = decays_to;
+  f.retention_s = retention_s;
+  f.envelope = envelope;
+  return f;
+}
+
+TEST(Retention, FaultFreeMemoryRetains) {
+  BehavioralSram mem(8, 8);
+  EXPECT_TRUE(run_retention(mem, 0.1).passed());
+}
+
+TEST(Retention, DecayingCellCaughtByPause) {
+  BehavioralSram mem(8, 8);
+  mem.add_fault(retention_fault(3, 4, false, 1e-3));  // decays to 0 after 1 ms
+  const FailLog log = run_retention(mem, 10e-3);
+  ASSERT_FALSE(log.passed());
+  const auto cells = log.failing_cells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(*cells.begin(), std::make_pair(3, 4));
+  // Decay-to-0 shows up in the background-of-1s pass.
+  for (const auto& f : log.fails()) {
+    EXPECT_TRUE(f.expected);
+    EXPECT_FALSE(f.observed);
+  }
+}
+
+TEST(Retention, ShortPauseEscapes) {
+  BehavioralSram mem(8, 8);
+  mem.add_fault(retention_fault(3, 4, false, 1e-3));
+  EXPECT_TRUE(run_retention(mem, 0.1e-3).passed());  // pause < retention
+}
+
+TEST(Retention, BothDecayPolaritiesCovered) {
+  for (const bool decays_to : {false, true}) {
+    BehavioralSram mem(4, 4);
+    mem.add_fault(retention_fault(1, 2, decays_to, 1e-3));
+    const FailLog log = run_retention(mem, 5e-3);
+    ASSERT_FALSE(log.passed()) << "decays_to=" << decays_to;
+    for (const auto& f : log.fails()) EXPECT_EQ(f.expected, !decays_to);
+  }
+}
+
+TEST(Retention, MarchTestsMissRetentionFaults) {
+  // The whole point: every march corner passes a retention-faulty device
+  // because the cell is rewritten before it ever decays.
+  BehavioralSram mem(8, 8);
+  mem.add_fault(retention_fault(3, 4, false, 1e-3));
+  for (const auto& test : all_tests())
+    EXPECT_TRUE(run_march(mem, test).passed()) << test.name;
+}
+
+TEST(Retention, EnvelopeGatesDecay) {
+  // A marginal retention defect that only decays at high temperature /
+  // voltage corners is modelled through the envelope like everything else.
+  BehavioralSram mem(4, 4);
+  mem.add_fault(retention_fault(0, 0, false, 1e-3,
+                                FailureEnvelope::high_voltage(1.9)));
+  mem.set_condition({1.8, 25e-9});
+  EXPECT_TRUE(run_retention(mem, 10e-3).passed());
+  mem.set_condition({1.95, 25e-9});
+  EXPECT_FALSE(run_retention(mem, 10e-3).passed());
+}
+
+TEST(Retention, PauseValidatesInput) {
+  BehavioralSram mem(2, 2);
+  EXPECT_THROW(mem.pause(-1.0), Error);
+  EXPECT_THROW(run_retention(mem, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace memstress::march

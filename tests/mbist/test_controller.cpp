@@ -1,0 +1,211 @@
+#include "mbist/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "march/library.hpp"
+#include "util/error.hpp"
+
+namespace memstress::mbist {
+namespace {
+
+using march::DataBackground;
+using sram::BehavioralSram;
+using sram::FailureEnvelope;
+using sram::FaultType;
+using sram::InjectedFault;
+
+InjectedFault stuck(int row, int col, bool value) {
+  InjectedFault f;
+  f.type = value ? FaultType::StuckAt1 : FaultType::StuckAt0;
+  f.row = row;
+  f.col = col;
+  f.envelope = FailureEnvelope::always();
+  return f;
+}
+
+TEST(Controller, FaultFreeSelfTestPasses) {
+  BehavioralSram mem(8, 8);
+  EXPECT_TRUE(self_test(mem, assemble(march::test_11n())));
+}
+
+TEST(Controller, DetectsAndCapturesAFault) {
+  BehavioralSram mem(8, 8);
+  mem.add_fault(stuck(3, 4, true));
+  BehavioralPort port(mem);
+  Controller controller(assemble(march::test_11n()), port);
+  controller.run();
+  EXPECT_TRUE(controller.done());
+  EXPECT_TRUE(controller.failed());
+  ASSERT_FALSE(controller.fail_fifo().empty());
+  for (const auto& capture : controller.fail_fifo()) {
+    EXPECT_EQ(capture.row, 3);
+    EXPECT_EQ(capture.col, 4);
+    EXPECT_FALSE(capture.expected);  // SA1 fails reading '0'
+    EXPECT_TRUE(capture.observed);
+  }
+}
+
+TEST(Controller, CycleCountMatchesProgramPrediction) {
+  BehavioralSram mem(8, 8);
+  const Program program = assemble(march::test_11n());
+  BehavioralPort port(mem);
+  Controller controller(program, port);
+  const std::uint64_t cycles = controller.run();
+  EXPECT_EQ(cycles, static_cast<std::uint64_t>(program.cycle_count(64)));
+}
+
+TEST(Controller, StepIsResumable) {
+  // Single-stepping must reach the same outcome as run().
+  BehavioralSram mem(4, 4);
+  mem.add_fault(stuck(1, 1, false));
+  BehavioralPort port(mem);
+  Controller controller(assemble(march::mats_plus_plus()), port);
+  long steps = 0;
+  while (controller.step()) ++steps;
+  EXPECT_TRUE(controller.done());
+  EXPECT_TRUE(controller.failed());
+  EXPECT_GT(steps, 4 * 4 * 6);
+}
+
+TEST(Controller, FifoCapsAndReportsOverflow) {
+  BehavioralSram mem(8, 8);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) mem.add_fault(stuck(r, c, true));
+  ControllerConfig config;
+  config.fail_fifo_depth = 4;
+  BehavioralPort port(mem);
+  Controller controller(assemble(march::test_11n()), port, config);
+  controller.run();
+  EXPECT_EQ(controller.fail_fifo().size(), 4u);
+  EXPECT_TRUE(controller.fifo_overflowed());
+  EXPECT_GT(controller.fail_count(), 4u);
+}
+
+TEST(Controller, StopOnFirstFailForDiagnosis) {
+  BehavioralSram mem(8, 8);
+  mem.add_fault(stuck(2, 2, true));
+  ControllerConfig config;
+  config.stop_on_first_fail = true;
+  BehavioralPort port(mem);
+  Controller controller(assemble(march::test_11n()), port, config);
+  controller.run();
+  EXPECT_TRUE(controller.done());
+  EXPECT_EQ(controller.fail_count(), 1u);
+  ASSERT_EQ(controller.fail_fifo().size(), 1u);
+  EXPECT_EQ(controller.fail_fifo()[0].row, 2);
+}
+
+TEST(Controller, MatchesSoftwareMarchEngineOnEveryFaultType) {
+  // The hardware model and the software engine must agree op for op. Run
+  // both against the same fault menagerie and compare pass/fail and the
+  // first failing (row, col).
+  struct Case {
+    FaultType type;
+    int aux_row;
+  };
+  const Case cases[] = {
+      {FaultType::StuckAt0, -1},      {FaultType::StuckAt1, -1},
+      {FaultType::TransitionUp, -1},  {FaultType::TransitionDown, -1},
+      {FaultType::DecoderWrongRow, 5}, {FaultType::DecoderMultiRow, 5},
+  };
+  for (const auto& test_case : cases) {
+    auto make_memory = [&] {
+      BehavioralSram mem(8, 4);
+      InjectedFault f;
+      f.type = test_case.type;
+      f.row = 2;
+      f.col = (test_case.type == FaultType::DecoderWrongRow ||
+               test_case.type == FaultType::DecoderMultiRow)
+                  ? -1
+                  : 1;
+      f.aux_row = test_case.aux_row;
+      f.envelope = FailureEnvelope::always();
+      mem.add_fault(f);
+      return mem;
+    };
+    BehavioralSram sw_mem = make_memory();
+    const march::FailLog sw = march::run_march(sw_mem, march::test_11n());
+
+    BehavioralSram hw_mem = make_memory();
+    BehavioralPort port(hw_mem);
+    Controller controller(assemble(march::test_11n()), port);
+    controller.run();
+
+    EXPECT_EQ(sw.passed(), !controller.failed())
+        << fault_type_name(test_case.type);
+    if (!sw.passed() && controller.failed()) {
+      EXPECT_EQ(sw.fails().front().row, controller.fail_fifo().front().row)
+          << fault_type_name(test_case.type);
+      EXPECT_EQ(sw.fails().front().col, controller.fail_fifo().front().col)
+          << fault_type_name(test_case.type);
+    }
+  }
+}
+
+TEST(Controller, CheckerboardBackgroundMatchesEngine) {
+  auto make_memory = [] {
+    BehavioralSram mem(4, 4);
+    InjectedFault f;
+    f.type = FaultType::CouplingState;
+    f.row = 1;
+    f.col = 1;
+    f.aux_row = 1;
+    f.aux_col = 2;
+    f.value = false;
+    f.envelope = FailureEnvelope::always();
+    mem.add_fault(f);
+    return mem;
+  };
+  BehavioralSram sw_mem = make_memory();
+  march::RunOptions options;
+  options.background = DataBackground::Checkerboard;
+  const bool sw_pass =
+      march::run_march(sw_mem, march::mats_plus_plus(), options).passed();
+
+  BehavioralSram hw_mem = make_memory();
+  const bool hw_pass = self_test(
+      hw_mem,
+      assemble(march::mats_plus_plus(), DataBackground::Checkerboard));
+  EXPECT_EQ(sw_pass, hw_pass);
+  EXPECT_FALSE(hw_pass);  // the checkerboard exposes this CFst
+}
+
+TEST(Controller, MoviProgramCatchesStaleAddressBit) {
+  BehavioralSram mem(8, 2);  // 16 cells -> 4 address bits
+  InjectedFault f;
+  f.type = FaultType::DecoderStaleBit;
+  f.row = 0;
+  f.col = -1;
+  f.aux_row = 2;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  EXPECT_FALSE(self_test(mem, assemble_movi(march::mats_plus_plus(), 4)));
+}
+
+TEST(Controller, RetentionProgramCatchesRetentionFault) {
+  BehavioralSram mem(4, 4);
+  InjectedFault f;
+  f.type = FaultType::DataRetention;
+  f.row = 2;
+  f.col = 3;
+  f.value = false;
+  f.retention_s = 1e-6;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  // March alone misses it...
+  EXPECT_TRUE(self_test(mem, assemble(march::test_11n())));
+  // ...the pause program (4000 cycles * 25 ns = 100 us >> 1 us) catches it.
+  EXPECT_FALSE(self_test(mem, assemble_retention(4000)));
+}
+
+TEST(Controller, RejectsProgramWithoutStop) {
+  BehavioralSram mem(2, 2);
+  Program broken;
+  broken.instructions.push_back({Opcode::SetRotation, 0});
+  BehavioralPort port(mem);
+  Controller controller(broken, port);
+  EXPECT_THROW(controller.run(), Error);
+}
+
+}  // namespace
+}  // namespace memstress::mbist

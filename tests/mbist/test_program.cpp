@@ -1,0 +1,84 @@
+#include "mbist/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "march/library.hpp"
+#include "util/error.hpp"
+
+namespace memstress::mbist {
+namespace {
+
+TEST(Assemble, MarchTestBecomesOneElementPerMarchElement) {
+  const Program program = assemble(march::test_11n());
+  // SETBG + SETROT + 5 elements + STOP.
+  EXPECT_EQ(program.instructions.size(), 2u + 5u + 1u);
+  EXPECT_EQ(program.elements.size(), 5u);
+  EXPECT_EQ(program.instructions.back().opcode, Opcode::Stop);
+}
+
+TEST(Assemble, RejectsEmptyTest) {
+  march::MarchTest empty;
+  EXPECT_THROW(assemble(empty), Error);
+}
+
+TEST(Assemble, BackgroundAndRotationEncoded) {
+  const Program program =
+      assemble(march::mats_plus_plus(), march::DataBackground::Checkerboard, 3);
+  EXPECT_EQ(program.instructions[0].opcode, Opcode::SetBackground);
+  EXPECT_EQ(program.instructions[0].operand, 1u);
+  EXPECT_EQ(program.instructions[1].opcode, Opcode::SetRotation);
+  EXPECT_EQ(program.instructions[1].operand, 3u);
+}
+
+TEST(CycleCount, MatchesMarchComplexity) {
+  const Program program = assemble(march::test_11n());
+  const long cells = 64;
+  // 11 ops per cell + 5 element fetches + 3 control cycles.
+  EXPECT_EQ(program.cycle_count(cells), 11 * cells + 5 + 3);
+}
+
+TEST(CycleCount, PausesCounted) {
+  const Program program = assemble_retention(1000);
+  const long cells = 16;
+  // 4 single-op elements (+ fetch each) + 2 pauses of 1000 + 3 control.
+  EXPECT_EQ(program.cycle_count(cells), 4 * cells + 4 + 2000 + 3);
+}
+
+TEST(AssembleMovi, OneRotationBlockPerAddressBit) {
+  const Program program = assemble_movi(march::mats_plus_plus(), 4);
+  int rotations = 0;
+  int elements = 0;
+  for (const auto& instruction : program.instructions) {
+    if (instruction.opcode == Opcode::SetRotation) ++rotations;
+    if (instruction.opcode == Opcode::Element) ++elements;
+  }
+  EXPECT_EQ(rotations, 4);
+  EXPECT_EQ(elements, 4 * 3);  // MATS++ has 3 elements
+  // The element table is shared, not duplicated.
+  EXPECT_EQ(program.elements.size(), 3u);
+}
+
+TEST(AssembleMovi, ValidatesBits) {
+  EXPECT_THROW(assemble_movi(march::mats_plus_plus(), 0), Error);
+}
+
+TEST(Listing, ShowsOpcodesAndElements) {
+  const Program program = assemble(march::mats_plus_plus());
+  const std::string text = program.listing();
+  EXPECT_NE(text.find("SETBG"), std::string::npos);
+  EXPECT_NE(text.find("ELEMENT"), std::string::npos);
+  EXPECT_NE(text.find("^(r0,w1)"), std::string::npos);
+  EXPECT_NE(text.find("STOP"), std::string::npos);
+}
+
+TEST(Instruction, ToStringCoversAllOpcodes) {
+  const Instruction setbg{Opcode::SetBackground, 1};
+  const Instruction pause{Opcode::Pause, 42};
+  const Instruction stop{Opcode::Stop, 0};
+  EXPECT_NE(setbg.to_string().find("checker"), std::string::npos);
+  EXPECT_NE(pause.to_string().find("42"), std::string::npos);
+  EXPECT_EQ(stop.to_string(), "STOP");
+}
+
+}  // namespace
+}  // namespace memstress::mbist

@@ -1,0 +1,164 @@
+#include "repair/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "march/library.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace memstress::repair {
+namespace {
+
+using Cell = std::pair<int, int>;
+
+TEST(Repair, CleanBitmapNeedsNothing) {
+  const RepairPlan plan = allocate_repair(std::set<Cell>{}, {2, 2});
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.spares_used(), 0);
+}
+
+TEST(Repair, SingleCellUsesOneSpare) {
+  const std::set<Cell> fails{{3, 5}};
+  const RepairPlan plan = allocate_repair(fails, {2, 2});
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.spares_used(), 1);
+  EXPECT_TRUE(plan_covers(plan, fails));
+}
+
+TEST(Repair, RowFailureForcesARowSpare) {
+  // Five fails in one row exceed any 2-column budget: must-repair the row.
+  std::set<Cell> fails;
+  for (int c = 0; c < 5; ++c) fails.insert({7, c});
+  const RepairPlan plan = allocate_repair(fails, {1, 2});
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.rows_replaced.size(), 1u);
+  EXPECT_EQ(plan.rows_replaced[0], 7);
+  EXPECT_TRUE(plan.cols_replaced.empty());
+}
+
+TEST(Repair, ColumnFailureForcesAColumnSpare) {
+  std::set<Cell> fails;
+  for (int r = 0; r < 5; ++r) fails.insert({r, 2});
+  const RepairPlan plan = allocate_repair(fails, {2, 1});
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.cols_replaced.size(), 1u);
+  EXPECT_EQ(plan.cols_replaced[0], 2);
+}
+
+TEST(Repair, CrossPatternNeedsBothKinds) {
+  // A full row plus a full column: one row spare + one column spare.
+  std::set<Cell> fails;
+  for (int c = 0; c < 6; ++c) fails.insert({3, c});
+  for (int r = 0; r < 6; ++r) fails.insert({r, 4});
+  const RepairPlan plan = allocate_repair(fails, {1, 1});
+  ASSERT_TRUE(plan.feasible) << plan.describe();
+  EXPECT_EQ(plan.rows_replaced, std::vector<int>{3});
+  EXPECT_EQ(plan.cols_replaced, std::vector<int>{4});
+  EXPECT_TRUE(plan_covers(plan, fails));
+}
+
+TEST(Repair, InfeasibleWhenSparesExhausted) {
+  // A 3x3 block of fails needs 3 spares in one direction; give only 2+2...
+  std::set<Cell> fails;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) fails.insert({r, c});
+  EXPECT_FALSE(allocate_repair(fails, {2, 2}).feasible);
+  // ...but 3 row spares fix it.
+  EXPECT_TRUE(allocate_repair(fails, {3, 0}).feasible);
+}
+
+TEST(Repair, DiagonalUsesMinimalSpares) {
+  // Three isolated fails on a diagonal: three single spares of any kind.
+  const std::set<Cell> fails{{0, 0}, {1, 1}, {2, 2}};
+  const RepairPlan plan = allocate_repair(fails, {2, 2});
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.spares_used(), 3);
+  EXPECT_TRUE(plan_covers(plan, fails));
+  // With a 1+1 budget it is unrepairable.
+  EXPECT_FALSE(allocate_repair(fails, {1, 1}).feasible);
+}
+
+TEST(Repair, ZeroSparesOnlyRepairsCleanDies) {
+  EXPECT_TRUE(allocate_repair(std::set<Cell>{}, {0, 0}).feasible);
+  EXPECT_FALSE(allocate_repair(std::set<Cell>{{1, 1}}, {0, 0}).feasible);
+}
+
+TEST(Repair, FromFailLogEndToEnd) {
+  // Real flow: march a defective behavioral memory, repair from the log.
+  sram::BehavioralSram memory(16, 16);
+  sram::InjectedFault f;
+  f.type = sram::FaultType::StuckAt1;
+  f.row = 4;
+  f.col = 9;
+  f.envelope = sram::FailureEnvelope::always();
+  memory.add_fault(f);
+  const march::FailLog log = march::run_march(memory, march::test_11n());
+  ASSERT_FALSE(log.passed());
+  const RepairPlan plan = allocate_repair(log, {1, 1});
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.spares_used(), 1);
+  EXPECT_TRUE(plan_covers(plan, log.failing_cells()));
+}
+
+TEST(Repair, DescribeIsReadable) {
+  const RepairPlan bad;
+  EXPECT_EQ(bad.describe(), "UNREPAIRABLE");
+  const std::set<Cell> fails{{3, 5}};
+  const std::string text = allocate_repair(fails, {2, 2}).describe();
+  EXPECT_NE(text.find("repairable"), std::string::npos);
+}
+
+TEST(Repair, RandomBitmapsPlanIsAlwaysValid) {
+  // Property: whenever the allocator claims feasibility, the plan really
+  // covers the bitmap and respects the spare budget.
+  Rng rng(404);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::set<Cell> fails;
+    const int count = 1 + static_cast<int>(rng.below(8));
+    for (int i = 0; i < count; ++i)
+      fails.insert({static_cast<int>(rng.below(10)),
+                    static_cast<int>(rng.below(10))});
+    SpareConfig spares;
+    spares.spare_rows = static_cast<int>(rng.below(3));
+    spares.spare_cols = static_cast<int>(rng.below(3));
+    const RepairPlan plan = allocate_repair(fails, spares);
+    if (plan.feasible) {
+      EXPECT_TRUE(plan_covers(plan, fails));
+      EXPECT_LE(static_cast<int>(plan.rows_replaced.size()), spares.spare_rows);
+      EXPECT_LE(static_cast<int>(plan.cols_replaced.size()), spares.spare_cols);
+    }
+  }
+}
+
+TEST(Repair, RandomFeasibilityMatchesBruteForce) {
+  // Property: the allocator's feasibility verdict matches brute-force
+  // enumeration of all spare assignments on small bitmaps.
+  Rng rng(808);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::set<Cell> fails;
+    const int count = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < count; ++i)
+      fails.insert({static_cast<int>(rng.below(5)),
+                    static_cast<int>(rng.below(5))});
+    const SpareConfig spares{1, 1};
+    const RepairPlan plan = allocate_repair(fails, spares);
+    // Brute force: try every (row, col) pair (incl. "none" = -1).
+    bool any = false;
+    for (int r = -1; r < 5 && !any; ++r) {
+      for (int c = -1; c < 5 && !any; ++c) {
+        bool all_covered = true;
+        for (const auto& [fr, fc] : fails)
+          all_covered = all_covered && (fr == r || fc == c);
+        any = all_covered;
+      }
+    }
+    EXPECT_EQ(plan.feasible, any) << "trial " << trial;
+  }
+}
+
+TEST(Repair, ValidatesInput) {
+  EXPECT_THROW(allocate_repair(std::set<Cell>{{0, 0}}, {-1, 2}), Error);
+}
+
+}  // namespace
+}  // namespace memstress::repair

@@ -1,0 +1,262 @@
+#include "sram/behavioral.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace memstress::sram {
+namespace {
+
+TEST(FailureEnvelope, NeverAndAlways) {
+  EXPECT_FALSE(FailureEnvelope::never().active({1.8, 25e-9}));
+  EXPECT_TRUE(FailureEnvelope::always().active({1.8, 25e-9}));
+}
+
+TEST(FailureEnvelope, LowVoltage) {
+  const auto e = FailureEnvelope::low_voltage(1.2);
+  EXPECT_TRUE(e.active({1.0, 100e-9}));
+  EXPECT_FALSE(e.active({1.2, 100e-9}));
+  EXPECT_FALSE(e.active({1.8, 100e-9}));
+}
+
+TEST(FailureEnvelope, HighVoltage) {
+  const auto e = FailureEnvelope::high_voltage(1.9);
+  EXPECT_TRUE(e.active({1.95, 25e-9}));
+  EXPECT_FALSE(e.active({1.8, 25e-9}));
+}
+
+TEST(FailureEnvelope, AtSpeedFlat) {
+  const auto e = FailureEnvelope::at_speed(16e-9);
+  EXPECT_TRUE(e.active({1.8, 15e-9}));
+  EXPECT_FALSE(e.active({1.8, 17e-9}));
+  // Voltage independent when slope is 0 (the Chip-3 signature).
+  EXPECT_TRUE(e.active({1.0, 15e-9}));
+  EXPECT_FALSE(e.active({2.2, 17e-9}));
+}
+
+TEST(FailureEnvelope, AtSpeedVoltageDependent) {
+  // Chip-4: margin shrinks as supply drops.
+  const auto e = FailureEnvelope::at_speed(16e-9, 20e-9, 1.8);
+  EXPECT_TRUE(e.active({1.8, 15e-9}));
+  EXPECT_FALSE(e.active({1.8, 17e-9}));
+  // At 1.0 V the threshold moves to 16 + 20*(0.8) = 32 ns.
+  EXPECT_TRUE(e.active({1.0, 30e-9}));
+  EXPECT_FALSE(e.active({1.0, 35e-9}));
+}
+
+TEST(BehavioralSram, CleanReadWriteRoundTrip) {
+  BehavioralSram mem(4, 4);
+  mem.write(2, 3, true);
+  EXPECT_TRUE(mem.read(2, 3));
+  mem.write(2, 3, false);
+  EXPECT_FALSE(mem.read(2, 3));
+}
+
+TEST(BehavioralSram, FillSetsEveryCell) {
+  BehavioralSram mem(3, 3);
+  mem.fill(true);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_TRUE(mem.read(r, c));
+}
+
+TEST(BehavioralSram, BoundsChecked) {
+  BehavioralSram mem(2, 2);
+  EXPECT_THROW(mem.read(2, 0), Error);
+  EXPECT_THROW(mem.write(0, 2, true), Error);
+  EXPECT_THROW(BehavioralSram(0, 1), Error);
+}
+
+TEST(BehavioralSram, StuckAt0BlocksWritesAndReads) {
+  BehavioralSram mem(2, 2);
+  InjectedFault f;
+  f.type = FaultType::StuckAt0;
+  f.row = 0;
+  f.col = 0;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  mem.write(0, 0, true);
+  EXPECT_FALSE(mem.read(0, 0));
+  mem.write(1, 1, true);
+  EXPECT_TRUE(mem.read(1, 1));  // other cells unaffected
+}
+
+TEST(BehavioralSram, StuckAt1) {
+  BehavioralSram mem(2, 2);
+  InjectedFault f;
+  f.type = FaultType::StuckAt1;
+  f.row = 1;
+  f.col = 0;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  mem.write(1, 0, false);
+  EXPECT_TRUE(mem.read(1, 0));
+}
+
+TEST(BehavioralSram, EnvelopeGatesTheFault) {
+  BehavioralSram mem(2, 2);
+  InjectedFault f;
+  f.type = FaultType::StuckAt1;
+  f.row = 0;
+  f.col = 0;
+  f.envelope = FailureEnvelope::low_voltage(1.2);  // VLV-only defect
+  mem.add_fault(f);
+
+  mem.set_condition({1.8, 25e-9});
+  mem.write(0, 0, false);
+  EXPECT_FALSE(mem.read(0, 0));  // healthy at nominal
+
+  mem.set_condition({1.0, 100e-9});
+  EXPECT_TRUE(mem.read(0, 0));  // stuck at VLV
+}
+
+TEST(BehavioralSram, TransitionUpFault) {
+  BehavioralSram mem(2, 2);
+  InjectedFault f;
+  f.type = FaultType::TransitionUp;
+  f.row = 0;
+  f.col = 1;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  mem.write(0, 1, false);
+  mem.write(0, 1, true);  // 0 -> 1 blocked
+  EXPECT_FALSE(mem.read(0, 1));
+}
+
+TEST(BehavioralSram, TransitionDownFault) {
+  BehavioralSram mem(2, 2);
+  InjectedFault f;
+  f.type = FaultType::TransitionDown;
+  f.row = 0;
+  f.col = 1;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  mem.fill(true);
+  mem.write(0, 1, false);  // 1 -> 0 blocked
+  EXPECT_TRUE(mem.read(0, 1));
+}
+
+TEST(BehavioralSram, ReadDestructiveFlipsAfterReturning) {
+  BehavioralSram mem(2, 2);
+  InjectedFault f;
+  f.type = FaultType::ReadDestructive;
+  f.row = 0;
+  f.col = 0;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  mem.write(0, 0, true);
+  EXPECT_TRUE(mem.read(0, 0));   // first read returns the stored value
+  EXPECT_FALSE(mem.read(0, 0));  // but destroyed it
+}
+
+TEST(BehavioralSram, CouplingInversion) {
+  BehavioralSram mem(2, 2);
+  InjectedFault f;
+  f.type = FaultType::CouplingInversion;
+  f.row = 0;      // aggressor
+  f.col = 0;
+  f.aux_row = 1;  // victim
+  f.aux_col = 1;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  mem.write(1, 1, false);
+  mem.write(0, 0, true);  // aggressor transition inverts the victim
+  EXPECT_TRUE(mem.read(1, 1));
+  mem.write(0, 0, true);  // no transition: no effect
+  EXPECT_TRUE(mem.read(1, 1));
+}
+
+TEST(BehavioralSram, CouplingState) {
+  BehavioralSram mem(2, 2);
+  InjectedFault f;
+  f.type = FaultType::CouplingState;
+  f.row = 0;
+  f.col = 0;
+  f.aux_row = 0;
+  f.aux_col = 1;
+  f.value = false;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  mem.write(0, 1, true);
+  mem.write(0, 0, true);  // aggressor at 1 forces victim to 0
+  EXPECT_FALSE(mem.read(0, 1));
+}
+
+TEST(BehavioralSram, DecoderWrongRowRedirects) {
+  BehavioralSram mem(4, 1);
+  InjectedFault f;
+  f.type = FaultType::DecoderWrongRow;
+  f.row = 1;
+  f.col = -1;
+  f.aux_row = 2;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  mem.write(1, 0, true);        // lands on row 2
+  EXPECT_TRUE(mem.read(1, 0));  // read also redirected: sees its own write
+  // The physical row 2 took the data; row 1 never did. A march test
+  // catches this through the interplay with neighbouring addresses:
+  mem.write(2, 0, false);
+  EXPECT_FALSE(mem.read(1, 0));
+}
+
+TEST(BehavioralSram, DecoderNoSelect) {
+  BehavioralSram mem(4, 1);
+  InjectedFault f;
+  f.type = FaultType::DecoderNoSelect;
+  f.row = 3;
+  f.col = -1;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  mem.write(3, 0, false);
+  EXPECT_TRUE(mem.read(3, 0));  // floating bitline reads as precharged high
+}
+
+TEST(BehavioralSram, DecoderMultiRowWiredAnd) {
+  BehavioralSram mem(4, 1);
+  InjectedFault f;
+  f.type = FaultType::DecoderMultiRow;
+  f.row = 0;
+  f.col = -1;
+  f.aux_row = 1;
+  f.envelope = FailureEnvelope::always();
+  mem.add_fault(f);
+  mem.write(0, 0, true);  // writes both rows
+  EXPECT_TRUE(mem.read(1, 0));
+  // A 0 in either row wins the bitline fight.
+  mem.write(1, 0, false);
+  EXPECT_FALSE(mem.read(0, 0));
+}
+
+TEST(BehavioralSram, SlowReadReturnsPreviousOutput) {
+  BehavioralSram mem(2, 2);
+  InjectedFault f;
+  f.type = FaultType::SlowRead;
+  f.row = 0;
+  f.col = 0;
+  f.envelope = FailureEnvelope::at_speed(16e-9);
+  mem.add_fault(f);
+
+  mem.set_condition({1.8, 15e-9});  // at-speed: fault active
+  mem.write(1, 0, false);
+  mem.write(0, 0, true);
+  EXPECT_FALSE(mem.read(1, 0));  // seeds the column output latch with 0
+  EXPECT_FALSE(mem.read(0, 0));  // stale: returns the latch, not the cell
+
+  mem.set_condition({1.8, 25e-9});  // slower clock: healthy
+  EXPECT_TRUE(mem.read(0, 0));
+}
+
+TEST(BehavioralSram, FaultValidation) {
+  BehavioralSram mem(2, 2);
+  InjectedFault f;
+  f.row = 5;
+  EXPECT_THROW(mem.add_fault(f), Error);
+}
+
+TEST(FaultTypeNames, AreDistinct) {
+  EXPECT_STREQ(fault_type_name(FaultType::StuckAt0), "stuck-at-0");
+  EXPECT_STREQ(fault_type_name(FaultType::DecoderMultiRow), "decoder-multi-row");
+  EXPECT_STREQ(fault_type_name(FaultType::SlowRead), "slow-read");
+}
+
+}  // namespace
+}  // namespace memstress::sram

@@ -1,0 +1,141 @@
+#include "sram/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/netnames.hpp"
+#include "util/error.hpp"
+
+namespace memstress::sram {
+namespace {
+
+namespace nn = memstress::layout;
+
+TEST(BlockSpec, AddressBits) {
+  BlockSpec spec;
+  spec.rows = 2;
+  EXPECT_EQ(spec.address_bits(), 1);
+  spec.rows = 4;
+  EXPECT_EQ(spec.address_bits(), 2);
+  spec.rows = 8;
+  EXPECT_EQ(spec.address_bits(), 3);
+}
+
+TEST(BuildBlock, RejectsBadGeometry) {
+  BlockSpec spec;
+  spec.rows = 3;  // not a power of two
+  EXPECT_THROW(build_block(spec), Error);
+  spec.rows = 1;
+  EXPECT_THROW(build_block(spec), Error);
+  spec.rows = 2;
+  spec.cols = 0;
+  EXPECT_THROW(build_block(spec), Error);
+}
+
+TEST(BuildBlock, ContainsCanonicalNodes) {
+  BlockSpec spec;
+  spec.rows = 4;
+  spec.cols = 2;
+  const analog::Netlist nl = build_block(spec);
+  EXPECT_TRUE(nl.has_node(nn::net_vdd()));
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_TRUE(nl.has_node(nn::net_wl(r)));
+    EXPECT_TRUE(nl.has_node(nn::net_wldrv(r)));
+    EXPECT_TRUE(nl.has_node(nn::net_dec(r)));
+  }
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_TRUE(nl.has_node(nn::net_bl(c)));
+    EXPECT_TRUE(nl.has_node(nn::net_blb(c)));
+    EXPECT_TRUE(nl.has_node(nn::net_q(c)));
+    EXPECT_TRUE(nl.has_node(nn::net_sa(c)));
+  }
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_TRUE(nl.has_node(nn::net_cell_t(r, c)));
+      EXPECT_TRUE(nl.has_node(nn::net_cell_f(r, c)));
+    }
+  EXPECT_TRUE(nl.has_node(nn::net_addr_in(0)));
+  EXPECT_TRUE(nl.has_node(nn::net_addr_in(1)));
+}
+
+TEST(BuildBlock, RegistersAllOpenJoints) {
+  BlockSpec spec;
+  spec.rows = 2;
+  spec.cols = 1;
+  const analog::Netlist nl = build_block(spec);
+  EXPECT_TRUE(nl.has_joint(nn::joint_wordline(0)));
+  EXPECT_TRUE(nl.has_joint(nn::joint_wordline(1)));
+  EXPECT_TRUE(nl.has_joint(nn::joint_addr_input(0)));
+  EXPECT_TRUE(nl.has_joint(nn::joint_bitline(0)));
+  EXPECT_TRUE(nl.has_joint(nn::joint_sense(0)));
+  EXPECT_TRUE(nl.has_joint(nn::joint_cell_access(0, 0)));
+  EXPECT_TRUE(nl.has_joint(nn::joint_cell_access(1, 0)));
+  EXPECT_TRUE(nl.has_joint(nn::joint_cell_pullup(0, 0)));
+  EXPECT_TRUE(nl.has_joint(nn::joint_cell_pullup(1, 0)));
+  // 2 wordlines + 1 addr + 1 bitline + 1 sense + 2 access + 2 pull-up = 9.
+  EXPECT_EQ(nl.joint_names().size(), 9u);
+}
+
+TEST(BuildBlock, TransistorCountMatchesStructure) {
+  BlockSpec spec;
+  spec.rows = 2;
+  spec.cols = 1;
+  const analog::Netlist nl = build_block(spec);
+  // Per cell: 6 transistors. Decoder: 1 input inverter (2) + per row NAND1
+  // (2) + NOR driver (4). Column: 2 precharge + 2 keepers + 2 column
+  // selects + sense inverter (2) + output inverter (2). Write bus: 2.
+  const int cells = 2 * 1 * 6;
+  const int decoder = 2 + 2 * (2 + 4);
+  const int column = 1 * (2 + 2 + 2 + 2 + 2);
+  const int wbus = 2;
+  EXPECT_EQ(nl.mosfets().size(),
+            static_cast<std::size_t>(cells + decoder + column + wbus));
+}
+
+TEST(BuildBlock, SourceCountMatchesInterface) {
+  BlockSpec spec;
+  spec.rows = 4;
+  spec.cols = 2;
+  const analog::Netlist nl = build_block(spec);
+  // VDD, DIN, DINB, WE, PRE, WLENB + 2 address + 2 csel.
+  EXPECT_EQ(nl.vsources().size(), 10u);
+}
+
+TEST(BuildBlock, EveryMosfetTerminalIsValid) {
+  BlockSpec spec;
+  spec.rows = 4;
+  spec.cols = 2;
+  const analog::Netlist nl = build_block(spec);
+  const int n = static_cast<int>(nl.node_count());
+  for (const auto& m : nl.mosfets()) {
+    EXPECT_GE(m.d, 0);
+    EXPECT_LT(m.d, n);
+    EXPECT_GE(m.g, 0);
+    EXPECT_LT(m.g, n);
+    EXPECT_GE(m.s, 0);
+    EXPECT_LT(m.s, n);
+  }
+}
+
+TEST(BuildBlock, DecoderLeakIsHighOhmic) {
+  BlockSpec spec;
+  spec.rows = 2;
+  spec.cols = 1;
+  const analog::Netlist nl = build_block(spec);
+  bool found = false;
+  for (const auto& r : nl.resistors()) {
+    if (r.name.rfind("leak:", 0) == 0) {
+      found = true;
+      EXPECT_GE(r.ohms, 1e6);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BlockSources, NamesAreStable) {
+  EXPECT_EQ(BlockSources::addr(0), "A0");
+  EXPECT_EQ(BlockSources::addr(3), "A3");
+  EXPECT_EQ(BlockSources::csel(1), "CSEL1");
+}
+
+}  // namespace
+}  // namespace memstress::sram

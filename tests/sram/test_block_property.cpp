@@ -1,0 +1,99 @@
+// Property sweeps over block geometries: structural invariants of the
+// generated netlist for every supported (rows, cols) combination.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/netnames.hpp"
+#include "sram/block.hpp"
+
+namespace memstress::sram {
+namespace {
+
+namespace nn = memstress::layout;
+
+class BlockGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BlockGeometrySweep, StructuralInvariants) {
+  const auto [rows, cols] = GetParam();
+  BlockSpec spec;
+  spec.rows = rows;
+  spec.cols = cols;
+  const analog::Netlist nl = build_block(spec);
+
+  // Device names are unique (duplicate names would make debugging and
+  // defect tagging ambiguous).
+  std::set<std::string> names;
+  for (const auto& d : nl.resistors()) EXPECT_TRUE(names.insert(d.name).second);
+  for (const auto& d : nl.capacitors()) EXPECT_TRUE(names.insert(d.name).second);
+  for (const auto& d : nl.mosfets()) EXPECT_TRUE(names.insert(d.name).second);
+  for (const auto& d : nl.vsources()) EXPECT_TRUE(names.insert(d.name).second);
+
+  // Joint population: one per row (wordline) + per address bit + per column
+  // (bitline, sense) + two per cell (access, pull-up).
+  const int bits = spec.address_bits();
+  const std::size_t expected_joints = static_cast<std::size_t>(
+      rows + bits + 2 * cols + 2 * rows * cols);
+  EXPECT_EQ(nl.joint_names().size(), expected_joints);
+
+  // Every cell has its six transistors plus its two joints.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      EXPECT_TRUE(nl.has_node(nn::net_cell_t(r, c)));
+      EXPECT_TRUE(nl.has_node(nn::net_cell_f(r, c)));
+      EXPECT_TRUE(nl.has_joint(nn::joint_cell_access(r, c)));
+      EXPECT_TRUE(nl.has_joint(nn::joint_cell_pullup(r, c)));
+    }
+  }
+
+  // MOSFET count: 6/cell + decoder (2/bit + rows*(bits+1 NAND FETs... see
+  // builder: NAND has bits PMOS + bits NMOS; driver NOR has 4)
+  const std::size_t cell_fets = static_cast<std::size_t>(6 * rows * cols);
+  const std::size_t decoder_fets =
+      static_cast<std::size_t>(2 * bits + rows * (2 * bits + 4));
+  const std::size_t column_fets = static_cast<std::size_t>(10 * cols);
+  const std::size_t bus_fets = 2;
+  EXPECT_EQ(nl.mosfets().size(),
+            cell_fets + decoder_fets + column_fets + bus_fets);
+
+  // Every MOSFET body of every device references valid nodes.
+  const int node_count = static_cast<int>(nl.node_count());
+  for (const auto& m : nl.mosfets()) {
+    EXPECT_LT(m.d, node_count);
+    EXPECT_LT(m.g, node_count);
+    EXPECT_LT(m.s, node_count);
+  }
+  for (const auto& r : nl.resistors()) {
+    EXPECT_LT(r.a, node_count);
+    EXPECT_LT(r.b, node_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, BlockGeometrySweep,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values(1, 2, 3)));
+
+class BlockLeakSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlockLeakSweep, LeakResistorsOnlyWhenRequested) {
+  BlockSpec spec;
+  spec.rows = 2;
+  spec.cols = 1;
+  spec.cell_leak_ohms = GetParam();
+  const analog::Netlist nl = build_block(spec);
+  int leaks = 0;
+  for (const auto& r : nl.resistors())
+    if (r.name.rfind("leak:cell", 0) == 0) ++leaks;
+  if (GetParam() > 0.0) {
+    EXPECT_EQ(leaks, 2 * 2);  // t and f per cell
+  } else {
+    EXPECT_EQ(leaks, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeakSettings, BlockLeakSweep,
+                         ::testing::Values(0.0, 2e6, 50e6));
+
+}  // namespace
+}  // namespace memstress::sram

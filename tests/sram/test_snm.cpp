@@ -1,0 +1,88 @@
+#include "sram/snm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace memstress::sram {
+namespace {
+
+BlockSpec cell_spec() {
+  BlockSpec spec;
+  spec.rows = 2;
+  spec.cols = 1;
+  return spec;
+}
+
+TEST(Snm, HealthyCellHasHealthyMargins) {
+  SnmOptions options;
+  const SnmResult snm = measure_cell_snm(cell_spec(), options);
+  // A balanced 0.18 um 6T cell at 1.8 V: hold SNM in the several-hundred-mV
+  // range, read SNM positive but clearly degraded by the access disturb.
+  EXPECT_GT(snm.hold_snm, 0.4);
+  EXPECT_LT(snm.hold_snm, 1.0);
+  EXPECT_GT(snm.read_snm, 0.05);
+  EXPECT_LT(snm.read_snm, snm.hold_snm);
+}
+
+TEST(Snm, HealthyCellStaysStableAtVlv) {
+  // The healthy cell's *absolute* margins survive the supply reduction
+  // (hold margin scales with the rails; the read margin even improves a
+  // little because the disturb bump shrinks faster than the lobes). This
+  // is exactly why the fault-free device passes the VLV leg.
+  SnmOptions nominal;
+  SnmOptions vlv;
+  vlv.vdd = 1.0;
+  const SnmResult at_nominal = measure_cell_snm(cell_spec(), nominal);
+  const SnmResult at_vlv = measure_cell_snm(cell_spec(), vlv);
+  EXPECT_LT(at_vlv.hold_snm, at_nominal.hold_snm);  // bounded by the rails
+  EXPECT_GT(at_vlv.read_snm, 0.15);                 // still comfortably stable
+}
+
+TEST(Snm, BridgeEatsTheMargin) {
+  SnmOptions healthy;
+  SnmOptions bridged;
+  bridged.bridge_tf_ohms = 90e3;
+  const SnmResult clean = measure_cell_snm(cell_spec(), healthy);
+  const SnmResult weak = measure_cell_snm(cell_spec(), bridged);
+  EXPECT_LT(weak.hold_snm, clean.hold_snm);
+  EXPECT_LT(weak.read_snm, clean.read_snm);
+}
+
+TEST(Snm, TheVlvMechanismInOneNumber) {
+  // The paper's Chip-1 story as margins: the fraction of read margin a
+  // 90 kOhm bridge consumes explodes as the supply drops — the bridge
+  // current scales ~Vdd/R while the transistors weaken ~(Vdd-Vt)^2.
+  auto margin = [](double vdd, double bridge) {
+    SnmOptions options;
+    options.vdd = vdd;
+    options.bridge_tf_ohms = bridge;
+    return measure_cell_snm(cell_spec(), options).read_snm;
+  };
+  const double bite_nominal = 1.0 - margin(1.8, 90e3) / margin(1.8, 0.0);
+  const double bite_vlv = 1.0 - margin(1.0, 90e3) / margin(1.0, 0.0);
+  EXPECT_LT(bite_nominal, 0.15);              // barely visible at nominal
+  EXPECT_GT(bite_vlv, 2.5 * bite_nominal);    // dominant at VLV
+  EXPECT_GT(margin(1.8, 90e3), 0.15);         // bridged cell works at nominal
+}
+
+TEST(Snm, HotCellIsWeaker) {
+  SnmOptions room;
+  room.vdd = 1.0;
+  SnmOptions hot = room;
+  hot.temp_c = 125.0;
+  EXPECT_LT(measure_cell_snm(cell_spec(), hot).read_snm,
+            measure_cell_snm(cell_spec(), room).read_snm + 0.02);
+}
+
+TEST(Snm, ValidatesInput) {
+  SnmOptions bad;
+  bad.vdd = 0.0;
+  EXPECT_THROW(measure_cell_snm(cell_spec(), bad), Error);
+  bad.vdd = 1.8;
+  bad.sweep_points = 4;
+  EXPECT_THROW(measure_cell_snm(cell_spec(), bad), Error);
+}
+
+}  // namespace
+}  // namespace memstress::sram

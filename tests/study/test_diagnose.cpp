@@ -1,0 +1,170 @@
+#include "study/diagnose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "march/library.hpp"
+
+namespace memstress::study {
+namespace {
+
+using march::FailLog;
+using march::FailRecord;
+using march::MarchTest;
+
+FailRecord fail_at(int row, int col, bool expected, int element = 1) {
+  FailRecord f;
+  f.cycle = 10;
+  f.element = element;
+  f.row = row;
+  f.col = col;
+  f.expected = expected;
+  f.observed = !expected;
+  return f;
+}
+
+estimator::CornerOutcomes vlv_only() {
+  estimator::CornerOutcomes c;
+  c.vlv = true;
+  return c;
+}
+
+estimator::CornerOutcomes vmax_only() {
+  estimator::CornerOutcomes c;
+  c.vmax = true;
+  return c;
+}
+
+estimator::CornerOutcomes atspeed_only() {
+  estimator::CornerOutcomes c;
+  c.at_speed = true;
+  return c;
+}
+
+estimator::CornerOutcomes everywhere() {
+  estimator::CornerOutcomes c;
+  c.vlv = c.vmin = c.vnom = c.vmax = c.at_speed = true;
+  return c;
+}
+
+TEST(DiagnoseBitmap, CleanLogIsNone) {
+  const FailLog log;
+  const Diagnosis d = diagnose_bitmap(log, march::test_11n(), 8, 8);
+  EXPECT_EQ(d.defect_class, DefectClass::None);
+}
+
+TEST(DiagnoseBitmap, SingleCellPolarity) {
+  FailLog log;
+  log.record(fail_at(3, 4, false));
+  log.record(fail_at(3, 4, false, 2));
+  const Diagnosis d = diagnose_bitmap(log, march::test_11n(), 8, 8);
+  EXPECT_EQ(d.defect_class, DefectClass::StuckCell);
+  EXPECT_EQ(d.suspect_row, 3);
+  EXPECT_EQ(d.suspect_col, 4);
+  EXPECT_TRUE(d.reads_of_zero_fail);
+  EXPECT_FALSE(d.reads_of_one_fail);
+}
+
+TEST(DiagnoseBitmap, FullRowSignature) {
+  FailLog log;
+  for (int c = 0; c < 8; ++c) log.record(fail_at(2, c, true));
+  const Diagnosis d = diagnose_bitmap(log, march::test_11n(), 8, 8);
+  EXPECT_EQ(d.defect_class, DefectClass::RowDefect);
+  EXPECT_EQ(d.suspect_row, 2);
+}
+
+TEST(DiagnoseBitmap, FullColumnSignature) {
+  FailLog log;
+  for (int r = 0; r < 8; ++r) log.record(fail_at(r, 5, true));
+  const Diagnosis d = diagnose_bitmap(log, march::test_11n(), 8, 8);
+  EXPECT_EQ(d.defect_class, DefectClass::ColumnDefect);
+  EXPECT_EQ(d.suspect_col, 5);
+}
+
+TEST(DiagnoseBitmap, TwoCellCoupling) {
+  FailLog log;
+  log.record(fail_at(1, 1, true));
+  log.record(fail_at(2, 2, true));
+  const Diagnosis d = diagnose_bitmap(log, march::test_11n(), 8, 8);
+  EXPECT_EQ(d.defect_class, DefectClass::Coupling);
+}
+
+TEST(DiagnoseBitmap, ScatteredIsGross) {
+  FailLog log;
+  log.record(fail_at(0, 0, true));
+  log.record(fail_at(3, 5, false));
+  log.record(fail_at(7, 2, true));
+  log.record(fail_at(4, 6, false));
+  const Diagnosis d = diagnose_bitmap(log, march::test_11n(), 8, 8);
+  EXPECT_EQ(d.defect_class, DefectClass::Gross);
+}
+
+TEST(Diagnose, Chip1SignatureIsVlvCellBridge) {
+  FailLog log;
+  log.record(fail_at(3, 4, false));
+  const Diagnosis d = diagnose(log, march::test_11n(), 8, 8, vlv_only());
+  EXPECT_EQ(d.defect_class, DefectClass::CellBridgeVlv);
+  EXPECT_NE(d.rationale.find("Chip-1"), std::string::npos);
+}
+
+TEST(Diagnose, Chip2SignatureIsVmaxCellOpen) {
+  FailLog log;
+  log.record(fail_at(3, 4, false));
+  const Diagnosis d = diagnose(log, march::test_11n(), 8, 8, vmax_only());
+  EXPECT_EQ(d.defect_class, DefectClass::CellOpenVmax);
+  EXPECT_NE(d.rationale.find("Chip-2"), std::string::npos);
+}
+
+TEST(Diagnose, Chip3SignatureIsMatrixDelay) {
+  FailLog log;
+  log.record(fail_at(3, 4, false));
+  const Diagnosis d = diagnose(log, march::test_11n(), 8, 8, atspeed_only());
+  EXPECT_EQ(d.defect_class, DefectClass::MatrixDelay);
+}
+
+TEST(Diagnose, Chip4SignatureIsPeripheryDelay) {
+  FailLog log;
+  for (int r = 0; r < 8; ++r) log.record(fail_at(r, 5, true));
+  const Diagnosis d = diagnose(log, march::test_11n(), 8, 8, atspeed_only());
+  EXPECT_EQ(d.defect_class, DefectClass::PeripheryDelay);
+}
+
+TEST(Diagnose, HardFaultStaysStuckCell) {
+  FailLog log;
+  log.record(fail_at(3, 4, false));
+  const Diagnosis d = diagnose(log, march::test_11n(), 8, 8, everywhere());
+  EXPECT_EQ(d.defect_class, DefectClass::StuckCell);
+}
+
+TEST(Diagnose, RationaleListsStressCorners) {
+  FailLog log;
+  log.record(fail_at(0, 0, false));
+  const Diagnosis d = diagnose(log, march::test_11n(), 8, 8, vlv_only());
+  EXPECT_NE(d.rationale.find("VLV"), std::string::npos);
+}
+
+TEST(Diagnose, EndToEndOnARealFailLog) {
+  // Drive a behavioral memory with a VLV-only stuck-at and check the whole
+  // chain: march -> fail log -> diagnosis.
+  sram::BehavioralSram mem(8, 8);
+  sram::InjectedFault f;
+  f.type = sram::FaultType::StuckAt1;
+  f.row = 5;
+  f.col = 6;
+  f.envelope = sram::FailureEnvelope::low_voltage(1.2);
+  mem.add_fault(f);
+  mem.set_condition({1.0, 100e-9});
+  const FailLog log = march::run_march(mem, march::test_11n());
+  ASSERT_FALSE(log.passed());
+  const Diagnosis d = diagnose(log, march::test_11n(), 8, 8, vlv_only());
+  EXPECT_EQ(d.defect_class, DefectClass::CellBridgeVlv);
+  EXPECT_EQ(d.suspect_row, 5);
+  EXPECT_EQ(d.suspect_col, 6);
+}
+
+TEST(DefectClassNames, AreDistinct) {
+  EXPECT_STREQ(defect_class_name(DefectClass::CellBridgeVlv), "cell-bridge-vlv");
+  EXPECT_STREQ(defect_class_name(DefectClass::PeripheryDelay), "periphery-delay");
+}
+
+}  // namespace
+}  // namespace memstress::study

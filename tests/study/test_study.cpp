@@ -1,0 +1,227 @@
+#include "study/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/sram_layout.hpp"
+#include "util/error.hpp"
+
+namespace memstress::study {
+namespace {
+
+using defects::Defect;
+using defects::DefectKind;
+using estimator::DbEntry;
+using estimator::DetectabilityDb;
+using layout::BridgeCategory;
+using layout::OpenCategory;
+
+/// Synthetic DB in which detectability is a pure function of category:
+///   CellTrueFalse bridges  -> VLV only
+///   CellAccess opens       -> Vmax only
+///   SenseOut opens         -> at-speed only
+///   CellNodeVdd bridges    -> detected nowhere (escapes)
+///   CellNodeGnd bridges    -> detected everywhere (standard fails)
+DetectabilityDb rule_db() {
+  DetectabilityDb db;
+  auto add_rule = [&db](DefectKind kind, int category,
+                        auto&& detected_fn) {
+    for (const double vdd : {1.0, 1.65, 1.8, 1.95}) {
+      for (const double period : {100e-9, 25e-9, 15e-9}) {
+        DbEntry e;
+        e.kind = kind;
+        e.category = category;
+        e.resistance = 1e4;
+        e.vdd = vdd;
+        e.period = period;
+        e.detected = detected_fn(vdd, period);
+        db.add(e);
+      }
+    }
+  };
+  add_rule(DefectKind::Bridge, static_cast<int>(BridgeCategory::CellTrueFalse),
+           [](double vdd, double) { return vdd < 1.2; });
+  add_rule(DefectKind::Open, static_cast<int>(OpenCategory::CellAccess),
+           [](double vdd, double) { return vdd > 1.9; });
+  add_rule(DefectKind::Open, static_cast<int>(OpenCategory::SenseOut),
+           [](double, double period) { return period < 20e-9; });
+  add_rule(DefectKind::Bridge, static_cast<int>(BridgeCategory::CellNodeVdd),
+           [](double, double) { return false; });
+  add_rule(DefectKind::Bridge, static_cast<int>(BridgeCategory::CellNodeGnd),
+           [](double, double) { return true; });
+  return db;
+}
+
+Defect bridge_of(BridgeCategory category) {
+  Defect d;
+  d.kind = DefectKind::Bridge;
+  d.bridge_category = category;
+  d.net_a = "x";
+  d.net_b = "y";
+  d.resistance = 1e4;
+  return d;
+}
+
+Defect open_of(OpenCategory category) {
+  Defect d;
+  d.kind = DefectKind::Open;
+  d.open_category = category;
+  d.net_a = "j";
+  d.resistance = 1e4;
+  return d;
+}
+
+TEST(EvaluateDevice, CleanDeviceHasNoFlags) {
+  const DeviceOutcome out = evaluate_device({}, StudyConfig{}, rule_db());
+  EXPECT_EQ(out.defect_count, 0);
+  EXPECT_FALSE(out.standard_fail);
+  EXPECT_FALSE(out.interesting());
+  EXPECT_FALSE(out.escape);
+}
+
+TEST(EvaluateDevice, VlvOnlyDefectIsInteresting) {
+  const DeviceOutcome out = evaluate_device(
+      {bridge_of(BridgeCategory::CellTrueFalse)}, StudyConfig{}, rule_db());
+  EXPECT_TRUE(out.vlv_fail);
+  EXPECT_FALSE(out.standard_fail);
+  EXPECT_FALSE(out.vmax_fail);
+  EXPECT_FALSE(out.atspeed_fail);
+  EXPECT_TRUE(out.interesting());
+}
+
+TEST(EvaluateDevice, VmaxOnlyDefectIsInteresting) {
+  // The paper's Chip-2: passes the standard (Vmin/Vnom) test, fails only
+  // the Vmax stress screen.
+  const DeviceOutcome out = evaluate_device(
+      {open_of(OpenCategory::CellAccess)}, StudyConfig{}, rule_db());
+  EXPECT_TRUE(out.vmax_fail);
+  EXPECT_FALSE(out.standard_fail);
+  EXPECT_TRUE(out.interesting());
+}
+
+TEST(EvaluateDevice, AtSpeedOnlyDefectIsInteresting) {
+  const DeviceOutcome out = evaluate_device(
+      {open_of(OpenCategory::SenseOut)}, StudyConfig{}, rule_db());
+  EXPECT_TRUE(out.atspeed_fail);
+  EXPECT_FALSE(out.standard_fail);
+  EXPECT_TRUE(out.interesting());
+}
+
+TEST(EvaluateDevice, UndetectableDefectIsAnEscape) {
+  const DeviceOutcome out = evaluate_device(
+      {bridge_of(BridgeCategory::CellNodeVdd)}, StudyConfig{}, rule_db());
+  EXPECT_TRUE(out.escape);
+  EXPECT_FALSE(out.interesting());
+}
+
+TEST(EvaluateDevice, MultipleDefectsCombine) {
+  const DeviceOutcome out = evaluate_device(
+      {bridge_of(BridgeCategory::CellTrueFalse), open_of(OpenCategory::SenseOut)},
+      StudyConfig{}, rule_db());
+  EXPECT_TRUE(out.vlv_fail);
+  EXPECT_TRUE(out.atspeed_fail);
+  EXPECT_FALSE(out.standard_fail);
+  EXPECT_TRUE(out.interesting());
+  EXPECT_EQ(out.defect_count, 2);
+  EXPECT_EQ(out.defect_tags.size(), 2u);
+}
+
+TEST(VennCounts, TotalsAndRendering) {
+  VennCounts venn;
+  venn.vlv_only = 27;
+  venn.vmax_only = 3;
+  venn.atspeed_only = 3;
+  venn.vlv_and_vmax = 2;
+  venn.vlv_and_atspeed = 1;
+  EXPECT_EQ(venn.total(), 36);
+  const std::string text = venn.render();
+  EXPECT_NE(text.find("27"), std::string::npos);
+  EXPECT_NE(text.find("total interesting ... 36"), std::string::npos);
+}
+
+class StudyRunTest : public ::testing::Test {
+ protected:
+  defects::DefectSampler make_sampler() {
+    const auto model = layout::generate_sram_layout(8, 8);
+    sram::BlockSpec block;
+    block.rows = 2;
+    block.cols = 1;
+    return defects::DefectSampler(
+        defects::aggregate_sites(layout::extract_bridges(model),
+                                 layout::extract_opens(model)),
+        defects::FabModel{}, block);
+  }
+};
+
+TEST_F(StudyRunTest, DeterministicForSameSeed) {
+  // A permissive DB (everything detected everywhere) covers every category
+  // the sampler can produce.
+  DetectabilityDb db;
+  for (int cat = 0; cat <= static_cast<int>(BridgeCategory::Other); ++cat)
+    for (const double vdd : {1.0, 1.65, 1.8, 1.95})
+      for (const double period : {100e-9, 25e-9, 15e-9}) {
+        DbEntry e;
+        e.kind = DefectKind::Bridge;
+        e.category = cat;
+        e.resistance = 1e4;
+        e.vdd = vdd;
+        e.period = period;
+        e.detected = true;
+        db.add(e);
+      }
+  for (int cat = 0; cat <= static_cast<int>(OpenCategory::Other); ++cat)
+    for (const double vdd : {1.0, 1.65, 1.8, 1.95})
+      for (const double period : {100e-9, 25e-9, 15e-9}) {
+        DbEntry e;
+        e.kind = DefectKind::Open;
+        e.category = cat;
+        e.resistance = 1e4;
+        e.vdd = vdd;
+        e.period = period;
+        e.detected = true;
+        db.add(e);
+      }
+
+  StudyConfig config;
+  config.device_count = 500;
+  config.seed = 77;
+  const StudyResult a = run_study(config, db, make_sampler());
+  const StudyResult b = run_study(config, db, make_sampler());
+  EXPECT_EQ(a.defective, b.defective);
+  EXPECT_EQ(a.standard_fails, b.standard_fails);
+  EXPECT_EQ(a.venn.total(), b.venn.total());
+
+  // With an everything-detected DB there are no escapes.
+  EXPECT_EQ(a.escapes, 0);
+  EXPECT_EQ(a.devices, 500);
+  EXPECT_GT(a.defective, 0);
+}
+
+TEST_F(StudyRunTest, RejectsEmptyConfig) {
+  StudyConfig config;
+  config.device_count = 0;
+  EXPECT_THROW(run_study(config, rule_db(), make_sampler()), Error);
+}
+
+TEST(StudyConfig, ChipAreaMatchesVeqtor4) {
+  StudyConfig config;
+  EXPECT_NEAR(config.chip_area_um2(), 4.0 * 256 * 1024 * 1.1, 1.0);
+}
+
+TEST(StudyResult, SummaryMentionsKeyNumbers) {
+  StudyResult result;
+  result.devices = 11000;
+  result.defective = 700;
+  result.standard_fails = 650;
+  result.venn.vlv_only = 27;
+  result.escapes_standard_only = 33;
+  result.escapes_with_vlv = 3;
+  result.escapes_with_vmax = 27;
+  EXPECT_EQ(result.caught_by_vlv(), 30);
+  EXPECT_EQ(result.caught_by_vmax(), 6);
+  const std::string text = result.summary();
+  EXPECT_NE(text.find("11000"), std::string::npos);
+  EXPECT_NE(text.find("Screen effectiveness ratio"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memstress::study

@@ -1,0 +1,146 @@
+#include "tester/ate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "defects/defect.hpp"
+#include "march/library.hpp"
+#include "util/error.hpp"
+
+namespace memstress::tester {
+namespace {
+
+sram::BlockSpec block_2x1() {
+  sram::BlockSpec spec;
+  spec.rows = 2;
+  spec.cols = 1;
+  return spec;
+}
+
+// The analog runs below are the expensive integration checks of the whole
+// electrical stack (block + stimulus + simulator + strobe); each takes a
+// few hundred milliseconds.
+
+TEST(RunMarchAnalog, FaultFreeBlockPassesAtNominal) {
+  const auto run = run_march_analog(sram::build_block(block_2x1()), block_2x1(),
+                                    march::test_11n(), {1.8, 25e-9});
+  EXPECT_TRUE(run.log.passed()) << run.log.summary(march::test_11n());
+  EXPECT_GT(run.sim_stats.steps, 0);
+}
+
+TEST(RunMarchAnalog, FaultFreeBlockPassesAtVlv) {
+  const auto run = run_march_analog(sram::build_block(block_2x1()), block_2x1(),
+                                    march::test_11n(), {1.0, 100e-9});
+  EXPECT_TRUE(run.log.passed()) << run.log.summary(march::test_11n());
+}
+
+TEST(RunMarchAnalog, HardCellBridgeFailsEverywhereItIsTested) {
+  analog::Netlist nl = sram::build_block(block_2x1());
+  defects::inject(nl, defects::representative_bridge(
+                          layout::BridgeCategory::CellTrueFalse, block_2x1(),
+                          100.0));
+  const auto run = run_march_analog(std::move(nl), block_2x1(),
+                                    march::test_11n(), {1.8, 25e-9});
+  EXPECT_FALSE(run.log.passed());
+}
+
+TEST(RunMarchAnalog, HighOhmicBridgeEscapesNominalButFailsVlv) {
+  // The core VLV result on the real electrical stack: a 90 kOhm
+  // cell-internal bridge passes the nominal-voltage test and fails at 1 V.
+  const auto defect = defects::representative_bridge(
+      layout::BridgeCategory::CellTrueFalse, block_2x1(), 90e3);
+  analog::Netlist at_nominal = sram::build_block(block_2x1());
+  defects::inject(at_nominal, defect);
+  EXPECT_TRUE(run_march_analog(std::move(at_nominal), block_2x1(),
+                               march::test_11n(), {1.8, 25e-9})
+                  .log.passed());
+  analog::Netlist at_vlv = sram::build_block(block_2x1());
+  defects::inject(at_vlv, defect);
+  EXPECT_FALSE(run_march_analog(std::move(at_vlv), block_2x1(),
+                                march::test_11n(), {1.0, 100e-9})
+                   .log.passed());
+}
+
+TEST(RunMarchAnalog, FourRowTwoColumnBlockPasses) {
+  // Exercises the NAND2 row decoder (2 address bits), the column selects,
+  // and both columns' sense paths in one transient. MATS+ keeps the cost
+  // at ~1 s.
+  sram::BlockSpec spec;
+  spec.rows = 4;
+  spec.cols = 2;
+  const auto run = run_march_analog(sram::build_block(spec), spec,
+                                    march::mats_plus(), {1.8, 25e-9});
+  EXPECT_TRUE(run.log.passed()) << run.log.summary(march::mats_plus());
+}
+
+TEST(RunMarchAnalog, FourRowBlockLocalizesAnInjectedFault) {
+  // The decoder must route the failure to exactly the defective cell —
+  // row 2 of 4 — proving per-row addressing works electrically.
+  sram::BlockSpec spec;
+  spec.rows = 4;
+  spec.cols = 1;
+  analog::Netlist nl = sram::build_block(spec);
+  defects::Defect d;
+  d.kind = defects::DefectKind::Bridge;
+  d.net_a = "cell2_0_t";
+  d.net_b = "cell2_0_f";
+  d.resistance = 100.0;
+  defects::inject(nl, d);
+  const auto run = run_march_analog(std::move(nl), spec, march::mats_plus_plus(),
+                                    {1.8, 25e-9});
+  ASSERT_FALSE(run.log.passed());
+  const auto cells = run.log.failing_cells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(*cells.begin(), std::make_pair(2, 0));
+}
+
+TEST(RunMarchAnalog, TraceContainsOutputsAndExtras) {
+  AteOptions options;
+  options.extra_record = {"bl0", "wl0"};
+  const auto run = run_march_analog(sram::build_block(block_2x1()), block_2x1(),
+                                    march::mats_plus_plus(), {1.8, 25e-9},
+                                    options);
+  EXPECT_NO_THROW(run.trace.signal_index("q0"));
+  EXPECT_NO_THROW(run.trace.signal_index("bl0"));
+  EXPECT_NO_THROW(run.trace.signal_index("wl0"));
+}
+
+TEST(RunMarchAnalog, RejectsCoarseResolution) {
+  AteOptions options;
+  options.steps_per_cycle = 4;
+  EXPECT_THROW(run_march_analog(sram::build_block(block_2x1()), block_2x1(),
+                                march::test_11n(), {1.8, 25e-9}, options),
+               Error);
+}
+
+TEST(RunShmoo, OracleDrivesTheGrid) {
+  // Shmoo plumbing is tested against a synthetic oracle (no analog cost):
+  // fails below 1.2 V or faster than 16 ns — a VLV+at-speed compound.
+  const auto oracle = [](const sram::StressPoint& at) {
+    return at.vdd >= 1.2 && at.period >= 16e-9;
+  };
+  const std::vector<double> vdds{1.0, 1.4, 1.8};
+  const std::vector<double> periods{10e-9, 20e-9, 30e-9};
+  const ShmooGrid grid = run_shmoo(oracle, vdds, periods);
+  EXPECT_EQ(grid.at(0, 1), ShmooCell::Fail);  // 1.0 V
+  EXPECT_EQ(grid.at(1, 1), ShmooCell::Pass);  // 1.4 V / 20 ns
+  EXPECT_EQ(grid.at(2, 0), ShmooCell::Fail);  // 10 ns
+  EXPECT_EQ(grid.fail_count(), 3u + 2u);      // bottom row + left column
+}
+
+TEST(StandardAxes, CoverThePaperRanges) {
+  const auto vdds = standard_shmoo_vdds();
+  EXPECT_NEAR(vdds.front(), 0.8, 1e-9);
+  EXPECT_NEAR(vdds.back(), 2.2, 1e-9);
+  // Must include the four test voltages (on the 0.1 V grid; Vmin/Vmax land
+  // between points, which is how real shmoos are read too).
+  const auto periods = standard_shmoo_periods();
+  EXPECT_EQ(periods.front(), 10e-9);
+  EXPECT_EQ(periods.back(), 100e-9);
+  // The tester floor of 15 ns and the 16/17 ns boundary of Fig. 9.
+  EXPECT_NE(std::find(periods.begin(), periods.end(), 15e-9), periods.end());
+  EXPECT_NE(std::find(periods.begin(), periods.end(), 16e-9), periods.end());
+  EXPECT_NE(std::find(periods.begin(), periods.end(), 17e-9), periods.end());
+}
+
+}  // namespace
+}  // namespace memstress::tester

@@ -1,0 +1,97 @@
+#include "tester/iddq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "defects/defect.hpp"
+#include "sram/block.hpp"
+
+namespace memstress::tester {
+namespace {
+
+sram::BlockSpec block_2x1() {
+  sram::BlockSpec spec;
+  spec.rows = 2;
+  spec.cols = 1;
+  return spec;
+}
+
+TEST(IddqScreen, ThresholdScalesWithMemorySize) {
+  IddqScreen small;
+  small.cells = 1024;
+  IddqScreen large;
+  large.cells = 1024 * 1024;
+  EXPECT_NEAR(large.threshold_a() / small.threshold_a(), 1024.0, 1e-6);
+}
+
+TEST(IddqScreen, DetectionComparesDefectCurrentToBackground) {
+  IddqScreen screen;
+  screen.leakage_per_cell_a = 1e-10;
+  screen.cells = 1000;        // background 0.1 uA, threshold 0.02 uA
+  IddqMeasurement strong;
+  strong.baseline_a = 1e-9;
+  strong.current_a = 1e-6;    // 1 uA defect
+  EXPECT_TRUE(screen.detects(strong));
+  IddqMeasurement weak;
+  weak.baseline_a = 1e-9;
+  weak.current_a = 1.5e-8;    // 14 nA defect < 20 nA threshold
+  EXPECT_FALSE(screen.detects(weak));
+}
+
+// Analog measurements below cost a few hundred ms each.
+
+TEST(MeasureIddq, FaultFreeBlockDrawsOnlyLeakage) {
+  const analog::Netlist golden = sram::build_block(block_2x1());
+  const IddqMeasurement m =
+      measure_iddq(golden, golden, block_2x1(), {1.8, 25e-9});
+  EXPECT_NEAR(m.defect_current_a(), 0.0, 1e-9);
+  // The healthy quiescent current of a 2-cell block is far below a microamp
+  // (decoder leak resistor plus model leakage floors).
+  EXPECT_LT(std::abs(m.baseline_a), 2e-6);
+}
+
+TEST(MeasureIddq, BridgeDrawsMicroamps) {
+  const sram::BlockSpec spec = block_2x1();
+  const analog::Netlist golden = sram::build_block(spec);
+  analog::Netlist faulty = golden;
+  defects::inject(faulty, defects::representative_bridge(
+                              layout::BridgeCategory::CellTrueFalse, spec, 90e3));
+  const IddqMeasurement m =
+      measure_iddq(golden, std::move(faulty), spec, {1.8, 25e-9});
+  // A 90 kOhm bridge across a cell holding a '0' draws ~Vdd/R ~ 20 uA.
+  EXPECT_GT(m.defect_current_a(), 5e-6);
+  EXPECT_LT(m.defect_current_a(), 60e-6);
+}
+
+TEST(MeasureIddq, OpenDrawsNoExtraCurrent) {
+  // Iddq's blind spot: resistive opens add no DC path.
+  const sram::BlockSpec spec = block_2x1();
+  const analog::Netlist golden = sram::build_block(spec);
+  analog::Netlist faulty = golden;
+  defects::inject(faulty, defects::representative_open(
+                              layout::OpenCategory::CellAccess, spec, 30e3));
+  const IddqMeasurement m =
+      measure_iddq(golden, std::move(faulty), spec, {1.8, 25e-9});
+  EXPECT_LT(std::abs(m.defect_current_a()), 1e-7);
+}
+
+TEST(MeasureIddq, ScalingKillsIddqForLargeMemories) {
+  // The Kruseman-02 story in one test: the same 90 kOhm bridge current is
+  // detectable against a 4 Kbit background and invisible against 4 Mbit.
+  const sram::BlockSpec spec = block_2x1();
+  const analog::Netlist golden = sram::build_block(spec);
+  analog::Netlist faulty = golden;
+  defects::inject(faulty, defects::representative_bridge(
+                              layout::BridgeCategory::CellTrueFalse, spec, 90e3));
+  const IddqMeasurement m =
+      measure_iddq(golden, std::move(faulty), spec, {1.8, 25e-9});
+
+  IddqScreen small;
+  small.cells = 4 * 1024;
+  IddqScreen large;
+  large.cells = 4 * 1024 * 1024;
+  EXPECT_TRUE(small.detects(m));
+  EXPECT_FALSE(large.detects(m));
+}
+
+}  // namespace
+}  // namespace memstress::tester

@@ -1,0 +1,158 @@
+#include "tester/stimulus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "march/library.hpp"
+#include "util/error.hpp"
+
+namespace memstress::tester {
+namespace {
+
+sram::BlockSpec block_2x1() {
+  sram::BlockSpec spec;
+  spec.rows = 2;
+  spec.cols = 1;
+  return spec;
+}
+
+const analog::VSource& source(const analog::Netlist& nl, const std::string& name) {
+  for (const auto& src : nl.vsources())
+    if (src.name == name) return src;
+  throw Error("missing source " + name);
+}
+
+TEST(CompileMarch, CycleCountIsComplexityTimesCells) {
+  analog::Netlist nl = sram::build_block(block_2x1());
+  const CompiledMarch compiled =
+      compile_march(nl, block_2x1(), march::test_11n(), {1.8, 25e-9});
+  EXPECT_EQ(compiled.cycles.size(), 11u * 2u);
+  EXPECT_DOUBLE_EQ(compiled.period, 25e-9);
+  EXPECT_DOUBLE_EQ(compiled.t_stop, 22 * 25e-9);
+}
+
+TEST(CompileMarch, ScheduleFollowsElementOrder) {
+  analog::Netlist nl = sram::build_block(block_2x1());
+  const CompiledMarch compiled =
+      compile_march(nl, block_2x1(), march::test_11n(), {1.8, 25e-9});
+  // Element 0 (*(w0)) ascending: addr 0 then addr 1.
+  EXPECT_EQ(compiled.cycles[0].row, 0);
+  EXPECT_EQ(compiled.cycles[1].row, 1);
+  EXPECT_FALSE(compiled.cycles[0].operation.is_read);
+  // Element 3 (v(r0,w1,r1)) descends.
+  const CycleInfo& c = compiled.cycles[2 + 4 + 6];  // first cycle of element 3
+  EXPECT_EQ(c.element, 3);
+  EXPECT_EQ(c.row, 1);
+  EXPECT_TRUE(c.operation.is_read);
+}
+
+TEST(CompileMarch, SampleTimeLandsLateInCycle) {
+  analog::Netlist nl = sram::build_block(block_2x1());
+  const CompiledMarch compiled =
+      compile_march(nl, block_2x1(), march::test_11n(), {1.8, 100e-9});
+  EXPECT_NEAR(compiled.sample_time(0), 90e-9, 1e-12);
+  EXPECT_NEAR(compiled.sample_time(3), 300e-9 + 90e-9, 1e-12);
+}
+
+TEST(CompileMarch, PrechargePulsesEveryCycle) {
+  analog::Netlist nl = sram::build_block(block_2x1());
+  const double T = 100e-9;
+  compile_march(nl, block_2x1(), march::test_11n(), {1.8, T});
+  const auto& pre = source(nl, sram::BlockSources::pre);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const double t0 = cycle * T;
+    EXPECT_LT(pre.wave.value(t0 + 0.15 * T), 0.2) << cycle;  // active low
+    EXPECT_GT(pre.wave.value(t0 + 0.6 * T), 1.6) << cycle;   // released
+  }
+}
+
+TEST(CompileMarch, WordlineEnableWindowInsideCycle) {
+  analog::Netlist nl = sram::build_block(block_2x1());
+  const double T = 100e-9;
+  compile_march(nl, block_2x1(), march::test_11n(), {1.8, T});
+  const auto& wlen = source(nl, sram::BlockSources::wlen_b);
+  EXPECT_GT(wlen.wave.value(0.10 * T), 1.6);  // disabled during precharge
+  EXPECT_LT(wlen.wave.value(0.60 * T), 0.2);  // enabled mid-cycle
+  EXPECT_GT(wlen.wave.value(0.99 * T), 1.6);  // disabled at the boundary
+}
+
+TEST(CompileMarch, WriteEnableOnlyOnWriteCycles) {
+  analog::Netlist nl = sram::build_block(block_2x1());
+  const double T = 100e-9;
+  const CompiledMarch compiled =
+      compile_march(nl, block_2x1(), march::test_11n(), {1.8, T});
+  const auto& we = source(nl, sram::BlockSources::we);
+  for (std::size_t k = 0; k < 6; ++k) {
+    const double mid = k * T + 0.6 * T;
+    if (compiled.cycles[k].operation.is_read) {
+      EXPECT_LT(we.wave.value(mid), 0.2) << "cycle " << k;
+    } else {
+      EXPECT_GT(we.wave.value(mid), 1.6) << "cycle " << k;
+    }
+  }
+}
+
+TEST(CompileMarch, AddressBitTracksRow) {
+  analog::Netlist nl = sram::build_block(block_2x1());
+  const double T = 100e-9;
+  const CompiledMarch compiled =
+      compile_march(nl, block_2x1(), march::test_11n(), {1.8, T});
+  const auto& a0 = source(nl, sram::BlockSources::addr(0));
+  for (std::size_t k = 0; k < compiled.cycles.size(); ++k) {
+    const double mid = k * T + 0.5 * T;
+    const double level = a0.wave.value(mid);
+    if (compiled.cycles[k].row == 1) {
+      EXPECT_GT(level, 1.6) << "cycle " << k;
+    } else {
+      EXPECT_LT(level, 0.2) << "cycle " << k;
+    }
+  }
+}
+
+TEST(CompileMarch, DataLinesComplementaryOnWrites) {
+  analog::Netlist nl = sram::build_block(block_2x1());
+  const double T = 100e-9;
+  const CompiledMarch compiled =
+      compile_march(nl, block_2x1(), march::test_11n(), {1.8, T});
+  const auto& din = source(nl, sram::BlockSources::din);
+  const auto& dinb = source(nl, sram::BlockSources::dinb);
+  for (std::size_t k = 0; k < compiled.cycles.size(); ++k) {
+    if (compiled.cycles[k].operation.is_read) continue;
+    const double mid = k * T + 0.6 * T;
+    const double d = din.wave.value(mid);
+    const double db = dinb.wave.value(mid);
+    EXPECT_NEAR(d + db, 1.8, 0.05) << "cycle " << k;
+    if (compiled.cycles[k].operation.value) {
+      EXPECT_GT(d, 1.6);
+    } else {
+      EXPECT_LT(d, 0.2);
+    }
+  }
+}
+
+TEST(CompileMarch, VddScalesWithCondition) {
+  analog::Netlist nl = sram::build_block(block_2x1());
+  compile_march(nl, block_2x1(), march::test_11n(), {1.0, 100e-9});
+  EXPECT_DOUBLE_EQ(source(nl, sram::BlockSources::vdd).wave.value(1e-9), 1.0);
+}
+
+TEST(CompileMarch, RejectsBadInput) {
+  analog::Netlist nl = sram::build_block(block_2x1());
+  EXPECT_THROW(compile_march(nl, block_2x1(), march::test_11n(), {0.0, 25e-9}),
+               Error);
+  march::MarchTest empty;
+  EXPECT_THROW(compile_march(nl, block_2x1(), empty, {1.8, 25e-9}), Error);
+}
+
+TEST(SeedBlockState, AcceptsAnyBlock) {
+  for (int rows : {2, 4}) {
+    sram::BlockSpec spec;
+    spec.rows = rows;
+    spec.cols = 2;
+    const analog::Netlist nl = sram::build_block(spec);
+    analog::Simulator sim(nl);
+    EXPECT_NO_THROW(seed_block_state(sim, nl, spec, 1.8));
+  }
+}
+
+}  // namespace
+}  // namespace memstress::tester

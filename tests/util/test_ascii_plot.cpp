@@ -1,0 +1,93 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace memstress {
+namespace {
+
+ShmooGrid make_grid() {
+  return ShmooGrid({1.0, 1.5, 2.0}, {10e-9, 20e-9, 30e-9, 40e-9});
+}
+
+TEST(ShmooGrid, StartsUntested) {
+  const ShmooGrid grid = make_grid();
+  for (std::size_t y = 0; y < grid.y_count(); ++y)
+    for (std::size_t x = 0; x < grid.x_count(); ++x)
+      EXPECT_EQ(grid.at(y, x), ShmooCell::Untested);
+  EXPECT_TRUE(grid.all_pass());
+  EXPECT_EQ(grid.fail_count(), 0u);
+}
+
+TEST(ShmooGrid, SetAndQueryCells) {
+  ShmooGrid grid = make_grid();
+  grid.set(0, 0, ShmooCell::Fail);
+  grid.set(2, 3, ShmooCell::Pass);
+  EXPECT_EQ(grid.at(0, 0), ShmooCell::Fail);
+  EXPECT_EQ(grid.at(2, 3), ShmooCell::Pass);
+  EXPECT_EQ(grid.fail_count(), 1u);
+  EXPECT_FALSE(grid.all_pass());
+}
+
+TEST(ShmooGrid, AxesMustBeStrictlyIncreasing) {
+  EXPECT_THROW(ShmooGrid({1.0, 1.0}, {1e-9}), Error);
+  EXPECT_THROW(ShmooGrid({2.0, 1.0}, {1e-9}), Error);
+  EXPECT_THROW(ShmooGrid({1.0}, {}), Error);
+}
+
+TEST(ShmooGrid, OutOfRangeAccessThrows) {
+  ShmooGrid grid = make_grid();
+  EXPECT_THROW(grid.set(3, 0, ShmooCell::Pass), Error);
+  EXPECT_THROW((void)grid.at(0, 4), Error);
+}
+
+TEST(ShmooGrid, RenderShowsHighVoltageFirst) {
+  ShmooGrid grid = make_grid();
+  grid.set(2, 0, ShmooCell::Fail);  // 2.0 V row
+  grid.set(0, 0, ShmooCell::Pass);  // 1.0 V row
+  const std::string text = grid.render("title");
+  const auto pos_high = text.find("2.00 V");
+  const auto pos_low = text.find("1.00 V");
+  ASSERT_NE(pos_high, std::string::npos);
+  ASSERT_NE(pos_low, std::string::npos);
+  EXPECT_LT(pos_high, pos_low);
+  EXPECT_NE(text.find('X'), std::string::npos);
+  EXPECT_NE(text.find('+'), std::string::npos);
+}
+
+TEST(ShmooGrid, RenderIncludesTitle) {
+  const std::string text = make_grid().render("Chip-1 shmoo");
+  EXPECT_EQ(text.rfind("Chip-1 shmoo", 0), 0u);
+}
+
+TEST(XySeries, RendersEveryPoint) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{10, 20, 40, 80};
+  const std::string text = render_xy_series("t", "x", "y", xs, ys, false, 8);
+  int stars = 0;
+  for (char c : text)
+    if (c == '*') ++stars;
+  EXPECT_EQ(stars, 4);
+}
+
+TEST(XySeries, LogScaleHandlesDecades) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{1e3, 1e5, 1e7};
+  const std::string text = render_xy_series("t", "x", "y", xs, ys, true, 10);
+  EXPECT_NE(text.find("log scale"), std::string::npos);
+}
+
+TEST(XySeries, RejectsMismatchedInput) {
+  EXPECT_THROW(render_xy_series("t", "x", "y", {1}, {1, 2}, false), Error);
+  EXPECT_THROW(render_xy_series("t", "x", "y", {}, {}, false), Error);
+}
+
+TEST(XySeries, ConstantSeriesDoesNotDivideByZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{5, 5, 5};
+  EXPECT_NO_THROW(render_xy_series("t", "x", "y", xs, ys, false));
+}
+
+}  // namespace
+}  // namespace memstress

@@ -1,0 +1,83 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace memstress {
+namespace {
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(csv.to_string(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  CsvWriter csv({"text"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  csv.add_row({"has\nnewline"});
+  EXPECT_EQ(csv.to_string(),
+            "text\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvWriter, RejectsArityMismatch) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), Error);
+}
+
+TEST(CsvRoundTrip, PreservesContent) {
+  CsvWriter csv({"name", "value"});
+  csv.add_row({"plain", "1"});
+  csv.add_row({"com,ma", "2"});
+  csv.add_row({"qu\"ote", "3"});
+  csv.add_row({"new\nline", "4"});
+  const CsvContent parsed = parse_csv(csv.to_string());
+  ASSERT_EQ(parsed.header, (std::vector<std::string>{"name", "value"}));
+  ASSERT_EQ(parsed.rows.size(), 4u);
+  EXPECT_EQ(parsed.rows[1][0], "com,ma");
+  EXPECT_EQ(parsed.rows[2][0], "qu\"ote");
+  EXPECT_EQ(parsed.rows[3][0], "new\nline");
+}
+
+TEST(CsvParse, ToleratesCrlf) {
+  const CsvContent parsed = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(parsed.rows.size(), 1u);
+  EXPECT_EQ(parsed.rows[0][1], "2");
+}
+
+TEST(CsvParse, HandlesMissingTrailingNewline) {
+  const CsvContent parsed = parse_csv("a,b\n1,2");
+  ASSERT_EQ(parsed.rows.size(), 1u);
+  EXPECT_EQ(parsed.rows[0][0], "1");
+}
+
+TEST(CsvParse, RejectsUnterminatedQuote) {
+  EXPECT_THROW(parse_csv("a\n\"oops"), Error);
+}
+
+TEST(CsvParse, RejectsEmptyInput) {
+  EXPECT_THROW(parse_csv(""), Error);
+}
+
+TEST(CsvFile, SaveAndLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/memstress_csv_test.csv";
+  CsvWriter csv({"k", "v"});
+  csv.add_row({"x", "42"});
+  csv.save(path);
+  const CsvContent loaded = load_csv(path);
+  ASSERT_EQ(loaded.rows.size(), 1u);
+  EXPECT_EQ(loaded.rows[0][1], "42");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, LoadMissingFileThrows) {
+  EXPECT_THROW(load_csv("/nonexistent/definitely/not/here.csv"), Error);
+}
+
+}  // namespace
+}  // namespace memstress

@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memstress {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The library must stay quiet by default.
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST(Log, LevelIsSettableAndReadable) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST(Log, EmittersRespectThreshold) {
+  // No crash and no observable side effects below the threshold; this
+  // also exercises the variadic concat path.
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  log_info("value = ", 42, ", name = ", "x");
+  log_debug("debug ", 3.14);
+  log_warn("warn ", true);
+  set_log_level(LogLevel::Trace);
+  testing::internal::CaptureStderr();
+  log_info("hello ", 7);
+  const std::string text = testing::internal::GetCapturedStderr();
+  EXPECT_NE(text.find("[INFO] hello 7"), std::string::npos);
+}
+
+TEST(Log, MessageBelowLevelSuppressed) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Error);
+  testing::internal::CaptureStderr();
+  log_info("should not appear");
+  log_warn("neither should this");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+}  // namespace
+}  // namespace memstress

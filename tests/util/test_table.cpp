@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace memstress {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(text.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(TextTable, RowArityMustMatchHeader) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Format, FixedDigits) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(3.0, 0), "3");
+  EXPECT_EQ(fmt_fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Format, ResistanceEngineeringNotation) {
+  EXPECT_EQ(fmt_resistance(20.0), "20 Ohm");
+  EXPECT_EQ(fmt_resistance(1000.0), "1 kOhm");
+  EXPECT_EQ(fmt_resistance(90e3), "90 kOhm");
+  EXPECT_EQ(fmt_resistance(4e6), "4 MOhm");
+  EXPECT_EQ(fmt_resistance(1.5e6), "1.5 MOhm");
+}
+
+TEST(Format, TimeEngineeringNotation) {
+  EXPECT_EQ(fmt_time(15e-9), "15 ns");
+  EXPECT_EQ(fmt_time(100e-9), "100 ns");
+  EXPECT_EQ(fmt_time(2e-6), "2 us");
+  EXPECT_EQ(fmt_time(1.0), "1 s");
+  EXPECT_EQ(fmt_time(3e-12), "3 ps");
+}
+
+TEST(Format, RatioMatchesPaperStyle) {
+  EXPECT_EQ(fmt_ratio(1.0), "1x");
+  EXPECT_EQ(fmt_ratio(4.4), "4.4x");
+  EXPECT_EQ(fmt_ratio(9.3), "9.3x");
+  EXPECT_EQ(fmt_ratio(4.45), "4.45x");
+}
+
+TEST(Format, PercentFromFraction) {
+  EXPECT_EQ(fmt_percent(0.9892), "98.92");
+  EXPECT_EQ(fmt_percent(1.0), "100.00");
+}
+
+}  // namespace
+}  // namespace memstress

@@ -1,0 +1,36 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace memstress {
+namespace {
+
+TEST(Units, PrefixValues) {
+  EXPECT_DOUBLE_EQ(MEGA, 1e6);
+  EXPECT_DOUBLE_EQ(KILO * MILLI, 1.0);
+  EXPECT_DOUBLE_EQ(GIGA * NANO, 1.0);
+  EXPECT_DOUBLE_EQ(TERA * PICO, 1.0);
+  EXPECT_DOUBLE_EQ(MICRO * MEGA, 1.0);
+  EXPECT_DOUBLE_EQ(FEMTO, 1e-15);
+}
+
+TEST(Units, PeriodFrequencyRoundTrip) {
+  EXPECT_DOUBLE_EQ(period_to_freq(100 * NANO), 10 * MEGA);
+  EXPECT_DOUBLE_EQ(freq_to_period(50 * MEGA), 20 * NANO);
+  for (const double period : {10e-9, 15e-9, 25e-9, 100e-9}) {
+    EXPECT_DOUBLE_EQ(freq_to_period(period_to_freq(period)), period);
+  }
+}
+
+TEST(Units, UsableInConstexprContext) {
+  // Reciprocals of decimal constants are inexact in binary floating point;
+  // the point of this test is only that the helpers are constexpr-evaluable
+  // (use exactly representable powers of two).
+  constexpr double freq = period_to_freq(0.5);
+  static_assert(freq == 2.0);
+  static_assert(freq_to_period(4.0) == 0.25);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace memstress
