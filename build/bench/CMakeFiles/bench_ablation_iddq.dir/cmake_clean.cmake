@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_iddq.dir/bench_ablation_iddq.cpp.o"
+  "CMakeFiles/bench_ablation_iddq.dir/bench_ablation_iddq.cpp.o.d"
+  "bench_ablation_iddq"
+  "bench_ablation_iddq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_iddq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_march_tests.dir/bench_ablation_march_tests.cpp.o"
+  "CMakeFiles/bench_ablation_march_tests.dir/bench_ablation_march_tests.cpp.o.d"
+  "bench_ablation_march_tests"
+  "bench_ablation_march_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_march_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

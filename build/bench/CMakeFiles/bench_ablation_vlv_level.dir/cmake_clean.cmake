@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vlv_level.dir/bench_ablation_vlv_level.cpp.o"
+  "CMakeFiles/bench_ablation_vlv_level.dir/bench_ablation_vlv_level.cpp.o.d"
+  "bench_ablation_vlv_level"
+  "bench_ablation_vlv_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vlv_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_vlv_level.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_chip4_atspeed.dir/bench_fig10_chip4_atspeed.cpp.o"
+  "CMakeFiles/bench_fig10_chip4_atspeed.dir/bench_fig10_chip4_atspeed.cpp.o.d"
+  "bench_fig10_chip4_atspeed"
+  "bench_fig10_chip4_atspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_chip4_atspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_venn_study.dir/bench_fig11_venn_study.cpp.o"
+  "CMakeFiles/bench_fig11_venn_study.dir/bench_fig11_venn_study.cpp.o.d"
+  "bench_fig11_venn_study"
+  "bench_fig11_venn_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_venn_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_shmoo_reference.dir/bench_fig3_shmoo_reference.cpp.o"
+  "CMakeFiles/bench_fig3_shmoo_reference.dir/bench_fig3_shmoo_reference.cpp.o.d"
+  "bench_fig3_shmoo_reference"
+  "bench_fig3_shmoo_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_shmoo_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_chip1_vlv.dir/bench_fig4_chip1_vlv.cpp.o"
+  "CMakeFiles/bench_fig4_chip1_vlv.dir/bench_fig4_chip1_vlv.cpp.o.d"
+  "bench_fig4_chip1_vlv"
+  "bench_fig4_chip1_vlv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_chip1_vlv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_open_escape_vnom.dir/bench_fig5_open_escape_vnom.cpp.o"
+  "CMakeFiles/bench_fig5_open_escape_vnom.dir/bench_fig5_open_escape_vnom.cpp.o.d"
+  "bench_fig5_open_escape_vnom"
+  "bench_fig5_open_escape_vnom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_open_escape_vnom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_open_detect_vmax.dir/bench_fig6_open_detect_vmax.cpp.o"
+  "CMakeFiles/bench_fig6_open_detect_vmax.dir/bench_fig6_open_detect_vmax.cpp.o.d"
+  "bench_fig6_open_detect_vmax"
+  "bench_fig6_open_detect_vmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_open_detect_vmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_chip2_vmax.dir/bench_fig7_chip2_vmax.cpp.o"
+  "CMakeFiles/bench_fig7_chip2_vmax.dir/bench_fig7_chip2_vmax.cpp.o.d"
+  "bench_fig7_chip2_vmax"
+  "bench_fig7_chip2_vmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_chip2_vmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

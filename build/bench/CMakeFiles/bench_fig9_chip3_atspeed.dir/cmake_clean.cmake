@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_chip3_atspeed.dir/bench_fig9_chip3_atspeed.cpp.o"
+  "CMakeFiles/bench_fig9_chip3_atspeed.dir/bench_fig9_chip3_atspeed.cpp.o.d"
+  "bench_fig9_chip3_atspeed"
+  "bench_fig9_chip3_atspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_chip3_atspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

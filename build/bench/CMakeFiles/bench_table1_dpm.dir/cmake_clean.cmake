@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dpm.dir/bench_table1_dpm.cpp.o"
+  "CMakeFiles/bench_table1_dpm.dir/bench_table1_dpm.cpp.o.d"
+  "bench_table1_dpm"
+  "bench_table1_dpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

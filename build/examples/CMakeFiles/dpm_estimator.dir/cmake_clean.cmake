@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_estimator.dir/dpm_estimator.cpp.o"
+  "CMakeFiles/dpm_estimator.dir/dpm_estimator.cpp.o.d"
+  "dpm_estimator"
+  "dpm_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbist_selftest.dir/mbist_selftest.cpp.o"
+  "CMakeFiles/mbist_selftest.dir/mbist_selftest.cpp.o.d"
+  "mbist_selftest"
+  "mbist_selftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbist_selftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

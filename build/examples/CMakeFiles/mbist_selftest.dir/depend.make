@@ -1,0 +1,2 @@
+# Empty dependencies file for mbist_selftest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_test_floor.dir/virtual_test_floor.cpp.o"
+  "CMakeFiles/virtual_test_floor.dir/virtual_test_floor.cpp.o.d"
+  "virtual_test_floor"
+  "virtual_test_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_test_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

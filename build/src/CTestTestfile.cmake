@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("analog")
+subdirs("layout")
+subdirs("sram")
+subdirs("march")
+subdirs("mbist")
+subdirs("repair")
+subdirs("defects")
+subdirs("tester")
+subdirs("estimator")
+subdirs("study")
+subdirs("core")

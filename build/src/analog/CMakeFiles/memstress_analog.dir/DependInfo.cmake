@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/engine.cpp" "src/analog/CMakeFiles/memstress_analog.dir/engine.cpp.o" "gcc" "src/analog/CMakeFiles/memstress_analog.dir/engine.cpp.o.d"
+  "/root/repo/src/analog/matrix.cpp" "src/analog/CMakeFiles/memstress_analog.dir/matrix.cpp.o" "gcc" "src/analog/CMakeFiles/memstress_analog.dir/matrix.cpp.o.d"
+  "/root/repo/src/analog/measure.cpp" "src/analog/CMakeFiles/memstress_analog.dir/measure.cpp.o" "gcc" "src/analog/CMakeFiles/memstress_analog.dir/measure.cpp.o.d"
+  "/root/repo/src/analog/mos_model.cpp" "src/analog/CMakeFiles/memstress_analog.dir/mos_model.cpp.o" "gcc" "src/analog/CMakeFiles/memstress_analog.dir/mos_model.cpp.o.d"
+  "/root/repo/src/analog/netlist.cpp" "src/analog/CMakeFiles/memstress_analog.dir/netlist.cpp.o" "gcc" "src/analog/CMakeFiles/memstress_analog.dir/netlist.cpp.o.d"
+  "/root/repo/src/analog/waveform.cpp" "src/analog/CMakeFiles/memstress_analog.dir/waveform.cpp.o" "gcc" "src/analog/CMakeFiles/memstress_analog.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/memstress_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstress_analog.dir/engine.cpp.o"
+  "CMakeFiles/memstress_analog.dir/engine.cpp.o.d"
+  "CMakeFiles/memstress_analog.dir/matrix.cpp.o"
+  "CMakeFiles/memstress_analog.dir/matrix.cpp.o.d"
+  "CMakeFiles/memstress_analog.dir/measure.cpp.o"
+  "CMakeFiles/memstress_analog.dir/measure.cpp.o.d"
+  "CMakeFiles/memstress_analog.dir/mos_model.cpp.o"
+  "CMakeFiles/memstress_analog.dir/mos_model.cpp.o.d"
+  "CMakeFiles/memstress_analog.dir/netlist.cpp.o"
+  "CMakeFiles/memstress_analog.dir/netlist.cpp.o.d"
+  "CMakeFiles/memstress_analog.dir/waveform.cpp.o"
+  "CMakeFiles/memstress_analog.dir/waveform.cpp.o.d"
+  "libmemstress_analog.a"
+  "libmemstress_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstress_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

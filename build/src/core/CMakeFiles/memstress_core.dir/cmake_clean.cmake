@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstress_core.dir/pipeline.cpp.o"
+  "CMakeFiles/memstress_core.dir/pipeline.cpp.o.d"
+  "libmemstress_core.a"
+  "libmemstress_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstress_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

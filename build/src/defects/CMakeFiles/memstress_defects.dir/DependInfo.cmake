@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defects/defect.cpp" "src/defects/CMakeFiles/memstress_defects.dir/defect.cpp.o" "gcc" "src/defects/CMakeFiles/memstress_defects.dir/defect.cpp.o.d"
+  "/root/repo/src/defects/distributions.cpp" "src/defects/CMakeFiles/memstress_defects.dir/distributions.cpp.o" "gcc" "src/defects/CMakeFiles/memstress_defects.dir/distributions.cpp.o.d"
+  "/root/repo/src/defects/sampler.cpp" "src/defects/CMakeFiles/memstress_defects.dir/sampler.cpp.o" "gcc" "src/defects/CMakeFiles/memstress_defects.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sram/CMakeFiles/memstress_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/memstress_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/memstress_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/memstress_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

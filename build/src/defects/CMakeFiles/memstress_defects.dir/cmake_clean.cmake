@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstress_defects.dir/defect.cpp.o"
+  "CMakeFiles/memstress_defects.dir/defect.cpp.o.d"
+  "CMakeFiles/memstress_defects.dir/distributions.cpp.o"
+  "CMakeFiles/memstress_defects.dir/distributions.cpp.o.d"
+  "CMakeFiles/memstress_defects.dir/sampler.cpp.o"
+  "CMakeFiles/memstress_defects.dir/sampler.cpp.o.d"
+  "libmemstress_defects.a"
+  "libmemstress_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstress_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstress_estimator.dir/coverage.cpp.o"
+  "CMakeFiles/memstress_estimator.dir/coverage.cpp.o.d"
+  "CMakeFiles/memstress_estimator.dir/detectability.cpp.o"
+  "CMakeFiles/memstress_estimator.dir/detectability.cpp.o.d"
+  "CMakeFiles/memstress_estimator.dir/dpm.cpp.o"
+  "CMakeFiles/memstress_estimator.dir/dpm.cpp.o.d"
+  "CMakeFiles/memstress_estimator.dir/schedule.cpp.o"
+  "CMakeFiles/memstress_estimator.dir/schedule.cpp.o.d"
+  "libmemstress_estimator.a"
+  "libmemstress_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstress_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/critical_area.cpp" "src/layout/CMakeFiles/memstress_layout.dir/critical_area.cpp.o" "gcc" "src/layout/CMakeFiles/memstress_layout.dir/critical_area.cpp.o.d"
+  "/root/repo/src/layout/geometry.cpp" "src/layout/CMakeFiles/memstress_layout.dir/geometry.cpp.o" "gcc" "src/layout/CMakeFiles/memstress_layout.dir/geometry.cpp.o.d"
+  "/root/repo/src/layout/sram_layout.cpp" "src/layout/CMakeFiles/memstress_layout.dir/sram_layout.cpp.o" "gcc" "src/layout/CMakeFiles/memstress_layout.dir/sram_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/memstress_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

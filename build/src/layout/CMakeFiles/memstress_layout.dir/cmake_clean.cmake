@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstress_layout.dir/critical_area.cpp.o"
+  "CMakeFiles/memstress_layout.dir/critical_area.cpp.o.d"
+  "CMakeFiles/memstress_layout.dir/geometry.cpp.o"
+  "CMakeFiles/memstress_layout.dir/geometry.cpp.o.d"
+  "CMakeFiles/memstress_layout.dir/sram_layout.cpp.o"
+  "CMakeFiles/memstress_layout.dir/sram_layout.cpp.o.d"
+  "libmemstress_layout.a"
+  "libmemstress_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstress_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/march/engine.cpp" "src/march/CMakeFiles/memstress_march.dir/engine.cpp.o" "gcc" "src/march/CMakeFiles/memstress_march.dir/engine.cpp.o.d"
+  "/root/repo/src/march/generator.cpp" "src/march/CMakeFiles/memstress_march.dir/generator.cpp.o" "gcc" "src/march/CMakeFiles/memstress_march.dir/generator.cpp.o.d"
+  "/root/repo/src/march/library.cpp" "src/march/CMakeFiles/memstress_march.dir/library.cpp.o" "gcc" "src/march/CMakeFiles/memstress_march.dir/library.cpp.o.d"
+  "/root/repo/src/march/march.cpp" "src/march/CMakeFiles/memstress_march.dir/march.cpp.o" "gcc" "src/march/CMakeFiles/memstress_march.dir/march.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sram/CMakeFiles/memstress_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/memstress_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/memstress_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/memstress_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstress_march.dir/engine.cpp.o"
+  "CMakeFiles/memstress_march.dir/engine.cpp.o.d"
+  "CMakeFiles/memstress_march.dir/generator.cpp.o"
+  "CMakeFiles/memstress_march.dir/generator.cpp.o.d"
+  "CMakeFiles/memstress_march.dir/library.cpp.o"
+  "CMakeFiles/memstress_march.dir/library.cpp.o.d"
+  "CMakeFiles/memstress_march.dir/march.cpp.o"
+  "CMakeFiles/memstress_march.dir/march.cpp.o.d"
+  "libmemstress_march.a"
+  "libmemstress_march.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstress_march.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

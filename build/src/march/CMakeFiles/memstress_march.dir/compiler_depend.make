@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for memstress_march.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mbist/controller.cpp" "src/mbist/CMakeFiles/memstress_mbist.dir/controller.cpp.o" "gcc" "src/mbist/CMakeFiles/memstress_mbist.dir/controller.cpp.o.d"
+  "/root/repo/src/mbist/program.cpp" "src/mbist/CMakeFiles/memstress_mbist.dir/program.cpp.o" "gcc" "src/mbist/CMakeFiles/memstress_mbist.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/march/CMakeFiles/memstress_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/memstress_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/memstress_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/memstress_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/memstress_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

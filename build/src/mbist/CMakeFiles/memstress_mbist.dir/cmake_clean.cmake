@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstress_mbist.dir/controller.cpp.o"
+  "CMakeFiles/memstress_mbist.dir/controller.cpp.o.d"
+  "CMakeFiles/memstress_mbist.dir/program.cpp.o"
+  "CMakeFiles/memstress_mbist.dir/program.cpp.o.d"
+  "libmemstress_mbist.a"
+  "libmemstress_mbist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstress_mbist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstress_repair.dir/repair.cpp.o"
+  "CMakeFiles/memstress_repair.dir/repair.cpp.o.d"
+  "libmemstress_repair.a"
+  "libmemstress_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstress_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstress_sram.dir/behavioral.cpp.o"
+  "CMakeFiles/memstress_sram.dir/behavioral.cpp.o.d"
+  "CMakeFiles/memstress_sram.dir/block.cpp.o"
+  "CMakeFiles/memstress_sram.dir/block.cpp.o.d"
+  "CMakeFiles/memstress_sram.dir/snm.cpp.o"
+  "CMakeFiles/memstress_sram.dir/snm.cpp.o.d"
+  "libmemstress_sram.a"
+  "libmemstress_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstress_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/study/diagnose.cpp" "src/study/CMakeFiles/memstress_study.dir/diagnose.cpp.o" "gcc" "src/study/CMakeFiles/memstress_study.dir/diagnose.cpp.o.d"
+  "/root/repo/src/study/study.cpp" "src/study/CMakeFiles/memstress_study.dir/study.cpp.o" "gcc" "src/study/CMakeFiles/memstress_study.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/estimator/CMakeFiles/memstress_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/defects/CMakeFiles/memstress_defects.dir/DependInfo.cmake"
+  "/root/repo/build/src/tester/CMakeFiles/memstress_tester.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/memstress_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/memstress_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/memstress_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/memstress_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/memstress_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstress_study.dir/diagnose.cpp.o"
+  "CMakeFiles/memstress_study.dir/diagnose.cpp.o.d"
+  "CMakeFiles/memstress_study.dir/study.cpp.o"
+  "CMakeFiles/memstress_study.dir/study.cpp.o.d"
+  "libmemstress_study.a"
+  "libmemstress_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstress_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstress_tester.dir/ate.cpp.o"
+  "CMakeFiles/memstress_tester.dir/ate.cpp.o.d"
+  "CMakeFiles/memstress_tester.dir/iddq.cpp.o"
+  "CMakeFiles/memstress_tester.dir/iddq.cpp.o.d"
+  "CMakeFiles/memstress_tester.dir/stimulus.cpp.o"
+  "CMakeFiles/memstress_tester.dir/stimulus.cpp.o.d"
+  "libmemstress_tester.a"
+  "libmemstress_tester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstress_tester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstress_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/memstress_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/memstress_util.dir/csv.cpp.o"
+  "CMakeFiles/memstress_util.dir/csv.cpp.o.d"
+  "CMakeFiles/memstress_util.dir/log.cpp.o"
+  "CMakeFiles/memstress_util.dir/log.cpp.o.d"
+  "CMakeFiles/memstress_util.dir/rng.cpp.o"
+  "CMakeFiles/memstress_util.dir/rng.cpp.o.d"
+  "CMakeFiles/memstress_util.dir/table.cpp.o"
+  "CMakeFiles/memstress_util.dir/table.cpp.o.d"
+  "libmemstress_util.a"
+  "libmemstress_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstress_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemstress_util.a"
+)

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analog.dir/analog/test_current_recording.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_current_recording.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_dc.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_dc.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_engine.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_engine.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_engine_property.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_engine_property.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_matrix.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_matrix.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_measure.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_measure.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_mos_model.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_mos_model.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_netlist.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_netlist.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_temperature.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_temperature.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/test_waveform.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/test_waveform.cpp.o.d"
+  "test_analog"
+  "test_analog.pdb"
+  "test_analog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_defects.dir/defects/test_defect.cpp.o"
+  "CMakeFiles/test_defects.dir/defects/test_defect.cpp.o.d"
+  "CMakeFiles/test_defects.dir/defects/test_distributions.cpp.o"
+  "CMakeFiles/test_defects.dir/defects/test_distributions.cpp.o.d"
+  "CMakeFiles/test_defects.dir/defects/test_sampler.cpp.o"
+  "CMakeFiles/test_defects.dir/defects/test_sampler.cpp.o.d"
+  "test_defects"
+  "test_defects.pdb"
+  "test_defects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

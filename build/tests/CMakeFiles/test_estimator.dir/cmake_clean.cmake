@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimator.dir/estimator/test_coverage.cpp.o"
+  "CMakeFiles/test_estimator.dir/estimator/test_coverage.cpp.o.d"
+  "CMakeFiles/test_estimator.dir/estimator/test_detectability.cpp.o"
+  "CMakeFiles/test_estimator.dir/estimator/test_detectability.cpp.o.d"
+  "CMakeFiles/test_estimator.dir/estimator/test_dpm.cpp.o"
+  "CMakeFiles/test_estimator.dir/estimator/test_dpm.cpp.o.d"
+  "CMakeFiles/test_estimator.dir/estimator/test_schedule.cpp.o"
+  "CMakeFiles/test_estimator.dir/estimator/test_schedule.cpp.o.d"
+  "test_estimator"
+  "test_estimator.pdb"
+  "test_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_march.dir/march/test_background.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_background.cpp.o.d"
+  "CMakeFiles/test_march.dir/march/test_engine.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_engine.cpp.o.d"
+  "CMakeFiles/test_march.dir/march/test_engine_property.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_engine_property.cpp.o.d"
+  "CMakeFiles/test_march.dir/march/test_generator.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_generator.cpp.o.d"
+  "CMakeFiles/test_march.dir/march/test_library.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_library.cpp.o.d"
+  "CMakeFiles/test_march.dir/march/test_march.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_march.cpp.o.d"
+  "CMakeFiles/test_march.dir/march/test_movi.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_movi.cpp.o.d"
+  "CMakeFiles/test_march.dir/march/test_retention.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_retention.cpp.o.d"
+  "test_march"
+  "test_march.pdb"
+  "test_march[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_march.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

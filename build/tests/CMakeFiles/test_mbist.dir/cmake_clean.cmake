@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbist.dir/mbist/test_controller.cpp.o"
+  "CMakeFiles/test_mbist.dir/mbist/test_controller.cpp.o.d"
+  "CMakeFiles/test_mbist.dir/mbist/test_program.cpp.o"
+  "CMakeFiles/test_mbist.dir/mbist/test_program.cpp.o.d"
+  "test_mbist"
+  "test_mbist.pdb"
+  "test_mbist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

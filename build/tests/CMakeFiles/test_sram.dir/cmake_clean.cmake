@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sram.dir/sram/test_behavioral.cpp.o"
+  "CMakeFiles/test_sram.dir/sram/test_behavioral.cpp.o.d"
+  "CMakeFiles/test_sram.dir/sram/test_block.cpp.o"
+  "CMakeFiles/test_sram.dir/sram/test_block.cpp.o.d"
+  "CMakeFiles/test_sram.dir/sram/test_block_property.cpp.o"
+  "CMakeFiles/test_sram.dir/sram/test_block_property.cpp.o.d"
+  "CMakeFiles/test_sram.dir/sram/test_snm.cpp.o"
+  "CMakeFiles/test_sram.dir/sram/test_snm.cpp.o.d"
+  "test_sram"
+  "test_sram.pdb"
+  "test_sram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tester.dir/tester/test_ate.cpp.o"
+  "CMakeFiles/test_tester.dir/tester/test_ate.cpp.o.d"
+  "CMakeFiles/test_tester.dir/tester/test_iddq.cpp.o"
+  "CMakeFiles/test_tester.dir/tester/test_iddq.cpp.o.d"
+  "CMakeFiles/test_tester.dir/tester/test_retention_analog.cpp.o"
+  "CMakeFiles/test_tester.dir/tester/test_retention_analog.cpp.o.d"
+  "CMakeFiles/test_tester.dir/tester/test_stimulus.cpp.o"
+  "CMakeFiles/test_tester.dir/tester/test_stimulus.cpp.o.d"
+  "test_tester"
+  "test_tester.pdb"
+  "test_tester[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

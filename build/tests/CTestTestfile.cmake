@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_analog[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_sram[1]_include.cmake")
+include("/root/repo/build/tests/test_march[1]_include.cmake")
+include("/root/repo/build/tests/test_mbist[1]_include.cmake")
+include("/root/repo/build/tests/test_repair[1]_include.cmake")
+include("/root/repo/build/tests/test_defects[1]_include.cmake")
+include("/root/repo/build/tests/test_tester[1]_include.cmake")
+include("/root/repo/build/tests/test_estimator[1]_include.cmake")
+include("/root/repo/build/tests/test_study[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
