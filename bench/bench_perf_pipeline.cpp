@@ -1,0 +1,208 @@
+// Perf-regression bench for the parallel pipeline: times the three layers
+// that ISSUE-1 parallelised — grid characterization, the sharded Monte-Carlo
+// study, and detectability lookups (indexed vs the old linear scan) — at one
+// thread and at the machine's default thread count, and checks that the
+// parallel artifacts are bit-identical to the serial ones.
+//
+// The last stdout line is machine-readable for trend tracking:
+//   BENCH_JSON {"bench":"perf_pipeline", ...}
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "defects/sampler.hpp"
+#include "estimator/detectability.hpp"
+#include "layout/sram_layout.hpp"
+#include "study/study.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+using namespace memstress;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// A reduced (but not trivial) characterization grid: ~100 transients, a few
+/// seconds serial, enough work per task for the fan-out to dominate setup.
+estimator::CharacterizeSpec bench_spec() {
+  estimator::CharacterizeSpec spec;
+  spec.block = bench::standard_block();
+  spec.test = march::test_11n();
+  spec.vdds = {1.0, 1.8};
+  spec.periods = {100e-9, 25e-9};
+  spec.bridge_resistances = {1e3, 90e3};
+  spec.open_resistances = {3e4, 1e6};
+  spec.gox_vbds = {1.7};
+  return spec;
+}
+
+/// The old O(entries) lookup, kept here as the baseline the index is raced
+/// against.
+bool linear_detected(const estimator::DetectabilityDb& db,
+                     defects::DefectKind kind, int category, double resistance,
+                     double vdd, double period, double vbd) {
+  const estimator::DbEntry* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  const double log_r = std::log(resistance);
+  for (const auto& e : db.entries()) {
+    if (e.kind != kind || e.category != category) continue;
+    const double dv = (e.vdd - vdd) / 0.05;
+    const double dt = (std::log(e.period) - std::log(period)) / 0.05;
+    const double dr = std::log(e.resistance) - log_r;
+    const double db_ = (e.vbd - vbd) * 10.0;
+    const double cost = (dv * dv + dt * dt) * 1e6 + dr * dr + db_ * db_;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &e;
+    }
+  }
+  return best && best->detected;
+}
+
+struct LookupQuery {
+  defects::DefectKind kind;
+  int category;
+  double resistance, vdd, period, vbd;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("perf_pipeline",
+                      "parallel characterize / study / DB lookup timings");
+  const int threads = default_thread_count();
+  std::printf("default thread count: %d (MEMSTRESS_THREADS overrides)\n\n",
+              threads);
+
+  // --- Layer 1: grid characterization, serial vs parallel. -----------------
+  estimator::CharacterizeSpec spec = bench_spec();
+  spec.threads = 1;
+  auto t0 = std::chrono::steady_clock::now();
+  const estimator::DetectabilityDb serial_db = estimator::characterize(spec);
+  const double characterize_serial_s = seconds_since(t0);
+
+  spec.threads = threads;
+  t0 = std::chrono::steady_clock::now();
+  const estimator::DetectabilityDb parallel_db = estimator::characterize(spec);
+  const double characterize_parallel_s = seconds_since(t0);
+  const bool csv_identical = serial_db.to_csv() == parallel_db.to_csv();
+
+  std::printf("characterize (%zu grid points): %.3f s @ 1 thread, %.3f s @ %d "
+              "threads (%.2fx)  csv %s\n",
+              serial_db.size(), characterize_serial_s, characterize_parallel_s,
+              threads, characterize_serial_s / characterize_parallel_s,
+              csv_identical ? "IDENTICAL" : "MISMATCH");
+
+  // --- Layer 2: Monte-Carlo study, serial vs sharded. ----------------------
+  const auto model = layout::generate_sram_layout(8, 8);
+  const defects::DefectSampler sampler(
+      defects::aggregate_sites(layout::extract_bridges(model),
+                               layout::extract_opens(model)),
+      defects::FabModel{}, bench::standard_block());
+  study::StudyConfig study_config;
+  study_config.device_count = 200000;
+  study_config.seed = 2005;
+
+  study_config.threads = 1;
+  t0 = std::chrono::steady_clock::now();
+  const study::StudyResult study_serial =
+      study::run_study(study_config, serial_db, sampler);
+  const double study_serial_s = seconds_since(t0);
+
+  study_config.threads = threads;
+  t0 = std::chrono::steady_clock::now();
+  const study::StudyResult study_parallel =
+      study::run_study(study_config, serial_db, sampler);
+  const double study_parallel_s = seconds_since(t0);
+  const bool study_identical =
+      study_serial.defective == study_parallel.defective &&
+      study_serial.standard_fails == study_parallel.standard_fails &&
+      study_serial.escapes == study_parallel.escapes &&
+      study_serial.venn.total() == study_parallel.venn.total();
+
+  std::printf("study (%ld devices): %.3f s @ 1 thread, %.3f s @ %d threads "
+              "(%.2fx)  counts %s\n",
+              study_config.device_count, study_serial_s, study_parallel_s,
+              threads, study_serial_s / study_parallel_s,
+              study_identical ? "IDENTICAL" : "MISMATCH");
+
+  // --- Layer 3: detectability lookups, linear scan vs index. ---------------
+  // Queries drawn once, replayed against both implementations.
+  std::vector<LookupQuery> queries;
+  {
+    Rng rng(7);
+    const auto& entries = serial_db.entries();
+    queries.reserve(20000);
+    for (int q = 0; q < 20000; ++q) {
+      const auto& e = entries[rng.below(entries.size())];
+      queries.push_back({e.kind, e.category, e.resistance * rng.uniform(0.5, 2.0),
+                         e.vdd, e.period, e.vbd});
+    }
+  }
+  long hits = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (const auto& q : queries)
+    hits += linear_detected(serial_db, q.kind, q.category, q.resistance, q.vdd,
+                            q.period, q.vbd)
+                ? 1
+                : 0;
+  const double lookup_linear_s = seconds_since(t0);
+
+  long indexed_hits = 0;
+  (void)serial_db.detected(queries[0].kind, queries[0].category,
+                           queries[0].resistance, queries[0].vdd,
+                           queries[0].period, queries[0].vbd);  // build index
+  t0 = std::chrono::steady_clock::now();
+  for (const auto& q : queries)
+    indexed_hits += serial_db.detected(q.kind, q.category, q.resistance, q.vdd,
+                                       q.period, q.vbd)
+                        ? 1
+                        : 0;
+  const double lookup_indexed_s = seconds_since(t0);
+
+  std::printf("db lookup (%zu queries over %zu entries): %.1f us linear, "
+              "%.1f us indexed (%.1fx)  verdicts %s\n\n",
+              queries.size(), serial_db.size(), 1e6 * lookup_linear_s,
+              1e6 * lookup_indexed_s, lookup_linear_s / lookup_indexed_s,
+              hits == indexed_hits ? "IDENTICAL" : "MISMATCH");
+
+  const double characterize_speedup =
+      characterize_serial_s / characterize_parallel_s;
+  const double study_speedup = study_serial_s / study_parallel_s;
+  const double lookup_speedup = lookup_linear_s / lookup_indexed_s;
+  std::printf("Shape checks:\n");
+  std::printf("  parallel characterize CSV byte-identical .. %s\n",
+              csv_identical ? "HOLDS" : "DEVIATES");
+  std::printf("  parallel study counts identical ........... %s\n",
+              study_identical ? "HOLDS" : "DEVIATES");
+  std::printf("  indexed lookup verdicts identical ......... %s\n",
+              hits == indexed_hits ? "HOLDS" : "DEVIATES");
+  std::printf("  indexed lookup faster than linear ......... %s\n\n",
+              lookup_speedup > 1.0 ? "HOLDS" : "DEVIATES");
+
+  std::printf(
+      "BENCH_JSON {\"bench\":\"perf_pipeline\",\"threads\":%d,"
+      "\"characterize_grid_points\":%zu,"
+      "\"characterize_serial_s\":%.4f,\"characterize_parallel_s\":%.4f,"
+      "\"characterize_speedup\":%.3f,\"csv_identical\":%s,"
+      "\"study_devices\":%ld,"
+      "\"study_serial_s\":%.4f,\"study_parallel_s\":%.4f,"
+      "\"study_speedup\":%.3f,\"study_identical\":%s,"
+      "\"lookup_queries\":%zu,\"lookup_linear_s\":%.6f,"
+      "\"lookup_indexed_s\":%.6f,\"lookup_speedup\":%.3f}\n",
+      threads, serial_db.size(), characterize_serial_s,
+      characterize_parallel_s, characterize_speedup,
+      csv_identical ? "true" : "false", study_config.device_count,
+      study_serial_s, study_parallel_s, study_speedup,
+      study_identical ? "true" : "false", queries.size(), lookup_linear_s,
+      lookup_indexed_s, lookup_speedup);
+  return csv_identical && study_identical && hits == indexed_hits ? 0 : 1;
+}

@@ -45,8 +45,10 @@ struct PipelineConfig {
   /// written to it after a fresh characterization.
   std::string db_cache_path;
 
-  /// Progress callback for the characterization (nullptr = silent).
-  void (*progress)(const std::string&) = nullptr;
+  /// Progress callback for the characterization (empty = silent). A full
+  /// std::function: callers can capture state, and characterize() serializes
+  /// invocations so the callee needs no locking even at high thread counts.
+  estimator::ProgressFn progress;
 };
 
 class StressEvaluationPipeline {

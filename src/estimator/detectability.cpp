@@ -9,6 +9,7 @@
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace memstress::estimator {
@@ -16,25 +17,88 @@ namespace memstress::estimator {
 using defects::Defect;
 using defects::DefectKind;
 
-void DetectabilityDb::add(DbEntry entry) { entries_.push_back(entry); }
+DetectabilityDb::DetectabilityDb(const DetectabilityDb& other)
+    : entries_(other.entries_) {}
+
+DetectabilityDb& DetectabilityDb::operator=(const DetectabilityDb& other) {
+  entries_ = other.entries_;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  index_.reset();
+  return *this;
+}
+
+DetectabilityDb::DetectabilityDb(DetectabilityDb&& other) noexcept
+    : entries_(std::move(other.entries_)) {}
+
+DetectabilityDb& DetectabilityDb::operator=(DetectabilityDb&& other) noexcept {
+  entries_ = std::move(other.entries_);
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  index_.reset();
+  return *this;
+}
+
+void DetectabilityDb::add(DbEntry entry) {
+  entries_.push_back(entry);
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  index_.reset();
+}
+
+std::shared_ptr<const DetectabilityDb::Index> DetectabilityDb::index() const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (index_) return index_;
+  auto built = std::make_shared<Index>();
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    const DbEntry& e = entries_[i];
+    Bucket& bucket = (*built)[{static_cast<int>(e.kind), e.category}];
+    ConditionGroup* group = nullptr;
+    for (auto& g : bucket.groups) {
+      if (g.vdd == e.vdd && g.period == e.period) {
+        group = &g;
+        break;
+      }
+    }
+    if (!group) {
+      bucket.groups.push_back({e.vdd, e.period, std::log(e.period), {}});
+      group = &bucket.groups.back();
+    }
+    group->entry_indices.push_back(i);
+  }
+  index_ = std::move(built);
+  return index_;
+}
 
 bool DetectabilityDb::detected(DefectKind kind, int category, double resistance,
                                double vdd, double period, double vbd) const {
+  const auto idx = index();
+  const auto it = idx->find({static_cast<int>(kind), category});
+  require(it != idx->end(),
+          "DetectabilityDb: no entries for this defect class");
+
+  // Condition distance dominates; defect parameters break ties within a
+  // corner. The arithmetic (and the first-entry-wins tie-break on equal
+  // cost) is kept bit-identical to a linear scan over entries(): the
+  // condition term is a lower bound on an entry's total cost, so a whole
+  // group can be skipped once it exceeds the best cost seen.
+  const double log_r = std::log(resistance);
+  const double log_p = std::log(period);
   const DbEntry* best = nullptr;
   double best_cost = std::numeric_limits<double>::infinity();
-  const double log_r = std::log(resistance);
-  for (const auto& e : entries_) {
-    if (e.kind != kind || e.category != category) continue;
-    // Condition distance dominates; defect parameters break ties within a
-    // corner.
-    const double dv = (e.vdd - vdd) / 0.05;
-    const double dt = (std::log(e.period) - std::log(period)) / 0.05;
-    const double dr = std::log(e.resistance) - log_r;
-    const double db = (e.vbd - vbd) * 10.0;  // 0.1 V of vbd ~ one ln unit of R
-    const double cost = (dv * dv + dt * dt) * 1e6 + dr * dr + db * db;
-    if (cost < best_cost) {
-      best_cost = cost;
-      best = &e;
+  std::uint32_t best_index = std::numeric_limits<std::uint32_t>::max();
+  for (const ConditionGroup& group : it->second.groups) {
+    const double dv = (group.vdd - vdd) / 0.05;
+    const double dt = (group.log_period - log_p) / 0.05;
+    const double condition_cost = (dv * dv + dt * dt) * 1e6;
+    if (condition_cost > best_cost) continue;
+    for (const std::uint32_t i : group.entry_indices) {
+      const DbEntry& e = entries_[i];
+      const double dr = std::log(e.resistance) - log_r;
+      const double db = (e.vbd - vbd) * 10.0;
+      const double cost = condition_cost + dr * dr + db * db;
+      if (cost < best_cost || (cost == best_cost && i < best_index)) {
+        best_cost = cost;
+        best_index = i;
+        best = &e;
+      }
     }
   }
   require(best != nullptr, "DetectabilityDb: no entries for this defect class");
@@ -51,13 +115,14 @@ bool DetectabilityDb::detected(const Defect& defect,
 }
 
 std::vector<sram::StressPoint> DetectabilityDb::conditions() const {
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(entries_.size());
+  for (const auto& e : entries_) pairs.emplace_back(e.vdd, e.period);
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
   std::vector<sram::StressPoint> result;
-  for (const auto& e : entries_) {
-    const bool seen = std::any_of(result.begin(), result.end(), [&](const auto& c) {
-      return c.vdd == e.vdd && c.period == e.period;
-    });
-    if (!seen) result.push_back({e.vdd, e.period});
-  }
+  result.reserve(pairs.size());
+  for (const auto& [vdd, period] : pairs) result.push_back({vdd, period});
   return result;
 }
 
@@ -111,25 +176,30 @@ DetectabilityDb DetectabilityDb::load(const std::string& path) {
   return from_csv(buffer.str());
 }
 
-DetectabilityDb characterize(const CharacterizeSpec& spec,
-                             void (*progress)(const std::string&)) {
-  DetectabilityDb db;
-  const analog::Netlist golden = sram::build_block(spec.block);
+namespace {
 
-  auto run_one = [&](const Defect& defect, double vdd, double period) {
-    analog::Netlist faulty = golden;
-    defects::inject(faulty, defect);
-    const sram::StressPoint at{vdd, period};
-    const tester::AnalogRun run =
-        tester::run_march_analog(std::move(faulty), spec.block, spec.test, at,
-                                 spec.ate);
-    return !run.log.passed();
-  };
+/// One grid point of the characterization sweep: a defect to inject and the
+/// entry (minus its `detected` bit) it will produce. Tasks are generated in
+/// the canonical serial grid order and committed to the database in that
+/// same order, so the resulting CSV is byte-identical at any thread count.
+struct CharacterizeTask {
+  Defect defect;
+  DbEntry entry;
+};
 
-  auto report = [&](const Defect& defect, const DbEntry& e) {
-    if (progress)
-      progress(defect.tag() + " @ " + fmt_fixed(e.vdd, 2) + " V / " +
-               fmt_time(e.period) + " -> " + (e.detected ? "DETECTED" : "escape"));
+std::vector<CharacterizeTask> build_tasks(const CharacterizeSpec& spec) {
+  std::vector<CharacterizeTask> tasks;
+  const auto push = [&tasks](const Defect& defect, DefectKind kind,
+                             int category, double resistance, double vbd,
+                             double vdd, double period) {
+    DbEntry e;
+    e.kind = kind;
+    e.category = category;
+    e.resistance = resistance;
+    e.vbd = vbd;
+    e.vdd = vdd;
+    e.period = period;
+    tasks.push_back({defect, e});
   };
 
   for (const auto category : defects::simulatable_bridge_categories(spec.block)) {
@@ -140,57 +210,68 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
         Defect defect = defects::representative_bridge(category, spec.block,
                                                        spec.gox_resistance);
         defect.breakdown_v = vbd;
-        for (const double vdd : spec.vdds) {
-          for (const double period : spec.periods) {
-            DbEntry e;
-            e.kind = DefectKind::Bridge;
-            e.category = static_cast<int>(category);
-            e.resistance = spec.gox_resistance;
-            e.vbd = vbd;
-            e.vdd = vdd;
-            e.period = period;
-            e.detected = run_one(defect, vdd, period);
-            db.add(e);
-            report(defect, e);
-          }
-        }
+        for (const double vdd : spec.vdds)
+          for (const double period : spec.periods)
+            push(defect, DefectKind::Bridge, static_cast<int>(category),
+                 spec.gox_resistance, vbd, vdd, period);
       }
       continue;
     }
     for (const double r : spec.bridge_resistances) {
       const Defect defect = defects::representative_bridge(category, spec.block, r);
-      for (const double vdd : spec.vdds) {
-        for (const double period : spec.periods) {
-          DbEntry e;
-          e.kind = DefectKind::Bridge;
-          e.category = static_cast<int>(category);
-          e.resistance = r;
-          e.vdd = vdd;
-          e.period = period;
-          e.detected = run_one(defect, vdd, period);
-          db.add(e);
-          report(defect, e);
-        }
-      }
+      for (const double vdd : spec.vdds)
+        for (const double period : spec.periods)
+          push(defect, DefectKind::Bridge, static_cast<int>(category), r, 0.0,
+               vdd, period);
     }
   }
   for (const auto category : defects::simulatable_open_categories(spec.block)) {
     for (const double r : spec.open_resistances) {
       const Defect defect = defects::representative_open(category, spec.block, r);
-      for (const double vdd : spec.vdds) {
-        for (const double period : spec.periods) {
-          DbEntry e;
-          e.kind = DefectKind::Open;
-          e.category = static_cast<int>(category);
-          e.resistance = r;
-          e.vdd = vdd;
-          e.period = period;
-          e.detected = run_one(defect, vdd, period);
-          db.add(e);
-          report(defect, e);
-        }
-      }
+      for (const double vdd : spec.vdds)
+        for (const double period : spec.periods)
+          push(defect, DefectKind::Open, static_cast<int>(category), r, 0.0,
+               vdd, period);
     }
+  }
+  return tasks;
+}
+
+}  // namespace
+
+DetectabilityDb characterize(const CharacterizeSpec& spec,
+                             const ProgressFn& progress) {
+  const analog::Netlist golden = sram::build_block(spec.block);
+  std::vector<CharacterizeTask> tasks = build_tasks(spec);
+
+  // Every grid point is an independent transient simulation; fan them out.
+  // `detected` is indexed by task, so completion order never matters.
+  std::vector<char> detected(tasks.size(), 0);
+  std::mutex progress_mutex;
+  parallel_for(
+      tasks.size(),
+      [&](std::size_t i) {
+        const CharacterizeTask& task = tasks[i];
+        analog::Netlist faulty = golden;
+        defects::inject(faulty, task.defect);
+        const sram::StressPoint at{task.entry.vdd, task.entry.period};
+        const tester::AnalogRun run = tester::run_march_analog(
+            std::move(faulty), spec.block, spec.test, at, spec.ate);
+        detected[i] = !run.log.passed() ? 1 : 0;
+        if (progress) {
+          std::lock_guard<std::mutex> lock(progress_mutex);
+          progress(task.defect.tag() + " @ " + fmt_fixed(task.entry.vdd, 2) +
+                   " V / " + fmt_time(task.entry.period) + " -> " +
+                   (detected[i] ? "DETECTED" : "escape"));
+        }
+      },
+      spec.threads);
+
+  DetectabilityDb db;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    DbEntry e = tasks[i].entry;
+    e.detected = detected[i] != 0;
+    db.add(e);
   }
   return db;
 }

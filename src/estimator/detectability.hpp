@@ -8,7 +8,13 @@
 // expensive IFA + analogue flow.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "defects/defect.hpp"
@@ -31,6 +37,14 @@ struct DbEntry {
 
 class DetectabilityDb {
  public:
+  DetectabilityDb() = default;
+  // The lazily built lookup index never travels with a copy or move; it is
+  // rebuilt on demand against the destination's entry list.
+  DetectabilityDb(const DetectabilityDb& other);
+  DetectabilityDb& operator=(const DetectabilityDb& other);
+  DetectabilityDb(DetectabilityDb&& other) noexcept;
+  DetectabilityDb& operator=(DetectabilityDb&& other) noexcept;
+
   void add(DbEntry entry);
   std::size_t size() const { return entries_.size(); }
   const std::vector<DbEntry>& entries() const { return entries_; }
@@ -38,11 +52,17 @@ class DetectabilityDb {
   /// Nearest-neighbour lookup: exact (kind, category) match, nearest
   /// condition, then nearest (log-resistance, breakdown-voltage) point.
   /// Throws Error when no entry exists for the (kind, category) at all.
+  ///
+  /// Served from a lazily built per-(kind, category) index bucketed by
+  /// stress condition — O(bucket) instead of O(entries) — and guaranteed to
+  /// return exactly what a linear scan over `entries()` would. Concurrent
+  /// lookups from many threads are safe; `add()` invalidates the index.
   bool detected(defects::DefectKind kind, int category, double resistance,
                 double vdd, double period, double vbd = 0.0) const;
   bool detected(const defects::Defect& defect, const sram::StressPoint& at) const;
 
-  /// All distinct stress conditions present in the database.
+  /// All distinct stress conditions present in the database, sorted by
+  /// (vdd, period).
   std::vector<sram::StressPoint> conditions() const;
 
   // CSV persistence (schema: kind,category,resistance,vdd,period,detected).
@@ -52,7 +72,24 @@ class DetectabilityDb {
   static DetectabilityDb load(const std::string& path);
 
  private:
+  /// Entries for one exact (vdd, period) stress condition within a bucket,
+  /// kept in insertion order so tie-breaking matches the linear scan.
+  struct ConditionGroup {
+    double vdd = 0.0;
+    double period = 0.0;
+    double log_period = 0.0;  ///< cached std::log(period)
+    std::vector<std::uint32_t> entry_indices;
+  };
+  struct Bucket {
+    std::vector<ConditionGroup> groups;
+  };
+  using Index = std::map<std::pair<int, int>, Bucket>;
+
+  std::shared_ptr<const Index> index() const;
+
   std::vector<DbEntry> entries_;
+  mutable std::mutex index_mutex_;
+  mutable std::shared_ptr<const Index> index_;  ///< null until first lookup
 };
 
 /// Grid over which to characterize. The defaults are the paper's corners:
@@ -81,12 +118,21 @@ struct CharacterizeSpec {
                                1.85, 1.925, 2.0, 2.2, 2.6};
   double gox_resistance = 5e3;
   tester::AteOptions ate;
+  /// Worker threads for the grid sweep: 1 = serial, 0 = MEMSTRESS_THREADS /
+  /// hardware default. The produced database (and thus its CSV) is
+  /// byte-identical at every thread count.
+  int threads = 0;
 };
 
+/// A line-per-grid-point progress sink. May capture state; characterize()
+/// serializes invocations, so the callee needs no locking of its own.
+using ProgressFn = std::function<void(const std::string&)>;
+
 /// Run the full analog characterization (expensive: one transient per grid
-/// point). `progress`, when non-null, receives a line per grid point.
+/// point). Grid points are independent and fan out across spec.threads
+/// workers; entries are committed in grid order regardless of thread count.
 DetectabilityDb characterize(const CharacterizeSpec& spec,
-                             void (*progress)(const std::string&) = nullptr);
+                             const ProgressFn& progress = nullptr);
 
 /// Pass/fail outcome at the paper's standard stress corners.
 struct CornerOutcomes {

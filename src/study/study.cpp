@@ -1,8 +1,10 @@
 #include "study/study.hpp"
 
+#include <cstdint>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace memstress::study {
 
@@ -72,42 +74,85 @@ DeviceOutcome evaluate_device(const std::vector<Defect>& defect_list,
   return outcome;
 }
 
+namespace {
+
+/// Per-device flags recorded by the parallel shards; reduced serially in
+/// device order afterwards so the accounting below is scheduling-free.
+struct DeviceRecord {
+  bool defective = false;
+  bool standard_fail = false;
+  bool escape = false;
+  bool vlv_fail = false;
+  bool vmax_fail = false;
+  bool atspeed_fail = false;
+  bool interesting = false;
+};
+
+}  // namespace
+
 StudyResult run_study(const StudyConfig& config,
                       const estimator::DetectabilityDb& db,
                       const defects::DefectSampler& sampler) {
   require(config.device_count > 0, "run_study: device_count must be positive");
-  Rng rng(config.seed);
   const double lambda =
       sampler.fab().expected_defects(config.chip_area_um2());
+  const std::size_t devices = static_cast<std::size_t>(config.device_count);
+
+  // Each device owns an independent child generator (Rng::split contract:
+  // one master draw seeds one child). The seeds are drawn serially up front,
+  // so the per-device streams — and therefore every count below — do not
+  // depend on how the device loop is scheduled across threads.
+  std::vector<std::uint64_t> seeds(devices);
+  {
+    Rng master(config.seed);
+    for (auto& seed : seeds) seed = master();
+  }
+
+  std::vector<DeviceRecord> records(devices);
+  parallel_for(
+      devices,
+      [&](std::size_t d) {
+        Rng rng(seeds[d]);
+        const unsigned n = rng.poisson(lambda);
+        if (n == 0) return;
+        std::vector<Defect> defect_list;
+        defect_list.reserve(n);
+        for (unsigned i = 0; i < n; ++i)
+          defect_list.push_back(sampler.sample(rng));
+        const DeviceOutcome outcome = evaluate_device(defect_list, config, db);
+        DeviceRecord& record = records[d];
+        record.defective = true;
+        record.standard_fail = outcome.standard_fail;
+        record.escape = outcome.escape;
+        record.vlv_fail = outcome.vlv_fail;
+        record.vmax_fail = outcome.vmax_fail;
+        record.atspeed_fail = outcome.atspeed_fail;
+        record.interesting = outcome.interesting();
+      },
+      config.threads);
 
   StudyResult result;
   result.devices = config.device_count;
-
-  for (long d = 0; d < config.device_count; ++d) {
-    const unsigned n = rng.poisson(lambda);
-    if (n == 0) continue;
-    std::vector<Defect> defect_list;
-    defect_list.reserve(n);
-    for (unsigned i = 0; i < n; ++i) defect_list.push_back(sampler.sample(rng));
-    const DeviceOutcome outcome = evaluate_device(defect_list, config, db);
+  for (const DeviceRecord& record : records) {
+    if (!record.defective) continue;
     ++result.defective;
 
-    if (outcome.standard_fail) ++result.standard_fails;
-    if (outcome.escape) ++result.escapes;
+    if (record.standard_fail) ++result.standard_fails;
+    if (record.escape) ++result.escapes;
 
     // Escape accounting per augmentation strategy. The standard test is
     // always applied; each strategy adds one stress screen.
-    if (!outcome.standard_fail) {
+    if (!record.standard_fail) {
       ++result.escapes_standard_only;
-      if (!outcome.vlv_fail) ++result.escapes_with_vlv;
-      if (!outcome.vmax_fail) ++result.escapes_with_vmax;
-      if (!outcome.atspeed_fail) ++result.escapes_with_atspeed;
+      if (!record.vlv_fail) ++result.escapes_with_vlv;
+      if (!record.vmax_fail) ++result.escapes_with_vmax;
+      if (!record.atspeed_fail) ++result.escapes_with_atspeed;
     }
 
-    if (outcome.interesting()) {
-      const bool v = outcome.vlv_fail;
-      const bool m = outcome.vmax_fail;
-      const bool s = outcome.atspeed_fail;
+    if (record.interesting) {
+      const bool v = record.vlv_fail;
+      const bool m = record.vmax_fail;
+      const bool s = record.atspeed_fail;
       if (v && m && s) ++result.venn.all_three;
       else if (v && m) ++result.venn.vlv_and_vmax;
       else if (v && s) ++result.venn.vlv_and_atspeed;

@@ -26,6 +26,11 @@ struct StudyConfig {
   double vlv_period = 100e-9;     ///< 10 MHz for the VLV condition
   double fast_period = 15e-9;     ///< tester floor for at-speed
   std::uint64_t seed = 2005;
+  /// Worker threads for the device loop: 1 = serial, 0 = MEMSTRESS_THREADS /
+  /// hardware default. Each device draws from its own Rng child stream
+  /// seeded serially from `seed`, so every count in the result (and the
+  /// Fig. 11 Venn breakdown) is identical at any thread count.
+  int threads = 0;
 
   double chip_area_um2() const {
     return static_cast<double>(instances_per_chip) * bits_per_instance *

@@ -1,0 +1,129 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memstress {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("MEMSTRESS_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1 && parsed <= 4096)
+      return static_cast<int>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int resolve_thread_count(int requested) {
+  return requested >= 1 ? requested : default_thread_count();
+}
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> workers;
+
+  // Job state, guarded by `mutex` except where noted.
+  std::uint64_t generation = 0;
+  bool stopping = false;
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> cursor{0};
+  int active = 0;
+  std::exception_ptr error;
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      std::size_t job_count = 0;
+      const std::function<void(std::size_t)>* job_body = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        start_cv.wait(lock, [&] {
+          return stopping || generation != seen_generation;
+        });
+        if (stopping) return;
+        seen_generation = generation;
+        job_count = count;
+        job_body = body;
+      }
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job_count) break;
+        try {
+          (*job_body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+          // Abandon the rest of the range: park the cursor past the end so
+          // every worker drains quickly.
+          cursor.store(job_count, std::memory_order_relaxed);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--active == 0) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : threads_(resolve_thread_count(threads)) {
+  if (threads_ == 1) return;  // serial fallback: no workers, no Impl
+  impl_ = new Impl;
+  impl_->workers.reserve(static_cast<std::size_t>(threads_));
+  for (int t = 0; t < threads_; ++t)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->start_cv.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (!impl_ || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->count = count;
+    impl_->body = &body;
+    impl_->cursor.store(0, std::memory_order_relaxed);
+    impl_->error = nullptr;
+    impl_->active = threads_;
+    ++impl_->generation;
+  }
+  impl_->start_cv.notify_all();
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->done_cv.wait(lock, [&] { return impl_->active == 0; });
+  if (impl_->error) std::rethrow_exception(impl_->error);
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body, int threads) {
+  const int resolved = resolve_thread_count(threads);
+  if (resolved == 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(resolved);
+  pool.parallel_for(count, body);
+}
+
+}  // namespace memstress

@@ -1,0 +1,64 @@
+// Minimal work-sharing primitives for the embarrassingly parallel layers
+// (characterization grid points, Monte-Carlo devices).
+//
+// Design rules that every user of this module relies on:
+//   * Determinism is the caller's job and the pool makes it easy: tasks are
+//     identified by index, so callers write results into pre-sized slots and
+//     reduce in index order afterwards. Nothing here depends on completion
+//     order.
+//   * Thread count 1 is a true serial fallback — the body runs inline on the
+//     calling thread, no workers are spawned, and behaviour (including
+//     exception propagation) is identical to a plain for loop.
+//   * The default thread count honours the MEMSTRESS_THREADS environment
+//     variable, falling back to std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace memstress {
+
+/// Worker count used when a caller asks for "default" parallelism:
+/// MEMSTRESS_THREADS when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency(), never less than 1.
+int default_thread_count();
+
+/// Maps a requested count to an effective one: values >= 1 pass through,
+/// 0 (or negative) means "use default_thread_count()".
+int resolve_thread_count(int requested);
+
+/// Fixed-size pool of workers executing indexed task ranges. One job runs at
+/// a time; parallel_for blocks the caller until the whole range is done, so
+/// the pool is reusable but not reentrant.
+class ThreadPool {
+ public:
+  /// threads <= 0 selects default_thread_count().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  /// Run body(i) for every i in [0, count). Indices are claimed dynamically
+  /// (an atomic cursor), so uneven task costs balance across workers. If any
+  /// body throws, remaining tasks are abandoned and the first exception is
+  /// rethrown here after all workers quiesce.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;  ///< null for the serial (1-thread) fallback
+  int threads_ = 1;
+};
+
+/// One-shot convenience: serial inline loop when the resolved thread count is
+/// 1 (or count <= 1), otherwise a transient pool. The per-call pool setup is
+/// microseconds — negligible against the coarse-grained jobs this library
+/// fans out.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  int threads = 0);
+
+}  // namespace memstress

@@ -1,0 +1,55 @@
+// Parallel characterization must be indistinguishable from the serial run:
+// same entries, same order, byte-identical CSV. A tiny grid keeps the analog
+// cost of these tests in the seconds range.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "estimator/detectability.hpp"
+#include "march/library.hpp"
+
+namespace memstress::estimator {
+namespace {
+
+CharacterizeSpec tiny_spec() {
+  CharacterizeSpec spec;
+  spec.block.rows = 2;
+  spec.block.cols = 1;
+  spec.test = march::test_11n();
+  spec.vdds = {1.0, 1.8};
+  spec.periods = {100e-9};
+  spec.bridge_resistances = {1e3};
+  spec.open_resistances = {1e6};
+  spec.gox_vbds = {1.7};
+  return spec;
+}
+
+TEST(CharacterizeParallelDeterminism, CsvByteIdenticalAcrossThreadCounts) {
+  CharacterizeSpec spec = tiny_spec();
+  spec.threads = 1;
+  const std::string serial_csv = characterize(spec).to_csv();
+
+  for (const int threads : {2, 4}) {
+    spec.threads = threads;
+    EXPECT_EQ(characterize(spec).to_csv(), serial_csv)
+        << "thread count " << threads << " changed the database";
+  }
+}
+
+TEST(CharacterizeParallelDeterminism, ProgressCallbackCapturesStateSafely) {
+  CharacterizeSpec spec = tiny_spec();
+  spec.threads = 4;
+  // A capturing lambda — impossible with the old raw function pointer — and
+  // one invocation per grid point even when the sweep fans out.
+  std::atomic<int> lines{0};
+  const DetectabilityDb db =
+      characterize(spec, [&lines](const std::string& line) {
+        EXPECT_NE(line.find("@"), std::string::npos);
+        lines.fetch_add(1);
+      });
+  EXPECT_EQ(static_cast<std::size_t>(lines.load()), db.size());
+}
+
+}  // namespace
+}  // namespace memstress::estimator

@@ -1,0 +1,178 @@
+// The indexed nearest-neighbour lookup must be observably identical to the
+// linear scan it replaced — same winner, same tie-breaks, bit for bit. These
+// tests keep a verbatim copy of the old O(entries) reference scan and fuzz
+// the index against it.
+#include "estimator/detectability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace memstress::estimator {
+namespace {
+
+using defects::DefectKind;
+
+/// The pre-index linear scan, kept as the behavioural reference.
+bool reference_detected(const DetectabilityDb& db, DefectKind kind,
+                        int category, double resistance, double vdd,
+                        double period, double vbd = 0.0) {
+  const DbEntry* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  const double log_r = std::log(resistance);
+  for (const auto& e : db.entries()) {
+    if (e.kind != kind || e.category != category) continue;
+    const double dv = (e.vdd - vdd) / 0.05;
+    const double dt = (std::log(e.period) - std::log(period)) / 0.05;
+    const double dr = std::log(e.resistance) - log_r;
+    const double db_ = (e.vbd - vbd) * 10.0;
+    const double cost = (dv * dv + dt * dt) * 1e6 + dr * dr + db_ * db_;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &e;
+    }
+  }
+  require(best != nullptr, "reference: no entries for this defect class");
+  return best->detected;
+}
+
+DetectabilityDb random_db(Rng& rng, int entry_count) {
+  const double vdds[] = {1.0, 1.65, 1.8, 1.95};
+  const double periods[] = {100e-9, 25e-9, 15e-9};
+  DetectabilityDb db;
+  for (int i = 0; i < entry_count; ++i) {
+    DbEntry e;
+    e.kind = rng.chance(0.5) ? DefectKind::Bridge : DefectKind::Open;
+    e.category = static_cast<int>(rng.below(5));
+    e.resistance = rng.log_uniform(10.0, 1e8);
+    e.vbd = rng.chance(0.3) ? rng.uniform(0.8, 2.6) : 0.0;
+    e.vdd = vdds[rng.below(4)];
+    e.period = periods[rng.below(3)];
+    e.detected = rng.chance(0.5);
+    db.add(e);
+  }
+  return db;
+}
+
+TEST(DetectabilityIndex, RandomizedQueriesMatchLinearReference) {
+  Rng rng(42);
+  for (int round = 0; round < 20; ++round) {
+    const DetectabilityDb db = random_db(rng, 200);
+    for (int q = 0; q < 200; ++q) {
+      const DefectKind kind =
+          rng.chance(0.5) ? DefectKind::Bridge : DefectKind::Open;
+      const int category = static_cast<int>(rng.below(5));
+      const double r = rng.log_uniform(10.0, 1e8);
+      // Mix on-grid and off-grid query conditions.
+      const double vdd = rng.chance(0.5) ? 1.8 : rng.uniform(0.9, 2.0);
+      const double period =
+          rng.chance(0.5) ? 25e-9 : rng.log_uniform(10e-9, 200e-9);
+      const double vbd = rng.chance(0.3) ? rng.uniform(0.0, 2.6) : 0.0;
+
+      bool reference_threw = false;
+      bool reference_result = false;
+      try {
+        reference_result =
+            reference_detected(db, kind, category, r, vdd, period, vbd);
+      } catch (const Error&) {
+        reference_threw = true;
+      }
+      if (reference_threw) {
+        EXPECT_THROW(db.detected(kind, category, r, vdd, period, vbd), Error);
+      } else {
+        EXPECT_EQ(db.detected(kind, category, r, vdd, period, vbd),
+                  reference_result)
+            << "round=" << round << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(DetectabilityIndex, DuplicateCostEntriesKeepFirstEntryTieBreak) {
+  // Two entries at the same grid point with contradictory verdicts: the
+  // linear scan keeps the first, so the index must too.
+  DetectabilityDb db;
+  DbEntry e;
+  e.kind = DefectKind::Bridge;
+  e.category = 1;
+  e.resistance = 1e4;
+  e.vdd = 1.8;
+  e.period = 25e-9;
+  e.detected = true;
+  db.add(e);
+  e.detected = false;
+  db.add(e);
+  EXPECT_TRUE(db.detected(DefectKind::Bridge, 1, 1e4, 1.8, 25e-9));
+  EXPECT_EQ(db.detected(DefectKind::Bridge, 1, 1e4, 1.8, 25e-9),
+            reference_detected(db, DefectKind::Bridge, 1, 1e4, 1.8, 25e-9));
+}
+
+TEST(DetectabilityIndex, AddInvalidatesTheIndex) {
+  DetectabilityDb db;
+  DbEntry e;
+  e.kind = DefectKind::Open;
+  e.category = 2;
+  e.resistance = 1e6;
+  e.vdd = 1.8;
+  e.period = 25e-9;
+  e.detected = false;
+  db.add(e);
+  // First query builds the index.
+  EXPECT_FALSE(db.detected(DefectKind::Open, 2, 1e5, 1.8, 25e-9));
+
+  // A strictly closer entry added afterwards must win the same query.
+  e.resistance = 1e5;
+  e.detected = true;
+  db.add(e);
+  EXPECT_TRUE(db.detected(DefectKind::Open, 2, 1e5, 1.8, 25e-9));
+
+  // A brand-new defect class also becomes visible.
+  e.kind = DefectKind::Bridge;
+  e.category = 4;
+  db.add(e);
+  EXPECT_TRUE(db.detected(DefectKind::Bridge, 4, 1e5, 1.8, 25e-9));
+}
+
+TEST(DetectabilityIndex, CopiesAndMovesRebuildCleanly) {
+  Rng rng(7);
+  DetectabilityDb original = random_db(rng, 100);
+  // Build the original's index, then copy / move and re-query everything.
+  (void)original.detected(original.entries()[0].kind,
+                          original.entries()[0].category, 1e4, 1.8, 25e-9);
+  const DetectabilityDb copy = original;
+  ASSERT_EQ(copy.size(), original.size());
+  for (int q = 0; q < 50; ++q) {
+    const auto& probe = original.entries()[rng.below(original.size())];
+    EXPECT_EQ(copy.detected(probe.kind, probe.category, probe.resistance,
+                            probe.vdd, probe.period, probe.vbd),
+              original.detected(probe.kind, probe.category, probe.resistance,
+                                probe.vdd, probe.period, probe.vbd));
+  }
+  DetectabilityDb moved = std::move(original);
+  EXPECT_EQ(moved.size(), copy.size());
+  EXPECT_EQ(moved.detected(moved.entries()[0].kind, moved.entries()[0].category,
+                           1e4, 1.8, 25e-9),
+            copy.detected(copy.entries()[0].kind, copy.entries()[0].category,
+                          1e4, 1.8, 25e-9));
+}
+
+TEST(DetectabilityIndex, ConditionsSortedAndDeduplicated) {
+  Rng rng(11);
+  const DetectabilityDb db = random_db(rng, 500);
+  const auto conditions = db.conditions();
+  EXPECT_EQ(conditions.size(), 12u);  // 4 vdds x 3 periods, all hit at n=500
+  for (std::size_t i = 1; i < conditions.size(); ++i) {
+    const bool ordered =
+        conditions[i - 1].vdd < conditions[i].vdd ||
+        (conditions[i - 1].vdd == conditions[i].vdd &&
+         conditions[i - 1].period < conditions[i].period);
+    EXPECT_TRUE(ordered) << "conditions() must be strictly sorted at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace memstress::estimator

@@ -1,0 +1,136 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace memstress {
+namespace {
+
+/// RAII guard that sets MEMSTRESS_THREADS for one test and restores the
+/// previous value on exit.
+class ThreadsEnvGuard {
+ public:
+  explicit ThreadsEnvGuard(const char* value) {
+    const char* old = std::getenv("MEMSTRESS_THREADS");
+    if (old) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value)
+      ::setenv("MEMSTRESS_THREADS", value, 1);
+    else
+      ::unsetenv("MEMSTRESS_THREADS");
+  }
+  ~ThreadsEnvGuard() {
+    if (had_value_)
+      ::setenv("MEMSTRESS_THREADS", saved_.c_str(), 1);
+    else
+      ::unsetenv("MEMSTRESS_THREADS");
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(ParallelConfig, EnvOverrideWins) {
+  ThreadsEnvGuard guard("3");
+  EXPECT_EQ(default_thread_count(), 3);
+  EXPECT_EQ(resolve_thread_count(0), 3);
+}
+
+TEST(ParallelConfig, ExplicitRequestBeatsEnv) {
+  ThreadsEnvGuard guard("3");
+  EXPECT_EQ(resolve_thread_count(7), 7);
+  EXPECT_EQ(resolve_thread_count(1), 1);
+}
+
+TEST(ParallelConfig, GarbageEnvFallsBackToHardware) {
+  ThreadsEnvGuard guard("not-a-number");
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+TEST(ParallelConfig, NonPositiveEnvFallsBackToHardware) {
+  ThreadsEnvGuard guard("0");
+  EXPECT_GE(default_thread_count(), 1);
+  ThreadsEnvGuard negative("-4");
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  ThreadPool pool(4);
+  pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  }
+}
+
+TEST(ThreadPool, SerialFallbackRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.parallel_for(8, [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, EmptyAndSingleRangesWork) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a failed job and runs the next one cleanly.
+  std::atomic<int> ok{0};
+  pool.parallel_for(16, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 16);
+}
+
+TEST(ParallelFor, MatchesSerialResultOrdering) {
+  constexpr std::size_t kCount = 500;
+  std::vector<double> serial(kCount), parallel(kCount);
+  const auto f = [](std::size_t i) {
+    return static_cast<double>(i) * 1.5 + 1.0 / (1.0 + static_cast<double>(i));
+  };
+  for (std::size_t i = 0; i < kCount; ++i) serial[i] = f(i);
+  parallel_for(kCount, [&](std::size_t i) { parallel[i] = f(i); }, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, ExceptionPropagatesFromTransientPool) {
+  EXPECT_THROW(parallel_for(32,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("boom");
+                            },
+                            4),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace memstress
