@@ -18,6 +18,7 @@
 #include "estimator/detectability.hpp"
 #include "layout/sram_layout.hpp"
 #include "study/study.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -73,9 +74,58 @@ struct LookupQuery {
   double resistance, vdd, period, vbd;
 };
 
+long long count_of(const metrics::RunReport& report, const char* name) {
+  for (const auto& c : report.counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+/// `--metrics` smoke mode: a seconds-scale instrumented run that proves the
+/// whole observability chain end to end — counters accumulate, the span
+/// tree nests, and both the ASCII table and the RUN_REPORT_JSON line
+/// render. Registered as a ctest test under the `metrics` label so tier-1
+/// exercises it on every build.
+int run_metrics_smoke() {
+  bench::print_header("perf_pipeline --metrics",
+                      "instrumented smoke run (RunReport end to end)");
+  metrics::set_enabled(true);
+  metrics::reset();
+
+  estimator::CharacterizeSpec spec = bench_spec();
+  spec.vdds = {1.0, 1.8};
+  spec.periods = {100e-9};
+  spec.bridge_resistances = {1e3};
+  spec.open_resistances = {1e6};
+  const estimator::DetectabilityDb db = estimator::characterize(spec);
+
+  const auto model = layout::generate_sram_layout(8, 8);
+  const defects::DefectSampler sampler(
+      defects::aggregate_sites(layout::extract_bridges(model),
+                               layout::extract_opens(model)),
+      defects::FabModel{}, bench::standard_block());
+  study::StudyConfig study_config;
+  study_config.device_count = 2000;
+  study_config.seed = 2005;
+  study::run_study(study_config, db, sampler);
+
+  const metrics::RunReport report = metrics::collect();
+  std::printf("%s\n", report.to_table().c_str());
+  std::printf("RUN_REPORT_JSON %s\n", report.to_json().c_str());
+
+  const bool ok = count_of(report, "analog.transients") > 0 &&
+                  count_of(report, "estimator.db_lookups") > 0 &&
+                  count_of(report, "study.devices") == 2000 &&
+                  !report.spans.empty();
+  std::printf("Smoke check (counters + spans populated): %s\n",
+              ok ? "HOLDS" : "DEVIATES");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--metrics")
+    return run_metrics_smoke();
   bench::print_header("perf_pipeline",
                       "parallel characterize / study / DB lookup timings");
   const int threads = default_thread_count();
@@ -174,6 +224,28 @@ int main() {
               1e6 * lookup_indexed_s, lookup_linear_s / lookup_indexed_s,
               hits == indexed_hits ? "IDENTICAL" : "MISMATCH");
 
+  // --- Counted pass: replay the parallel workload once with metrics on so
+  // the BENCH_JSON line carries op counts alongside the timings. The timed
+  // sections above ran with metrics in their ambient (normally disabled)
+  // state, so observability cannot skew the regression numbers.
+  const bool metrics_were_enabled = metrics::enabled();
+  metrics::set_enabled(true);
+  metrics::reset();
+  {
+    estimator::CharacterizeSpec counted = bench_spec();
+    counted.threads = threads;
+    const estimator::DetectabilityDb counted_db =
+        estimator::characterize(counted);
+    study::run_study(study_config, counted_db, sampler);
+    for (const auto& q : queries)
+      (void)counted_db.detected(q.kind, q.category, q.resistance, q.vdd,
+                                q.period, q.vbd);
+  }
+  const metrics::RunReport report = metrics::collect();
+  metrics::reset();
+  metrics::set_enabled(metrics_were_enabled);
+  std::printf("%s\n", report.to_table().c_str());
+
   const double characterize_speedup =
       characterize_serial_s / characterize_parallel_s;
   const double study_speedup = study_serial_s / study_parallel_s;
@@ -197,12 +269,22 @@ int main() {
       "\"study_serial_s\":%.4f,\"study_parallel_s\":%.4f,"
       "\"study_speedup\":%.3f,\"study_identical\":%s,"
       "\"lookup_queries\":%zu,\"lookup_linear_s\":%.6f,"
-      "\"lookup_indexed_s\":%.6f,\"lookup_speedup\":%.3f}\n",
+      "\"lookup_indexed_s\":%.6f,\"lookup_speedup\":%.3f,"
+      "\"ops\":{\"analog_transients\":%lld,\"analog_steps\":%lld,"
+      "\"analog_newton_iterations\":%lld,\"tester_analog_cycles\":%lld,"
+      "\"db_lookups\":%lld,\"db_index_rebuilds\":%lld,"
+      "\"study_devices\":%lld,\"parallel_tasks\":%lld}}\n",
       threads, serial_db.size(), characterize_serial_s,
       characterize_parallel_s, characterize_speedup,
       csv_identical ? "true" : "false", study_config.device_count,
       study_serial_s, study_parallel_s, study_speedup,
       study_identical ? "true" : "false", queries.size(), lookup_linear_s,
-      lookup_indexed_s, lookup_speedup);
+      lookup_indexed_s, lookup_speedup,
+      count_of(report, "analog.transients"), count_of(report, "analog.steps"),
+      count_of(report, "analog.newton_iterations"),
+      count_of(report, "tester.analog_cycles"),
+      count_of(report, "estimator.db_lookups"),
+      count_of(report, "estimator.db_index_rebuilds"),
+      count_of(report, "study.devices"), count_of(report, "parallel.tasks"));
   return csv_identical && study_identical && hits == indexed_hits ? 0 : 1;
 }

@@ -4,8 +4,25 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace memstress::analog {
+
+namespace {
+
+/// Fold one run's Stats into the process-wide counters (one atomic add per
+/// statistic per transient, so the simulator's inner loops stay untouched).
+void count_run(const Simulator::Stats& stats) {
+  static metrics::Counter& steps = metrics::counter("analog.steps");
+  static metrics::Counter& newton =
+      metrics::counter("analog.newton_iterations");
+  static metrics::Counter& halvings = metrics::counter("analog.halvings");
+  steps.add(stats.steps);
+  newton.add(stats.newton_iterations);
+  halvings.add(stats.halvings);
+}
+
+}  // namespace
 
 Simulator::Simulator(const Netlist& netlist) : netlist_(netlist) {
   num_nodes_ = netlist_.node_count() - 1;  // ground eliminated
@@ -224,6 +241,10 @@ void Simulator::resolve_record(const std::vector<std::string>& record,
 }
 
 Trace Simulator::solve_dc(const std::vector<std::string>& record, double temp_c) {
+  {
+    static metrics::Counter& dc_solves = metrics::counter("analog.dc_solves");
+    dc_solves.add(1);
+  }
   std::vector<long> record_index;
   std::vector<bool> record_negate;
   resolve_record(record, record_index, record_negate);
@@ -273,6 +294,10 @@ Trace Simulator::solve_dc(const std::vector<std::string>& record, double temp_c)
 
 Trace Simulator::run(const TransientSpec& spec, const std::vector<std::string>& record) {
   require(spec.t_stop > 0.0 && spec.dt > 0.0, "TransientSpec must be positive");
+  {
+    static metrics::Counter& transients = metrics::counter("analog.transients");
+    transients.add(1);
+  }
   stats_ = Stats{};
 
   run_params_.clear();
@@ -383,6 +408,7 @@ Trace Simulator::run(const TransientSpec& spec, const std::vector<std::string>& 
     t = t_next;
     record_point(t);
   }
+  count_run(stats_);
   return trace;
 }
 

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "util/log.hpp"
+#include "util/trace.hpp"
 
 namespace memstress::core {
 
@@ -10,6 +11,7 @@ StressEvaluationPipeline::StressEvaluationPipeline(PipelineConfig config)
     : config_(std::move(config)),
       layout_(layout::generate_sram_layout(config_.layout_rows,
                                            config_.layout_cols)) {
+  if (config_.metrics >= 0) metrics::set_enabled(config_.metrics != 0);
   bridges_ = layout::extract_bridges(layout_, config_.extraction);
   opens_ = layout::extract_opens(layout_, config_.extraction);
   config_.characterization.block = config_.block;
@@ -18,9 +20,13 @@ StressEvaluationPipeline::StressEvaluationPipeline(PipelineConfig config)
 
 const estimator::DetectabilityDb& StressEvaluationPipeline::database() {
   if (db_.has_value()) return *db_;
+  trace::Span span("pipeline.database");
   if (!config_.db_cache_path.empty() &&
       std::filesystem::exists(config_.db_cache_path)) {
     log_info("pipeline: loading detectability DB from ", config_.db_cache_path);
+    static metrics::Counter& cache_loads =
+        metrics::counter("pipeline.db_cache_loads");
+    cache_loads.add(1);
     db_ = estimator::DetectabilityDb::load(config_.db_cache_path);
     return *db_;
   }
@@ -45,7 +51,9 @@ defects::DefectSampler StressEvaluationPipeline::make_sampler() const {
 
 study::StudyResult StressEvaluationPipeline::run_study(
     const study::StudyConfig& study_config) {
-  return study::run_study(study_config, database(), make_sampler());
+  const estimator::DetectabilityDb& db = database();
+  trace::Span span("pipeline.study");
+  return study::run_study(study_config, db, make_sampler());
 }
 
 }  // namespace memstress::core

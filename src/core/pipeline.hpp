@@ -21,6 +21,7 @@
 #include "layout/sram_layout.hpp"
 #include "march/library.hpp"
 #include "study/study.hpp"
+#include "util/metrics.hpp"
 
 namespace memstress::core {
 
@@ -49,6 +50,12 @@ struct PipelineConfig {
   /// std::function: callers can capture state, and characterize() serializes
   /// invocations so the callee needs no locking even at high thread counts.
   estimator::ProgressFn progress;
+
+  /// Observability hook: 1 forces metrics/span recording on for the process,
+  /// 0 forces it off, -1 (default) leaves the MEMSTRESS_METRICS environment
+  /// toggle in charge. Counters are scheduling-free, so a metrics-enabled
+  /// run reports identical op counts at any MEMSTRESS_THREADS.
+  int metrics = -1;
 };
 
 class StressEvaluationPipeline {
@@ -72,6 +79,11 @@ class StressEvaluationPipeline {
 
   /// Run the Monte-Carlo silicon study (Fig. 11 reproduction).
   study::StudyResult run_study(const study::StudyConfig& study_config);
+
+  /// Snapshot of everything observed since the last metrics::reset():
+  /// counters, histograms and the span tree. Empty unless metrics are
+  /// enabled (PipelineConfig::metrics or MEMSTRESS_METRICS=1).
+  metrics::RunReport run_report() const { return metrics::collect(); }
 
   const PipelineConfig& config() const { return config_; }
 

@@ -10,7 +10,9 @@
 #include "layout/sram_layout.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 namespace memstress::estimator {
 
@@ -224,6 +226,12 @@ double FaultCoverageEstimator::bridge_defect_coverage(
 EstimatorReport FaultCoverageEstimator::table1(const MemoryGeometry& geometry,
                                                double vlv_period,
                                                double production_period) const {
+  trace::Span span("estimator.table1");
+  {
+    static metrics::Counter& reports =
+        metrics::counter("estimator.table1_reports");
+    reports.add(1);
+  }
   EstimatorReport report;
   for (const auto& bin : fab_.bridge_bins) report.resistance_bins.push_back(bin.ohms);
   report.yield = poisson_yield(geometry.conductor_area_um2(),

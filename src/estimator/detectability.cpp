@@ -9,8 +9,10 @@
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 namespace memstress::estimator {
 
@@ -46,6 +48,11 @@ void DetectabilityDb::add(DbEntry entry) {
 std::shared_ptr<const DetectabilityDb::Index> DetectabilityDb::index() const {
   std::lock_guard<std::mutex> lock(index_mutex_);
   if (index_) return index_;
+  {
+    static metrics::Counter& rebuilds =
+        metrics::counter("estimator.db_index_rebuilds");
+    rebuilds.add(1);
+  }
   auto built = std::make_shared<Index>();
   for (std::uint32_t i = 0; i < entries_.size(); ++i) {
     const DbEntry& e = entries_[i];
@@ -69,6 +76,11 @@ std::shared_ptr<const DetectabilityDb::Index> DetectabilityDb::index() const {
 
 bool DetectabilityDb::detected(DefectKind kind, int category, double resistance,
                                double vdd, double period, double vbd) const {
+  {
+    static metrics::Counter& lookups =
+        metrics::counter("estimator.db_lookups");
+    lookups.add(1);
+  }
   const auto idx = index();
   const auto it = idx->find({static_cast<int>(kind), category});
   require(it != idx->end(),
@@ -142,19 +154,71 @@ std::string DetectabilityDb::to_csv() const {
   return csv.to_string();
 }
 
+namespace {
+
+/// Expected cache-CSV schema; enforced field by field so a truncated or
+/// hand-edited cache file is rejected whole with a pointed message instead
+/// of being half-loaded (or crashing in std::stod).
+const std::vector<std::string> kCsvHeader{
+    "kind", "category", "resistance", "vbd", "vdd", "period", "detected"};
+
+double parse_csv_double(const std::string& field, std::size_t row,
+                        const char* column) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(field, &used);
+    require(used == field.size() && !field.empty(),
+            "DetectabilityDb: row " + std::to_string(row) + ": bad " +
+                column + " value \"" + field + "\"");
+    return value;
+  } catch (const std::exception&) {
+    throw Error("DetectabilityDb: row " + std::to_string(row) + ": bad " +
+                column + " value \"" + field + "\"");
+  }
+}
+
+int parse_csv_int(const std::string& field, std::size_t row,
+                  const char* column) {
+  try {
+    std::size_t used = 0;
+    const int value = std::stoi(field, &used);
+    require(used == field.size() && !field.empty(),
+            "DetectabilityDb: row " + std::to_string(row) + ": bad " +
+                column + " value \"" + field + "\"");
+    return value;
+  } catch (const std::exception&) {
+    throw Error("DetectabilityDb: row " + std::to_string(row) + ": bad " +
+                column + " value \"" + field + "\"");
+  }
+}
+
+}  // namespace
+
 DetectabilityDb DetectabilityDb::from_csv(const std::string& csv_text) {
   const CsvContent content = parse_csv(csv_text);
-  require(content.header.size() == 7, "DetectabilityDb: bad CSV header");
+  require(content.header == kCsvHeader,
+          "DetectabilityDb: bad CSV header (expected "
+          "kind,category,resistance,vbd,vdd,period,detected)");
   DetectabilityDb db;
-  for (const auto& row : content.rows) {
-    require(row.size() == 7, "DetectabilityDb: bad CSV row");
+  for (std::size_t r = 0; r < content.rows.size(); ++r) {
+    const auto& row = content.rows[r];
+    require(row.size() == 7,
+            "DetectabilityDb: row " + std::to_string(r + 1) + " has " +
+                std::to_string(row.size()) +
+                " fields, expected 7 (truncated cache file?)");
     DbEntry e;
+    require(row[0] == "bridge" || row[0] == "open",
+            "DetectabilityDb: row " + std::to_string(r + 1) +
+                ": unknown kind \"" + row[0] + "\"");
     e.kind = row[0] == "bridge" ? DefectKind::Bridge : DefectKind::Open;
-    e.category = std::stoi(row[1]);
-    e.resistance = std::stod(row[2]);
-    e.vbd = std::stod(row[3]);
-    e.vdd = std::stod(row[4]);
-    e.period = std::stod(row[5]);
+    e.category = parse_csv_int(row[1], r + 1, "category");
+    e.resistance = parse_csv_double(row[2], r + 1, "resistance");
+    e.vbd = parse_csv_double(row[3], r + 1, "vbd");
+    e.vdd = parse_csv_double(row[4], r + 1, "vdd");
+    e.period = parse_csv_double(row[5], r + 1, "period");
+    require(row[6] == "1" || row[6] == "0",
+            "DetectabilityDb: row " + std::to_string(r + 1) +
+                ": detected flag must be 0 or 1, got \"" + row[6] + "\"");
     e.detected = row[6] == "1";
     db.add(e);
   }
@@ -241,8 +305,14 @@ std::vector<CharacterizeTask> build_tasks(const CharacterizeSpec& spec) {
 
 DetectabilityDb characterize(const CharacterizeSpec& spec,
                              const ProgressFn& progress) {
+  trace::Span span("estimator.characterize");
   const analog::Netlist golden = sram::build_block(spec.block);
   std::vector<CharacterizeTask> tasks = build_tasks(spec);
+  {
+    static metrics::Counter& points =
+        metrics::counter("estimator.characterize_points");
+    points.add(static_cast<long long>(tasks.size()));
+  }
 
   // Every grid point is an independent transient simulation; fan them out.
   // `detected` is indexed by task, so completion order never matters.

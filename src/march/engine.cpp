@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace memstress::march {
 
@@ -111,6 +112,14 @@ FailLog run_march(sram::BehavioralSram& memory, const MarchTest& test,
             ++cycle;
           }
         });
+  }
+  {
+    static metrics::Counter& runs = metrics::counter("march.runs");
+    static metrics::Counter& ops = metrics::counter("march.ops");
+    static metrics::Counter& fails = metrics::counter("march.fails");
+    runs.add(1);
+    ops.add(cycle);
+    fails.add(static_cast<long long>(log.fails().size()));
   }
   return log;
 }

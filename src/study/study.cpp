@@ -4,7 +4,9 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace memstress::study {
 
@@ -94,6 +96,11 @@ StudyResult run_study(const StudyConfig& config,
                       const estimator::DetectabilityDb& db,
                       const defects::DefectSampler& sampler) {
   require(config.device_count > 0, "run_study: device_count must be positive");
+  trace::Span span("study.run");
+  {
+    static metrics::Counter& device_counter = metrics::counter("study.devices");
+    device_counter.add(config.device_count);
+  }
   const double lambda =
       sampler.fab().expected_defects(config.chip_area_um2());
   const std::size_t devices = static_cast<std::size_t>(config.device_count);
@@ -115,6 +122,14 @@ StudyResult run_study(const StudyConfig& config,
         Rng rng(seeds[d]);
         const unsigned n = rng.poisson(lambda);
         if (n == 0) return;
+        // Atomic accumulation: the totals are order-free sums over a fixed
+        // per-device workload, so they match at every thread count.
+        static metrics::Counter& defects_counter =
+            metrics::counter("study.defects");
+        static metrics::Counter& defective_counter =
+            metrics::counter("study.defective_devices");
+        defects_counter.add(n);
+        defective_counter.add(1);
         std::vector<Defect> defect_list;
         defect_list.reserve(n);
         for (unsigned i = 0; i < n; ++i)

@@ -5,6 +5,8 @@
 #include "analog/measure.hpp"
 #include "layout/netnames.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace memstress::tester {
 
@@ -16,7 +18,15 @@ AnalogRun run_march_analog(analog::Netlist netlist, const sram::BlockSpec& spec,
                            const AteOptions& options) {
   require(options.steps_per_cycle >= 16,
           "run_march_analog: steps_per_cycle too coarse");
+  trace::Span span("tester.run_march_analog");
   const CompiledMarch compiled = compile_march(netlist, spec, test, at);
+  {
+    static metrics::Counter& marches =
+        metrics::counter("tester.analog_marches");
+    static metrics::Counter& cycles = metrics::counter("tester.analog_cycles");
+    marches.add(1);
+    cycles.add(static_cast<long long>(compiled.cycles.size()));
+  }
 
   analog::Simulator sim(netlist);
   seed_block_state(sim, netlist, spec, at.vdd);

@@ -1,0 +1,73 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace memstress {
+
+namespace {
+
+/// Warn once per distinct (variable, value): the knobs are re-read on every
+/// parallel_for, and a bad value must not turn the log into a firehose.
+void warn_invalid(const char* name, const std::string& value,
+                  const std::string& fallback_desc) {
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  const std::string key = std::string(name) + "=" + value;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!warned.insert(key).second) return;
+  }
+  log_warn(name, ": ignoring invalid value \"", value, "\"; using ",
+           fallback_desc);
+}
+
+std::string lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return text;
+}
+
+}  // namespace
+
+long env_int_or(const char* name, long min_value, long max_value,
+                long fallback) {
+  const char* env = std::getenv(name);
+  if (!env) return fallback;
+  const std::string value(env);
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(env, &end, 10);
+  const bool numeric = end != env && *end == '\0' && errno != ERANGE &&
+                       !value.empty();
+  if (!numeric || parsed < min_value || parsed > max_value) {
+    warn_invalid(name, value,
+                 "default " + std::to_string(fallback) + " (valid range " +
+                     std::to_string(min_value) + ".." +
+                     std::to_string(max_value) + ")");
+    return fallback;
+  }
+  return parsed;
+}
+
+bool env_bool_or(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (!env) return fallback;
+  const std::string value = lower(env);
+  if (value.empty()) return fallback;
+  if (value == "1" || value == "true" || value == "on" || value == "yes")
+    return true;
+  if (value == "0" || value == "false" || value == "off" || value == "no")
+    return false;
+  warn_invalid(name, env, std::string("default ") + (fallback ? "on" : "off"));
+  return fallback;
+}
+
+}  // namespace memstress

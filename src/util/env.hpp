@@ -1,0 +1,25 @@
+// Validated environment-variable parsing for the MEMSTRESS_* knobs.
+//
+// Contract shared by every knob: an unset variable silently selects the
+// fallback; a set-but-invalid value (garbage text, out-of-range number,
+// unrecognized boolean) also selects the fallback but logs one warning per
+// distinct (variable, value) pair, so a typo'd job script is visible in the
+// log without spamming a hot loop that re-reads the knob.
+#pragma once
+
+#include <string>
+
+namespace memstress {
+
+/// Integer knob: accepts a decimal integer in [min_value, max_value].
+/// Unset -> fallback (silent). Invalid or out of range -> fallback plus a
+/// logged warning naming the variable, the rejected value, and the fallback.
+long env_int_or(const char* name, long min_value, long max_value,
+                long fallback);
+
+/// Boolean knob: accepts 1/true/on/yes and 0/false/off/no (case-insensitive).
+/// Unset or empty -> fallback (silent). Anything else -> fallback plus a
+/// logged warning.
+bool env_bool_or(const char* name, bool fallback);
+
+}  // namespace memstress

@@ -1,10 +1,12 @@
 #include "util/log.hpp"
 
 #include <cstdio>
+#include <utility>
 
 namespace memstress {
 namespace {
 LogLevel g_level = LogLevel::Warn;
+LogSink g_sink;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,8 +24,14 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

@@ -4,6 +4,7 @@
 // raise verbosity to trace simulator convergence or study progress.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,7 +16,14 @@ enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit a message at `level` (stderr, single line, prefixed).
+/// Redirect log output: when a sink is installed, messages that pass the
+/// threshold go to it instead of stderr (tests use this to assert on
+/// warnings). Pass an empty function to restore stderr output.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Emit a message at `level` (stderr or the installed sink, single line,
+/// prefixed).
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

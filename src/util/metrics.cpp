@@ -1,0 +1,216 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "util/env.hpp"
+#include "util/table.hpp"
+#include "util/trace.hpp"
+
+namespace memstress::metrics {
+
+namespace detail {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_bool_or("MEMSTRESS_METRICS", false)};
+  return flag;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void Histogram::record(double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.count == 0) {
+    stats_.min = value;
+    stats_.max = value;
+  } else {
+    stats_.min = std::min(stats_.min, value);
+    stats_.max = std::max(stats_.max, value);
+  }
+  ++stats_.count;
+  stats_.sum += value;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Histogram::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = Snapshot{};
+}
+
+namespace {
+
+/// Name -> handle maps. Nodes are heap-allocated and never freed so handles
+/// cached in function-local statics at call sites outlive any reset().
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::string json_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  return buffer;
+}
+
+void append_span_json(const SpanValue& span, std::string& out) {
+  out += "{\"name\":\"" + span.name + "\",\"count\":" +
+         std::to_string(span.count) + ",\"total_s\":" +
+         json_number(span.total_s) + ",\"children\":[";
+  for (std::size_t i = 0; i < span.children.size(); ++i) {
+    if (i) out += ",";
+    append_span_json(span.children[i], out);
+  }
+  out += "]}";
+}
+
+double spans_total(const std::vector<SpanValue>& spans) {
+  double total = 0.0;
+  for (const auto& span : spans) total += span.total_s;
+  return total;
+}
+
+void add_span_rows(const SpanValue& span, int depth, double root_total,
+                   TextTable& table) {
+  const double share = root_total > 0.0 ? span.total_s / root_total : 0.0;
+  const int bar_width = static_cast<int>(share * 20.0 + 0.5);
+  std::vector<std::string> row;
+  row.push_back(std::string(static_cast<std::size_t>(2 * depth), ' ') +
+                span.name);
+  row.push_back(std::to_string(span.count));
+  row.push_back(fmt_fixed(span.total_s, 3));
+  row.push_back(fmt_percent(share) + "%");
+  row.push_back(std::string(static_cast<std::size_t>(bar_width), '#'));
+  table.add_row(std::move(row));
+  for (const auto& child : span.children)
+    add_span_rows(child, depth + 1, root_total, table);
+}
+
+SpanValue convert_span(const trace::NodeSnapshot& node) {
+  SpanValue span;
+  span.name = node.name;
+  span.count = node.count;
+  span.total_s = node.total_s;
+  for (const auto& child : node.children)
+    span.children.push_back(convert_span(child));
+  return span;
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto& slot = reg.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& histogram(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto& slot = reg.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& [name, c] : reg.counters)
+    c->value_.store(0, std::memory_order_relaxed);
+  for (auto& [name, h] : reg.histograms) h->clear();
+  trace::reset();
+}
+
+RunReport collect() {
+  RunReport report;
+  Registry& reg = registry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& [name, c] : reg.counters) {
+      const long long value = c->value();
+      if (value != 0) report.counters.push_back({name, value});
+    }
+    for (const auto& [name, h] : reg.histograms) {
+      const Histogram::Snapshot stats = h->snapshot();
+      if (stats.count != 0) report.histograms.push_back({name, stats});
+    }
+  }
+  for (const auto& node : trace::snapshot())
+    report.spans.push_back(convert_span(node));
+  return report;
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + counters[i].name +
+           "\":" + std::to_string(counters[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    if (i) out += ",";
+    const auto& h = histograms[i];
+    out += "\"" + h.name + "\":{\"count\":" + std::to_string(h.stats.count) +
+           ",\"sum\":" + json_number(h.stats.sum) +
+           ",\"min\":" + json_number(h.stats.min) +
+           ",\"max\":" + json_number(h.stats.max) +
+           ",\"mean\":" + json_number(h.stats.mean()) + "}";
+  }
+  out += "},\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i) out += ",";
+    append_span_json(spans[i], out);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RunReport::to_table() const {
+  std::string out = "== RunReport ==\n";
+  if (counters.empty() && histograms.empty() && spans.empty())
+    return out + "(no metrics recorded; set MEMSTRESS_METRICS=1 or "
+                 "metrics::set_enabled(true))\n";
+
+  if (!counters.empty()) {
+    TextTable table({"counter", "value"});
+    for (const auto& c : counters)
+      table.add_row({c.name, std::to_string(c.value)});
+    out += "\n" + table.to_string();
+  }
+  if (!histograms.empty()) {
+    TextTable table({"histogram", "count", "mean", "min", "max"});
+    for (const auto& h : histograms)
+      table.add_row({h.name, std::to_string(h.stats.count),
+                     fmt_fixed(h.stats.mean(), 3), fmt_fixed(h.stats.min, 3),
+                     fmt_fixed(h.stats.max, 3)});
+    out += "\n" + table.to_string();
+  }
+  if (!spans.empty()) {
+    TextTable table({"span", "count", "total s", "share", ""});
+    const double total = spans_total(spans);
+    for (const auto& span : spans) add_span_rows(span, 0, total, table);
+    out += "\n" + table.to_string();
+  }
+  return out;
+}
+
+}  // namespace memstress::metrics

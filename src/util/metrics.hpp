@@ -1,0 +1,125 @@
+// Pipeline observability: process-wide named counters and histograms plus
+// the per-run report that serializes them.
+//
+// Design rules every instrumented hot path relies on:
+//   * Near-zero cost when disabled: Counter::add() and Histogram::record()
+//     are a relaxed atomic load and a predictable branch when metrics are
+//     off. Call sites cache the registry handle in a function-local static,
+//     so the name lookup happens once per process, not per event.
+//   * Scheduling-free values: counters are atomic accumulators, so their
+//     totals depend only on the work performed, never on how parallel_for
+//     scheduled it — op counts are bit-identical at any MEMSTRESS_THREADS.
+//   * Registry handles are stable for the process lifetime; reset() zeroes
+//     values but never invalidates a Counter& or Histogram&.
+//
+// The toggle: metrics::set_enabled() programmatically, or the
+// MEMSTRESS_METRICS environment variable (1/true/on/yes) read once at first
+// use. core::PipelineConfig::metrics surfaces the same switch per pipeline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace memstress::metrics {
+
+namespace detail {
+std::atomic<bool>& enabled_flag();
+}
+
+/// True when instrumentation is recording. Cheap enough for hot paths.
+inline bool enabled() {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+/// Turn recording on/off for the whole process (overrides the env toggle).
+void set_enabled(bool on);
+
+/// A named monotonic event counter. Thread-safe; totals are independent of
+/// scheduling (plain atomic addition).
+class Counter {
+ public:
+  void add(long long delta = 1) {
+    if (enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend void reset();
+  std::atomic<long long> value_{0};
+};
+
+/// A named value distribution (count / sum / min / max). Coarse-grained —
+/// guarded by a mutex, so record per task or per run, not per inner-loop op.
+class Histogram {
+ public:
+  void record(double value);
+
+  struct Snapshot {
+    long long count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean() const { return count > 0 ? sum / count : 0.0; }
+  };
+  Snapshot snapshot() const;
+
+ private:
+  friend void reset();
+  void clear();
+
+  mutable std::mutex mutex_;
+  Snapshot stats_;
+};
+
+/// Registry lookup (creates on first use). The returned reference is valid
+/// for the process lifetime; cache it in a function-local static on hot
+/// paths.
+Counter& counter(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// Zero every counter/histogram and clear the span tree. Handles stay
+/// valid. Call between measured runs (e.g. per thread-count invariance leg).
+void reset();
+
+// ---------------------------------------------------------------------------
+// RunReport: one snapshot of everything observed since the last reset().
+
+struct CounterValue {
+  std::string name;
+  long long value = 0;
+};
+
+struct HistogramValue {
+  std::string name;
+  Histogram::Snapshot stats;
+};
+
+/// Aggregated timing-span node (collected from util/trace).
+struct SpanValue {
+  std::string name;
+  long long count = 0;
+  double total_s = 0.0;
+  std::vector<SpanValue> children;
+};
+
+struct RunReport {
+  std::vector<CounterValue> counters;      ///< sorted by name, nonzero only
+  std::vector<HistogramValue> histograms;  ///< sorted by name, nonempty only
+  std::vector<SpanValue> spans;            ///< root spans in creation order
+
+  /// Compact single-line JSON:
+  /// {"counters":{...},"histograms":{...},"spans":[...]}
+  std::string to_json() const;
+
+  /// Human-readable report: a counter table, a histogram table, and the
+  /// span tree with share-of-root ASCII bars.
+  std::string to_table() const;
+};
+
+/// Snapshot the registry and span tree into a report.
+RunReport collect();
+
+}  // namespace memstress::metrics

@@ -7,17 +7,16 @@
 #include <thread>
 #include <vector>
 
+#include "util/env.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace memstress {
 
 int default_thread_count() {
-  if (const char* env = std::getenv("MEMSTRESS_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed >= 1 && parsed <= 4096)
-      return static_cast<int>(parsed);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  const long fallback = hw == 0 ? 1 : static_cast<long>(hw);
+  return static_cast<int>(env_int_or("MEMSTRESS_THREADS", 1, 4096, fallback));
 }
 
 int resolve_thread_count(int requested) {
@@ -35,6 +34,9 @@ struct ThreadPool::Impl {
   bool stopping = false;
   std::size_t count = 0;
   const std::function<void(std::size_t)>* body = nullptr;
+  /// Caller's current trace span, adopted by every worker for the job so
+  /// spans opened inside task bodies nest exactly as they would serially.
+  void* span_context = nullptr;
   std::atomic<std::size_t> cursor{0};
   int active = 0;
   std::exception_ptr error;
@@ -44,6 +46,7 @@ struct ThreadPool::Impl {
     for (;;) {
       std::size_t job_count = 0;
       const std::function<void(std::size_t)>* job_body = nullptr;
+      void* job_span_context = nullptr;
       {
         std::unique_lock<std::mutex> lock(mutex);
         start_cv.wait(lock, [&] {
@@ -53,7 +56,9 @@ struct ThreadPool::Impl {
         seen_generation = generation;
         job_count = count;
         job_body = body;
+        job_span_context = span_context;
       }
+      trace::ContextGuard span_guard(job_span_context);
       for (;;) {
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= job_count) break;
@@ -96,6 +101,12 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
+  {
+    static metrics::Counter& jobs = metrics::counter("parallel.jobs");
+    static metrics::Counter& tasks = metrics::counter("parallel.tasks");
+    jobs.add(1);
+    tasks.add(static_cast<long long>(count));
+  }
   if (!impl_ || count <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
@@ -104,6 +115,7 @@ void ThreadPool::parallel_for(std::size_t count,
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->count = count;
     impl_->body = &body;
+    impl_->span_context = trace::current_context();
     impl_->cursor.store(0, std::memory_order_relaxed);
     impl_->error = nullptr;
     impl_->active = threads_;
@@ -119,6 +131,12 @@ void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body, int threads) {
   const int resolved = resolve_thread_count(threads);
   if (resolved == 1 || count <= 1) {
+    // Serial inline path: account the job the same way the pool does so
+    // parallel.* counters are invariant across MEMSTRESS_THREADS.
+    static metrics::Counter& jobs = metrics::counter("parallel.jobs");
+    static metrics::Counter& tasks = metrics::counter("parallel.tasks");
+    jobs.add(1);
+    tasks.add(static_cast<long long>(count));
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }

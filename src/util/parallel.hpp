@@ -11,6 +11,12 @@
 //     exception propagation) is identical to a plain for loop.
 //   * The default thread count honours the MEMSTRESS_THREADS environment
 //     variable, falling back to std::thread::hardware_concurrency().
+//     Invalid values (garbage, <= 0, > 4096) select the hardware default
+//     with a logged warning (util/env).
+//   * Observability: every parallel_for accounts one `parallel.jobs` and
+//     `count` `parallel.tasks` (util/metrics) and propagates the caller's
+//     trace span to the workers, so spans opened inside task bodies nest
+//     under the launching span at any thread count.
 #pragma once
 
 #include <cstddef>

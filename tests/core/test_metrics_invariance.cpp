@@ -1,0 +1,111 @@
+// Satellite of the observability PR: operation counters must be a property
+// of the workload, not of the schedule. The same pipeline run at
+// MEMSTRESS_THREADS=1, 2 and 8 has to report bit-identical counter values,
+// otherwise the RunReport cannot be used to compare runs across machines.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "defects/sampler.hpp"
+#include "estimator/detectability.hpp"
+#include "layout/critical_area.hpp"
+#include "layout/sram_layout.hpp"
+#include "march/engine.hpp"
+#include "march/library.hpp"
+#include "sram/behavioral.hpp"
+#include "study/study.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace memstress {
+namespace {
+
+/// Pins MEMSTRESS_THREADS for one workload leg and restores it afterwards.
+class ThreadsEnvGuard {
+ public:
+  explicit ThreadsEnvGuard(int threads) {
+    const char* old = std::getenv("MEMSTRESS_THREADS");
+    had_value_ = old != nullptr;
+    if (old) saved_ = old;
+    ::setenv("MEMSTRESS_THREADS", std::to_string(threads).c_str(), 1);
+  }
+  ~ThreadsEnvGuard() {
+    if (had_value_)
+      ::setenv("MEMSTRESS_THREADS", saved_.c_str(), 1);
+    else
+      ::unsetenv("MEMSTRESS_THREADS");
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+estimator::CharacterizeSpec tiny_spec() {
+  estimator::CharacterizeSpec spec;
+  spec.block.rows = 2;
+  spec.block.cols = 1;
+  spec.test = march::test_11n();
+  spec.vdds = {1.0, 1.8};
+  spec.periods = {100e-9};
+  spec.bridge_resistances = {1e3};
+  spec.open_resistances = {1e6};
+  spec.gox_vbds = {1.7};
+  spec.threads = 0;  // follow MEMSTRESS_THREADS
+  return spec;
+}
+
+/// Runs the instrumented pipeline stages with MEMSTRESS_THREADS=threads and
+/// returns every non-zero counter. The workload is fixed; only the schedule
+/// varies between calls.
+std::map<std::string, long long> run_workload(int threads) {
+  ThreadsEnvGuard env(threads);
+  metrics::set_enabled(true);
+  metrics::reset();
+
+  const estimator::DetectabilityDb db = estimator::characterize(tiny_spec());
+
+  study::StudyConfig study_config;
+  study_config.device_count = 300;
+  study_config.seed = 11;
+  study_config.threads = 0;  // follow MEMSTRESS_THREADS
+  defects::FabModel fab;
+  const auto layout = layout::generate_sram_layout(4, 4);
+  const layout::ExtractionRules rules;
+  const defects::DefectSampler sampler(
+      defects::aggregate_sites(layout::extract_bridges(layout, rules),
+                               layout::extract_opens(layout, rules)),
+      fab, tiny_spec().block);
+  study::run_study(study_config, db, sampler);
+
+  sram::BehavioralSram memory(4, 4);
+  march::run_march(memory, march::test_11n());
+
+  std::map<std::string, long long> counters;
+  for (const auto& c : metrics::collect().counters) counters[c.name] = c.value;
+  metrics::reset();
+  metrics::set_enabled(false);
+  return counters;
+}
+
+TEST(MetricsInvariance, CountersIdenticalAcrossThreadCounts) {
+  const auto serial = run_workload(1);
+  const auto two = run_workload(2);
+  const auto eight = run_workload(8);
+
+  // The workload touched every instrumented subsystem.
+  EXPECT_GT(serial.count("analog.transients"), 0u);
+  EXPECT_GT(serial.count("estimator.characterize_points"), 0u);
+  EXPECT_GT(serial.count("study.devices"), 0u);
+  EXPECT_GT(serial.count("march.ops"), 0u);
+  EXPECT_GT(serial.count("parallel.tasks"), 0u);
+
+  // Same names, same values — no counter may depend on the schedule.
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+}  // namespace
+}  // namespace memstress

@@ -1,0 +1,172 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+
+namespace memstress {
+namespace {
+
+/// Sets one environment variable for a test and restores it afterwards.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_value_ = old != nullptr;
+    if (old) saved_ = old;
+    if (value)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~EnvGuard() {
+    if (had_value_)
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    else
+      ::unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+/// Captures log_warn output for the lifetime of the object.
+class WarnCapture {
+ public:
+  WarnCapture() {
+    set_log_sink([this](LogLevel level, const std::string& message) {
+      if (level >= LogLevel::Warn) warnings_.push_back(message);
+    });
+  }
+  ~WarnCapture() { set_log_sink({}); }
+
+  const std::vector<std::string>& warnings() const { return warnings_; }
+  bool saw(const std::string& needle) const {
+    for (const auto& w : warnings_)
+      if (w.find(needle) != std::string::npos) return true;
+    return false;
+  }
+
+ private:
+  std::vector<std::string> warnings_;
+};
+
+constexpr const char* kKnob = "MEMSTRESS_TEST_KNOB";
+
+TEST(EnvParsing, UnsetIntIsSilentFallback) {
+  EnvGuard env(kKnob, nullptr);
+  WarnCapture capture;
+  EXPECT_EQ(env_int_or(kKnob, 1, 100, 42), 42);
+  EXPECT_TRUE(capture.warnings().empty());
+}
+
+TEST(EnvParsing, ValidIntPassesThrough) {
+  EnvGuard env(kKnob, "17");
+  WarnCapture capture;
+  EXPECT_EQ(env_int_or(kKnob, 1, 100, 42), 17);
+  EXPECT_TRUE(capture.warnings().empty());
+}
+
+TEST(EnvParsing, GarbageIntWarnsAndFallsBack) {
+  EnvGuard env(kKnob, "over9000!");
+  WarnCapture capture;
+  EXPECT_EQ(env_int_or(kKnob, 1, 100, 42), 42);
+  EXPECT_TRUE(capture.saw(kKnob));
+  EXPECT_TRUE(capture.saw("over9000!"));
+}
+
+TEST(EnvParsing, NegativeIntWarnsAndFallsBack) {
+  EnvGuard env(kKnob, "-12");
+  WarnCapture capture;
+  EXPECT_EQ(env_int_or(kKnob, 1, 100, 42), 42);
+  EXPECT_TRUE(capture.saw("-12"));
+}
+
+TEST(EnvParsing, HugeIntWarnsAndFallsBack) {
+  // Far beyond both the knob range and what strtol can represent.
+  EnvGuard env(kKnob, "999999999999999999999999");
+  WarnCapture capture;
+  EXPECT_EQ(env_int_or(kKnob, 1, 100, 42), 42);
+  EXPECT_TRUE(capture.saw(kKnob));
+}
+
+TEST(EnvParsing, TrailingJunkWarnsAndFallsBack) {
+  EnvGuard env(kKnob, "8 threads");
+  WarnCapture capture;
+  EXPECT_EQ(env_int_or(kKnob, 1, 100, 42), 42);
+  EXPECT_TRUE(capture.saw("8 threads"));
+}
+
+TEST(EnvParsing, RepeatedBadValueWarnsOnlyOnce) {
+  EnvGuard env(kKnob, "once-only");
+  WarnCapture capture;
+  env_int_or(kKnob, 1, 100, 42);
+  env_int_or(kKnob, 1, 100, 42);
+  int count = 0;
+  for (const auto& w : capture.warnings())
+    if (w.find("once-only") != std::string::npos) ++count;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EnvParsing, BoolAcceptsCommonSpellings) {
+  WarnCapture capture;
+  for (const char* yes : {"1", "true", "TRUE", "on", "Yes"}) {
+    EnvGuard env(kKnob, yes);
+    EXPECT_TRUE(env_bool_or(kKnob, false)) << yes;
+  }
+  for (const char* no : {"0", "false", "off", "NO"}) {
+    EnvGuard env(kKnob, no);
+    EXPECT_FALSE(env_bool_or(kKnob, true)) << no;
+  }
+  EXPECT_TRUE(capture.warnings().empty());
+}
+
+TEST(EnvParsing, BoolGarbageWarnsAndFallsBack) {
+  EnvGuard env(kKnob, "maybe?");
+  WarnCapture capture;
+  EXPECT_FALSE(env_bool_or(kKnob, false));
+  EXPECT_TRUE(env_bool_or(kKnob, true));
+  EXPECT_TRUE(capture.saw("maybe?"));
+}
+
+TEST(EnvParsing, BoolUnsetIsSilentFallback) {
+  EnvGuard env(kKnob, nullptr);
+  WarnCapture capture;
+  EXPECT_TRUE(env_bool_or(kKnob, true));
+  EXPECT_FALSE(env_bool_or(kKnob, false));
+  EXPECT_TRUE(capture.warnings().empty());
+}
+
+TEST(ParallelConfig, GarbageThreadsEnvWarns) {
+  EnvGuard env("MEMSTRESS_THREADS", "lots-please");
+  WarnCapture capture;
+  EXPECT_GE(default_thread_count(), 1);
+  EXPECT_TRUE(capture.saw("MEMSTRESS_THREADS"));
+  EXPECT_TRUE(capture.saw("lots-please"));
+}
+
+TEST(ParallelConfig, HugeThreadsEnvWarnsAndUsesDefault) {
+  EnvGuard env("MEMSTRESS_THREADS", "100000");
+  WarnCapture capture;
+  const int threads = default_thread_count();
+  EXPECT_GE(threads, 1);
+  EXPECT_LE(threads, 4096);
+  EXPECT_TRUE(capture.saw("100000"));
+}
+
+TEST(ParallelConfig, NegativeThreadsEnvWarnsAndUsesDefault) {
+  EnvGuard env("MEMSTRESS_THREADS", "-8");
+  WarnCapture capture;
+  EXPECT_GE(default_thread_count(), 1);
+  EXPECT_TRUE(capture.saw("-8"));
+}
+
+}  // namespace
+}  // namespace memstress

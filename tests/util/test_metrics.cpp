@@ -1,0 +1,148 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace memstress::metrics {
+namespace {
+
+/// Every test leaves the process with metrics disabled and zeroed so the
+/// other suites in this binary (and their ordering) see a clean slate.
+class MetricsGuard {
+ public:
+  MetricsGuard() {
+    set_enabled(true);
+    reset();
+  }
+  ~MetricsGuard() {
+    reset();
+    set_enabled(false);
+  }
+};
+
+TEST(MetricsCounters, DisabledAddIsANoop) {
+  MetricsGuard guard;
+  set_enabled(false);
+  Counter& c = counter("test.disabled_noop");
+  c.add(5);
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(MetricsCounters, EnabledAddAccumulates) {
+  MetricsGuard guard;
+  Counter& c = counter("test.enabled_adds");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(MetricsCounters, SameNameReturnsSameHandle) {
+  MetricsGuard guard;
+  EXPECT_EQ(&counter("test.same_handle"), &counter("test.same_handle"));
+  EXPECT_NE(&counter("test.same_handle"), &counter("test.other_handle"));
+}
+
+TEST(MetricsCounters, HandleSurvivesReset) {
+  MetricsGuard guard;
+  Counter& c = counter("test.reset_survivor");
+  c.add(7);
+  reset();
+  EXPECT_EQ(c.value(), 0);
+  c.add(3);
+  EXPECT_EQ(c.value(), 3);
+  EXPECT_EQ(&c, &counter("test.reset_survivor"));
+}
+
+TEST(MetricsThreaded, CountsAreExactUnderContention) {
+  MetricsGuard guard;
+  Counter& c = counter("test.threaded_exact");
+  ThreadPool pool(8);
+  pool.parallel_for(10000, [&](std::size_t) { c.add(1); });
+  EXPECT_EQ(c.value(), 10000);
+}
+
+TEST(MetricsThreaded, TotalsInvariantAcrossThreadCounts) {
+  MetricsGuard guard;
+  Counter& c = counter("test.threaded_invariant");
+  std::vector<long long> totals;
+  for (const int threads : {1, 2, 8}) {
+    reset();
+    parallel_for(513, [&](std::size_t i) { c.add(static_cast<long long>(i)); },
+                 threads);
+    totals.push_back(c.value());
+  }
+  EXPECT_EQ(totals[0], totals[1]);
+  EXPECT_EQ(totals[0], totals[2]);
+  EXPECT_EQ(totals[0], 512 * 513 / 2);
+}
+
+TEST(MetricsHistogram, TracksCountSumMinMax) {
+  MetricsGuard guard;
+  Histogram& h = histogram("test.histogram_stats");
+  for (const double v : {3.0, 1.0, 2.0}) h.record(v);
+  const Histogram::Snapshot stats = h.snapshot();
+  EXPECT_EQ(stats.count, 3);
+  EXPECT_DOUBLE_EQ(stats.sum, 6.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+}
+
+TEST(MetricsHistogram, DisabledRecordIsANoop) {
+  MetricsGuard guard;
+  set_enabled(false);
+  Histogram& h = histogram("test.histogram_disabled");
+  h.record(1.0);
+  EXPECT_EQ(h.snapshot().count, 0);
+}
+
+TEST(MetricsReport, CollectSkipsZeroValues) {
+  MetricsGuard guard;
+  counter("test.report_zero");
+  counter("test.report_nonzero").add(2);
+  const RunReport report = collect();
+  bool saw_nonzero = false;
+  for (const auto& c : report.counters) {
+    EXPECT_NE(c.name, "test.report_zero");
+    if (c.name == "test.report_nonzero") {
+      saw_nonzero = true;
+      EXPECT_EQ(c.value, 2);
+    }
+  }
+  EXPECT_TRUE(saw_nonzero);
+}
+
+TEST(MetricsReport, JsonCarriesCountersAndHistograms) {
+  MetricsGuard guard;
+  counter("test.json_counter").add(11);
+  histogram("test.json_histogram").record(0.5);
+  const std::string json = collect().to_json();
+  EXPECT_NE(json.find("\"test.json_counter\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":["), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsReport, TableRendersCounterRows) {
+  MetricsGuard guard;
+  counter("test.table_counter").add(4);
+  const std::string table = collect().to_table();
+  EXPECT_NE(table.find("RunReport"), std::string::npos);
+  EXPECT_NE(table.find("test.table_counter"), std::string::npos);
+  EXPECT_NE(table.find("4"), std::string::npos);
+}
+
+TEST(MetricsReport, EmptyReportExplainsTheToggle) {
+  MetricsGuard guard;
+  reset();
+  const std::string table = collect().to_table();
+  EXPECT_NE(table.find("MEMSTRESS_METRICS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memstress::metrics
