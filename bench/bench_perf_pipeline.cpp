@@ -18,6 +18,7 @@
 #include "estimator/detectability.hpp"
 #include "layout/sram_layout.hpp"
 #include "study/study.hpp"
+#include "util/chaos.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -121,11 +122,99 @@ int run_metrics_smoke() {
   return ok ? 0 : 1;
 }
 
+/// `--chaos` smoke mode: proves the fault-tolerance chain end to end — with
+/// injection on, an aggressive failure rate must not abort the sweep (every
+/// grid point ends characterized or quarantined, retries fire), and with
+/// injection back off a rerun must reproduce the clean CSV byte-identically
+/// with zero retries: chaos disabled costs nothing. Registered as a ctest
+/// test under the `robustness` label.
+int run_chaos_smoke() {
+  bench::print_header("perf_pipeline --chaos",
+                      "fault-injection smoke run (retry/quarantine end to end)");
+  metrics::set_enabled(true);
+
+  estimator::CharacterizeSpec spec = bench_spec();
+  spec.vdds = {1.0, 1.8};
+  spec.periods = {100e-9};
+  spec.bridge_resistances = {1e3};
+  spec.open_resistances = {1e6};
+
+  chaos::disable();
+  metrics::reset();
+  const estimator::DetectabilityDb baseline = estimator::characterize(spec);
+  const std::string baseline_csv = baseline.to_csv();
+  const metrics::RunReport clean_report = metrics::collect();
+  const bool clean_quiet = count_of(clean_report, "robust.retries") == 0 &&
+                           baseline.quarantine().empty();
+  std::printf("clean run: %zu grid points, %lld retries, %zu quarantined\n",
+              baseline.size(), count_of(clean_report, "robust.retries"),
+              baseline.quarantine().size());
+
+  // Chaos on: the injection stream is deterministic in (site, index,
+  // attempt) for a fixed seed, so at this rate some points recover on a
+  // retry and some exhaust all attempts — both paths exercised every run.
+  metrics::reset();
+  chaos::configure(0.8, 7);
+  const estimator::DetectabilityDb chaotic = estimator::characterize(spec);
+  chaos::disable();
+  const metrics::RunReport chaos_report = metrics::collect();
+  const bool accounted =
+      chaotic.size() + chaotic.quarantine().size() == baseline.size();
+  const bool quarantined_some = !chaotic.quarantine().empty();
+  const bool survived_some = chaotic.size() > 0;
+  const bool retried = count_of(chaos_report, "robust.retries") > 0;
+  bool quarantine_described = quarantined_some;
+  for (const auto& q : chaotic.quarantine())
+    quarantine_described =
+        quarantine_described && !q.reason.empty() && q.attempts == spec.max_attempts;
+  std::printf("chaos run (rate 0.8): %zu characterized + %zu quarantined, "
+              "%lld retries\n",
+              chaotic.size(), chaotic.quarantine().size(),
+              count_of(chaos_report, "robust.retries"));
+  for (const auto& q : chaotic.quarantine())
+    std::printf("  quarantined: %s\n", q.describe().c_str());
+
+  // Chaos back off: byte-identical clean CSV, nothing retried — injection
+  // support costs nothing when disabled.
+  metrics::reset();
+  const estimator::DetectabilityDb again = estimator::characterize(spec);
+  const metrics::RunReport again_report = metrics::collect();
+  const bool identical = again.to_csv() == baseline_csv &&
+                         again.quarantine().empty() &&
+                         count_of(again_report, "robust.retries") == 0;
+  std::printf("chaos disabled rerun: csv %s\n\n",
+              identical ? "IDENTICAL" : "MISMATCH");
+
+  std::printf("Shape checks:\n");
+  std::printf("  clean run quiet (no retries/quarantine) ... %s\n",
+              clean_quiet ? "HOLDS" : "DEVIATES");
+  std::printf("  chaotic sweep completes, all accounted .... %s\n",
+              accounted ? "HOLDS" : "DEVIATES");
+  std::printf("  both retry outcomes exercised ............. %s\n",
+              quarantined_some && survived_some && retried ? "HOLDS"
+                                                           : "DEVIATES");
+  std::printf("  quarantine entries carry reason/attempts .. %s\n",
+              quarantine_described ? "HOLDS" : "DEVIATES");
+  std::printf("  disabled chaos is free (csv identical) .... %s\n",
+              identical ? "HOLDS" : "DEVIATES");
+  const bool ok = clean_quiet && accounted && quarantined_some &&
+                  survived_some && retried && quarantine_described && identical;
+  std::printf("\nBENCH_JSON {\"bench\":\"perf_pipeline_chaos\","
+              "\"grid_points\":%zu,\"quarantined\":%zu,\"retries\":%lld,"
+              "\"csv_identical\":%s,\"ok\":%s}\n",
+              baseline.size(), chaotic.quarantine().size(),
+              count_of(chaos_report, "robust.retries"),
+              identical ? "true" : "false", ok ? "true" : "false");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "--metrics")
     return run_metrics_smoke();
+  if (argc > 1 && std::string(argv[1]) == "--chaos")
+    return run_chaos_smoke();
   bench::print_header("perf_pipeline",
                       "parallel characterize / study / DB lookup timings");
   const int threads = default_thread_count();

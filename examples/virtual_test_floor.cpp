@@ -17,6 +17,7 @@
 #include "repair/repair.hpp"
 #include "study/diagnose.hpp"
 #include "study/study.hpp"
+#include "util/cancel.hpp"
 
 using namespace memstress;
 
@@ -49,9 +50,7 @@ sram::InjectedFault behavioral_fault(const defects::Defect& defect,
   return fault;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const long devices = argc > 1 ? std::atol(argv[1]) : 2000;
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
 
@@ -76,6 +75,11 @@ int main(int argc, char** argv) {
   long shipped = 0, standard_rejects = 0, stress_rejects = 0, escapes = 0;
   bool printed_bitmap = false;
   for (long d = 0; d < devices; ++d) {
+    // The screening loop is serial, so honour ^C between devices ourselves
+    // (the characterization inside pipeline.database() already does).
+    if (cancel::process_token().cancelled())
+      throw CancelledError("virtual_test_floor: cancelled at device " +
+                           std::to_string(d) + "/" + std::to_string(devices));
     const unsigned n = rng.poisson(lambda);
     std::vector<defects::Defect> defect_list;
     for (unsigned i = 0; i < n; ++i) defect_list.push_back(sampler.sample(rng));
@@ -131,4 +135,23 @@ int main(int argc, char** argv) {
               shipped, standard_rejects, stress_rejects, escapes,
               shipped > 0 ? 1e6 * escapes / shipped : 0.0);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cancel::install_sigint_handler();
+  try {
+    return run(argc, argv);
+  } catch (const CancelledError& e) {
+    std::fprintf(stderr, "\ninterrupted: %s\n", e.what());
+    std::fprintf(stderr,
+                 "any in-flight characterization flushed its checkpoint when "
+                 "MEMSTRESS_CHECKPOINT_DIR is set.\n");
+    if (metrics::enabled()) {
+      const metrics::RunReport report = metrics::collect();
+      std::fprintf(stderr, "\n%s\n", report.to_table().c_str());
+    }
+    return 130;  // 128 + SIGINT
+  }
 }

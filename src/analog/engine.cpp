@@ -8,6 +8,14 @@
 
 namespace memstress::analog {
 
+const char* solver_failure_name(SolverFailure failure) {
+  switch (failure) {
+    case SolverFailure::NewtonNonConvergence: return "newton-non-convergence";
+    case SolverFailure::SingularMatrix: return "singular-matrix";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// Fold one run's Stats into the process-wide counters (one atomic add per
@@ -170,7 +178,11 @@ bool Simulator::solve_step(double t, double dt, const TransientSpec& spec,
   for (int iter = 0; iter < max_newton; ++iter) {
     ++stats_.newton_iterations;
     assemble(t, dt, spec.gmin, v, v_prev);
-    if (!lu_.factor(a_)) return false;
+    if (!lu_.factor(a_)) {
+      stats_.last_failure = "singular Jacobian at t=" + std::to_string(t);
+      stats_.last_failure_kind = SolverFailure::SingularMatrix;
+      return false;
+    }
     x = rhs_;
     lu_.solve(x);
     // Progressive damping: strongly nonlinear devices (breakdown bridges)
@@ -203,6 +215,7 @@ bool Simulator::solve_step(double t, double dt, const TransientSpec& spec,
       stats_.last_failure =
           "node " + netlist_.node_name(static_cast<NodeId>(worst_i + 1)) +
           " delta " + std::to_string(worst_d) + " at t=" + std::to_string(t);
+      stats_.last_failure_kind = SolverFailure::NewtonNonConvergence;
     }
   }
   return false;
@@ -279,8 +292,10 @@ Trace Simulator::solve_dc(const std::vector<std::string>& record, double temp_c)
     converged = solve_step(0.0, kDcDt, spec, v, v, 0.3, 400);
   }
   gmin_target_.clear();
-  require(converged, "solve_dc: Newton failed at the final gmin (" +
-                         stats_.last_failure + ")");
+  if (!converged)
+    throw SolverError(stats_.last_failure_kind,
+                      "solve_dc: Newton failed at the final gmin (" +
+                          stats_.last_failure + ")");
 
   Trace trace(record);
   std::vector<double> samples(record_index.size());
@@ -396,9 +411,11 @@ Trace Simulator::run(const TransientSpec& spec, const std::vector<std::string>& 
         ++halvings;
         ++stats_.halvings;
       } else {
-        require(!rescue, "Simulator: Newton failed to converge at t = " +
-                             std::to_string(t) + " (" + stats_.last_failure +
-                             ")");
+        if (rescue)
+          throw SolverError(stats_.last_failure_kind,
+                            "Simulator: Newton failed to converge at t = " +
+                                std::to_string(t) + " (" +
+                                stats_.last_failure + ")");
         rescue = true;
         halvings = 6;
       }

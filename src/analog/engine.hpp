@@ -15,8 +15,34 @@
 #include "analog/matrix.hpp"
 #include "analog/netlist.hpp"
 #include "analog/waveform.hpp"
+#include "util/error.hpp"
 
 namespace memstress::analog {
+
+/// Why a transient (or DC) solve gave up. The distinction matters to the
+/// retry layer: both classes are worth a rescue escalation (deeper halving,
+/// larger gmin, finer edge substeps), but they are reported separately in
+/// quarantine records.
+enum class SolverFailure {
+  NewtonNonConvergence,  ///< iteration exhausted without meeting vtol
+  SingularMatrix,        ///< LU factorization hit a numerically singular pivot
+};
+
+const char* solver_failure_name(SolverFailure failure);
+
+/// Typed error thrown by Simulator::run / solve_dc when the Newton solve
+/// fails even after step halving and the rescue pass. Callers with a retry
+/// policy (estimator::characterize) catch this type specifically; anything
+/// else escaping the simulator is a configuration bug and stays fatal.
+class SolverError : public Error {
+ public:
+  SolverError(SolverFailure failure, const std::string& what)
+      : Error(what), failure_(failure) {}
+  SolverFailure failure() const { return failure_; }
+
+ private:
+  SolverFailure failure_;
+};
 
 struct TransientSpec {
   double t_stop = 0.0;     ///< simulate [0, t_stop]
@@ -64,6 +90,10 @@ class Simulator {
     long newton_iterations = 0;
     long halvings = 0;
     std::string last_failure;  ///< diagnostics of the last Newton failure
+    /// Classification of the last failure (meaningful only while
+    /// last_failure is non-empty); carried into the SolverError thrown when
+    /// the rescue pass also gives up.
+    SolverFailure last_failure_kind = SolverFailure::NewtonNonConvergence;
   };
   const Stats& stats() const { return stats_; }
 

@@ -32,7 +32,18 @@ const estimator::DetectabilityDb& StressEvaluationPipeline::database() {
   }
   log_info("pipeline: characterizing detectability DB (analog simulation)");
   db_ = estimator::characterize(config_.characterization, config_.progress);
-  if (!config_.db_cache_path.empty()) db_->save(config_.db_cache_path);
+  if (!config_.db_cache_path.empty()) {
+    if (db_->quarantine().empty()) {
+      db_->save(config_.db_cache_path);
+    } else {
+      // A cache file only ever represents a fully characterized database;
+      // persisting one with unknown verdicts would silently bake the gaps
+      // into every later run that loads it.
+      log_warn("pipeline: not caching detectability DB to ",
+               config_.db_cache_path, ": ", db_->quarantine().size(),
+               " quarantined grid points (see RunReport robust.* notes)");
+    }
+  }
   return *db_;
 }
 

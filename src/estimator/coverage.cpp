@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include <cstdio>
 
@@ -236,6 +237,19 @@ EstimatorReport FaultCoverageEstimator::table1(const MemoryGeometry& geometry,
   for (const auto& bin : fab_.bridge_bins) report.resistance_bins.push_back(bin.ohms);
   report.yield = poisson_yield(geometry.conductor_area_um2(),
                                fab_.defect_density_per_um2);
+  report.quarantined = db_.quarantine().size();
+
+  // Quarantined grid points have unknown verdicts: bracket the coverage by
+  // materializing them under the two extreme assumptions. Skipped entirely
+  // when the quarantine is empty so the default path stays untouched.
+  std::unique_ptr<FaultCoverageEstimator> worst;
+  std::unique_ptr<FaultCoverageEstimator> best;
+  if (report.quarantined > 0) {
+    worst = std::make_unique<FaultCoverageEstimator>(
+        db_.with_quarantine_assumed(false), population_, fab_);
+    best = std::make_unique<FaultCoverageEstimator>(
+        db_.with_quarantine_assumed(true), population_, fab_);
+  }
 
   const struct {
     const char* label;
@@ -257,6 +271,16 @@ EstimatorReport FaultCoverageEstimator::table1(const MemoryGeometry& geometry,
           bridge_fault_coverage(geometry, bin.ohms, at));
     row.defect_coverage = bridge_defect_coverage(geometry, at);
     row.dpm_value = dpm(report.yield, row.defect_coverage);
+    if (worst) {
+      row.defect_coverage_lo = worst->bridge_defect_coverage(geometry, at);
+      row.defect_coverage_hi = best->bridge_defect_coverage(geometry, at);
+      // Higher coverage ships fewer defects, so the DPM bounds cross over.
+      row.dpm_lo = dpm(report.yield, row.defect_coverage_hi);
+      row.dpm_hi = dpm(report.yield, row.defect_coverage_lo);
+    } else {
+      row.defect_coverage_lo = row.defect_coverage_hi = row.defect_coverage;
+      row.dpm_lo = row.dpm_hi = row.dpm_value;
+    }
     if (row.label == std::string("1.00 - VLV")) vlv_dpm = row.dpm_value;
     report.rows.push_back(std::move(row));
   }

@@ -71,12 +71,23 @@ struct CoverageRow {
   double defect_coverage = 0.0;          ///< bridge-distribution weighted
   double dpm_value = 0.0;                ///< absolute DPM
   double dpm_ratio = 0.0;                ///< normalized: VLV = 1x
+
+  /// Quarantine-adjusted bounds. When the database carries quarantined grid
+  /// points their verdicts are unknown, so the scalar values above (which
+  /// see only the characterized entries) are bracketed: lo assumes every
+  /// quarantined point escaped, hi assumes every one was detected. With an
+  /// empty quarantine lo == hi == the point value.
+  double defect_coverage_lo = 0.0;
+  double defect_coverage_hi = 0.0;
+  double dpm_lo = 0.0;
+  double dpm_hi = 0.0;
 };
 
 struct EstimatorReport {
   std::vector<double> resistance_bins;
   std::vector<CoverageRow> rows;
   double yield = 0.0;
+  std::size_t quarantined = 0;  ///< grid points with unknown verdicts
 
   /// Serialize as CSV (one row per test condition) for downstream tooling.
   std::string to_csv() const;

@@ -7,8 +7,11 @@
 #include <limits>
 #include <sstream>
 
+#include "util/chaos.hpp"
+#include "util/checkpoint.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -20,20 +23,23 @@ using defects::Defect;
 using defects::DefectKind;
 
 DetectabilityDb::DetectabilityDb(const DetectabilityDb& other)
-    : entries_(other.entries_) {}
+    : entries_(other.entries_), quarantine_(other.quarantine_) {}
 
 DetectabilityDb& DetectabilityDb::operator=(const DetectabilityDb& other) {
   entries_ = other.entries_;
+  quarantine_ = other.quarantine_;
   std::lock_guard<std::mutex> lock(index_mutex_);
   index_.reset();
   return *this;
 }
 
 DetectabilityDb::DetectabilityDb(DetectabilityDb&& other) noexcept
-    : entries_(std::move(other.entries_)) {}
+    : entries_(std::move(other.entries_)),
+      quarantine_(std::move(other.quarantine_)) {}
 
 DetectabilityDb& DetectabilityDb::operator=(DetectabilityDb&& other) noexcept {
   entries_ = std::move(other.entries_);
+  quarantine_ = std::move(other.quarantine_);
   std::lock_guard<std::mutex> lock(index_mutex_);
   index_.reset();
   return *this;
@@ -43,6 +49,33 @@ void DetectabilityDb::add(DbEntry entry) {
   entries_.push_back(entry);
   std::lock_guard<std::mutex> lock(index_mutex_);
   index_.reset();
+}
+
+void DetectabilityDb::add_quarantine(QuarantineEntry entry) {
+  quarantine_.push_back(std::move(entry));
+}
+
+DetectabilityDb DetectabilityDb::with_quarantine_assumed(bool detected) const {
+  DetectabilityDb db;
+  db.entries_ = entries_;
+  db.entries_.reserve(entries_.size() + quarantine_.size());
+  for (const QuarantineEntry& q : quarantine_) {
+    DbEntry e;
+    e.kind = q.kind;
+    e.category = q.category;
+    e.resistance = q.resistance;
+    e.vbd = q.vbd;
+    e.vdd = q.vdd;
+    e.period = q.period;
+    e.detected = detected;
+    db.entries_.push_back(e);
+  }
+  return db;
+}
+
+std::string QuarantineEntry::describe() const {
+  return defect_tag + " @ " + fmt_fixed(vdd, 2) + " V / " + fmt_time(period) +
+         ": " + reason + " (" + std::to_string(attempts) + " attempts)";
 }
 
 std::shared_ptr<const DetectabilityDb::Index> DetectabilityDb::index() const {
@@ -226,10 +259,10 @@ DetectabilityDb DetectabilityDb::from_csv(const std::string& csv_text) {
 }
 
 void DetectabilityDb::save(const std::string& path) const {
-  std::ofstream file(path, std::ios::binary);
-  require(file.good(), "DetectabilityDb::save: cannot open " + path);
-  file << to_csv();
-  require(file.good(), "DetectabilityDb::save: write failed for " + path);
+  // Atomic replacement: a crash (or chaos kill) mid-save never leaves a
+  // truncated cache visible at `path` — readers see the old file or the new
+  // one, nothing in between.
+  checkpoint::write_file_atomic(path, to_csv());
 }
 
 DetectabilityDb DetectabilityDb::load(const std::string& path) {
@@ -301,11 +334,112 @@ std::vector<CharacterizeTask> build_tasks(const CharacterizeSpec& spec) {
   return tasks;
 }
 
+/// Result slot for one grid point, guarded by the sweep's state mutex.
+struct PointState {
+  enum : unsigned char { kPending = 0, kDone, kQuarantined } state = kPending;
+  bool detected = false;
+  int attempts = 0;
+  std::string reason;
+};
+
+/// CRC32 over the canonical grid description: a checkpoint written for one
+/// grid never resumes a different one.
+std::string grid_fingerprint(const CharacterizeSpec& spec,
+                             const std::vector<CharacterizeTask>& tasks) {
+  std::string canon = spec.test.to_string() + "|" +
+                      std::to_string(spec.block.rows) + "x" +
+                      std::to_string(spec.block.cols) + "|spc" +
+                      std::to_string(spec.ate.steps_per_cycle);
+  char buffer[160];
+  for (const CharacterizeTask& t : tasks) {
+    std::snprintf(buffer, sizeof buffer, "|%d %d %.9g %.9g %.9g %.9g",
+                  static_cast<int>(t.entry.kind), t.entry.category,
+                  t.entry.resistance, t.entry.vbd, t.entry.vdd,
+                  t.entry.period);
+    canon += buffer;
+  }
+  std::snprintf(buffer, sizeof buffer, "%08x", checkpoint::crc32(canon));
+  return buffer;
+}
+
+std::string serialize_points(const std::string& fingerprint,
+                             const std::vector<PointState>& points) {
+  std::string payload = "characterize 1 " + fingerprint + " " +
+                        std::to_string(points.size()) + "\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointState& p = points[i];
+    if (p.state == PointState::kDone) {
+      payload += std::to_string(i) + (p.detected ? " 1\n" : " 0\n");
+    } else if (p.state == PointState::kQuarantined) {
+      std::string reason = p.reason;
+      for (char& c : reason)
+        if (c == '\n' || c == '\r') c = ' ';
+      payload += std::to_string(i) + " Q " + std::to_string(p.attempts) +
+                 " " + reason + "\n";
+    }
+  }
+  return payload;
+}
+
+/// Restore completed points from a checkpoint payload. Any inconsistency
+/// (foreign fingerprint, malformed line) rejects the whole snapshot with a
+/// row-numbered warning and the sweep restarts from scratch.
+std::size_t restore_points(const std::string& path, const std::string& payload,
+                           const std::string& fingerprint,
+                           std::vector<PointState>& points) {
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != "characterize 1 " + fingerprint + " " +
+                  std::to_string(points.size())) {
+    log_warn("characterize: checkpoint ", path,
+             ": header does not match this grid (stale or foreign snapshot); "
+             "restarting from scratch");
+    return 0;
+  }
+  std::vector<PointState> restored(points.size());
+  std::size_t count = 0;
+  for (std::size_t row = 2; std::getline(in, line); ++row) {
+    std::istringstream fields(line);
+    std::size_t i = 0;
+    std::string verdict;
+    const bool ok = static_cast<bool>(fields >> i >> verdict) &&
+                    i < restored.size() &&
+                    restored[i].state == PointState::kPending;
+    PointState p;
+    if (ok && (verdict == "0" || verdict == "1")) {
+      p.state = PointState::kDone;
+      p.detected = verdict == "1";
+    } else if (ok && verdict == "Q") {
+      p.state = PointState::kQuarantined;
+      std::string reason;
+      if (!(fields >> p.attempts) || p.attempts < 1) {
+        log_warn("characterize: checkpoint ", path, ": row ",
+                 std::to_string(row),
+                 ": bad quarantine record; restarting from scratch");
+        return 0;
+      }
+      std::getline(fields, reason);
+      p.reason = reason.empty() ? "unknown" : reason.substr(1);
+    } else {
+      log_warn("characterize: checkpoint ", path, ": row ",
+               std::to_string(row), ": bad record \"", line,
+               "\"; restarting from scratch");
+      return 0;
+    }
+    restored[i] = std::move(p);
+    ++count;
+  }
+  points = std::move(restored);
+  return count;
+}
+
 }  // namespace
 
 DetectabilityDb characterize(const CharacterizeSpec& spec,
                              const ProgressFn& progress) {
   trace::Span span("estimator.characterize");
+  require(spec.max_attempts >= 1, "characterize: max_attempts must be >= 1");
   const analog::Netlist golden = sram::build_block(spec.block);
   std::vector<CharacterizeTask> tasks = build_tasks(spec);
   {
@@ -313,36 +447,144 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
         metrics::counter("estimator.characterize_points");
     points.add(static_cast<long long>(tasks.size()));
   }
+  static metrics::Counter& retries = metrics::counter("robust.retries");
+  static metrics::Counter& checkpoints_written =
+      metrics::counter("robust.checkpoints_written");
+  static metrics::Counter& checkpoints_resumed =
+      metrics::counter("robust.checkpoints_resumed");
+
+  const std::string fingerprint = grid_fingerprint(spec, tasks);
+  const std::string ckpt_path =
+      spec.checkpoint_path.empty()
+          ? checkpoint::default_path("characterize-" + fingerprint)
+          : spec.checkpoint_path;
+  const long interval = spec.checkpoint_interval > 0
+                            ? spec.checkpoint_interval
+                            : checkpoint::default_interval(32);
 
   // Every grid point is an independent transient simulation; fan them out.
-  // `detected` is indexed by task, so completion order never matters.
-  std::vector<char> detected(tasks.size(), 0);
-  std::mutex progress_mutex;
-  parallel_for(
-      tasks.size(),
-      [&](std::size_t i) {
-        const CharacterizeTask& task = tasks[i];
+  // Results are indexed by task, so completion order never matters; the
+  // state mutex guards the slots, the snapshot cadence and the serialized
+  // progress callback.
+  std::vector<PointState> points(tasks.size());
+  std::mutex state_mutex;
+  std::size_t completed = 0;
+
+  if (!ckpt_path.empty()) {
+    if (const auto payload = checkpoint::load(ckpt_path)) {
+      const std::size_t restored =
+          restore_points(ckpt_path, *payload, fingerprint, points);
+      if (restored > 0) {
+        checkpoints_resumed.add(1);
+        log_info("characterize: resumed ", restored, "/", tasks.size(),
+                 " grid points from ", ckpt_path);
+      }
+    }
+  }
+
+  const auto snapshot_locked = [&] {
+    if (ckpt_path.empty()) return;
+    checkpoint::save(ckpt_path, serialize_points(fingerprint, points));
+    checkpoints_written.add(1);
+    // Simulated-crash hook: death tests kill the run right after a snapshot
+    // lands, then assert a resumed run completes byte-identically.
+    chaos::crash_point("characterize.checkpoint");
+  };
+
+  const auto commit_locked = [&](std::size_t i, PointState state,
+                                 const std::string& progress_line) {
+    points[i] = std::move(state);
+    ++completed;
+    if (progress) progress(progress_line);
+    if (interval > 0 && completed % static_cast<std::size_t>(interval) == 0)
+      snapshot_locked();
+  };
+
+  const auto body = [&](std::size_t i) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex);
+      if (points[i].state != PointState::kPending) return;  // restored
+    }
+    const CharacterizeTask& task = tasks[i];
+    const std::string point_label =
+        task.defect.tag() + " @ " + fmt_fixed(task.entry.vdd, 2) + " V / " +
+        fmt_time(task.entry.period);
+    std::string reason;
+    for (int attempt = 1; attempt <= spec.max_attempts; ++attempt) {
+      try {
+        chaos::maybe_fail("characterize.point", i, attempt);
         analog::Netlist faulty = golden;
         defects::inject(faulty, task.defect);
+        tester::AteOptions ate = spec.ate;
+        ate.rescue_level = attempt - 1;
         const sram::StressPoint at{task.entry.vdd, task.entry.period};
         const tester::AnalogRun run = tester::run_march_analog(
-            std::move(faulty), spec.block, spec.test, at, spec.ate);
-        detected[i] = !run.log.passed() ? 1 : 0;
-        if (progress) {
-          std::lock_guard<std::mutex> lock(progress_mutex);
-          progress(task.defect.tag() + " @ " + fmt_fixed(task.entry.vdd, 2) +
-                   " V / " + fmt_time(task.entry.period) + " -> " +
-                   (detected[i] ? "DETECTED" : "escape"));
-        }
-      },
-      spec.threads);
+            std::move(faulty), spec.block, spec.test, at, ate);
+        PointState state;
+        state.state = PointState::kDone;
+        state.detected = !run.log.passed();
+        state.attempts = attempt;
+        const std::string line =
+            point_label + (state.detected ? " -> DETECTED" : " -> escape");
+        std::lock_guard<std::mutex> lock(state_mutex);
+        commit_locked(i, std::move(state), line);
+        return;
+      } catch (const analog::SolverError& e) {
+        reason = std::string(analog::solver_failure_name(e.failure())) + ": " +
+                 e.what();
+      } catch (const chaos::ChaosError& e) {
+        reason = e.what();
+      }
+      if (attempt < spec.max_attempts) retries.add(1);
+    }
+    PointState state;
+    state.state = PointState::kQuarantined;
+    state.attempts = spec.max_attempts;
+    state.reason = reason;
+    std::lock_guard<std::mutex> lock(state_mutex);
+    commit_locked(i, std::move(state), point_label + " -> QUARANTINED");
+  };
+
+  try {
+    parallel_for(tasks.size(), body, spec.threads, spec.cancel);
+  } catch (const CancelledError&) {
+    // Cooperative shutdown (SIGINT or an explicit token): flush a final
+    // snapshot so the run resumes exactly where it stopped, then unwind.
+    std::lock_guard<std::mutex> lock(state_mutex);
+    snapshot_locked();
+    log_warn("characterize: cancelled after ", completed, " grid points; ",
+             ckpt_path.empty() ? "no checkpoint configured"
+                               : "checkpoint flushed to " + ckpt_path);
+    throw;
+  }
 
   DetectabilityDb db;
+  static metrics::Counter& quarantined =
+      metrics::counter("robust.quarantined_points");
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    DbEntry e = tasks[i].entry;
-    e.detected = detected[i] != 0;
-    db.add(e);
+    const PointState& p = points[i];
+    if (p.state == PointState::kDone) {
+      DbEntry e = tasks[i].entry;
+      e.detected = p.detected;
+      db.add(e);
+      continue;
+    }
+    QuarantineEntry q;
+    q.defect_tag = tasks[i].defect.tag();
+    q.kind = tasks[i].entry.kind;
+    q.category = tasks[i].entry.category;
+    q.resistance = tasks[i].entry.resistance;
+    q.vbd = tasks[i].entry.vbd;
+    q.vdd = tasks[i].entry.vdd;
+    q.period = tasks[i].entry.period;
+    q.reason = p.reason;
+    q.attempts = p.attempts;
+    quarantined.add(1);
+    metrics::note("robust.quarantine: " + q.describe());
+    log_warn("characterize: quarantined ", q.describe());
+    db.add_quarantine(std::move(q));
   }
+  if (!ckpt_path.empty()) checkpoint::remove(ckpt_path);
   return db;
 }
 

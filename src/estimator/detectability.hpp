@@ -22,6 +22,7 @@
 #include "sram/behavioral.hpp"
 #include "sram/block.hpp"
 #include "tester/ate.hpp"
+#include "util/cancel.hpp"
 
 namespace memstress::estimator {
 
@@ -33,6 +34,26 @@ struct DbEntry {
   double vdd = 0.0;
   double period = 0.0;
   bool detected = false;
+};
+
+/// One grid point that characterize() could not simulate even after its
+/// retry escalation. Quarantined points are *accounted*, not silently
+/// dropped: they ride along with the database so coverage/DPM can report
+/// the bounds their unknown verdicts imply (a dropped point would silently
+/// bias the Williams-Brown DPM numbers instead).
+struct QuarantineEntry {
+  std::string defect_tag;  ///< human-readable defect id (Defect::tag())
+  defects::DefectKind kind = defects::DefectKind::Bridge;
+  int category = 0;
+  double resistance = 0.0;
+  double vbd = 0.0;
+  double vdd = 0.0;
+  double period = 0.0;
+  std::string reason;  ///< last failure message (typed solver error / chaos)
+  int attempts = 0;    ///< simulation attempts, including the retries
+
+  /// "tag @ vdd V / period: reason (N attempts)" — the RunReport note line.
+  std::string describe() const;
 };
 
 class DetectabilityDb {
@@ -48,6 +69,18 @@ class DetectabilityDb {
   void add(DbEntry entry);
   std::size_t size() const { return entries_.size(); }
   const std::vector<DbEntry>& entries() const { return entries_; }
+
+  /// Per-run quarantine list: grid points whose simulation failed after all
+  /// retries. Not persisted by to_csv()/save() — a cache file only ever
+  /// represents a fully characterized database.
+  void add_quarantine(QuarantineEntry entry);
+  const std::vector<QuarantineEntry>& quarantine() const { return quarantine_; }
+
+  /// A copy where every quarantined point is materialized as a real entry
+  /// carrying the given `detected` assumption (and the quarantine list is
+  /// cleared). The estimator derives its best-case (assume detected) and
+  /// worst-case (assume escape) coverage bounds from these.
+  DetectabilityDb with_quarantine_assumed(bool detected) const;
 
   /// Nearest-neighbour lookup: exact (kind, category) match, nearest
   /// condition, then nearest (log-resistance, breakdown-voltage) point.
@@ -88,6 +121,7 @@ class DetectabilityDb {
   std::shared_ptr<const Index> index() const;
 
   std::vector<DbEntry> entries_;
+  std::vector<QuarantineEntry> quarantine_;
   mutable std::mutex index_mutex_;
   mutable std::shared_ptr<const Index> index_;  ///< null until first lookup
 };
@@ -122,6 +156,25 @@ struct CharacterizeSpec {
   /// hardware default. The produced database (and thus its CSV) is
   /// byte-identical at every thread count.
   int threads = 0;
+
+  // --- fault tolerance -----------------------------------------------------
+  /// Simulation attempts per grid point before quarantine. Attempt k reruns
+  /// with AteOptions::rescue_level = k-1 (progressively relaxed transient
+  /// settings). Retries fire only on typed solver failures (and injected
+  /// chaos faults); configuration errors stay fatal and fail the whole run.
+  int max_attempts = 3;
+  /// Crash-safe resume: when non-empty, partial results are snapshotted to
+  /// this path (atomic + CRC32-footed) every `checkpoint_interval` completed
+  /// grid points and the final database is reproduced byte-identically by a
+  /// resumed run. Empty selects MEMSTRESS_CHECKPOINT_DIR (unset = off).
+  std::string checkpoint_path;
+  /// Completed points between snapshots; 0 = MEMSTRESS_CHECKPOINT_INTERVAL
+  /// (default 32).
+  int checkpoint_interval = 0;
+  /// Optional cooperative cancellation (the process SIGINT token is always
+  /// honoured). A cancelled run flushes a final checkpoint, then throws
+  /// CancelledError.
+  const CancelToken* cancel = nullptr;
 };
 
 /// A line-per-grid-point progress sink. May capture state; characterize()
@@ -131,6 +184,13 @@ using ProgressFn = std::function<void(const std::string&)>;
 /// Run the full analog characterization (expensive: one transient per grid
 /// point). Grid points are independent and fan out across spec.threads
 /// workers; entries are committed in grid order regardless of thread count.
+///
+/// Fault tolerance: a grid point whose solve fails with a typed SolverError
+/// is retried up to spec.max_attempts times under escalating rescue
+/// settings, then quarantined (recorded on the returned database and as a
+/// robust.* metric/note) instead of aborting the sweep. With checkpointing
+/// configured, partial results survive a crash and a resumed run skips the
+/// completed points, producing a byte-identical CSV.
 DetectabilityDb characterize(const CharacterizeSpec& spec,
                              const ProgressFn& progress = nullptr);
 

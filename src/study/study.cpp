@@ -1,9 +1,15 @@
 #include "study/study.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <mutex>
 #include <sstream>
 
+#include "util/chaos.hpp"
+#include "util/checkpoint.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/trace.hpp"
@@ -90,6 +96,96 @@ struct DeviceRecord {
   bool interesting = false;
 };
 
+/// Bit-pack a record for the checkpoint payload. A completed non-defective
+/// device packs to 0 — still written, since line presence (not the mask) is
+/// what marks a device as done.
+int pack_record(const DeviceRecord& r) {
+  return (r.defective ? 1 : 0) | (r.standard_fail ? 2 : 0) |
+         (r.escape ? 4 : 0) | (r.vlv_fail ? 8 : 0) | (r.vmax_fail ? 16 : 0) |
+         (r.atspeed_fail ? 32 : 0) | (r.interesting ? 64 : 0);
+}
+
+DeviceRecord unpack_record(int mask) {
+  DeviceRecord r;
+  r.defective = (mask & 1) != 0;
+  r.standard_fail = (mask & 2) != 0;
+  r.escape = (mask & 4) != 0;
+  r.vlv_fail = (mask & 8) != 0;
+  r.vmax_fail = (mask & 16) != 0;
+  r.atspeed_fail = (mask & 32) != 0;
+  r.interesting = (mask & 64) != 0;
+  return r;
+}
+
+/// CRC32 over the config knobs that shape per-device outcomes plus the
+/// database CSV: a checkpoint never resumes against a different experiment.
+std::string study_fingerprint(const StudyConfig& config,
+                              const estimator::DetectabilityDb& db) {
+  char canon[256];
+  std::snprintf(canon, sizeof canon,
+                "study|%ld|%d|%ld|%.9g|%.9g|%.9g|%.9g|%llu|db%08x",
+                config.device_count, config.instances_per_chip,
+                config.bits_per_instance, config.area_per_cell_um2,
+                config.slow_period, config.vlv_period, config.fast_period,
+                static_cast<unsigned long long>(config.seed),
+                checkpoint::crc32(db.to_csv()));
+  char hex[16];
+  std::snprintf(hex, sizeof hex, "%08x",
+                checkpoint::crc32(std::string(canon)));
+  return hex;
+}
+
+std::string serialize_records(const std::string& fingerprint,
+                              const std::vector<DeviceRecord>& records,
+                              const std::vector<char>& done) {
+  std::string payload = "study 1 " + fingerprint + " " +
+                        std::to_string(records.size()) + "\n";
+  for (std::size_t d = 0; d < records.size(); ++d) {
+    if (!done[d]) continue;
+    payload +=
+        std::to_string(d) + " " + std::to_string(pack_record(records[d])) + "\n";
+  }
+  return payload;
+}
+
+std::size_t restore_records(const std::string& path,
+                            const std::string& payload,
+                            const std::string& fingerprint,
+                            std::vector<DeviceRecord>& records,
+                            std::vector<char>& done) {
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != "study 1 " + fingerprint + " " +
+                  std::to_string(records.size())) {
+    log_warn("run_study: checkpoint ", path,
+             ": header does not match this experiment (stale or foreign "
+             "snapshot); restarting from scratch");
+    return 0;
+  }
+  std::vector<DeviceRecord> restored(records.size());
+  std::vector<char> restored_done(records.size(), 0);
+  std::size_t count = 0;
+  for (std::size_t row = 2; std::getline(in, line); ++row) {
+    std::istringstream fields(line);
+    std::size_t d = 0;
+    int mask = -1;
+    std::string trailing;
+    if (!(fields >> d >> mask) || fields >> trailing || d >= restored.size() ||
+        mask < 0 || mask > 127 || restored_done[d]) {
+      log_warn("run_study: checkpoint ", path, ": row ", row,
+               ": bad record \"", line, "\"; restarting from scratch");
+      return 0;
+    }
+    restored[d] = unpack_record(mask);
+    restored_done[d] = 1;
+    ++count;
+  }
+  records = std::move(restored);
+  done = std::move(restored_done);
+  return count;
+}
+
 }  // namespace
 
 StudyResult run_study(const StudyConfig& config,
@@ -115,36 +211,99 @@ StudyResult run_study(const StudyConfig& config,
     for (auto& seed : seeds) seed = master();
   }
 
+  static metrics::Counter& checkpoints_written =
+      metrics::counter("robust.checkpoints_written");
+  static metrics::Counter& checkpoints_resumed =
+      metrics::counter("robust.checkpoints_resumed");
+  const std::string fingerprint = study_fingerprint(config, db);
+  const std::string ckpt_path =
+      config.checkpoint_path.empty()
+          ? checkpoint::default_path("study-" + fingerprint)
+          : config.checkpoint_path;
+  const long fallback_interval =
+      std::max<long>(1024, config.device_count / 32);
+  const long interval = config.checkpoint_interval > 0
+                            ? config.checkpoint_interval
+                            : checkpoint::default_interval(fallback_interval);
+
+  // `done` marks completed devices (line presence in the snapshot), so a
+  // resumed run skips their RNG streams entirely; the serial reduction below
+  // reads only records, which are identical either way.
   std::vector<DeviceRecord> records(devices);
-  parallel_for(
-      devices,
-      [&](std::size_t d) {
-        Rng rng(seeds[d]);
-        const unsigned n = rng.poisson(lambda);
-        if (n == 0) return;
-        // Atomic accumulation: the totals are order-free sums over a fixed
-        // per-device workload, so they match at every thread count.
-        static metrics::Counter& defects_counter =
-            metrics::counter("study.defects");
-        static metrics::Counter& defective_counter =
-            metrics::counter("study.defective_devices");
-        defects_counter.add(n);
-        defective_counter.add(1);
-        std::vector<Defect> defect_list;
-        defect_list.reserve(n);
-        for (unsigned i = 0; i < n; ++i)
-          defect_list.push_back(sampler.sample(rng));
-        const DeviceOutcome outcome = evaluate_device(defect_list, config, db);
-        DeviceRecord& record = records[d];
-        record.defective = true;
-        record.standard_fail = outcome.standard_fail;
-        record.escape = outcome.escape;
-        record.vlv_fail = outcome.vlv_fail;
-        record.vmax_fail = outcome.vmax_fail;
-        record.atspeed_fail = outcome.atspeed_fail;
-        record.interesting = outcome.interesting();
-      },
-      config.threads);
+  std::vector<char> done(devices, 0);
+  std::mutex state_mutex;
+  std::size_t completed = 0;
+
+  if (!ckpt_path.empty()) {
+    if (const auto payload = checkpoint::load(ckpt_path)) {
+      const std::size_t restored =
+          restore_records(ckpt_path, *payload, fingerprint, records, done);
+      if (restored > 0) {
+        checkpoints_resumed.add(1);
+        log_info("run_study: resumed ", restored, "/", devices,
+                 " devices from ", ckpt_path);
+      }
+    }
+  }
+
+  const auto snapshot_locked = [&] {
+    if (ckpt_path.empty()) return;
+    checkpoint::save(ckpt_path, serialize_records(fingerprint, records, done));
+    checkpoints_written.add(1);
+    chaos::crash_point("study.checkpoint");
+  };
+
+  const auto body = [&](std::size_t d) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex);
+      if (done[d]) return;  // restored from a checkpoint
+    }
+    DeviceRecord record;
+    Rng rng(seeds[d]);
+    const unsigned n = rng.poisson(lambda);
+    if (n > 0) {
+      // Atomic accumulation: the totals are order-free sums over a fixed
+      // per-device workload, so they match at every thread count.
+      static metrics::Counter& defects_counter =
+          metrics::counter("study.defects");
+      static metrics::Counter& defective_counter =
+          metrics::counter("study.defective_devices");
+      defects_counter.add(n);
+      defective_counter.add(1);
+      std::vector<Defect> defect_list;
+      defect_list.reserve(n);
+      for (unsigned i = 0; i < n; ++i)
+        defect_list.push_back(sampler.sample(rng));
+      const DeviceOutcome outcome = evaluate_device(defect_list, config, db);
+      record.defective = true;
+      record.standard_fail = outcome.standard_fail;
+      record.escape = outcome.escape;
+      record.vlv_fail = outcome.vlv_fail;
+      record.vmax_fail = outcome.vmax_fail;
+      record.atspeed_fail = outcome.atspeed_fail;
+      record.interesting = outcome.interesting();
+    }
+    std::lock_guard<std::mutex> lock(state_mutex);
+    records[d] = record;
+    done[d] = 1;
+    ++completed;
+    if (interval > 0 && completed % static_cast<std::size_t>(interval) == 0)
+      snapshot_locked();
+  };
+
+  try {
+    parallel_for(devices, body, config.threads, config.cancel);
+  } catch (const CancelledError&) {
+    // Cooperative shutdown: flush a final snapshot so the run resumes
+    // exactly where it stopped, then unwind.
+    std::lock_guard<std::mutex> lock(state_mutex);
+    snapshot_locked();
+    log_warn("run_study: cancelled after ", completed, " devices; ",
+             ckpt_path.empty() ? "no checkpoint configured"
+                               : "checkpoint flushed to " + ckpt_path);
+    throw;
+  }
+  if (!ckpt_path.empty()) checkpoint::remove(ckpt_path);
 
   StudyResult result;
   result.devices = config.device_count;

@@ -13,6 +13,7 @@
 
 #include "defects/sampler.hpp"
 #include "estimator/detectability.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace memstress::study {
@@ -31,6 +32,22 @@ struct StudyConfig {
   /// seeded serially from `seed`, so every count in the result (and the
   /// Fig. 11 Venn breakdown) is identical at any thread count.
   int threads = 0;
+
+  // --- fault tolerance -----------------------------------------------------
+  /// Crash-safe resume: when non-empty, completed-device outcomes are
+  /// snapshotted to this path (atomic + CRC32-footed) every
+  /// `checkpoint_interval` devices; a resumed run skips them and reproduces
+  /// the identical StudyResult. Empty selects MEMSTRESS_CHECKPOINT_DIR
+  /// (unset = off). The snapshot fingerprints the config and the database
+  /// but not the sampler — resume with the sampler you started with.
+  std::string checkpoint_path;
+  /// Completed devices between snapshots; 0 = MEMSTRESS_CHECKPOINT_INTERVAL
+  /// (default max(1024, device_count / 32)).
+  int checkpoint_interval = 0;
+  /// Optional cooperative cancellation (the process SIGINT token is always
+  /// honoured). A cancelled run flushes a final checkpoint, then throws
+  /// CancelledError.
+  const CancelToken* cancel = nullptr;
 
   double chip_area_um2() const {
     return static_cast<double>(instances_per_chip) * bits_per_instance *

@@ -1,6 +1,7 @@
 #include "tester/ate.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "analog/measure.hpp"
 #include "layout/netnames.hpp"
@@ -42,6 +43,14 @@ AnalogRun run_march_analog(analog::Netlist netlist, const sram::BlockSpec& spec,
   spec_t.t_stop = compiled.t_stop;
   spec_t.dt = at.period / options.steps_per_cycle;
   spec_t.temp_c = at.temp_c;
+  if (options.rescue_level > 0) {
+    const int level = std::min(options.rescue_level, 4);
+    spec_t.max_halvings += 2 * level;
+    spec_t.gmin *= std::pow(10.0, level);
+    spec_t.edge_substeps *= 1 << level;
+    static metrics::Counter& rescues = metrics::counter("tester.rescue_runs");
+    rescues.add(1);
+  }
 
   AnalogRun run{march::FailLog{}, sim.run(spec_t, record), {}};
   run.sim_stats = sim.stats();

@@ -18,6 +18,12 @@ namespace memstress::tester {
 struct AteOptions {
   int steps_per_cycle = 96;  ///< transient resolution per clock cycle
   std::vector<std::string> extra_record;  ///< additional nodes to trace
+  /// SPICE-style rescue escalation for retry-after-solver-failure. Level 0
+  /// is the nominal TransientSpec; each level relaxes the solve — two more
+  /// step halvings, a 10x larger gmin floor, and doubled edge substeps — so
+  /// a grid point whose Newton iteration diverged at the nominal settings
+  /// gets progressively gentler reruns before being quarantined.
+  int rescue_level = 0;
 };
 
 struct AnalogRun {

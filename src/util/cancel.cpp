@@ -1,0 +1,31 @@
+#include "util/cancel.hpp"
+
+#include <csignal>
+
+namespace memstress::cancel {
+
+CancelToken& process_token() {
+  static CancelToken token;
+  return token;
+}
+
+namespace {
+
+extern "C" void sigint_trampoline(int) {
+  process_token().request_cancel();
+  // One shot: restore the default disposition so a second ^C kills a run
+  // that is stuck inside a non-cooperative section.
+  std::signal(SIGINT, SIG_DFL);
+}
+
+}  // namespace
+
+void install_sigint_handler() {
+  static const bool installed = [] {
+    std::signal(SIGINT, &sigint_trampoline);
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace memstress::cancel

@@ -1,0 +1,63 @@
+// Cooperative cancellation for the long-running batch layers.
+//
+// A CancelToken is a shared flag: the owner trips it (from a signal handler,
+// a watchdog, or a fatal error on a sibling worker) and every loop that was
+// given the token stops claiming new work at its next check. Cancellation is
+// cooperative — in-flight tasks run to completion — so callers can flush a
+// final checkpoint before unwinding.
+//
+// parallel_for checks two tokens before every task: the optional per-job
+// token, and the process-wide token below, which examples wire to SIGINT so
+// a ^C on an hours-long characterization exits through the checkpoint path
+// instead of losing the run.
+#pragma once
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace memstress {
+
+/// Shared cancellation flag. All members are safe to call concurrently and
+/// from signal handlers (plain lock-free atomic operations).
+class CancelToken {
+ public:
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  /// Re-arm a tripped token (between runs; not thread-safe vs. a concurrent
+  /// request_cancel that must win).
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Thrown by a cooperatively cancelled job after its workers quiesce. The
+/// job's partial state is consistent when this escapes: layers with
+/// checkpoint support have already flushed a final snapshot.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+namespace cancel {
+
+/// The process-wide token. Checked by every parallel_for; tripped by SIGINT
+/// once install_sigint_handler() has run.
+CancelToken& process_token();
+
+/// True when either token (the optional job token or the process token)
+/// requests cancellation. The hot-path check used before claiming a task.
+inline bool requested(const CancelToken* token) {
+  return (token != nullptr && token->cancelled()) ||
+         process_token().cancelled();
+}
+
+/// Route SIGINT to process_token().request_cancel() (idempotent). The
+/// handler only performs an atomic store, so it is async-signal-safe; a
+/// second SIGINT falls back to the default disposition (immediate kill) so
+/// a wedged run can still be terminated.
+void install_sigint_handler();
+
+}  // namespace cancel
+}  // namespace memstress

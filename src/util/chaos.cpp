@@ -1,0 +1,160 @@
+#include "util/chaos.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace memstress::chaos {
+
+namespace {
+
+/// Task-failure injection state. Atomics (not a mutex) so maybe_fail stays
+/// one relaxed load on the hot path when chaos is off, and configure() can
+/// flip it mid-process (the bench --chaos mode does).
+std::atomic<bool> g_enabled{false};
+std::atomic<double> g_rate{0.0};
+std::atomic<std::uint64_t> g_seed{0};
+
+/// Parse "<rate>:<seed>" from MEMSTRESS_CHAOS once. Garbage disables
+/// injection with one warning, mirroring the util/env contract.
+void parse_env_once() {
+  static const bool parsed = [] {
+    const char* raw = std::getenv("MEMSTRESS_CHAOS");
+    if (raw == nullptr || raw[0] == '\0') return true;
+    const std::string text(raw);
+    const std::size_t colon = text.find(':');
+    bool ok = colon != std::string::npos && colon > 0 &&
+              colon + 1 < text.size();
+    double rate = 0.0;
+    std::uint64_t seed = 0;
+    if (ok) {
+      try {
+        std::size_t used = 0;
+        rate = std::stod(text.substr(0, colon), &used);
+        ok = used == colon;
+        used = 0;
+        const std::string seed_text = text.substr(colon + 1);
+        seed = std::stoull(seed_text, &used);
+        ok = ok && used == seed_text.size();
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok || rate < 0.0 || rate > 1.0) {
+      log_warn("MEMSTRESS_CHAOS=\"", text,
+               "\" is not <rate>:<seed> with rate in [0,1]; chaos disabled");
+      return true;
+    }
+    configure(rate, seed);
+    return true;
+  }();
+  (void)parsed;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_site(const char* site) {
+  // FNV-1a over the site name, so distinct sites draw independent streams.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = site; *p != '\0'; ++p)
+    h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ULL;
+  return h;
+}
+
+/// Crash-point state, parsed once from MEMSTRESS_CHAOS_CRASH ("<site>:<n>").
+struct CrashConfig {
+  bool active = false;
+  std::string site;
+  long long nth = 0;
+};
+
+std::atomic<long long> g_crash_hits{0};
+
+CrashConfig& crash_config() {
+  static CrashConfig config = [] {
+    CrashConfig c;
+    const char* raw = std::getenv("MEMSTRESS_CHAOS_CRASH");
+    if (raw == nullptr || raw[0] == '\0') return c;
+    const std::string text(raw);
+    const std::size_t colon = text.rfind(':');
+    bool ok = colon != std::string::npos && colon > 0 &&
+              colon + 1 < text.size();
+    long long nth = 0;
+    if (ok) {
+      try {
+        std::size_t used = 0;
+        const std::string nth_text = text.substr(colon + 1);
+        nth = std::stoll(nth_text, &used);
+        ok = used == nth_text.size() && nth >= 1;
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      log_warn("MEMSTRESS_CHAOS_CRASH=\"", text,
+               "\" is not <site>:<n> with n >= 1; crash points disabled");
+      return c;
+    }
+    c.active = true;
+    c.site = text.substr(0, colon);
+    c.nth = nth;
+    return c;
+  }();
+  return config;
+}
+
+}  // namespace
+
+bool enabled() {
+  parse_env_once();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void configure(double rate, std::uint64_t seed) {
+  if (rate < 0.0) rate = 0.0;
+  if (rate > 1.0) rate = 1.0;
+  g_rate.store(rate, std::memory_order_relaxed);
+  g_seed.store(seed, std::memory_order_relaxed);
+  g_enabled.store(rate > 0.0, std::memory_order_relaxed);
+}
+
+void disable() { configure(0.0, 0); }
+
+bool should_fail(const char* site, std::uint64_t index, std::uint64_t attempt) {
+  if (!enabled()) return false;
+  const std::uint64_t key = splitmix64(
+      g_seed.load(std::memory_order_relaxed) ^ hash_site(site) ^
+      splitmix64(index * 0x9e3779b97f4a7c15ULL + attempt));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(key >> 11) * 0x1.0p-53;
+  return u < g_rate.load(std::memory_order_relaxed);
+}
+
+void maybe_fail(const char* site, std::uint64_t index, std::uint64_t attempt) {
+  if (should_fail(site, index, attempt))
+    throw ChaosError("chaos: injected failure at " + std::string(site) + "[" +
+                     std::to_string(index) + "] attempt " +
+                     std::to_string(attempt));
+}
+
+void crash_point(const char* site) {
+  const CrashConfig& config = crash_config();
+  if (!config.active || config.site != site) return;
+  if (g_crash_hits.fetch_add(1, std::memory_order_relaxed) + 1 != config.nth)
+    return;
+  std::fprintf(stderr, "chaos: simulated crash at %s (hit %lld)\n", site,
+               config.nth);
+  std::fflush(nullptr);
+  // _Exit: no destructors, no atexit handlers, buffers dropped — the closest
+  // portable approximation of the power cut this point simulates.
+  std::_Exit(kCrashExitCode);
+}
+
+}  // namespace memstress::chaos

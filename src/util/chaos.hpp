@@ -1,0 +1,66 @@
+// Chaos-injection harness: deterministic, seeded fault injection so every
+// recovery path (retry, quarantine, checkpoint resume, atomic writes) is
+// exercised by tests instead of waiting for bad silicon or a power cut.
+//
+// Two independent knobs, both off by default and costing one relaxed load
+// when off:
+//   * MEMSTRESS_CHAOS=<rate>:<seed> — task-level failures. Instrumented
+//     sites call maybe_fail(site, index, attempt); a keyed hash of
+//     (seed, site, index, attempt) decides failure with probability `rate`.
+//     Including the attempt number means a retry of the same task re-rolls,
+//     so both the retry-succeeds and the retries-exhausted->quarantine paths
+//     occur at a suitable rate.
+//   * MEMSTRESS_CHAOS_CRASH=<site>:<n> — simulated crashes. The nth
+//     execution of the named crash_point() hard-exits the process (no
+//     destructors, no atexit — as close to kill -9 as C++ allows), leaving
+//     whatever partial on-disk state the code under test produced. Death
+//     tests use this to validate crash-safe persistence and resume.
+//
+// Determinism contract: for a fixed (rate, seed), the verdict for a given
+// (site, index, attempt) is a pure function — independent of thread count,
+// scheduling, and call order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace memstress::chaos {
+
+/// Thrown by maybe_fail at a chaos-selected site. Classified as retryable
+/// by the layers with retry/quarantine support, exactly like a solver
+/// failure on real silicon.
+class ChaosError : public Error {
+ public:
+  explicit ChaosError(const std::string& what) : Error(what) {}
+};
+
+/// Exit code used by crash_point(): distinctive so death tests can assert
+/// the process died at a simulated crash rather than something organic.
+inline constexpr int kCrashExitCode = 86;
+
+/// True when task-failure injection is active (rate > 0).
+bool enabled();
+
+/// Programmatic override of MEMSTRESS_CHAOS (benches/tests). A rate of 0
+/// disables injection; rate is clamped to [0, 1].
+void configure(double rate, std::uint64_t seed);
+
+/// Turn task-failure injection off (equivalent to configure(0, 0)).
+void disable();
+
+/// Deterministic verdict: should the (site, index, attempt) invocation fail?
+bool should_fail(const char* site, std::uint64_t index,
+                 std::uint64_t attempt = 0);
+
+/// Throw ChaosError when should_fail() says so; no-op otherwise.
+void maybe_fail(const char* site, std::uint64_t index,
+                std::uint64_t attempt = 0);
+
+/// Simulated crash point. When MEMSTRESS_CHAOS_CRASH names this site, the
+/// nth hit (1-based) flushes stdio and hard-exits with kCrashExitCode.
+/// Costs one relaxed load when the variable is unset.
+void crash_point(const char* site);
+
+}  // namespace memstress::chaos

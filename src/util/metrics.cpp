@@ -56,7 +56,29 @@ struct Registry {
   std::mutex mutex;
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::vector<std::string> notes;
 };
+
+constexpr std::size_t kMaxNotes = 4096;
+
+std::string json_string(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  return out + "\"";
+}
 
 Registry& registry() {
   static Registry r;
@@ -136,7 +158,15 @@ void reset() {
   for (auto& [name, c] : reg.counters)
     c->value_.store(0, std::memory_order_relaxed);
   for (auto& [name, h] : reg.histograms) h->clear();
+  reg.notes.clear();
   trace::reset();
+}
+
+void note(const std::string& text) {
+  if (!enabled()) return;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.notes.size() < kMaxNotes) reg.notes.push_back(text);
 }
 
 RunReport collect() {
@@ -152,6 +182,7 @@ RunReport collect() {
       const Histogram::Snapshot stats = h->snapshot();
       if (stats.count != 0) report.histograms.push_back({name, stats});
     }
+    report.notes = reg.notes;
   }
   for (const auto& node : trace::snapshot())
     report.spans.push_back(convert_span(node));
@@ -180,13 +211,19 @@ std::string RunReport::to_json() const {
     if (i) out += ",";
     append_span_json(spans[i], out);
   }
+  out += "],\"notes\":[";
+  for (std::size_t i = 0; i < notes.size(); ++i) {
+    if (i) out += ",";
+    out += json_string(notes[i]);
+  }
   out += "]}";
   return out;
 }
 
 std::string RunReport::to_table() const {
   std::string out = "== RunReport ==\n";
-  if (counters.empty() && histograms.empty() && spans.empty())
+  if (counters.empty() && histograms.empty() && spans.empty() &&
+      notes.empty())
     return out + "(no metrics recorded; set MEMSTRESS_METRICS=1 or "
                  "metrics::set_enabled(true))\n";
 
@@ -209,6 +246,10 @@ std::string RunReport::to_table() const {
     const double total = spans_total(spans);
     for (const auto& span : spans) add_span_rows(span, 0, total, table);
     out += "\n" + table.to_string();
+  }
+  if (!notes.empty()) {
+    out += "\nnotes:\n";
+    for (const auto& line : notes) out += "  " + line + "\n";
   }
   return out;
 }

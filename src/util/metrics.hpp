@@ -84,6 +84,13 @@ Histogram& histogram(const std::string& name);
 /// valid. Call between measured runs (e.g. per thread-count invariance leg).
 void reset();
 
+/// Append a free-form annotation line to the run report — used for run
+/// events that need more than a count, e.g. each quarantined grid point
+/// with its reason and attempt tally. Gated by enabled() like counters;
+/// reset() clears. Capped (oldest kept) so a pathological run cannot grow
+/// the registry without bound.
+void note(const std::string& text);
+
 // ---------------------------------------------------------------------------
 // RunReport: one snapshot of everything observed since the last reset().
 
@@ -109,9 +116,10 @@ struct RunReport {
   std::vector<CounterValue> counters;      ///< sorted by name, nonzero only
   std::vector<HistogramValue> histograms;  ///< sorted by name, nonempty only
   std::vector<SpanValue> spans;            ///< root spans in creation order
+  std::vector<std::string> notes;          ///< annotation lines, in order
 
   /// Compact single-line JSON:
-  /// {"counters":{...},"histograms":{...},"spans":[...]}
+  /// {"counters":{...},"histograms":{...},"spans":[...],"notes":[...]}
   std::string to_json() const;
 
   /// Human-readable report: a counter table, a histogram table, and the

@@ -34,10 +34,17 @@ struct ThreadPool::Impl {
   bool stopping = false;
   std::size_t count = 0;
   const std::function<void(std::size_t)>* body = nullptr;
+  const CancelToken* cancel = nullptr;
   /// Caller's current trace span, adopted by every worker for the job so
   /// spans opened inside task bodies nest exactly as they would serially.
   void* span_context = nullptr;
   std::atomic<std::size_t> cursor{0};
+  /// Tripped on the first body exception. Parking the cursor alone only
+  /// stops *claiming*; this flag also stops already-claimed tasks from
+  /// *executing*, bounding post-failure work to at most one task per worker.
+  std::atomic<bool> abandon{false};
+  /// Set when a worker observed an external cancellation request.
+  std::atomic<bool> saw_cancel{false};
   int active = 0;
   std::exception_ptr error;
 
@@ -46,6 +53,7 @@ struct ThreadPool::Impl {
     for (;;) {
       std::size_t job_count = 0;
       const std::function<void(std::size_t)>* job_body = nullptr;
+      const CancelToken* job_cancel = nullptr;
       void* job_span_context = nullptr;
       {
         std::unique_lock<std::mutex> lock(mutex);
@@ -56,20 +64,28 @@ struct ThreadPool::Impl {
         seen_generation = generation;
         job_count = count;
         job_body = body;
+        job_cancel = cancel;
         job_span_context = span_context;
       }
       trace::ContextGuard span_guard(job_span_context);
       for (;;) {
+        if (abandon.load(std::memory_order_relaxed)) break;
+        if (cancel::requested(job_cancel)) {
+          saw_cancel.store(true, std::memory_order_relaxed);
+          break;
+        }
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= job_count) break;
+        if (abandon.load(std::memory_order_relaxed)) break;
         try {
           (*job_body)(i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(mutex);
           if (!error) error = std::current_exception();
-          // Abandon the rest of the range: park the cursor past the end so
-          // every worker drains quickly.
+          // Abandon the rest of the range: park the cursor (stops claims)
+          // and trip the flag (stops claimed-but-unstarted tasks).
           cursor.store(job_count, std::memory_order_relaxed);
+          abandon.store(true, std::memory_order_relaxed);
         }
       }
       {
@@ -99,8 +115,26 @@ ThreadPool::~ThreadPool() {
   delete impl_;
 }
 
+namespace {
+
+/// Serial inline loop shared by the 1-thread fallbacks: identical exception
+/// behaviour to a plain for loop, plus the same cancellation points as the
+/// pooled path.
+void serial_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                const CancelToken* cancel) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (cancel::requested(cancel))
+      throw CancelledError("parallel_for: cancelled at task " +
+                           std::to_string(i) + "/" + std::to_string(count));
+    body(i);
+  }
+}
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              const CancelToken* cancel) {
   {
     static metrics::Counter& jobs = metrics::counter("parallel.jobs");
     static metrics::Counter& tasks = metrics::counter("parallel.tasks");
@@ -108,15 +142,18 @@ void ThreadPool::parallel_for(std::size_t count,
     tasks.add(static_cast<long long>(count));
   }
   if (!impl_ || count <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    serial_for(count, body, cancel);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->count = count;
     impl_->body = &body;
+    impl_->cancel = cancel;
     impl_->span_context = trace::current_context();
     impl_->cursor.store(0, std::memory_order_relaxed);
+    impl_->abandon.store(false, std::memory_order_relaxed);
+    impl_->saw_cancel.store(false, std::memory_order_relaxed);
     impl_->error = nullptr;
     impl_->active = threads_;
     ++impl_->generation;
@@ -125,10 +162,18 @@ void ThreadPool::parallel_for(std::size_t count,
   std::unique_lock<std::mutex> lock(impl_->mutex);
   impl_->done_cv.wait(lock, [&] { return impl_->active == 0; });
   if (impl_->error) std::rethrow_exception(impl_->error);
+  if (impl_->saw_cancel.load(std::memory_order_relaxed)) {
+    static metrics::Counter& cancelled =
+        metrics::counter("parallel.cancelled_jobs");
+    cancelled.add(1);
+    throw CancelledError("parallel_for: job cancelled before completing " +
+                         std::to_string(count) + " tasks");
+  }
 }
 
 void parallel_for(std::size_t count,
-                  const std::function<void(std::size_t)>& body, int threads) {
+                  const std::function<void(std::size_t)>& body, int threads,
+                  const CancelToken* cancel) {
   const int resolved = resolve_thread_count(threads);
   if (resolved == 1 || count <= 1) {
     // Serial inline path: account the job the same way the pool does so
@@ -137,11 +182,11 @@ void parallel_for(std::size_t count,
     static metrics::Counter& tasks = metrics::counter("parallel.tasks");
     jobs.add(1);
     tasks.add(static_cast<long long>(count));
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    serial_for(count, body, cancel);
     return;
   }
   ThreadPool pool(resolved);
-  pool.parallel_for(count, body);
+  pool.parallel_for(count, body, cancel);
 }
 
 }  // namespace memstress

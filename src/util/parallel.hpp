@@ -17,10 +17,18 @@
 //     `count` `parallel.tasks` (util/metrics) and propagates the caller's
 //     trace span to the workers, so spans opened inside task bodies nest
 //     under the launching span at any thread count.
+//   * Fail-fast and cancellation: after the first task exception, workers
+//     stop claiming AND stop executing — at most one already-claimed task
+//     per worker runs after the throw. Every task boundary also checks the
+//     optional job CancelToken and the process-wide SIGINT token
+//     (util/cancel); an externally cancelled job quiesces and throws
+//     CancelledError from parallel_for (a body exception takes precedence).
 #pragma once
 
 #include <cstddef>
 #include <functional>
+
+#include "util/cancel.hpp"
 
 namespace memstress {
 
@@ -48,10 +56,13 @@ class ThreadPool {
 
   /// Run body(i) for every i in [0, count). Indices are claimed dynamically
   /// (an atomic cursor), so uneven task costs balance across workers. If any
-  /// body throws, remaining tasks are abandoned and the first exception is
-  /// rethrown here after all workers quiesce.
+  /// body throws, remaining tasks are abandoned (claimed-but-unstarted tasks
+  /// included) and the first exception is rethrown here after all workers
+  /// quiesce. When `cancel` (or the process SIGINT token) trips, workers
+  /// stop at the next task boundary and CancelledError is thrown instead.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    const CancelToken* cancel = nullptr);
 
  private:
   struct Impl;
@@ -65,6 +76,6 @@ class ThreadPool {
 /// fans out.
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
-                  int threads = 0);
+                  int threads = 0, const CancelToken* cancel = nullptr);
 
 }  // namespace memstress

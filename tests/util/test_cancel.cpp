@@ -1,0 +1,65 @@
+#include "util/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <thread>
+#include <vector>
+
+namespace memstress {
+namespace {
+
+TEST(CancelToken, StartsClearTripsAndResets) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.request_cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, RequestedSeesEitherToken) {
+  cancel::process_token().reset();
+  CancelToken job;
+  EXPECT_FALSE(cancel::requested(&job));
+  EXPECT_FALSE(cancel::requested(nullptr));
+
+  job.request_cancel();
+  EXPECT_TRUE(cancel::requested(&job));
+  EXPECT_FALSE(cancel::requested(nullptr));  // process token untouched
+  job.reset();
+
+  cancel::process_token().request_cancel();
+  EXPECT_TRUE(cancel::requested(&job));
+  EXPECT_TRUE(cancel::requested(nullptr));
+  cancel::process_token().reset();
+}
+
+TEST(CancelToken, VisibleAcrossThreads) {
+  CancelToken token;
+  std::thread tripper([&token] { token.request_cancel(); });
+  tripper.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, SigintTripsProcessToken) {
+  // The handler is one-shot (a second ^C must be able to kill a wedged
+  // run), so this is the only test allowed to raise SIGINT.
+  cancel::process_token().reset();
+  cancel::install_sigint_handler();
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(cancel::process_token().cancelled());
+  cancel::process_token().reset();
+}
+
+TEST(CancelledError, IsAnError) {
+  const CancelledError e("stopped");
+  EXPECT_STREQ(e.what(), "stopped");
+  const Error* base = &e;
+  EXPECT_NE(base, nullptr);
+}
+
+}  // namespace
+}  // namespace memstress

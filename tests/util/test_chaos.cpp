@@ -1,0 +1,123 @@
+#include "util/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+#include <string>
+
+namespace memstress::chaos {
+namespace {
+
+/// Restores the programmatic chaos state after each test.
+class ChaosGuard {
+ public:
+  ~ChaosGuard() { disable(); }
+};
+
+TEST(Chaos, DisabledByDefaultAndNeverFails) {
+  ChaosGuard guard;
+  disable();
+  EXPECT_FALSE(enabled());
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(should_fail("test.site", i));
+    EXPECT_NO_THROW(maybe_fail("test.site", i));
+  }
+}
+
+TEST(Chaos, RateOneAlwaysFailsRateZeroNever) {
+  ChaosGuard guard;
+  configure(1.0, 42);
+  EXPECT_TRUE(enabled());
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_TRUE(should_fail("s", i));
+  EXPECT_THROW(maybe_fail("s", 7), ChaosError);
+
+  configure(0.0, 42);
+  EXPECT_FALSE(enabled());
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_FALSE(should_fail("s", i));
+}
+
+TEST(Chaos, VerdictsAreDeterministicForFixedSeed) {
+  ChaosGuard guard;
+  configure(0.5, 7);
+  std::vector<bool> first;
+  for (std::uint64_t i = 0; i < 200; ++i)
+    first.push_back(should_fail("determinism", i));
+  for (int repeat = 0; repeat < 3; ++repeat)
+    for (std::uint64_t i = 0; i < 200; ++i)
+      EXPECT_EQ(should_fail("determinism", i), first[i]) << "index " << i;
+  // A 0.5 rate over 200 indices lands strictly inside (0, 200).
+  long failures = 0;
+  for (const bool f : first) failures += f ? 1 : 0;
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 200);
+}
+
+TEST(Chaos, DistinctSitesSeedsAndAttemptsDrawDistinctStreams) {
+  ChaosGuard guard;
+  configure(0.5, 7);
+  const auto stream = [](const char* site, std::uint64_t attempt) {
+    std::string bits;
+    for (std::uint64_t i = 0; i < 64; ++i)
+      bits += should_fail(site, i, attempt) ? '1' : '0';
+    return bits;
+  };
+  const std::string site_a = stream("site.a", 0);
+  EXPECT_NE(site_a, stream("site.b", 0));
+  // Retries re-roll: same site, next attempt, different verdict stream.
+  EXPECT_NE(site_a, stream("site.a", 1));
+  configure(0.5, 8);
+  EXPECT_NE(site_a, stream("site.a", 0));
+}
+
+TEST(Chaos, ConfigureClampsRate) {
+  ChaosGuard guard;
+  configure(7.5, 1);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_TRUE(should_fail("clamp", i));
+  configure(-2.0, 1);
+  EXPECT_FALSE(enabled());
+}
+
+TEST(Chaos, ErrorMessageNamesSiteIndexAndAttempt) {
+  ChaosGuard guard;
+  configure(1.0, 3);
+  try {
+    maybe_fail("engine.solve", 13, 2);
+    FAIL() << "maybe_fail did not throw at rate 1.0";
+  } catch (const ChaosError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("engine.solve"), std::string::npos);
+    EXPECT_NE(what.find("13"), std::string::npos);
+    EXPECT_NE(what.find("attempt 2"), std::string::npos);
+  }
+}
+
+TEST(ChaosDeath, CrashPointHardExitsOnNthHit) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // The crash config is parsed once per process from the environment; the
+  // setenv runs inside the death-test statement so only the re-executed
+  // child (which parses lazily, at its first crash_point call) sees it.
+  EXPECT_EXIT(
+      {
+        ::setenv("MEMSTRESS_CHAOS_CRASH", "ckpt.write:2", 1);
+        crash_point("ckpt.write");    // hit 1: survives
+        crash_point("other.site");    // different site: ignored
+        crash_point("ckpt.write");    // hit 2: dies
+        std::_Exit(0);                // never reached
+      },
+      testing::ExitedWithCode(kCrashExitCode), "simulated crash at ckpt.write");
+}
+
+TEST(ChaosDeath, CrashPointInertWithoutEnv) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_EXIT(
+      {
+        ::unsetenv("MEMSTRESS_CHAOS_CRASH");
+        for (int i = 0; i < 10; ++i) crash_point("ckpt.write");
+        std::_Exit(0);
+      },
+      testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace memstress::chaos

@@ -1,0 +1,221 @@
+#include "util/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/chaos.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace memstress::checkpoint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test; removed on exit.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    dir_ = fs::temp_directory_path() /
+           ("memstress_ckpt_test_" + tag + "_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  fs::path dir_;
+};
+
+/// Captures log output for one scope (the warn-once assertions).
+class LogCapture {
+ public:
+  LogCapture() {
+    set_log_sink([this](LogLevel, const std::string& message) {
+      messages_.push_back(message);
+    });
+  }
+  ~LogCapture() { set_log_sink({}); }
+  const std::vector<std::string>& messages() const { return messages_; }
+
+ private:
+  std::vector<std::string> messages_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The IEEE 802.3 / zlib check value for "123456789".
+  EXPECT_EQ(crc32(std::string("123456789")), 0xcbf43926u);
+  EXPECT_EQ(crc32(std::string("")), 0u);
+  EXPECT_NE(crc32(std::string("a")), crc32(std::string("b")));
+}
+
+TEST(Checkpoint, AtomicWriteCreatesAndReplaces) {
+  ScratchDir scratch("atomic");
+  const std::string path = scratch.path("file.txt");
+  write_file_atomic(path, "first\n");
+  EXPECT_EQ(read_file(path), "first\n");
+  write_file_atomic(path, "second\n");
+  EXPECT_EQ(read_file(path), "second\n");
+  // No temp droppings left next to the target.
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& entry :
+       fs::directory_iterator(fs::path(path).parent_path()))
+    ++files;
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(Checkpoint, SaveLoadRoundtrip) {
+  ScratchDir scratch("roundtrip");
+  const std::string path = scratch.path("state.ckpt");
+  const std::string payload = "header 1\n0 1\n1 0\n2 Q 3 singular matrix\n";
+  save(path, payload);
+  const auto loaded = load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, payload);
+  // Empty payload roundtrips too (a run checkpointed before any progress).
+  save(path, "");
+  ASSERT_TRUE(load(path).has_value());
+  EXPECT_EQ(*load(path), "");
+}
+
+TEST(Checkpoint, SaveRejectsUnterminatedPayload) {
+  ScratchDir scratch("unterminated");
+  EXPECT_THROW(save(scratch.path("x.ckpt"), "no trailing newline"), Error);
+}
+
+TEST(Checkpoint, MissingFileIsSilentlyAbsent) {
+  ScratchDir scratch("missing");
+  LogCapture capture;
+  EXPECT_FALSE(load(scratch.path("never_written.ckpt")).has_value());
+  EXPECT_TRUE(capture.messages().empty());
+}
+
+TEST(Checkpoint, TruncatedFileWarnsOnceAndRestartsClean) {
+  ScratchDir scratch("truncated");
+  const std::string path = scratch.path("state.ckpt");
+  save(path, "line one\nline two\n");
+  // Chop mid-footer, as an out-of-space or power-cut write would.
+  const std::string full = read_file(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << full.substr(0, full.size() - 7);
+  }
+  LogCapture capture;
+  EXPECT_FALSE(load(path).has_value());
+  EXPECT_FALSE(load(path).has_value());  // second hit: warn-once, no repeat
+  ASSERT_EQ(capture.messages().size(), 1u);
+  EXPECT_NE(capture.messages()[0].find(path), std::string::npos);
+  EXPECT_NE(capture.messages()[0].find("restarting from scratch"),
+            std::string::npos);
+}
+
+TEST(Checkpoint, CrcMismatchWarnsAndRestartsClean) {
+  ScratchDir scratch("crc");
+  const std::string path = scratch.path("state.ckpt");
+  save(path, "precious bits\n");
+  // Flip one payload byte; the footer still parses but the CRC catches it.
+  std::string full = read_file(path);
+  full[2] = full[2] == 'x' ? 'y' : 'x';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << full;
+  }
+  LogCapture capture;
+  EXPECT_FALSE(load(path).has_value());
+  ASSERT_EQ(capture.messages().size(), 1u);
+  EXPECT_NE(capture.messages()[0].find("CRC mismatch"), std::string::npos);
+}
+
+TEST(Checkpoint, ForeignFileWarnsAndRestartsClean) {
+  ScratchDir scratch("foreign");
+  const std::string path = scratch.path("state.ckpt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "kind,category,resistance\nnot,a,checkpoint\n";
+  }
+  LogCapture capture;
+  EXPECT_FALSE(load(path).has_value());
+  ASSERT_EQ(capture.messages().size(), 1u);
+  EXPECT_NE(capture.messages()[0].find("footer"), std::string::npos);
+}
+
+TEST(Checkpoint, ShortPayloadAgainstFooterSizeIsRejected) {
+  ScratchDir scratch("short");
+  const std::string path = scratch.path("state.ckpt");
+  save(path, "0123456789\n");
+  // Drop one payload line-prefix byte but keep a parseable footer: the
+  // byte count in the footer no longer matches.
+  std::string full = read_file(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << full.substr(1);
+  }
+  LogCapture capture;
+  EXPECT_FALSE(load(path).has_value());
+  ASSERT_EQ(capture.messages().size(), 1u);
+  EXPECT_NE(capture.messages()[0].find("footer says"), std::string::npos);
+}
+
+TEST(Checkpoint, DefaultPathFollowsEnv) {
+  const char* saved = std::getenv("MEMSTRESS_CHECKPOINT_DIR");
+  const std::string saved_value = saved ? saved : "";
+  ::unsetenv("MEMSTRESS_CHECKPOINT_DIR");
+  EXPECT_EQ(default_path("job"), "");
+  ::setenv("MEMSTRESS_CHECKPOINT_DIR", "/tmp/ckpts", 1);
+  EXPECT_EQ(default_path("job"), "/tmp/ckpts/job.ckpt");
+  if (saved)
+    ::setenv("MEMSTRESS_CHECKPOINT_DIR", saved_value.c_str(), 1);
+  else
+    ::unsetenv("MEMSTRESS_CHECKPOINT_DIR");
+}
+
+TEST(CheckpointDeath, CrashBeforeRenameLeavesTargetUntouched) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ScratchDir scratch("crash");
+  const std::string path = scratch.path("state.ckpt");
+  // Write the baseline WITHOUT checkpoint::save: save() passes through the
+  // crash point, and the first crash_point call freezes the (lazily parsed)
+  // crash config — the death-test child must reach its setenv first.
+  const std::string payload = "survives the crash\n";
+  {
+    char footer[64];
+    std::snprintf(footer, sizeof footer, "#memstress-ckpt crc32=%08x size=%zu\n",
+                  crc32(payload), payload.size());
+    std::ofstream out(path, std::ios::binary);
+    out << payload << footer;
+  }
+  ASSERT_EQ(load(path), payload);
+
+  // The child is killed between writing the temp file and the rename; the
+  // target must still hold the old complete snapshot.
+  EXPECT_EXIT(
+      {
+        ::setenv("MEMSTRESS_CHAOS_CRASH", "checkpoint.before_rename:1", 1);
+        save(path, "half-written replacement\n");
+        std::_Exit(0);  // never reached
+      },
+      testing::ExitedWithCode(chaos::kCrashExitCode), "simulated crash");
+  EXPECT_EQ(load(path), payload);
+}
+
+}  // namespace
+}  // namespace memstress::checkpoint

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
@@ -129,6 +130,118 @@ TEST(ParallelFor, ExceptionPropagatesFromTransientPool) {
                               if (i == 7) throw std::runtime_error("boom");
                             },
                             4),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, FailFastBoundsWorkAfterFirstThrow) {
+  // After the first body exception, workers must stop claiming AND stop
+  // executing claimed-but-unstarted tasks: at most one in-flight task per
+  // worker runs to completion after the throw. Without the abandon flag the
+  // whole 100k range would still execute.
+  constexpr int kThreads = 4;
+  constexpr std::size_t kCount = 100000;
+  ThreadPool pool(kThreads);
+  std::atomic<bool> thrown{false};
+  std::atomic<long> started_after_throw{0};
+  std::atomic<long> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(kCount,
+                        [&](std::size_t i) {
+                          if (i == 0) {
+                            // Let other workers get busy, then fail.
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(2));
+                            thrown.store(true);
+                            throw std::runtime_error("boom");
+                          }
+                          if (thrown.load()) started_after_throw.fetch_add(1);
+                          executed.fetch_add(1);
+                          // Each task outlasts the thrown->abandon window by
+                          // orders of magnitude, so no worker can start two
+                          // tasks inside it.
+                          std::this_thread::sleep_for(
+                              std::chrono::microseconds(200));
+                        }),
+      std::runtime_error);
+  EXPECT_LE(started_after_throw.load(), kThreads);
+  EXPECT_LT(executed.load(), static_cast<long>(kCount) / 2);
+}
+
+TEST(ThreadPool, ExternalCancelThrowsCancelledError) {
+  ThreadPool pool(4);
+  CancelToken token;
+  std::atomic<long> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(100000,
+                        [&](std::size_t) {
+                          if (executed.fetch_add(1) + 1 == 8)
+                            token.request_cancel();
+                          std::this_thread::sleep_for(
+                              std::chrono::microseconds(50));
+                        },
+                        &token),
+      CancelledError);
+  // Cooperative: the tripped token stopped the range well short of done.
+  EXPECT_LT(executed.load(), 100000);
+  // The pool survives a cancelled job and runs the next one cleanly.
+  std::atomic<int> ok{0};
+  pool.parallel_for(16, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 16);
+}
+
+TEST(ThreadPool, PreCancelledTokenRunsNoTasks) {
+  ThreadPool pool(4);
+  CancelToken token;
+  token.request_cancel();
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(64, [&](std::size_t) { executed.fetch_add(1); },
+                        &token),
+      CancelledError);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ParallelFor, SerialPathHonoursCancelToken) {
+  CancelToken token;
+  int executed = 0;
+  EXPECT_THROW(parallel_for(100,
+                            [&](std::size_t i) {
+                              ++executed;
+                              if (i == 9) token.request_cancel();
+                            },
+                            1, &token),
+               CancelledError);
+  // Serial semantics: the task that tripped the token finishes, the next
+  // boundary check stops the loop.
+  EXPECT_EQ(executed, 10);
+}
+
+TEST(ParallelFor, ProcessTokenCancelsEveryJob) {
+  cancel::process_token().reset();
+  std::atomic<int> executed{0};
+  EXPECT_THROW(parallel_for(1000,
+                            [&](std::size_t i) {
+                              executed.fetch_add(1);
+                              if (i == 3) cancel::process_token().request_cancel();
+                            },
+                            1),
+               CancelledError);
+  cancel::process_token().reset();
+  EXPECT_LT(executed.load(), 1000);
+}
+
+TEST(ParallelFor, BodyExceptionBeatsConcurrentCancel) {
+  // When a task throws and the token also trips, the caller sees the real
+  // error, not the cancellation.
+  CancelToken token;
+  EXPECT_THROW(parallel_for(64,
+                            [&](std::size_t i) {
+                              if (i == 5) {
+                                token.request_cancel();
+                                throw std::runtime_error("real failure");
+                              }
+                            },
+                            4, &token),
                std::runtime_error);
 }
 
