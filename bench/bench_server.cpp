@@ -1,0 +1,149 @@
+// Throughput/latency bench for memstressd: an in-process server on an
+// ephemeral loopback port, hammered by N client threads sending a fixed
+// request mix. Reports requests/second and p50/p99 latency, and verifies
+// every response byte-for-byte against a direct library call while doing
+// so — a fast server that answers wrong is a regression, not a win.
+//
+// Usage: bench_server [--smoke] [--clients N] [--requests M]
+//   --smoke    reduced load for the ctest smoke (seconds, not minutes)
+//
+// The last stdout line is machine-readable for trend tracking:
+//   BENCH_JSON {"bench":"server", ...}
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "tests/server/server_test_util.hpp"
+#include "util/parallel.hpp"
+
+using namespace memstress;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double percentile_ms(std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted_seconds.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted_seconds.size())));
+  return sorted_seconds[index] * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int clients = 8;
+  int requests_per_client = 400;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      clients = 2;
+      requests_per_client = 40;
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests_per_client = std::atoi(argv[++i]);
+    }
+  }
+
+  server::ServerConfig config;
+  config.workers = default_thread_count();
+  config.queue_depth = 64;
+  server::TestServer fixture(config);
+  std::printf("bench_server: %d workers on 127.0.0.1:%d, %d clients x %d "
+              "requests\n",
+              fixture.server.config().workers, fixture.server.port(), clients,
+              requests_per_client);
+
+  // A cheap-heavy mix: mostly lookups (the steady-state load a test floor
+  // would generate), with the full Table-1 estimator sprinkled in.
+  const std::vector<std::string> lines = {
+      "{\"v\":1,\"id\":1,\"type\":\"health\"}",
+      "{\"v\":1,\"id\":2,\"type\":\"dpm\",\"params\":"
+      "{\"yield\":0.95,\"defect_coverage\":0.99}}",
+      "{\"v\":1,\"id\":3,\"type\":\"detectability\",\"params\":"
+      "{\"kind\":\"bridge\",\"category\":\"cell-node-bitline\","
+      "\"resistance\":1000,\"vdd\":1.0,\"period\":1e-07}}",
+      "{\"v\":1,\"id\":4,\"type\":\"dpm\",\"params\":"
+      "{\"yield\":0.9,\"defect_coverage\":0.95}}",
+      "{\"v\":1,\"id\":5,\"type\":\"coverage\",\"params\":"
+      "{\"geometry\":{\"x_rows\":128,\"y_columns\":32,\"bits_per_word\":4}}}",
+  };
+  std::vector<std::string> expected;
+  for (const auto& line : lines)
+    expected.push_back(fixture.expected_response(line));
+
+  std::atomic<long> mismatches{0};
+  std::atomic<long> transport_errors{0};
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(requests_per_client));
+      try {
+        server::Client client(fixture.client_config());
+        for (int r = 0; r < requests_per_client; ++r) {
+          const std::size_t pick = static_cast<std::size_t>(c + r) %
+                                   lines.size();
+          const auto sent = std::chrono::steady_clock::now();
+          const std::string response = client.roundtrip(lines[pick]);
+          mine.push_back(seconds_since(sent));
+          if (response != expected[pick]) mismatches.fetch_add(1);
+        }
+      } catch (const Error& e) {
+        transport_errors.fetch_add(1);
+        std::fprintf(stderr, "client %d: %s\n", c, e.what());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double elapsed_s = seconds_since(start);
+  fixture.server.stop();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies)
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  std::sort(all.begin(), all.end());
+  const long completed = static_cast<long>(all.size());
+  const double rps = elapsed_s > 0.0 ? completed / elapsed_s : 0.0;
+  const double p50_ms = percentile_ms(all, 0.50);
+  const double p99_ms = percentile_ms(all, 0.99);
+  const bool identical = mismatches.load() == 0 &&
+                         transport_errors.load() == 0 &&
+                         completed ==
+                             static_cast<long>(clients) * requests_per_client;
+
+  std::printf("\n  completed requests ........................ %ld\n",
+              completed);
+  std::printf("  wall time ................................. %.3f s\n",
+              elapsed_s);
+  std::printf("  throughput ................................ %.0f req/s\n",
+              rps);
+  std::printf("  latency p50 / p99 ......................... %.3f / %.3f ms\n",
+              p50_ms, p99_ms);
+  std::printf("  responses identical to direct calls ....... %s\n\n",
+              identical ? "HOLDS" : "DEVIATES");
+
+  std::printf("BENCH_JSON {\"bench\":\"server\",\"workers\":%d,"
+              "\"clients\":%d,\"requests_per_client\":%d,"
+              "\"completed\":%ld,\"elapsed_s\":%.4f,\"rps\":%.1f,"
+              "\"p50_ms\":%.4f,\"p99_ms\":%.4f,"
+              "\"mismatches\":%ld,\"transport_errors\":%ld,"
+              "\"identical\":%s}\n",
+              fixture.server.config().workers, clients, requests_per_client,
+              completed, elapsed_s, rps, p50_ms, p99_ms, mismatches.load(),
+              transport_errors.load(), identical ? "true" : "false");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// memstressd: serve the characterization/DPM pipeline to many clients.
+//
+// Characterizes (or cache-loads) the detectability database once, then
+// answers coverage / dpm / schedule / detectability / metrics / health
+// requests over newline-delimited JSON until SIGINT, which drains in-flight
+// requests and exits 130.
+//
+// Configuration comes from the environment (util/env semantics):
+//   MEMSTRESS_ADDR                listen address   (default 127.0.0.1)
+//   MEMSTRESS_PORT                listen port      (default 0 = ephemeral)
+//   MEMSTRESS_SERVER_WORKERS      worker threads   (default MEMSTRESS_THREADS)
+//   MEMSTRESS_QUEUE_DEPTH         pending-connection bound (default 64)
+//   MEMSTRESS_REQUEST_TIMEOUT_MS  per-request deadline     (default 10000)
+//
+// Usage: ./build/examples/memstressd [db_cache_path]
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "server/server.hpp"
+#include "util/cancel.hpp"
+#include "util/signal_guard.hpp"
+
+using namespace memstress;
+
+namespace {
+
+int run(int argc, char** argv) {
+  core::PipelineConfig config;
+  config.block.rows = 2;
+  config.block.cols = 1;
+  config.db_cache_path =
+      argc > 1 ? argv[1] : "memstress_detectability_cache.csv";
+  core::StressEvaluationPipeline pipeline(std::move(config));
+
+  std::printf("memstressd: preparing detectability database (%s)...\n",
+              pipeline.config().db_cache_path.c_str());
+  const auto db = pipeline.share_database();
+  std::printf("memstressd: %zu characterized grid points ready\n", db->size());
+
+  const server::ServerConfig server_config = server::ServerConfig::from_env();
+  auto service = std::make_shared<const server::MemstressService>(
+      db,
+      estimator::PopulationModel::calibrate(pipeline.config().layout_rows,
+                                            pipeline.config().layout_cols),
+      pipeline.config().fab, pipeline.make_sampler(),
+      server::ServiceInfo{server_config.workers, server_config.queue_depth});
+
+  server::Server daemon(server_config, service);
+  daemon.start();
+  std::printf("memstressd: listening on %s:%d (%d workers, queue depth %d)\n",
+              daemon.config().address.c_str(), daemon.port(),
+              daemon.config().workers, daemon.config().queue_depth);
+  std::fflush(stdout);
+
+  daemon.serve_until_cancelled();
+  // The drain already happened; unwind through the shared interrupt path so
+  // memstressd reports and exits 130 exactly like the batch binaries.
+  throw CancelledError("memstressd: SIGINT received; drained and stopped");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return signal_guard::run([&] { return run(argc, argv); },
+                           {"the detectability cache is reusable; restart "
+                            "memstressd to resume serving."});
+}

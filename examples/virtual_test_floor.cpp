@@ -18,6 +18,7 @@
 #include "study/diagnose.hpp"
 #include "study/study.hpp"
 #include "util/cancel.hpp"
+#include "util/signal_guard.hpp"
 
 using namespace memstress;
 
@@ -140,18 +141,8 @@ int run(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  cancel::install_sigint_handler();
-  try {
-    return run(argc, argv);
-  } catch (const CancelledError& e) {
-    std::fprintf(stderr, "\ninterrupted: %s\n", e.what());
-    std::fprintf(stderr,
-                 "any in-flight characterization flushed its checkpoint when "
-                 "MEMSTRESS_CHECKPOINT_DIR is set.\n");
-    if (metrics::enabled()) {
-      const metrics::RunReport report = metrics::collect();
-      std::fprintf(stderr, "\n%s\n", report.to_table().c_str());
-    }
-    return 130;  // 128 + SIGINT
-  }
+  return signal_guard::run(
+      [&] { return run(argc, argv); },
+      {"any in-flight characterization flushed its checkpoint when "
+       "MEMSTRESS_CHECKPOINT_DIR is set."});
 }

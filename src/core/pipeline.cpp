@@ -19,7 +19,12 @@ StressEvaluationPipeline::StressEvaluationPipeline(PipelineConfig config)
 }
 
 const estimator::DetectabilityDb& StressEvaluationPipeline::database() {
-  if (db_.has_value()) return *db_;
+  return *share_database();
+}
+
+std::shared_ptr<const estimator::DetectabilityDb>
+StressEvaluationPipeline::share_database() {
+  if (db_) return db_;
   trace::Span span("pipeline.database");
   if (!config_.db_cache_path.empty() &&
       std::filesystem::exists(config_.db_cache_path)) {
@@ -27,11 +32,13 @@ const estimator::DetectabilityDb& StressEvaluationPipeline::database() {
     static metrics::Counter& cache_loads =
         metrics::counter("pipeline.db_cache_loads");
     cache_loads.add(1);
-    db_ = estimator::DetectabilityDb::load(config_.db_cache_path);
-    return *db_;
+    db_ = std::make_shared<const estimator::DetectabilityDb>(
+        estimator::DetectabilityDb::load(config_.db_cache_path));
+    return db_;
   }
   log_info("pipeline: characterizing detectability DB (analog simulation)");
-  db_ = estimator::characterize(config_.characterization, config_.progress);
+  db_ = std::make_shared<const estimator::DetectabilityDb>(
+      estimator::characterize(config_.characterization, config_.progress));
   if (!config_.db_cache_path.empty()) {
     if (db_->quarantine().empty()) {
       db_->save(config_.db_cache_path);
@@ -44,12 +51,14 @@ const estimator::DetectabilityDb& StressEvaluationPipeline::database() {
                " quarantined grid points (see RunReport robust.* notes)");
     }
   }
-  return *db_;
+  return db_;
 }
 
 estimator::FaultCoverageEstimator StressEvaluationPipeline::make_estimator() {
+  // The shared-database constructor: every estimator made here references
+  // the pipeline's one immutable DB instead of copying its entry list.
   return estimator::FaultCoverageEstimator(
-      database(),
+      share_database(),
       estimator::PopulationModel::calibrate(config_.layout_rows,
                                             config_.layout_cols),
       config_.fab);

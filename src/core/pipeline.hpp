@@ -11,7 +11,6 @@
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <string>
 
 #include "defects/sampler.hpp"
@@ -71,6 +70,12 @@ class StressEvaluationPipeline {
   /// The detectability database (lazily characterized / cache-loaded).
   const estimator::DetectabilityDb& database();
 
+  /// Shared ownership of the same immutable database — the hand-off point
+  /// for long-lived concurrent consumers (memstressd workers, estimators):
+  /// one characterization, any number of threads, zero copies. Lookups are
+  /// thread-safe (detectability.hpp).
+  std::shared_ptr<const estimator::DetectabilityDb> share_database();
+
   /// Estimator over the current database (Table 1 reproduction).
   estimator::FaultCoverageEstimator make_estimator();
 
@@ -92,7 +97,7 @@ class StressEvaluationPipeline {
   layout::LayoutModel layout_;
   std::vector<layout::BridgeSite> bridges_;
   std::vector<layout::OpenSite> opens_;
-  std::optional<estimator::DetectabilityDb> db_;
+  std::shared_ptr<const estimator::DetectabilityDb> db_;
 };
 
 }  // namespace memstress::core

@@ -157,7 +157,16 @@ std::string EstimatorReport::to_csv() const {
 FaultCoverageEstimator::FaultCoverageEstimator(DetectabilityDb db,
                                                PopulationModel population,
                                                defects::FabModel fab)
-    : db_(std::move(db)), population_(std::move(population)), fab_(fab) {}
+    : db_(std::make_shared<const DetectabilityDb>(std::move(db))),
+      population_(std::move(population)),
+      fab_(fab) {}
+
+FaultCoverageEstimator::FaultCoverageEstimator(
+    std::shared_ptr<const DetectabilityDb> db, PopulationModel population,
+    defects::FabModel fab)
+    : db_(std::move(db)), population_(std::move(population)), fab_(fab) {
+  require(db_ != nullptr, "FaultCoverageEstimator: null database");
+}
 
 double FaultCoverageEstimator::bridge_fault_coverage(
     const MemoryGeometry& geometry, double resistance,
@@ -171,7 +180,7 @@ double FaultCoverageEstimator::bridge_fault_coverage(
     if (category == BridgeCategory::CellGateOxide) continue;
     bool hit;
     try {
-      hit = db_.detected(DefectKind::Bridge, static_cast<int>(category),
+      hit = db_->detected(DefectKind::Bridge, static_cast<int>(category),
                          resistance, at.vdd, at.period);
     } catch (const Error&) {
       continue;  // category not characterized on this block: skip its weight
@@ -198,7 +207,7 @@ double FaultCoverageEstimator::open_fault_coverage(
                        std::pow(fab_.open_max_ohms / fab_.open_min_ohms, f);
       bool hit;
       try {
-        hit = db_.detected(DefectKind::Open, static_cast<int>(category), r,
+        hit = db_->detected(DefectKind::Open, static_cast<int>(category), r,
                            at.vdd, at.period);
       } catch (const Error&) {
         continue;
@@ -237,7 +246,7 @@ EstimatorReport FaultCoverageEstimator::table1(const MemoryGeometry& geometry,
   for (const auto& bin : fab_.bridge_bins) report.resistance_bins.push_back(bin.ohms);
   report.yield = poisson_yield(geometry.conductor_area_um2(),
                                fab_.defect_density_per_um2);
-  report.quarantined = db_.quarantine().size();
+  report.quarantined = db_->quarantine().size();
 
   // Quarantined grid points have unknown verdicts: bracket the coverage by
   // materializing them under the two extreme assumptions. Skipped entirely
@@ -246,9 +255,9 @@ EstimatorReport FaultCoverageEstimator::table1(const MemoryGeometry& geometry,
   std::unique_ptr<FaultCoverageEstimator> best;
   if (report.quarantined > 0) {
     worst = std::make_unique<FaultCoverageEstimator>(
-        db_.with_quarantine_assumed(false), population_, fab_);
+        db_->with_quarantine_assumed(false), population_, fab_);
     best = std::make_unique<FaultCoverageEstimator>(
-        db_.with_quarantine_assumed(true), population_, fab_);
+        db_->with_quarantine_assumed(true), population_, fab_);
   }
 
   const struct {

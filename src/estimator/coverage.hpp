@@ -17,6 +17,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,13 @@ class FaultCoverageEstimator {
   FaultCoverageEstimator(DetectabilityDb db, PopulationModel population,
                          defects::FabModel fab);
 
+  /// Shared-database constructor: many estimators (one per server worker or
+  /// per request) reference one immutable DetectabilityDb without copying
+  /// its entry list. Lookups are thread-safe, so concurrent table1() calls
+  /// over the same database are fine.
+  FaultCoverageEstimator(std::shared_ptr<const DetectabilityDb> db,
+                         PopulationModel population, defects::FabModel fab);
+
   /// Fault coverage for bridges of one resistance at one stress condition
   /// (site-weight-averaged detectability over all bridge categories).
   double bridge_fault_coverage(const MemoryGeometry& geometry, double resistance,
@@ -122,10 +130,10 @@ class FaultCoverageEstimator {
                          double vlv_period = 100e-9,
                          double production_period = 25e-9) const;
 
-  const DetectabilityDb& db() const { return db_; }
+  const DetectabilityDb& db() const { return *db_; }
 
  private:
-  DetectabilityDb db_;
+  std::shared_ptr<const DetectabilityDb> db_;
   PopulationModel population_;
   defects::FabModel fab_;
 };

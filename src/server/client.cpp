@@ -1,0 +1,105 @@
+#include "server/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace memstress::server {
+
+Client::Client(ClientConfig config) : config_(std::move(config)) {}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::ensure_connected() {
+  if (fd_ >= 0) return;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(fd_ >= 0, "Client: socket() failed");
+
+  timeval tv{};
+  tv.tv_sec = config_.timeout_ms / 1000;
+  tv.tv_usec = (config_.timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.address.c_str(), &addr.sin_addr) != 1) {
+    disconnect();
+    throw Error("Client: invalid address \"" + config_.address + "\"");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string reason = std::strerror(errno);
+    disconnect();
+    throw Error("Client: cannot connect to " + config_.address + ":" +
+                std::to_string(config_.port) + ": " + reason);
+  }
+}
+
+std::string Client::exchange(const std::string& line) {
+  ensure_connected();
+  if (!write_all(fd_, line + "\n")) {
+    disconnect();
+    throw Error("Client: send failed");
+  }
+  LineReader reader(fd_, kMaxFrameBytes);
+  const Frame frame = reader.read_line();
+  switch (frame.status) {
+    case Frame::Status::Line:
+      return frame.text;
+    case Frame::Status::Timeout:
+      disconnect();
+      throw Error("Client: timed out after " +
+                  std::to_string(config_.timeout_ms) +
+                  " ms waiting for a response");
+    case Frame::Status::Eof:
+      disconnect();
+      throw Error("Client: connection closed before a response arrived");
+    default:
+      disconnect();
+      throw Error("Client: receive failed");
+  }
+}
+
+std::string Client::roundtrip(const std::string& line) {
+  return exchange(line);
+}
+
+Json Client::request(const std::string& type, const Json& params) {
+  Json envelope = Json::object();
+  envelope.set("v", Json(kProtocolVersion));
+  envelope.set("id", Json(next_id_++));
+  envelope.set("type", Json(type));
+  envelope.set("params", params);
+  const std::string line = envelope.dump();
+
+  int backoff_ms = config_.backoff_initial_ms;
+  for (int attempt = 0;; ++attempt) {
+    const Response response = parse_response(exchange(line));
+    if (response.ok) return response.result;
+    if (response.error_code == "busy" && attempt < config_.max_retries) {
+      // The server closed the connection after the busy reply; back off,
+      // then reconnect and try again.
+      disconnect();
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+      continue;
+    }
+    throw ServerError(response.error_code, response.error_message);
+  }
+}
+
+}  // namespace memstress::server

@@ -1,0 +1,69 @@
+// Blocking client for memstressd: connect, send one NDJSON request per
+// call, read the one-line response.
+//
+// The only piece with policy in it is busy handling: a "busy" response is
+// the server's backpressure signal (the connection is closed after it), so
+// request() transparently reconnects and retries with exponential backoff
+// up to ClientConfig::max_retries before surfacing the error. Every other
+// error response is thrown as ServerError immediately — the server already
+// said something structured; retrying would not change it.
+#pragma once
+
+#include <string>
+
+#include "server/protocol.hpp"
+
+namespace memstress::server {
+
+/// An error *response* (ok:false) from the server, carrying the structured
+/// code ("busy", "timeout", "bad_request", ...). Transport-level failures
+/// (connect refused, read timeout, mid-frame close) throw plain Error.
+class ServerError : public Error {
+ public:
+  ServerError(std::string code, const std::string& message)
+      : Error(code + ": " + message), code_(std::move(code)) {}
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+struct ClientConfig {
+  std::string address = "127.0.0.1";
+  int port = 0;
+  int timeout_ms = 10000;      ///< connect + per-response receive timeout
+  int max_retries = 6;         ///< busy-retry attempts before giving up
+  int backoff_initial_ms = 5;  ///< doubles per retry: 5, 10, 20, ...
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send `params` as a `type` request and return the result document.
+  /// Retries (with reconnect + backoff) while the server answers "busy";
+  /// throws ServerError for any other error response and Error for
+  /// transport failures.
+  Json request(const std::string& type, const Json& params = Json::object());
+
+  /// Raw exchange for tests: send exactly `line` (plus the newline) on a
+  /// fresh-or-existing connection and return the raw response line. No
+  /// retries, no envelope handling.
+  std::string roundtrip(const std::string& line);
+
+  /// Drop the connection (the next request reconnects).
+  void disconnect();
+
+ private:
+  void ensure_connected();
+  std::string exchange(const std::string& line);
+
+  ClientConfig config_;
+  int fd_ = -1;
+  long long next_id_ = 1;
+};
+
+}  // namespace memstress::server

@@ -1,0 +1,325 @@
+#include "server/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/chaos.hpp"
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+
+namespace memstress::server {
+
+ServerConfig ServerConfig::from_env() {
+  ServerConfig config;
+  config.address = env_string_or("MEMSTRESS_ADDR", config.address);
+  config.port =
+      static_cast<int>(env_int_or("MEMSTRESS_PORT", 0, 65535, config.port));
+  config.workers = static_cast<int>(
+      env_int_or("MEMSTRESS_SERVER_WORKERS", 1, 4096, default_thread_count()));
+  config.queue_depth = static_cast<int>(
+      env_int_or("MEMSTRESS_QUEUE_DEPTH", 1, 1 << 20, config.queue_depth));
+  config.request_timeout_ms = static_cast<int>(env_int_or(
+      "MEMSTRESS_REQUEST_TIMEOUT_MS", 1, 3600000, config.request_timeout_ms));
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue.
+
+bool BoundedQueue::try_push(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(fd);
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<int> BoundedQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  const int fd = items_.front();
+  items_.pop_front();
+  return fd;
+}
+
+void BoundedQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t BoundedQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Server.
+
+namespace {
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void set_receive_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config,
+               std::shared_ptr<const MemstressService> service)
+    : config_(std::move(config)),
+      service_(std::move(service)),
+      queue_(static_cast<std::size_t>(config_.queue_depth)) {
+  require(service_ != nullptr, "Server: null service");
+  config_.workers = resolve_thread_count(config_.workers);
+  active_fds_.assign(static_cast<std::size_t>(config_.workers), -1);
+}
+
+Server::~Server() { stop(); }
+
+bool Server::stopping() const {
+  return stopping_.load(std::memory_order_relaxed) ||
+         cancel::process_token().cancelled();
+}
+
+void Server::start() {
+  require(listen_fd_ < 0, "Server::start: already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(listen_fd_ >= 0, "Server: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.address.c_str(), &addr.sin_addr) != 1) {
+    close_fd(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("Server: invalid listen address \"" + config_.address + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    close_fd(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("Server: cannot bind " + config_.address + ":" +
+                std::to_string(config_.port) + ": " + reason);
+  }
+  require(::listen(listen_fd_, 128) == 0, "Server: listen() failed");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  pool_ = std::make_unique<ThreadPool>(config_.workers);
+  pool_runner_ = std::thread([this] {
+    try {
+      pool_->parallel_for(static_cast<std::size_t>(config_.workers),
+                          [this](std::size_t i) { worker_loop(i); });
+    } catch (const CancelledError&) {
+      // SIGINT tripped the process token while the pool was winding down:
+      // the drain already happened in the worker loops.
+    } catch (const std::exception& e) {
+      log_warn("memstressd: worker pool terminated abnormally: ", e.what());
+    }
+  });
+  acceptor_ = std::thread([this] { accept_loop(); });
+  log_info("memstressd: listening on ", config_.address, ":", port_, " (",
+           config_.workers, " workers, queue depth ", config_.queue_depth,
+           ")");
+}
+
+void Server::accept_loop() {
+  static metrics::Counter& accepted = metrics::counter("server.connections");
+  static metrics::Counter& busy = metrics::counter("server.busy_rejections");
+  while (!stopping()) {
+    pollfd entry{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&entry, 1, 100);
+    if (stopping()) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) continue;
+      break;  // listener closed under us
+    }
+    set_receive_timeout(fd, config_.request_timeout_ms);
+    accepted.add(1);
+    if (!queue_.try_push(fd)) {
+      // Backpressure: answer, don't buffer. The client's retry-with-backoff
+      // turns this into throttling instead of an outage.
+      busy.add(1);
+      write_all(fd, make_error(0, "busy",
+                               "server at capacity (queue depth " +
+                                   std::to_string(config_.queue_depth) +
+                                   "); retry with backoff") +
+                        "\n");
+      close_fd(fd);
+    }
+  }
+}
+
+void Server::worker_loop(std::size_t worker_index) {
+  while (auto fd = queue_.pop()) {
+    if (stopping()) {
+      // Queued but never started: tell the client rather than vanishing.
+      write_all(*fd, make_error(0, "shutting_down",
+                                "server is draining; reconnect later") +
+                         "\n");
+      close_fd(*fd);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(active_mutex_);
+      active_fds_[worker_index] = *fd;
+    }
+    handle_connection(*fd);
+    {
+      std::lock_guard<std::mutex> lock(active_mutex_);
+      active_fds_[worker_index] = -1;
+    }
+    close_fd(*fd);
+  }
+}
+
+void Server::handle_connection(int fd) {
+  LineReader reader(fd, config_.max_frame_bytes);
+  long long line_number = 0;
+  for (;;) {
+    const Frame frame = reader.read_line();
+    if (frame.status == Frame::Status::Eof) {
+      if (!frame.text.empty()) {
+        // Data without a terminating newline is a truncated frame, not a
+        // request; answer structurally so the writer can tell what broke.
+        ++line_number;
+        write_all(fd, make_error(0, "parse_error",
+                                 "request:" + std::to_string(line_number) +
+                                     ": truncated frame (missing newline "
+                                     "before connection close)") +
+                          "\n");
+      }
+      return;
+    }
+    if (frame.status == Frame::Status::Overflow) {
+      ++line_number;
+      write_all(fd, make_error(0, "frame_too_large",
+                               "request:" + std::to_string(line_number) +
+                                   ": frame exceeds " +
+                                   std::to_string(config_.max_frame_bytes) +
+                                   " bytes; closing (cannot resynchronize)") +
+                        "\n");
+      return;  // no frame boundary to recover at
+    }
+    if (frame.status != Frame::Status::Line) return;  // timeout/reset: close
+    ++line_number;
+    const std::string response = process_line(frame.text, line_number);
+    if (!write_all(fd, response + "\n")) return;
+    // Drain semantics: the request that was in flight when shutdown began
+    // got its response; further requests on this connection do not start.
+    if (stopping()) return;
+  }
+}
+
+std::string Server::process_line(const std::string& line,
+                                 long long line_number) {
+  static metrics::Counter& served = metrics::counter("server.requests");
+  static metrics::Counter& errors = metrics::counter("server.errors");
+  static metrics::Histogram& latency =
+      metrics::histogram("server.request_seconds");
+  const std::string row_prefix = "request:" + std::to_string(line_number) + ": ";
+
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const ProtocolError& e) {
+    errors.add(1);
+    return make_error(0, "parse_error", row_prefix + e.what());
+  }
+
+  RequestContext context;
+  context.cancel = &cancel::process_token();
+  const auto start = std::chrono::steady_clock::now();
+  context.deadline =
+      start + std::chrono::milliseconds(config_.request_timeout_ms);
+  const std::uint64_t request_index =
+      request_counter_.fetch_add(1, std::memory_order_relaxed);
+
+  try {
+    // Chaos site: with MEMSTRESS_CHAOS active a seeded fraction of requests
+    // fail here, proving the error path stays structured under fire.
+    chaos::maybe_fail("server.handle", request_index);
+    const Json result = service_->handle(request, context);
+    served.add(1);
+    latency.record(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count());
+    if (std::chrono::steady_clock::now() >= context.deadline) {
+      errors.add(1);
+      return make_error(request.id, "timeout",
+                        row_prefix + "deadline of " +
+                            std::to_string(config_.request_timeout_ms) +
+                            " ms exceeded");
+    }
+    return make_response(request.id, result);
+  } catch (const chaos::ChaosError& e) {
+    errors.add(1);
+    return make_error(request.id, "injected", row_prefix + e.what());
+  } catch (const ProtocolError& e) {
+    errors.add(1);
+    return make_error(request.id, "bad_request", row_prefix + e.what());
+  } catch (const CancelledError& e) {
+    errors.add(1);
+    return make_error(request.id, "shutting_down", row_prefix + e.what());
+  } catch (const Error& e) {
+    errors.add(1);
+    return make_error(request.id, "internal", row_prefix + e.what());
+  }
+}
+
+void Server::stop() {
+  if (listen_fd_ < 0 && !acceptor_.joinable()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    close_fd(listen_fd_);
+    listen_fd_ = -1;
+  }
+  queue_.close();
+  {
+    // Wake workers blocked reading an idle connection. The read half closes,
+    // the write half survives, so an in-flight response still goes out.
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    for (const int fd : active_fds_)
+      if (fd >= 0) ::shutdown(fd, SHUT_RD);
+  }
+  if (pool_runner_.joinable()) pool_runner_.join();
+  pool_.reset();
+}
+
+void Server::serve_until_cancelled() {
+  while (!cancel::process_token().cancelled() &&
+         !stopping_.load(std::memory_order_relaxed))
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop();
+}
+
+}  // namespace memstress::server

@@ -1,0 +1,129 @@
+// memstressd: a concurrent TCP daemon serving the characterization/DPM
+// pipeline over the newline-delimited JSON protocol (server/protocol.hpp).
+//
+// Threading model:
+//   * One acceptor thread accept()s connections and pushes the fd onto a
+//     bounded MPMC queue. A full queue is backpressure, not an error state:
+//     the acceptor answers the connection with a structured "busy" error
+//     and closes it — the queue never grows without bound and nothing is
+//     dropped silently (clients retry with backoff; see server/client.hpp).
+//   * A worker pool drains the queue. The pool is util/parallel's
+//     ThreadPool: each worker is one long-lived parallel_for task running
+//     the drain loop, so the pool inherits the library-wide fail-fast and
+//     cancellation plumbing instead of reimplementing thread lifecycles.
+//   * One worker owns one connection at a time and serves its requests
+//     sequentially; concurrency comes from many connections.
+//
+// Lifecycle: stop() (or a SIGINT once util/cancel's handler is installed —
+// serve_until_cancelled() watches the process token) stops the acceptor,
+// lets every in-flight request finish and deliver its response, answers
+// queued-but-unstarted connections with "shutting_down", then joins. The
+// memstressd binary exits 130 after a SIGINT drain, matching the batch
+// examples.
+//
+// Every handler failure path is structured: bad JSON / envelope -> a
+// row-numbered "parse_error"/"bad_request" (prefixed "request:<n>:" with
+// the request's ordinal on its connection), deadline overrun -> "timeout",
+// injected MEMSTRESS_CHAOS faults -> "injected", library Error ->
+// "internal". The connection survives everything except framing damage
+// (oversized or truncated frames, where no resynchronization is possible).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.hpp"
+#include "util/parallel.hpp"
+
+namespace memstress::server {
+
+/// Deployment knobs, each with a MEMSTRESS_* environment override
+/// (from_env(); util/env semantics: invalid values warn once and fall back).
+struct ServerConfig {
+  std::string address = "127.0.0.1";  ///< MEMSTRESS_ADDR
+  int port = 0;                       ///< MEMSTRESS_PORT (0 = ephemeral)
+  int workers = 0;       ///< MEMSTRESS_SERVER_WORKERS (0 = thread default)
+  int queue_depth = 64;  ///< MEMSTRESS_QUEUE_DEPTH (pending connections)
+  int request_timeout_ms = 10000;  ///< MEMSTRESS_REQUEST_TIMEOUT_MS
+  std::size_t max_frame_bytes = kMaxFrameBytes;  ///< per-line byte cap
+
+  static ServerConfig from_env();
+};
+
+/// Bounded MPMC handoff between the acceptor and the worker pool.
+/// try_push never blocks (a full or closed queue returns false — the
+/// backpressure signal); pop blocks until an item arrives or the queue is
+/// closed and drained.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  bool try_push(int fd);
+  std::optional<int> pop();
+  void close();
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<int> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+class Server {
+ public:
+  Server(ServerConfig config, std::shared_ptr<const MemstressService> service);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the acceptor and worker pool. Throws Error when
+  /// the address cannot be bound.
+  void start();
+
+  /// The actually bound port (resolves config.port == 0).
+  int port() const { return port_; }
+  const ServerConfig& config() const { return config_; }
+
+  /// Graceful shutdown; safe to call twice. Drains as described above.
+  void stop();
+
+  /// Block until the process-wide SIGINT token trips, then stop(). The
+  /// caller (memstressd) turns that into exit code 130.
+  void serve_until_cancelled();
+
+ private:
+  void accept_loop();
+  void worker_loop(std::size_t worker_index);
+  void handle_connection(int fd);
+  std::string process_line(const std::string& line, long long line_number);
+  bool stopping() const;
+
+  ServerConfig config_;
+  std::shared_ptr<const MemstressService> service_;
+  BoundedQueue queue_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> request_counter_{0};
+  std::thread acceptor_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread pool_runner_;  ///< hosts the blocking parallel_for drain job
+
+  /// fd each worker is currently reading, so stop() can shutdown(SHUT_RD)
+  /// idle connections instead of waiting out their receive timeout.
+  /// In-flight requests still complete and deliver their response: SHUT_RD
+  /// only wakes the blocked read, the write half stays open.
+  std::mutex active_mutex_;
+  std::vector<int> active_fds_;
+};
+
+}  // namespace memstress::server

@@ -1,0 +1,240 @@
+#include "server/service.hpp"
+
+#include <thread>
+
+#include "estimator/dpm.hpp"
+#include "estimator/schedule.hpp"
+#include "layout/critical_area.hpp"
+#include "util/metrics.hpp"
+
+namespace memstress::server {
+
+using estimator::EstimatorReport;
+using estimator::MemoryGeometry;
+
+MemstressService::MemstressService(
+    std::shared_ptr<const estimator::DetectabilityDb> db,
+    estimator::PopulationModel population, defects::FabModel fab,
+    defects::DefectSampler sampler, ServiceInfo info)
+    : db_(std::move(db)),
+      estimator_(db_, std::move(population), fab),
+      sampler_(std::move(sampler)),
+      info_(info) {}
+
+namespace {
+
+MemoryGeometry parse_geometry(const Json& params) {
+  MemoryGeometry geometry;
+  if (const Json* g = params.find("geometry")) {
+    geometry.x_rows = static_cast<int>(g->int_or("x_rows", geometry.x_rows));
+    geometry.y_columns =
+        static_cast<int>(g->int_or("y_columns", geometry.y_columns));
+    geometry.bits_per_word =
+        static_cast<int>(g->int_or("bits_per_word", geometry.bits_per_word));
+    geometry.z_blocks =
+        static_cast<int>(g->int_or("z_blocks", geometry.z_blocks));
+  }
+  if (geometry.x_rows < 4 || geometry.y_columns < 1 ||
+      geometry.bits_per_word < 1 || geometry.z_blocks < 1)
+    throw ProtocolError("geometry out of range (need x_rows >= 4 and "
+                        "positive y_columns/bits_per_word/z_blocks)");
+  return geometry;
+}
+
+Json geometry_to_json(const MemoryGeometry& geometry) {
+  Json out = Json::object();
+  out.set("x_rows", Json(geometry.x_rows));
+  out.set("y_columns", Json(geometry.y_columns));
+  out.set("bits_per_word", Json(geometry.bits_per_word));
+  out.set("z_blocks", Json(geometry.z_blocks));
+  return out;
+}
+
+Json report_to_json(const EstimatorReport& report) {
+  Json bins = Json::array();
+  for (const double r : report.resistance_bins) bins.push_back(Json(r));
+  Json rows = Json::array();
+  for (const auto& row : report.rows) {
+    Json r = Json::object();
+    r.set("label", Json(row.label));
+    r.set("vdd", Json(row.vdd));
+    Json fc = Json::array();
+    for (const double value : row.fc_by_resistance) fc.push_back(Json(value));
+    r.set("fc_by_resistance", std::move(fc));
+    r.set("defect_coverage", Json(row.defect_coverage));
+    r.set("dpm", Json(row.dpm_value));
+    r.set("dpm_ratio", Json(row.dpm_ratio));
+    r.set("defect_coverage_lo", Json(row.defect_coverage_lo));
+    r.set("defect_coverage_hi", Json(row.defect_coverage_hi));
+    r.set("dpm_lo", Json(row.dpm_lo));
+    r.set("dpm_hi", Json(row.dpm_hi));
+    rows.push_back(std::move(r));
+  }
+  Json out = Json::object();
+  out.set("yield", Json(report.yield));
+  out.set("quarantined", Json(report.quarantined));
+  out.set("resistance_bins", std::move(bins));
+  out.set("rows", std::move(rows));
+  return out;
+}
+
+defects::DefectKind parse_kind(const Json& params) {
+  const std::string kind = params.at("kind").as_string();
+  if (kind == "bridge") return defects::DefectKind::Bridge;
+  if (kind == "open") return defects::DefectKind::Open;
+  throw ProtocolError("\"kind\" must be \"bridge\" or \"open\"");
+}
+
+}  // namespace
+
+Json MemstressService::coverage(const Json& params) const {
+  const MemoryGeometry geometry = parse_geometry(params);
+  const double vlv_period = params.number_or("vlv_period", 100e-9);
+  const double production_period =
+      params.number_or("production_period", 25e-9);
+  if (vlv_period <= 0.0 || production_period <= 0.0)
+    throw ProtocolError("periods must be positive");
+  const EstimatorReport report =
+      estimator_.table1(geometry, vlv_period, production_period);
+  Json out = report_to_json(report);
+  out.set("geometry", geometry_to_json(geometry));
+  return out;
+}
+
+Json MemstressService::dpm(const Json& params) const {
+  const double yield = params.at("yield").as_number();
+  const double defect_coverage = params.at("defect_coverage").as_number();
+  if (yield <= 0.0 || yield > 1.0)
+    throw ProtocolError("\"yield\" must be in (0, 1]");
+  if (defect_coverage < 0.0 || defect_coverage > 1.0)
+    throw ProtocolError("\"defect_coverage\" must be in [0, 1]");
+  Json out = Json::object();
+  out.set("yield", Json(yield));
+  out.set("defect_coverage", Json(defect_coverage));
+  out.set("escape_fraction",
+          Json(estimator::williams_brown_escape(yield, defect_coverage)));
+  out.set("dpm", Json(estimator::dpm(yield, defect_coverage)));
+  return out;
+}
+
+Json MemstressService::schedule(const Json& params) const {
+  estimator::ScheduleSpec spec;
+  spec.cells = params.int_or("cells", spec.cells);
+  spec.yield = params.number_or("yield", spec.yield);
+  spec.target_dpm = params.number_or("target_dpm", spec.target_dpm);
+  spec.monte_carlo_defects = static_cast<int>(
+      params.int_or("monte_carlo_defects", spec.monte_carlo_defects));
+  spec.seed = static_cast<std::uint64_t>(
+      params.int_or("seed", static_cast<long long>(spec.seed)));
+  if (spec.cells <= 0 || spec.yield <= 0.0 || spec.yield > 1.0 ||
+      spec.monte_carlo_defects <= 0 || spec.monte_carlo_defects > 1000000)
+    throw ProtocolError("schedule spec out of range");
+  const estimator::Schedule best = estimator::optimize_schedule(
+      estimator::standard_legs(), *db_, sampler_, spec);
+  Json legs = Json::array();
+  for (const auto& leg : best.legs) {
+    Json l = Json::object();
+    l.set("name", Json(leg.name));
+    l.set("vdd", Json(leg.at.vdd));
+    l.set("period", Json(leg.at.period));
+    l.set("march_complexity", Json(leg.march_complexity));
+    legs.push_back(std::move(l));
+  }
+  Json out = Json::object();
+  out.set("legs", std::move(legs));
+  out.set("escape_fraction", Json(best.escape_fraction));
+  out.set("dpm", Json(best.dpm));
+  out.set("test_time_per_cell", Json(best.test_time_per_cell));
+  out.set("description", Json(best.describe()));
+  return out;
+}
+
+namespace {
+
+/// "category" is either the enum index or the enum name the CSV cache and
+/// run reports print (e.g. "CellTrueFalse", "Wordline").
+int parse_category(const Json& params, defects::DefectKind kind) {
+  const Json& value = params.at("category");
+  if (value.type() != Json::Type::String)
+    return static_cast<int>(value.as_number());
+  const std::string& name = value.as_string();
+  const int count = kind == defects::DefectKind::Bridge
+                        ? static_cast<int>(layout::BridgeCategory::Other) + 1
+                        : static_cast<int>(layout::OpenCategory::Other) + 1;
+  for (int i = 0; i < count; ++i) {
+    const char* candidate =
+        kind == defects::DefectKind::Bridge
+            ? layout::bridge_category_name(
+                  static_cast<layout::BridgeCategory>(i))
+            : layout::open_category_name(static_cast<layout::OpenCategory>(i));
+    if (name == candidate) return i;
+  }
+  throw ProtocolError("unknown category \"" + name + "\"");
+}
+
+}  // namespace
+
+Json MemstressService::detectability(const Json& params) const {
+  const defects::DefectKind kind = parse_kind(params);
+  const int category = parse_category(params, kind);
+  const double resistance = params.at("resistance").as_number();
+  const double vdd = params.at("vdd").as_number();
+  const double period = params.at("period").as_number();
+  const double vbd = params.number_or("vbd", 0.0);
+  if (resistance <= 0.0 || vdd <= 0.0 || period <= 0.0)
+    throw ProtocolError("resistance/vdd/period must be positive");
+  Json out = Json::object();
+  out.set("detected",
+          Json(db_->detected(kind, category, resistance, vdd, period, vbd)));
+  return out;
+}
+
+Json MemstressService::metrics() const {
+  // RunReport already serializes itself; round-trip through the parser so
+  // the payload is a structured result object, not a quoted string.
+  return Json::parse(memstress::metrics::collect().to_json());
+}
+
+Json MemstressService::health() const {
+  Json out = Json::object();
+  out.set("status", Json("ok"));
+  out.set("protocol_version", Json(kProtocolVersion));
+  out.set("db_entries", Json(db_->size()));
+  out.set("quarantined", Json(db_->quarantine().size()));
+  out.set("conditions", Json(db_->conditions().size()));
+  out.set("workers", Json(info_.workers));
+  out.set("queue_depth", Json(info_.queue_depth));
+  return out;
+}
+
+Json MemstressService::sleep_ms(const Json& params,
+                                const RequestContext& context) const {
+  const long long ms = params.int_or("ms", 0);
+  if (ms < 0 || ms > 60000) throw ProtocolError("\"ms\" must be in [0, 60000]");
+  const auto start = std::chrono::steady_clock::now();
+  const auto until = start + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < until) {
+    if (context.cancelled() || context.past_deadline()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Json out = Json::object();
+  out.set("slept_ms",
+          Json(std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::steady_clock::now() - start)
+                   .count()));
+  return out;
+}
+
+Json MemstressService::handle(const Request& request,
+                              const RequestContext& context) const {
+  if (request.type == "coverage") return coverage(request.params);
+  if (request.type == "dpm") return dpm(request.params);
+  if (request.type == "schedule") return schedule(request.params);
+  if (request.type == "detectability") return detectability(request.params);
+  if (request.type == "metrics") return metrics();
+  if (request.type == "health") return health();
+  if (request.type == "sleep") return sleep_ms(request.params, context);
+  throw ProtocolError("unknown request type \"" + request.type + "\"");
+}
+
+}  // namespace memstress::server

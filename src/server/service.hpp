@@ -1,0 +1,83 @@
+// MemstressService: the request handlers behind memstressd, with no
+// sockets in sight.
+//
+// One service instance is shared by every worker thread. That is safe
+// because everything it holds is immutable after construction: the
+// detectability database (lookups go through the lazily built index, which
+// is thread-safe), the population model, the fab model and the defect
+// sampler are all const-queried. Handlers that need randomness (schedule)
+// seed a local Rng from the request, so two identical requests — or the
+// same request served by different workers — produce byte-identical
+// payloads. Tests lean on that: they call handle() directly and compare
+// the serialized result against what came over the wire.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "defects/sampler.hpp"
+#include "estimator/coverage.hpp"
+#include "estimator/detectability.hpp"
+#include "server/protocol.hpp"
+#include "util/cancel.hpp"
+
+namespace memstress::server {
+
+/// Static facts reported by the `health` handler (the service cannot know
+/// them itself; the server passes its resolved configuration in).
+struct ServiceInfo {
+  int workers = 0;
+  int queue_depth = 0;
+};
+
+/// Per-request execution context: cooperative cancellation (server
+/// shutdown / SIGINT) and the request deadline. Handlers that can run long
+/// check both; the server reports a `timeout` error when the deadline was
+/// exceeded by the time the handler returns.
+struct RequestContext {
+  const CancelToken* cancel = nullptr;
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  bool cancelled() const { return cancel::requested(cancel); }
+  bool past_deadline() const {
+    return std::chrono::steady_clock::now() >= deadline;
+  }
+};
+
+class MemstressService {
+ public:
+  MemstressService(std::shared_ptr<const estimator::DetectabilityDb> db,
+                   estimator::PopulationModel population,
+                   defects::FabModel fab, defects::DefectSampler sampler,
+                   ServiceInfo info = {});
+
+  /// Dispatch one request to its handler and return the result document.
+  /// Throws ProtocolError for unknown types / bad params (-> "bad_request")
+  /// and Error for library failures (-> "internal").
+  Json handle(const Request& request, const RequestContext& context) const;
+
+  const estimator::DetectabilityDb& db() const { return *db_; }
+
+  // Individual handlers (public so tests can pin each one).
+  Json coverage(const Json& params) const;
+  Json dpm(const Json& params) const;
+  Json schedule(const Json& params) const;
+  Json detectability(const Json& params) const;
+  Json metrics() const;
+  Json health() const;
+  /// Test/diagnostic helper: sleeps up to params.ms milliseconds in small
+  /// slices, stopping early at cancellation or the deadline. Exists so the
+  /// backpressure, timeout and drain paths are testable without a slow
+  /// "real" request; not part of the documented API.
+  Json sleep_ms(const Json& params, const RequestContext& context) const;
+
+ private:
+  std::shared_ptr<const estimator::DetectabilityDb> db_;
+  estimator::FaultCoverageEstimator estimator_;
+  defects::DefectSampler sampler_;
+  ServiceInfo info_;
+};
+
+}  // namespace memstress::server

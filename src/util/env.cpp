@@ -70,4 +70,16 @@ bool env_bool_or(const char* name, bool fallback) {
   return fallback;
 }
 
+std::string env_string_or(const char* name, const std::string& fallback) {
+  const char* env = std::getenv(name);
+  if (!env) return fallback;
+  const std::string value(env);
+  const bool blank = value.find_first_not_of(" \t\r\n") == std::string::npos;
+  if (blank) {
+    warn_invalid(name, value, "default \"" + fallback + "\"");
+    return fallback;
+  }
+  return value;
+}
+
 }  // namespace memstress

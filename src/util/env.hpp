@@ -22,4 +22,10 @@ long env_int_or(const char* name, long min_value, long max_value,
 /// logged warning.
 bool env_bool_or(const char* name, bool fallback);
 
+/// String knob (MEMSTRESS_ADDR and friends): any non-blank value passes
+/// through verbatim. Unset -> fallback (silent). Set but empty or
+/// whitespace-only -> fallback plus a logged warning — an exported-but-blank
+/// variable is always a job-script bug, never a request for "".
+std::string env_string_or(const char* name, const std::string& fallback);
+
 }  // namespace memstress

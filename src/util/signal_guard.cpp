@@ -1,0 +1,26 @@
+#include "util/signal_guard.hpp"
+
+#include <cstdio>
+
+#include "util/cancel.hpp"
+#include "util/metrics.hpp"
+
+namespace memstress::signal_guard {
+
+int run(const std::function<int()>& body, const Options& options) {
+  cancel::install_sigint_handler();
+  try {
+    return body();
+  } catch (const CancelledError& e) {
+    std::fprintf(stderr, "\ninterrupted: %s\n", e.what());
+    if (!options.resume_hint.empty())
+      std::fprintf(stderr, "%s\n", options.resume_hint.c_str());
+    if (metrics::enabled()) {
+      const metrics::RunReport report = metrics::collect();
+      std::fprintf(stderr, "\n%s\n", report.to_table().c_str());
+    }
+    return kInterruptExitCode;
+  }
+}
+
+}  // namespace memstress::signal_guard

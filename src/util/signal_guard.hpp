@@ -1,0 +1,37 @@
+// Shared ^C wrapper for the long-running binaries (full_evaluation,
+// virtual_test_floor, memstressd).
+//
+// Every one of them wants the same choreography: route SIGINT to the
+// process-wide CancelToken, let the cooperative cancellation unwind as a
+// CancelledError, report what was interrupted (plus an optional hint about
+// how to resume and the RunReport when metrics are on), and exit with the
+// conventional 128+SIGINT status. This used to be copy-pasted into each
+// main(); it lives here now so the next binary gets it in one line:
+//
+//   int main(int argc, char** argv) {
+//     return signal_guard::run([&] { return body(argc, argv); },
+//                              {"rerun with the same settings to resume."});
+//   }
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace memstress::signal_guard {
+
+/// Exit status for an interrupted run: 128 + SIGINT(2).
+inline constexpr int kInterruptExitCode = 130;
+
+struct Options {
+  /// Extra stderr line after "interrupted: ..." (empty = omitted); used for
+  /// binary-specific resume advice.
+  std::string resume_hint;
+};
+
+/// Install the SIGINT handler, run `body`, and turn a CancelledError unwind
+/// into the standard interrupted exit: message + hint + RunReport (when
+/// metrics are enabled) on stderr, return kInterruptExitCode. Any other
+/// outcome of `body` passes through untouched.
+int run(const std::function<int()>& body, const Options& options = {});
+
+}  // namespace memstress::signal_guard

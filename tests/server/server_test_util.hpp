@@ -1,0 +1,126 @@
+// Shared fixture pieces for the memstressd tests: a synthetic
+// detectability database (no analog simulation — the server tests exercise
+// sockets and threading, not solver physics) and a service/server factory
+// over it. The synthetic rule is the same split as the estimator tests:
+// VLV catches bridges up to 1 kOhm, Vmax catches opens.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "defects/sampler.hpp"
+#include "estimator/coverage.hpp"
+#include "estimator/detectability.hpp"
+#include "layout/sram_layout.hpp"
+#include "server/server.hpp"
+#include "server/service.hpp"
+
+namespace memstress::server {
+
+/// Every bridge/open category at the five standard-leg stress conditions,
+/// so any handler (including the schedule optimizer's Monte-Carlo sampler)
+/// finds an entry for whatever defect it draws.
+inline estimator::DetectabilityDb synthetic_server_db() {
+  estimator::DetectabilityDb db;
+  const auto add = [&db](defects::DefectKind kind, int category, double r,
+                         double vdd, double period, bool detected) {
+    estimator::DbEntry e;
+    e.kind = kind;
+    e.category = category;
+    e.resistance = r;
+    e.vdd = vdd;
+    e.period = period;
+    e.detected = detected;
+    db.add(e);
+  };
+  for (int cat = 0; cat <= static_cast<int>(layout::BridgeCategory::Other);
+       ++cat)
+    for (const double r : {20.0, 1e3, 10e3, 90e3})
+      for (const double vdd : {1.0, 1.65, 1.8, 1.95})
+        for (const double period : {100e-9, 25e-9, 15e-9})
+          add(defects::DefectKind::Bridge, cat, r, vdd, period,
+              vdd < 1.2 || r <= 1e3);
+  for (int cat = 0; cat <= static_cast<int>(layout::OpenCategory::Other);
+       ++cat)
+    for (const double r : {1e4, 1e6, 1e8})
+      for (const double vdd : {1.0, 1.65, 1.8, 1.95})
+        for (const double period : {100e-9, 25e-9, 15e-9})
+          add(defects::DefectKind::Open, cat, r, vdd, period, vdd > 1.9);
+  return db;
+}
+
+inline std::shared_ptr<const MemstressService> make_test_service(
+    ServiceInfo info = {}) {
+  auto db = std::make_shared<const estimator::DetectabilityDb>(
+      synthetic_server_db());
+  const auto model = layout::generate_sram_layout(8, 8);
+  sram::BlockSpec block;
+  block.rows = 2;
+  block.cols = 1;
+  defects::FabModel fab;
+  defects::DefectSampler sampler(
+      defects::aggregate_sites(layout::extract_bridges(model),
+                               layout::extract_opens(model)),
+      fab, block);
+  return std::make_shared<const MemstressService>(
+      std::move(db), estimator::PopulationModel::calibrate(), fab,
+      std::move(sampler), info);
+}
+
+/// A started server on an ephemeral loopback port plus the service behind
+/// it, so tests can compute expected payloads with direct library calls.
+struct TestServer {
+  std::shared_ptr<const MemstressService> service;
+  Server server;
+
+  explicit TestServer(ServerConfig config = {})
+      : service(make_test_service(
+            ServiceInfo{config.workers, config.queue_depth})),
+        server(std::move(config), service) {
+    server.start();
+  }
+
+  ClientConfig client_config() const {
+    ClientConfig config;
+    config.port = server.port();
+    return config;
+  }
+
+  /// The exact response line the server must produce for `line` — same
+  /// handlers, same serializer, no socket.
+  std::string expected_response(const std::string& line) const {
+    const Request request = parse_request(line);
+    return make_response(request.id, service->handle(request, {}));
+  }
+};
+
+/// Minimal raw TCP connection for tests that need to break the protocol in
+/// ways Client refuses to (half-closed writes, unterminated frames).
+struct RawConnection {
+  int fd = -1;
+
+  explicit RawConnection(int port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  ~RawConnection() {
+    if (fd >= 0) ::close(fd);
+  }
+  bool connected() const { return fd >= 0; }
+  void finish_writing() const { ::shutdown(fd, SHUT_WR); }
+};
+
+}  // namespace memstress::server

@@ -1,0 +1,181 @@
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace memstress::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json model + deterministic serialization.
+
+TEST(Json, DumpKeepsObjectInsertionOrder) {
+  Json doc = Json::object();
+  doc.set("zebra", Json(1));
+  doc.set("apple", Json(2));
+  doc.set("mango", Json(3));
+  EXPECT_EQ(doc.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+}
+
+TEST(Json, DumpParseRoundTripIsByteStable) {
+  Json doc = Json::object();
+  doc.set("name", Json("memstress"));
+  doc.set("ok", Json(true));
+  doc.set("nothing", Json(nullptr));
+  Json nested = Json::array();
+  nested.push_back(Json(1));
+  nested.push_back(Json(2.5));
+  nested.push_back(Json("x"));
+  doc.set("values", std::move(nested));
+  const std::string once = doc.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
+TEST(Json, FormatNumberPrintsIntegralsWithoutExponent) {
+  EXPECT_EQ(format_number(0.0), "0");
+  EXPECT_EQ(format_number(42.0), "42");
+  EXPECT_EQ(format_number(-7.0), "-7");
+  EXPECT_EQ(format_number(9007199254740992.0), "9007199254740992");  // 2^53
+}
+
+TEST(Json, FormatNumberUsesShortestRoundTripForReals) {
+  for (const double value : {0.1, 2.5e-8, 1.0 / 3.0, 9.1e200}) {
+    const std::string text = format_number(value);
+    EXPECT_EQ(std::stod(text), value) << text;
+  }
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(format_number(std::nan("")), "null");
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t bell\x07";
+  Json doc = Json::object();
+  doc.set("s", Json(nasty));
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.at("s").as_string(), nasty);
+}
+
+TEST(Json, ParsesUnicodeEscapesAndSurrogatePairs) {
+  const Json doc = Json::parse("\"a\\u00e9\\ud83d\\ude00z\"");
+  EXPECT_EQ(doc.as_string(), "a\xc3\xa9\xf0\x9f\x98\x80z");
+}
+
+TEST(Json, AcceptsValidUtf8Verbatim) {
+  const std::string text = "\"gr\xc3\xbc\xc3\x9f dich \xe2\x9c\x93\"";
+  EXPECT_EQ(Json::parse(text).as_string(), "gr\xc3\xbc\xc3\x9f dich \xe2\x9c\x93");
+}
+
+TEST(Json, TypedAccessorsThrowProtocolErrorOnMismatch) {
+  const Json doc = Json::parse("{\"n\":1,\"s\":\"x\"}");
+  EXPECT_THROW(doc.at("n").as_string(), ProtocolError);
+  EXPECT_THROW(doc.at("s").as_number(), ProtocolError);
+  EXPECT_THROW(doc.at("missing"), ProtocolError);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, FallbackAccessorsTypeCheckWhenPresent) {
+  const Json doc = Json::parse("{\"n\":3,\"s\":\"x\"}");
+  EXPECT_EQ(doc.number_or("n", 9.0), 3.0);
+  EXPECT_EQ(doc.number_or("absent", 9.0), 9.0);
+  EXPECT_EQ(doc.string_or("s", "d"), "x");
+  EXPECT_EQ(doc.string_or("absent", "d"), "d");
+  EXPECT_THROW(doc.number_or("s", 9.0), ProtocolError);
+}
+
+TEST(Json, ParseErrorsCarryByteOffset) {
+  try {
+    Json::parse("{\"a\":1,}");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, RejectsTrailingGarbage) {
+  EXPECT_THROW(Json::parse("{} {}"), ProtocolError);
+  EXPECT_THROW(Json::parse("1 2"), ProtocolError);
+  EXPECT_NO_THROW(Json::parse("  {}  "));  // whitespace padding is fine
+}
+
+TEST(Json, RejectsInvalidUtf8InStrings) {
+  // 0xff can never appear in UTF-8; 0xc3 alone is a dangling lead byte;
+  // 0xc0 0xaf is the classic overlong "/" encoding.
+  EXPECT_THROW(Json::parse(std::string("\"a\xff\"")), ProtocolError);
+  EXPECT_THROW(Json::parse(std::string("\"a\xc3\"")), ProtocolError);
+  EXPECT_THROW(Json::parse(std::string("\"\xc0\xaf\"")), ProtocolError);
+}
+
+TEST(Json, RejectsLoneSurrogateEscapes) {
+  EXPECT_THROW(Json::parse("\"\\ud800\""), ProtocolError);
+  EXPECT_THROW(Json::parse("\"\\udc00x\""), ProtocolError);
+}
+
+// ---------------------------------------------------------------------------
+// Envelope.
+
+TEST(Envelope, ParsesAWellFormedRequest) {
+  const Request request = parse_request(
+      "{\"v\":1,\"id\":7,\"type\":\"coverage\",\"params\":{\"x\":1}}");
+  EXPECT_EQ(request.id, 7);
+  EXPECT_EQ(request.type, "coverage");
+  EXPECT_EQ(request.params.at("x").as_number(), 1.0);
+}
+
+TEST(Envelope, ParamsDefaultToEmptyObject) {
+  const Request request = parse_request("{\"v\":1,\"type\":\"health\"}");
+  EXPECT_EQ(request.id, 0);
+  EXPECT_TRUE(request.params.is_object());
+  EXPECT_TRUE(request.params.members().empty());
+}
+
+TEST(Envelope, RejectsMissingOrWrongVersion) {
+  EXPECT_THROW(parse_request("{\"type\":\"health\"}"), ProtocolError);
+  EXPECT_THROW(parse_request("{\"v\":2,\"type\":\"health\"}"), ProtocolError);
+  EXPECT_THROW(parse_request("{\"v\":\"1\",\"type\":\"health\"}"),
+               ProtocolError);
+}
+
+TEST(Envelope, RejectsBadTypeAndParams) {
+  EXPECT_THROW(parse_request("{\"v\":1}"), ProtocolError);
+  EXPECT_THROW(parse_request("{\"v\":1,\"type\":\"\"}"), ProtocolError);
+  EXPECT_THROW(parse_request("{\"v\":1,\"type\":3}"), ProtocolError);
+  EXPECT_THROW(parse_request("{\"v\":1,\"type\":\"x\",\"params\":[]}"),
+               ProtocolError);
+  EXPECT_THROW(parse_request("[1,2,3]"), ProtocolError);
+}
+
+TEST(Envelope, ResponseRoundTripSuccess) {
+  Json result = Json::object();
+  result.set("answer", Json(42));
+  const std::string line = make_response(9, result);
+  EXPECT_EQ(line, "{\"v\":1,\"id\":9,\"ok\":true,\"result\":{\"answer\":42}}");
+  const Response response = parse_response(line);
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.id, 9);
+  EXPECT_EQ(response.result.at("answer").as_number(), 42.0);
+}
+
+TEST(Envelope, ResponseRoundTripError) {
+  const std::string line = make_error(3, "busy", "server at capacity");
+  const Response response = parse_response(line);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.id, 3);
+  EXPECT_EQ(response.error_code, "busy");
+  EXPECT_EQ(response.error_message, "server at capacity");
+}
+
+TEST(Envelope, SerializationIsDeterministic) {
+  Json result = Json::object();
+  result.set("dpm", Json(512.80141626230954));
+  result.set("n", Json(11000));
+  EXPECT_EQ(make_response(1, result), make_response(1, result));
+}
+
+}  // namespace
+}  // namespace memstress::server

@@ -1,0 +1,286 @@
+// End-to-end daemon tests over a real loopback socket: request routing,
+// byte-identity with direct library calls, structured errors for every
+// failure class, backpressure, and the drain-on-shutdown contract.
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server_test_util.hpp"
+#include "util/cancel.hpp"
+#include "util/chaos.hpp"
+
+namespace memstress::server {
+namespace {
+
+TEST(ServerLoopback, HealthReportsTheDatabase) {
+  TestServer fixture;
+  EXPECT_GT(fixture.server.port(), 0);
+  Client client(fixture.client_config());
+  const Json health = client.request("health");
+  EXPECT_EQ(health.at("status").as_string(), "ok");
+  EXPECT_EQ(health.at("protocol_version").as_number(),
+            static_cast<double>(kProtocolVersion));
+  EXPECT_EQ(health.at("db_entries").as_number(),
+            static_cast<double>(fixture.service->db().size()));
+}
+
+TEST(ServerLoopback, ResponsesAreByteIdenticalToDirectCalls) {
+  TestServer fixture;
+  Client client(fixture.client_config());
+  const std::vector<std::string> lines = {
+      "{\"v\":1,\"id\":1,\"type\":\"coverage\",\"params\":"
+      "{\"geometry\":{\"x_rows\":128,\"y_columns\":32,\"bits_per_word\":4}}}",
+      "{\"v\":1,\"id\":2,\"type\":\"dpm\",\"params\":"
+      "{\"yield\":0.95,\"defect_coverage\":0.99}}",
+      "{\"v\":1,\"id\":3,\"type\":\"detectability\",\"params\":"
+      "{\"kind\":\"bridge\",\"category\":\"cell-true-false\","
+      "\"resistance\":1000,\"vdd\":1.0,\"period\":1e-07}}",
+      "{\"v\":1,\"id\":4,\"type\":\"schedule\",\"params\":"
+      "{\"yield\":0.91,\"monte_carlo_defects\":200,\"seed\":7}}",
+      "{\"v\":1,\"id\":5,\"type\":\"health\"}",
+  };
+  for (const std::string& line : lines)
+    EXPECT_EQ(client.roundtrip(line), fixture.expected_response(line)) << line;
+}
+
+TEST(ServerLoopback, ScheduleIsDeterministicAcrossConnections) {
+  TestServer fixture;
+  const std::string line =
+      "{\"v\":1,\"id\":9,\"type\":\"schedule\",\"params\":"
+      "{\"yield\":0.9,\"monte_carlo_defects\":150,\"seed\":11}}";
+  Client first(fixture.client_config());
+  const std::string first_response = first.roundtrip(line);
+  // A worker owns a connection until it closes; release it so a one-worker
+  // configuration (this box may resolve to one) can adopt the second client.
+  first.disconnect();
+  Client second(fixture.client_config());
+  EXPECT_EQ(first_response, second.roundtrip(line));
+}
+
+TEST(ServerLoopback, ParseErrorsAreRowNumberedPerConnection) {
+  TestServer fixture;
+  Client client(fixture.client_config());
+  Response first = parse_response(client.roundtrip("this is not json"));
+  EXPECT_FALSE(first.ok);
+  EXPECT_EQ(first.error_code, "parse_error");
+  EXPECT_NE(first.error_message.find("request:1:"), std::string::npos)
+      << first.error_message;
+  // The connection survives a parse error; the next frame is request 2.
+  Response second = parse_response(client.roundtrip("{\"v\":9}"));
+  EXPECT_EQ(second.error_code, "parse_error");
+  EXPECT_NE(second.error_message.find("request:2:"), std::string::npos)
+      << second.error_message;
+  // And a well-formed request on the same connection still works.
+  const std::string good = "{\"v\":1,\"id\":3,\"type\":\"health\"}";
+  EXPECT_EQ(client.roundtrip(good), fixture.expected_response(good));
+}
+
+TEST(ServerLoopback, BadParamsGetStructuredBadRequest) {
+  TestServer fixture;
+  Client client(fixture.client_config());
+  try {
+    client.request("coverage",
+                   Json::parse("{\"geometry\":{\"x_rows\":2}}"));
+    FAIL() << "expected ServerError";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), "bad_request");
+    EXPECT_NE(std::string(e.what()).find("geometry"), std::string::npos);
+  }
+  EXPECT_THROW(client.request("no_such_type"), ServerError);
+}
+
+TEST(ServerLoopback, OversizedFrameAnswersThenCloses) {
+  ServerConfig config;
+  config.max_frame_bytes = 256;
+  TestServer fixture(config);
+  Client client(fixture.client_config());
+  const std::string huge(1024, 'x');
+  const Response response = parse_response(client.roundtrip(huge));
+  EXPECT_EQ(response.error_code, "frame_too_large");
+  EXPECT_NE(response.error_message.find("256"), std::string::npos);
+}
+
+TEST(ServerLoopback, TruncatedFrameAnswersStructurally) {
+  TestServer fixture;
+  RawConnection raw(fixture.server.port());
+  ASSERT_TRUE(raw.connected());
+  ASSERT_TRUE(write_all(raw.fd, "{\"v\":1,\"type\":\"heal"));  // no newline
+  raw.finish_writing();
+  LineReader reader(raw.fd);
+  const Frame frame = reader.read_line();
+  ASSERT_EQ(frame.status, Frame::Status::Line);
+  const Response response = parse_response(frame.text);
+  EXPECT_EQ(response.error_code, "parse_error");
+  EXPECT_NE(response.error_message.find("truncated frame"), std::string::npos);
+}
+
+TEST(ServerLoopback, RequestTimeoutIsReported) {
+  ServerConfig config;
+  config.request_timeout_ms = 100;
+  TestServer fixture(config);
+  Client client(fixture.client_config());
+  try {
+    client.request("sleep", Json::parse("{\"ms\":5000}"));
+    FAIL() << "expected ServerError";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), "timeout");
+  }
+}
+
+TEST(ServerLoopback, ChaosInjectionStaysStructured) {
+  TestServer fixture;
+  chaos::configure(1.0, 99);
+  try {
+    Client client(fixture.client_config());
+    client.request("health");
+    FAIL() << "expected ServerError";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), "injected");
+  }
+  chaos::disable();
+  // The connection and server survive the injected failure.
+  Client client(fixture.client_config());
+  EXPECT_EQ(client.request("health").at("status").as_string(), "ok");
+}
+
+TEST(ServerBackpressure, FullQueueAnswersBusy) {
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_depth = 1;
+  TestServer fixture(config);
+
+  // The single worker adopts the first connection at accept time; the
+  // second parks in the depth-1 queue; the third must bounce.
+  RawConnection occupant(fixture.server.port());
+  ASSERT_TRUE(occupant.connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  RawConnection queued(fixture.server.port());
+  ASSERT_TRUE(queued.connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  ClientConfig client_config = fixture.client_config();
+  client_config.max_retries = 0;  // surface busy instead of retrying
+  Client bounced(client_config);
+  try {
+    bounced.request("health");
+    FAIL() << "expected busy";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), "busy");
+    EXPECT_NE(std::string(e.what()).find("queue depth 1"), std::string::npos);
+  }
+}
+
+TEST(ServerBackpressure, ClientRetriesBusyUntilCapacityFrees) {
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_depth = 1;
+  TestServer fixture(config);
+
+  auto occupant = std::make_unique<RawConnection>(fixture.server.port());
+  ASSERT_TRUE(occupant->connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  auto queued = std::make_unique<RawConnection>(fixture.server.port());
+  ASSERT_TRUE(queued->connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Free both slots while the client is backing off; a later retry lands.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    occupant.reset();
+    queued.reset();
+  });
+  ClientConfig client_config = fixture.client_config();
+  client_config.max_retries = 10;
+  Client client(client_config);
+  const Json health = client.request("health");
+  EXPECT_EQ(health.at("status").as_string(), "ok");
+  releaser.join();
+}
+
+TEST(ServerShutdown, InFlightRequestFinishesAndRespondsDuringStop) {
+  ServerConfig config;
+  config.workers = 1;
+  TestServer fixture(config);
+
+  std::string response_line;
+  std::thread in_flight([&] {
+    Client client(fixture.client_config());
+    response_line = client.roundtrip(
+        "{\"v\":1,\"id\":1,\"type\":\"sleep\",\"params\":{\"ms\":400}}");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  fixture.server.stop();  // must drain, not abandon, the sleeper
+  in_flight.join();
+
+  const Response response = parse_response(response_line);
+  EXPECT_TRUE(response.ok);
+  EXPECT_GE(response.result.at("slept_ms").as_number(), 300.0);
+}
+
+TEST(ServerShutdown, QueuedConnectionIsToldShuttingDown) {
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_depth = 4;
+  TestServer fixture(config);
+
+  std::thread in_flight([&] {
+    Client client(fixture.client_config());
+    client.roundtrip(
+        "{\"v\":1,\"id\":1,\"type\":\"sleep\",\"params\":{\"ms\":500}}");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  std::string queued_line;
+  std::thread queued([&] {
+    Client client(fixture.client_config());
+    queued_line = client.roundtrip("{\"v\":1,\"id\":2,\"type\":\"health\"}");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  fixture.server.stop();
+  in_flight.join();
+  queued.join();
+
+  const Response response = parse_response(queued_line);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "shutting_down");
+}
+
+TEST(ServerShutdown, StopIsIdempotentAndWakesIdleConnections) {
+  TestServer fixture;
+  RawConnection idle(fixture.server.port());
+  ASSERT_TRUE(idle.connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto start = std::chrono::steady_clock::now();
+  fixture.server.stop();  // must not wait out the 10 s receive timeout
+  fixture.server.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+}
+
+TEST(ServerShutdown, ServeUntilCancelledStopsOnProcessToken) {
+  TestServer fixture;
+  std::thread tripper([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    cancel::process_token().request_cancel();
+  });
+  fixture.server.serve_until_cancelled();  // returns only if the token works
+  tripper.join();
+  cancel::process_token().reset();
+  // The port is released: a fresh server can bind and serve again.
+  TestServer next;
+  Client client(next.client_config());
+  EXPECT_EQ(client.request("health").at("status").as_string(), "ok");
+}
+
+}  // namespace
+}  // namespace memstress::server

@@ -1,0 +1,115 @@
+// Concurrency suite for memstressd: many client threads hammering one
+// server, with every response checked byte-for-byte against a direct
+// library call. Runs under check_parallel, so a -DMEMSTRESS_SANITIZE=thread
+// build makes this the TSan gate for the server's threading (acceptor,
+// bounded queue, worker pool, shared immutable DetectabilityDb).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server_test_util.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+
+namespace memstress::server {
+namespace {
+
+/// A deterministic request mix: cheap lookups, the full Table-1 estimator,
+/// and the Monte-Carlo schedule search (seeded, so byte-stable).
+std::vector<std::string> request_mix() {
+  return {
+      "{\"v\":1,\"id\":1,\"type\":\"health\"}",
+      "{\"v\":1,\"id\":2,\"type\":\"dpm\",\"params\":"
+      "{\"yield\":0.93,\"defect_coverage\":0.97}}",
+      "{\"v\":1,\"id\":3,\"type\":\"detectability\",\"params\":"
+      "{\"kind\":\"open\",\"category\":\"wordline\","
+      "\"resistance\":1000000,\"vdd\":1.95,\"period\":2.5e-08}}",
+      "{\"v\":1,\"id\":4,\"type\":\"coverage\",\"params\":"
+      "{\"geometry\":{\"x_rows\":256,\"y_columns\":64,\"bits_per_word\":8}}}",
+      "{\"v\":1,\"id\":5,\"type\":\"schedule\",\"params\":"
+      "{\"yield\":0.92,\"monte_carlo_defects\":120,\"seed\":3}}",
+      "{\"v\":1,\"id\":6,\"type\":\"coverage\",\"params\":"
+      "{\"geometry\":{\"x_rows\":64,\"y_columns\":16,\"bits_per_word\":4,"
+      "\"z_blocks\":2},\"vlv_period\":2e-07}}",
+  };
+}
+
+/// N client threads, each walking the mix from a different offset on its
+/// own connection, all against a `workers`-wide pool.
+void hammer(int workers, int client_threads, int rounds) {
+  ServerConfig config;
+  config.workers = workers;
+  config.queue_depth = 64;  // every connection queues; no busy responses
+  TestServer fixture(config);
+
+  const std::vector<std::string> lines = request_mix();
+  std::vector<std::string> expected;
+  for (const std::string& line : lines)
+    expected.push_back(fixture.expected_response(line));
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < client_threads; ++t) {
+    clients.emplace_back([&, t] {
+      Client client(fixture.client_config());
+      for (int round = 0; round < rounds; ++round) {
+        const std::size_t pick = (t + round) % lines.size();
+        if (client.roundtrip(lines[pick]) != expected[pick])
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << workers << " workers, " << client_threads << " clients";
+}
+
+TEST(ServerParallel, SingleWorkerSerializesCorrectly) { hammer(1, 4, 6); }
+
+TEST(ServerParallel, TwoWorkersStayByteIdentical) { hammer(2, 6, 6); }
+
+TEST(ServerParallel, EightWorkersStayByteIdentical) { hammer(8, 8, 6); }
+
+TEST(ServerParallel, WorkerCountFollowsThreadEnvWhenUnset) {
+  // ServerConfig.workers == 0 defers to util/parallel's resolution, which
+  // honours MEMSTRESS_THREADS — the same knob the batch layers use.
+  ::setenv("MEMSTRESS_THREADS", "2", 1);
+  ServerConfig config;
+  config.workers = 0;
+  TestServer fixture(config);
+  EXPECT_EQ(fixture.server.config().workers, 2);
+  ::unsetenv("MEMSTRESS_THREADS");
+  Client client(fixture.client_config());
+  const std::string line = "{\"v\":1,\"id\":8,\"type\":\"health\"}";
+  EXPECT_EQ(client.roundtrip(line), fixture.expected_response(line));
+}
+
+TEST(ServerParallel, ConcurrentConnectionsShareOneDatabase) {
+  // The service — and through it the immutable DetectabilityDb — is shared
+  // by every worker; 8 threads reading the same entries must agree.
+  ServerConfig config;
+  config.workers = 8;
+  TestServer fixture(config);
+  const std::string line =
+      "{\"v\":1,\"id\":1,\"type\":\"detectability\",\"params\":"
+      "{\"kind\":\"bridge\",\"category\":\"bitline-bitline\","
+      "\"resistance\":20,\"vdd\":1.0,\"period\":1e-07}}";
+  const std::string expected = fixture.expected_response(line);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t)
+    clients.emplace_back([&] {
+      Client client(fixture.client_config());
+      for (int i = 0; i < 10; ++i)
+        if (client.roundtrip(line) != expected) mismatches.fetch_add(1);
+    });
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace memstress::server

@@ -144,6 +144,52 @@ TEST(EnvParsing, BoolUnsetIsSilentFallback) {
   EXPECT_TRUE(capture.warnings().empty());
 }
 
+TEST(EnvParsing, UnsetStringIsSilentFallback) {
+  EnvGuard env(kKnob, nullptr);
+  WarnCapture capture;
+  EXPECT_EQ(env_string_or(kKnob, "127.0.0.1"), "127.0.0.1");
+  EXPECT_TRUE(capture.warnings().empty());
+}
+
+TEST(EnvParsing, SetStringPassesThroughVerbatim) {
+  // Strings are not parsed: anything non-blank is the caller's business,
+  // including values that would be garbage for an int knob.
+  WarnCapture capture;
+  for (const char* value : {"0.0.0.0", "::1", "host.example", " padded "}) {
+    EnvGuard env(kKnob, value);
+    EXPECT_EQ(env_string_or(kKnob, "fallback"), value);
+  }
+  EXPECT_TRUE(capture.warnings().empty());
+}
+
+TEST(EnvParsing, BlankStringWarnsAndFallsBack) {
+  // A dedicated variable: warn-once state is global per (name, value), and
+  // kKnob="" is consumed by the repeat-count test below.
+  constexpr const char* kBlankKnob = "MEMSTRESS_TEST_KNOB_BLANK";
+  EnvGuard env(kBlankKnob, "");
+  WarnCapture capture;
+  EXPECT_EQ(env_string_or(kBlankKnob, "127.0.0.1"), "127.0.0.1");
+  EXPECT_TRUE(capture.saw(kBlankKnob));
+}
+
+TEST(EnvParsing, WhitespaceOnlyStringWarnsAndFallsBack) {
+  EnvGuard env(kKnob, " \t ");
+  WarnCapture capture;
+  EXPECT_EQ(env_string_or(kKnob, "default"), "default");
+  EXPECT_TRUE(capture.saw(kKnob));
+}
+
+TEST(EnvParsing, RepeatedBlankStringWarnsOnlyOnce) {
+  EnvGuard env(kKnob, "");
+  WarnCapture capture;
+  env_string_or(kKnob, "a");
+  env_string_or(kKnob, "a");
+  int count = 0;
+  for (const auto& w : capture.warnings())
+    if (w.find(kKnob) != std::string::npos) ++count;
+  EXPECT_EQ(count, 1);
+}
+
 TEST(ParallelConfig, GarbageThreadsEnvWarns) {
   EnvGuard env("MEMSTRESS_THREADS", "lots-please");
   WarnCapture capture;

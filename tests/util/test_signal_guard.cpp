@@ -1,0 +1,67 @@
+#include "util/signal_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+
+#include "util/cancel.hpp"
+
+namespace memstress {
+namespace {
+
+TEST(SignalGuard, PassesThroughTheBodysReturnValue) {
+  EXPECT_EQ(signal_guard::run([] { return 0; }, {}), 0);
+  EXPECT_EQ(signal_guard::run([] { return 7; }, {}), 7);
+}
+
+TEST(SignalGuard, CancelledErrorMapsToExitCode130) {
+  const int rc = signal_guard::run(
+      [&]() -> int { throw CancelledError("synthetic cancellation"); }, {});
+  EXPECT_EQ(rc, signal_guard::kInterruptExitCode);
+  EXPECT_EQ(rc, 130);
+}
+
+TEST(SignalGuard, NonCancellationErrorsPropagate) {
+  // Only the cooperative-cancellation unwind is absorbed; real failures
+  // must keep crashing loudly.
+  EXPECT_THROW(
+      signal_guard::run([&]() -> int { throw Error("genuine failure"); }, {}),
+      Error);
+}
+
+// The real thing, end to end, in a death-test child so the parent process
+// keeps its SIGINT disposition and an untripped cancel token: raise(SIGINT)
+// -> util/cancel's handler trips the process token -> the body unwinds with
+// CancelledError -> run() prints the report + resume hint and returns 130.
+TEST(SignalGuard, SigintDrivesTheFullPathToExit130) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_EXIT(
+      {
+        const int rc = signal_guard::run(
+            [&]() -> int {
+              std::raise(SIGINT);
+              if (cancel::process_token().cancelled())
+                throw CancelledError("stopped at a checkpoint");
+              return 0;
+            },
+            {"rerun with the same settings to resume."});
+        std::_Exit(rc);
+      },
+      testing::ExitedWithCode(130), "interrupted: stopped at a checkpoint");
+}
+
+TEST(SignalGuard, ResumeHintIsPrintedOnInterrupt) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_EXIT(
+      {
+        const int rc = signal_guard::run(
+            [&]() -> int { throw CancelledError("x"); },
+            {"partial progress was checkpointed."});
+        std::_Exit(rc);
+      },
+      testing::ExitedWithCode(130), "partial progress was checkpointed");
+}
+
+}  // namespace
+}  // namespace memstress
