@@ -5,7 +5,14 @@
 // so — a fast server that answers wrong is a regression, not a win.
 //
 // Usage: bench_server [--smoke] [--clients N] [--requests M]
+//                     [--repeat | --batch]
 //   --smoke    reduced load for the ctest smoke (seconds, not minutes)
+//   --repeat   result-cache mode: send distinct schedule requests once
+//              (cold), then repeat them (hot) and compare cold-path vs
+//              hit-path latency; every hot response is byte-checked against
+//              its cold twin
+//   --batch    framing mode: send the same request mix one-per-frame, then
+//              as batch frames, and compare items/second
 //
 // The last stdout line is machine-readable for trend tracking:
 //   BENCH_JSON {"bench":"server", ...}
@@ -39,26 +46,18 @@ double percentile_ms(std::vector<double>& sorted_seconds, double q) {
   return sorted_seconds[index] * 1e3;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  int clients = 8;
-  int requests_per_client = 400;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      clients = 2;
-      requests_per_client = 40;
-    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
-      clients = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
-      requests_per_client = std::atoi(argv[++i]);
-    }
-  }
-
+server::TestServer make_fixture() {
   server::ServerConfig config;
   config.workers = default_thread_count();
   config.queue_depth = 64;
-  server::TestServer fixture(config);
+  return server::TestServer(config);
+}
+
+// -----------------------------------------------------------------------
+// Default mode: mixed request hammer from N concurrent clients.
+
+int run_mixed(int clients, int requests_per_client) {
+  server::TestServer fixture = make_fixture();
   std::printf("bench_server: %d workers on 127.0.0.1:%d, %d clients x %d "
               "requests\n",
               fixture.server.config().workers, fixture.server.port(), clients,
@@ -136,7 +135,8 @@ int main(int argc, char** argv) {
   std::printf("  responses identical to direct calls ....... %s\n\n",
               identical ? "HOLDS" : "DEVIATES");
 
-  std::printf("BENCH_JSON {\"bench\":\"server\",\"workers\":%d,"
+  std::printf("BENCH_JSON {\"bench\":\"server\",\"mode\":\"mixed\","
+              "\"workers\":%d,"
               "\"clients\":%d,\"requests_per_client\":%d,"
               "\"completed\":%ld,\"elapsed_s\":%.4f,\"rps\":%.1f,"
               "\"p50_ms\":%.4f,\"p99_ms\":%.4f,"
@@ -146,4 +146,233 @@ int main(int argc, char** argv) {
               completed, elapsed_s, rps, p50_ms, p99_ms, mismatches.load(),
               transport_errors.load(), identical ? "true" : "false");
   return identical ? 0 : 1;
+}
+
+// -----------------------------------------------------------------------
+// --repeat: the result-cache story. Distinct schedule requests (the most
+// expensive cacheable type) are sent once each — the cold path, priming the
+// cache — then repeated for several rounds: the hit path. Every hot
+// response must be byte-identical to its cold twin.
+
+int run_repeat(bool smoke) {
+  const int unique = smoke ? 4 : 16;
+  const int hot_rounds = smoke ? 5 : 20;
+  const int mc_defects = smoke ? 300 : 800;
+
+  server::TestServer fixture = make_fixture();
+  std::printf("bench_server --repeat: %d workers on 127.0.0.1:%d, %d unique "
+              "schedule requests x %d hot rounds\n",
+              fixture.server.config().workers, fixture.server.port(), unique,
+              hot_rounds);
+
+  std::vector<std::string> lines;
+  for (int s = 0; s < unique; ++s) {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "{\"v\":1,\"id\":%d,\"type\":\"schedule\",\"params\":"
+                  "{\"cells\":4096,\"monte_carlo_defects\":%d,\"seed\":%d}}",
+                  s + 1, mc_defects, 100 + s);
+    lines.emplace_back(line);
+  }
+
+  long mismatches = 0;
+  std::vector<double> cold;
+  std::vector<double> hot;
+  std::vector<std::string> cold_responses;
+  try {
+    server::Client client(fixture.client_config());
+    for (const std::string& line : lines) {
+      const auto sent = std::chrono::steady_clock::now();
+      std::string response = client.roundtrip(line);
+      cold.push_back(seconds_since(sent));
+      if (response != fixture.expected_response(line)) ++mismatches;
+      cold_responses.push_back(std::move(response));
+    }
+    for (int round = 0; round < hot_rounds; ++round) {
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        const auto sent = std::chrono::steady_clock::now();
+        const std::string response = client.roundtrip(lines[i]);
+        hot.push_back(seconds_since(sent));
+        if (response != cold_responses[i]) ++mismatches;
+      }
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_server --repeat: %s\n", e.what());
+    ++mismatches;
+  }
+  fixture.server.stop();
+
+  std::sort(cold.begin(), cold.end());
+  std::sort(hot.begin(), hot.end());
+  const double cold_p50 = percentile_ms(cold, 0.50);
+  const double cold_p99 = percentile_ms(cold, 0.99);
+  const double hit_p50 = percentile_ms(hot, 0.50);
+  const double hit_p99 = percentile_ms(hot, 0.99);
+  double hot_total_s = 0.0;
+  for (const double t : hot) hot_total_s += t;
+  const double hit_rps =
+      hot_total_s > 0.0 ? static_cast<double>(hot.size()) / hot_total_s : 0.0;
+  const auto stats = fixture.service->cache().stats();
+  const bool identical =
+      mismatches == 0 &&
+      static_cast<int>(hot.size()) == unique * hot_rounds &&
+      static_cast<int>(cold.size()) == unique;
+  const bool p50_strictly_lower = hit_p50 < cold_p50;
+
+  std::printf("\n  cold requests (compute) ................... %zu\n",
+              cold.size());
+  std::printf("  hot requests (cache hits) ................. %zu\n",
+              hot.size());
+  std::printf("  cold latency p50 / p99 .................... %.3f / %.3f ms\n",
+              cold_p50, cold_p99);
+  std::printf("  hit latency p50 / p99 ..................... %.3f / %.3f ms\n",
+              hit_p50, hit_p99);
+  std::printf("  hit-path throughput ....................... %.0f req/s\n",
+              hit_rps);
+  std::printf("  cache hits / misses / coalesced / evicted . %lld / %lld / "
+              "%lld / %lld\n",
+              stats.hits, stats.misses, stats.coalesced, stats.evictions);
+  std::printf("  hot responses identical to cold ........... %s\n",
+              identical ? "HOLDS" : "DEVIATES");
+  std::printf("  hit p50 strictly below cold p50 ........... %s\n\n",
+              p50_strictly_lower ? "yes" : "NO");
+
+  std::printf("BENCH_JSON {\"bench\":\"server\",\"mode\":\"repeat\","
+              "\"workers\":%d,\"unique_requests\":%d,\"hot_rounds\":%d,"
+              "\"cold_p50_ms\":%.4f,\"cold_p99_ms\":%.4f,"
+              "\"hit_p50_ms\":%.4f,\"hit_p99_ms\":%.4f,\"hit_rps\":%.1f,"
+              "\"cache_hits\":%lld,\"cache_misses\":%lld,"
+              "\"cache_coalesced\":%lld,\"cache_evictions\":%lld,"
+              "\"mismatches\":%ld,\"identical\":%s,"
+              "\"p50_strictly_lower\":%s}\n",
+              fixture.server.config().workers, unique, hot_rounds, cold_p50,
+              cold_p99, hit_p50, hit_p99, hit_rps, stats.hits, stats.misses,
+              stats.coalesced, stats.evictions, mismatches,
+              identical ? "true" : "false",
+              p50_strictly_lower ? "true" : "false");
+  // Correctness gates the exit code; the p50 comparison is reported for the
+  // trend log but a loaded CI box must not turn it into a flake.
+  return identical ? 0 : 1;
+}
+
+// -----------------------------------------------------------------------
+// --batch: framing overhead. The same cheap request mix goes over the wire
+// once per frame, then packed into batch frames; both answer streams are
+// byte-checked (the batch one against the direct batch computation).
+
+int run_batch(bool smoke) {
+  const int rounds = smoke ? 20 : 200;
+
+  server::TestServer fixture = make_fixture();
+
+  const std::string items =
+      "[{\"type\":\"health\"},"
+      "{\"type\":\"dpm\",\"params\":{\"yield\":0.95,"
+      "\"defect_coverage\":0.99}},"
+      "{\"type\":\"detectability\",\"params\":{\"kind\":\"bridge\","
+      "\"category\":\"cell-node-bitline\",\"resistance\":1000,"
+      "\"vdd\":1.0,\"period\":1e-07}},"
+      "{\"type\":\"dpm\",\"params\":{\"yield\":0.9,"
+      "\"defect_coverage\":0.95}},"
+      "{\"type\":\"health\"}]";
+  const std::vector<std::string> single_lines = {
+      "{\"v\":1,\"id\":1,\"type\":\"health\"}",
+      "{\"v\":1,\"id\":2,\"type\":\"dpm\",\"params\":"
+      "{\"yield\":0.95,\"defect_coverage\":0.99}}",
+      "{\"v\":1,\"id\":3,\"type\":\"detectability\",\"params\":"
+      "{\"kind\":\"bridge\",\"category\":\"cell-node-bitline\","
+      "\"resistance\":1000,\"vdd\":1.0,\"period\":1e-07}}",
+      "{\"v\":1,\"id\":4,\"type\":\"dpm\",\"params\":"
+      "{\"yield\":0.9,\"defect_coverage\":0.95}}",
+      "{\"v\":1,\"id\":5,\"type\":\"health\"}",
+  };
+  const std::string batch_line =
+      "{\"v\":1,\"id\":9,\"type\":\"batch\",\"requests\":" + items + "}";
+  const int items_per_batch = static_cast<int>(single_lines.size());
+  std::printf("bench_server --batch: %d workers on 127.0.0.1:%d, %d rounds "
+              "of %d items\n",
+              fixture.server.config().workers, fixture.server.port(), rounds,
+              items_per_batch);
+
+  std::vector<std::string> single_expected;
+  for (const auto& line : single_lines)
+    single_expected.push_back(fixture.expected_response(line));
+  const std::string batch_expected = fixture.expected_response(batch_line);
+
+  long mismatches = 0;
+  double singles_s = 0.0;
+  double batch_s = 0.0;
+  try {
+    server::Client client(fixture.client_config());
+    const auto singles_start = std::chrono::steady_clock::now();
+    for (int round = 0; round < rounds; ++round)
+      for (std::size_t i = 0; i < single_lines.size(); ++i)
+        if (client.roundtrip(single_lines[i]) != single_expected[i])
+          ++mismatches;
+    singles_s = seconds_since(singles_start);
+
+    const auto batch_start = std::chrono::steady_clock::now();
+    for (int round = 0; round < rounds; ++round)
+      if (client.roundtrip(batch_line) != batch_expected) ++mismatches;
+    batch_s = seconds_since(batch_start);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_server --batch: %s\n", e.what());
+    ++mismatches;
+  }
+  fixture.server.stop();
+
+  const long total_items = static_cast<long>(rounds) * items_per_batch;
+  const double singles_ips =
+      singles_s > 0.0 ? static_cast<double>(total_items) / singles_s : 0.0;
+  const double batch_ips =
+      batch_s > 0.0 ? static_cast<double>(total_items) / batch_s : 0.0;
+  const bool identical = mismatches == 0;
+
+  std::printf("\n  items per mode ............................ %ld\n",
+              total_items);
+  std::printf("  one-request-per-frame ..................... %.0f items/s\n",
+              singles_ips);
+  std::printf("  batch frames (%d items each) .............. %.0f items/s\n",
+              items_per_batch, batch_ips);
+  std::printf("  batch / singles speedup ................... %.2fx\n",
+              singles_ips > 0.0 ? batch_ips / singles_ips : 0.0);
+  std::printf("  responses identical to direct calls ....... %s\n\n",
+              identical ? "HOLDS" : "DEVIATES");
+
+  std::printf("BENCH_JSON {\"bench\":\"server\",\"mode\":\"batch\","
+              "\"workers\":%d,\"rounds\":%d,\"items_per_batch\":%d,"
+              "\"singles_items_per_s\":%.1f,\"batch_items_per_s\":%.1f,"
+              "\"mismatches\":%ld,\"identical\":%s}\n",
+              fixture.server.config().workers, rounds, items_per_batch,
+              singles_ips, batch_ips, mismatches,
+              identical ? "true" : "false");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int clients = 8;
+  int requests_per_client = 400;
+  bool smoke = false;
+  bool repeat_mode = false;
+  bool batch_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      clients = 2;
+      requests_per_client = 40;
+    } else if (std::strcmp(argv[i], "--repeat") == 0) {
+      repeat_mode = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch_mode = true;
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests_per_client = std::atoi(argv[++i]);
+    }
+  }
+  if (repeat_mode) return run_repeat(smoke);
+  if (batch_mode) return run_batch(smoke);
+  return run_mixed(clients, requests_per_client);
 }

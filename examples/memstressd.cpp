@@ -1,9 +1,13 @@
 // memstressd: serve the characterization/DPM pipeline to many clients.
 //
 // Characterizes (or cache-loads) the detectability database once, then
-// answers coverage / dpm / schedule / detectability / metrics / health
-// requests over newline-delimited JSON until SIGINT, which drains in-flight
-// requests and exits 130.
+// answers coverage / dpm / schedule / detectability / metrics / health /
+// batch requests over newline-delimited JSON until SIGINT, which drains
+// in-flight requests and exits 130. A cache file whose fingerprint does not
+// match the pipeline's CharacterizeSpec is rejected (with a warning) and
+// the daemon re-characterizes — a stale cache can slow startup, never skew
+// answers. Repeat coverage/dpm/schedule traffic is served from an in-memory
+// result cache with single-flight coalescing.
 //
 // Configuration comes from the environment (util/env semantics):
 //   MEMSTRESS_ADDR                listen address   (default 127.0.0.1)
@@ -11,6 +15,9 @@
 //   MEMSTRESS_SERVER_WORKERS      worker threads   (default MEMSTRESS_THREADS)
 //   MEMSTRESS_QUEUE_DEPTH         pending-connection bound (default 64)
 //   MEMSTRESS_REQUEST_TIMEOUT_MS  per-request deadline     (default 10000)
+//   MEMSTRESS_CACHE_ENTRIES       result-cache entries     (default 1024,
+//                                 0 disables caching)
+//   MEMSTRESS_BATCH_MAX           max sub-requests per batch (default 256)
 //
 // Usage: ./build/examples/memstressd [db_cache_path]
 #include <cstdio>
@@ -45,7 +52,7 @@ int run(int argc, char** argv) {
       estimator::PopulationModel::calibrate(pipeline.config().layout_rows,
                                             pipeline.config().layout_cols),
       pipeline.config().fab, pipeline.make_sampler(),
-      server::ServiceInfo{server_config.workers, server_config.queue_depth});
+      server_config.service_info());
 
   server::Server daemon(server_config, service);
   daemon.start();

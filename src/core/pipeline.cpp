@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/trace.hpp"
 
@@ -28,13 +29,30 @@ StressEvaluationPipeline::share_database() {
   trace::Span span("pipeline.database");
   if (!config_.db_cache_path.empty() &&
       std::filesystem::exists(config_.db_cache_path)) {
-    log_info("pipeline: loading detectability DB from ", config_.db_cache_path);
-    static metrics::Counter& cache_loads =
-        metrics::counter("pipeline.db_cache_loads");
-    cache_loads.add(1);
-    db_ = std::make_shared<const estimator::DetectabilityDb>(
-        estimator::DetectabilityDb::load(config_.db_cache_path));
-    return db_;
+    // The cache is trusted only if its fingerprint proves it was produced by
+    // this exact CharacterizeSpec; a stale or foreign file would otherwise
+    // silently feed wrong detectability verdicts to every downstream answer.
+    const std::string expected =
+        estimator::spec_fingerprint(config_.characterization);
+    try {
+      db_ = std::make_shared<const estimator::DetectabilityDb>(
+          estimator::DetectabilityDb::load(config_.db_cache_path, expected));
+      // Counted only after the load (including the fingerprint check)
+      // succeeds, so a rejected or unreadable cache never shows up as a
+      // cache load in the metrics.
+      static metrics::Counter& cache_loads =
+          metrics::counter("pipeline.db_cache_loads");
+      cache_loads.add(1);
+      log_info("pipeline: loaded detectability DB from ",
+               config_.db_cache_path, " (fingerprint ", expected, ")");
+      return db_;
+    } catch (const Error& e) {
+      static metrics::Counter& cache_rejected =
+          metrics::counter("pipeline.db_cache_rejected");
+      cache_rejected.add(1);
+      log_warn("pipeline: rejecting detectability cache ",
+               config_.db_cache_path, ": ", e.what(), "; re-characterizing");
+    }
   }
   log_info("pipeline: characterizing detectability DB (analog simulation)");
   db_ = std::make_shared<const estimator::DetectabilityDb>(

@@ -23,11 +23,14 @@ using defects::Defect;
 using defects::DefectKind;
 
 DetectabilityDb::DetectabilityDb(const DetectabilityDb& other)
-    : entries_(other.entries_), quarantine_(other.quarantine_) {}
+    : entries_(other.entries_),
+      quarantine_(other.quarantine_),
+      fingerprint_(other.fingerprint_) {}
 
 DetectabilityDb& DetectabilityDb::operator=(const DetectabilityDb& other) {
   entries_ = other.entries_;
   quarantine_ = other.quarantine_;
+  fingerprint_ = other.fingerprint_;
   std::lock_guard<std::mutex> lock(index_mutex_);
   index_.reset();
   return *this;
@@ -35,11 +38,13 @@ DetectabilityDb& DetectabilityDb::operator=(const DetectabilityDb& other) {
 
 DetectabilityDb::DetectabilityDb(DetectabilityDb&& other) noexcept
     : entries_(std::move(other.entries_)),
-      quarantine_(std::move(other.quarantine_)) {}
+      quarantine_(std::move(other.quarantine_)),
+      fingerprint_(std::move(other.fingerprint_)) {}
 
 DetectabilityDb& DetectabilityDb::operator=(DetectabilityDb&& other) noexcept {
   entries_ = std::move(other.entries_);
   quarantine_ = std::move(other.quarantine_);
+  fingerprint_ = std::move(other.fingerprint_);
   std::lock_guard<std::mutex> lock(index_mutex_);
   index_.reset();
   return *this;
@@ -57,6 +62,7 @@ void DetectabilityDb::add_quarantine(QuarantineEntry entry) {
 
 DetectabilityDb DetectabilityDb::with_quarantine_assumed(bool detected) const {
   DetectabilityDb db;
+  db.fingerprint_ = fingerprint_;
   db.entries_ = entries_;
   db.entries_.reserve(entries_.size() + quarantine_.size());
   for (const QuarantineEntry& q : quarantine_) {
@@ -172,6 +178,11 @@ std::vector<sram::StressPoint> DetectabilityDb::conditions() const {
 }
 
 std::string DetectabilityDb::to_csv() const {
+  // The fingerprint rides on the first line, ahead of the CSV header, so
+  // load() can verify provenance before parsing a single row. Databases
+  // without one (hand-built, pre-fingerprint) serialize exactly as before.
+  std::string prefix;
+  if (!fingerprint_.empty()) prefix = "#fingerprint=" + fingerprint_ + "\n";
   CsvWriter csv(
       {"kind", "category", "resistance", "vbd", "vdd", "period", "detected"});
   const auto num = [](double value) {
@@ -184,7 +195,7 @@ std::string DetectabilityDb::to_csv() const {
                  std::to_string(e.category), num(e.resistance), num(e.vbd),
                  num(e.vdd), num(e.period), e.detected ? "1" : "0"});
   }
-  return csv.to_string();
+  return prefix + csv.to_string();
 }
 
 namespace {
@@ -227,12 +238,37 @@ int parse_csv_int(const std::string& field, std::size_t row,
 
 }  // namespace
 
-DetectabilityDb DetectabilityDb::from_csv(const std::string& csv_text) {
-  const CsvContent content = parse_csv(csv_text);
+DetectabilityDb DetectabilityDb::from_csv(
+    const std::string& csv_text, const std::string& expected_fingerprint) {
+  // Peel off the optional "#fingerprint=<crc32>" provenance line before the
+  // CSV parser sees the text. The whole file is rejected on a provenance
+  // problem — a wrong-grid cache must never be half-trusted.
+  static const std::string kFingerprintTag = "#fingerprint=";
+  std::string fingerprint;
+  std::string body = csv_text;
+  if (csv_text.compare(0, kFingerprintTag.size(), kFingerprintTag) == 0) {
+    std::size_t end = csv_text.find('\n');
+    if (end == std::string::npos) end = csv_text.size();
+    fingerprint = csv_text.substr(kFingerprintTag.size(),
+                                  end - kFingerprintTag.size());
+    body = end < csv_text.size() ? csv_text.substr(end + 1) : std::string();
+  }
+  if (!expected_fingerprint.empty()) {
+    require(!fingerprint.empty(),
+            "DetectabilityDb: row 1: missing characterization fingerprint "
+            "(expected \"" + expected_fingerprint +
+                "\"; legacy or foreign cache file)");
+    require(fingerprint == expected_fingerprint,
+            "DetectabilityDb: row 1: characterization fingerprint mismatch "
+            "(cache has \"" + fingerprint + "\", expected \"" +
+                expected_fingerprint + "\"; stale or foreign cache file)");
+  }
+  const CsvContent content = parse_csv(body);
   require(content.header == kCsvHeader,
           "DetectabilityDb: bad CSV header (expected "
           "kind,category,resistance,vbd,vdd,period,detected)");
   DetectabilityDb db;
+  db.fingerprint_ = std::move(fingerprint);
   for (std::size_t r = 0; r < content.rows.size(); ++r) {
     const auto& row = content.rows[r];
     require(row.size() == 7,
@@ -265,12 +301,43 @@ void DetectabilityDb::save(const std::string& path) const {
   checkpoint::write_file_atomic(path, to_csv());
 }
 
-DetectabilityDb DetectabilityDb::load(const std::string& path) {
+DetectabilityDb DetectabilityDb::load(const std::string& path,
+                                      const std::string& expected_fingerprint) {
   std::ifstream file(path, std::ios::binary);
   require(file.good(), "DetectabilityDb::load: cannot open " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return from_csv(buffer.str());
+  return from_csv(buffer.str(), expected_fingerprint);
+}
+
+std::string spec_fingerprint(const CharacterizeSpec& spec) {
+  // Canonical description of everything that shapes the characterization
+  // result: the march test, the block geometry, the solver resolution and
+  // every grid axis. Retry/checkpoint/thread knobs are deliberately left
+  // out — they change how the sweep runs, never what it produces.
+  std::string canon = spec.test.to_string() + "|" +
+                      std::to_string(spec.block.rows) + "x" +
+                      std::to_string(spec.block.cols) + "|spc" +
+                      std::to_string(spec.ate.steps_per_cycle);
+  char buffer[32];
+  const auto append_axis = [&](const char* name,
+                               const std::vector<double>& values) {
+    canon += "|";
+    canon += name;
+    for (const double v : values) {
+      std::snprintf(buffer, sizeof buffer, " %.9g", v);
+      canon += buffer;
+    }
+  };
+  append_axis("vdd", spec.vdds);
+  append_axis("period", spec.periods);
+  append_axis("rbridge", spec.bridge_resistances);
+  append_axis("ropen", spec.open_resistances);
+  append_axis("vbd", spec.gox_vbds);
+  std::snprintf(buffer, sizeof buffer, "|rgox %.9g", spec.gox_resistance);
+  canon += buffer;
+  std::snprintf(buffer, sizeof buffer, "%08x", checkpoint::crc32(canon));
+  return buffer;
 }
 
 namespace {
@@ -559,6 +626,7 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
   }
 
   DetectabilityDb db;
+  db.set_fingerprint(spec_fingerprint(spec));
   static metrics::Counter& quarantined =
       metrics::counter("robust.quarantined_points");
   for (std::size_t i = 0; i < tasks.size(); ++i) {

@@ -70,6 +70,16 @@ class DetectabilityDb {
   std::size_t size() const { return entries_.size(); }
   const std::vector<DbEntry>& entries() const { return entries_; }
 
+  /// Characterization fingerprint: the CRC32 spec_fingerprint() of the
+  /// CharacterizeSpec that produced this database, stamped by
+  /// characterize() and persisted as the first line of the CSV cache.
+  /// Empty for hand-built databases (and for legacy cache files, which is
+  /// how the pipeline detects them as unverifiable and re-characterizes).
+  const std::string& fingerprint() const { return fingerprint_; }
+  void set_fingerprint(std::string fingerprint) {
+    fingerprint_ = std::move(fingerprint);
+  }
+
   /// Per-run quarantine list: grid points whose simulation failed after all
   /// retries. Not persisted by to_csv()/save() — a cache file only ever
   /// represents a fully characterized database.
@@ -98,11 +108,18 @@ class DetectabilityDb {
   /// (vdd, period).
   std::vector<sram::StressPoint> conditions() const;
 
-  // CSV persistence (schema: kind,category,resistance,vdd,period,detected).
+  // CSV persistence (schema: kind,category,resistance,vdd,period,detected;
+  // preceded by a "#fingerprint=<crc32>" line when the database carries a
+  // characterization fingerprint). When `expected_fingerprint` is non-empty,
+  // from_csv()/load() reject a cache whose fingerprint is missing or
+  // different with a row-numbered "DetectabilityDb:" error — the stale/
+  // foreign-cache guard the pipeline relies on.
   std::string to_csv() const;
-  static DetectabilityDb from_csv(const std::string& csv_text);
+  static DetectabilityDb from_csv(const std::string& csv_text,
+                                  const std::string& expected_fingerprint = "");
   void save(const std::string& path) const;
-  static DetectabilityDb load(const std::string& path);
+  static DetectabilityDb load(const std::string& path,
+                              const std::string& expected_fingerprint = "");
 
  private:
   /// Entries for one exact (vdd, period) stress condition within a bucket,
@@ -122,6 +139,7 @@ class DetectabilityDb {
 
   std::vector<DbEntry> entries_;
   std::vector<QuarantineEntry> quarantine_;
+  std::string fingerprint_;
   mutable std::mutex index_mutex_;
   mutable std::shared_ptr<const Index> index_;  ///< null until first lookup
 };
@@ -176,6 +194,14 @@ struct CharacterizeSpec {
   /// CancelledError.
   const CancelToken* cancel = nullptr;
 };
+
+/// CRC32 fingerprint (8 hex chars) of everything in the spec that shapes the
+/// characterization result: march test, block geometry, solver resolution
+/// and every grid axis. characterize() stamps it on the database it returns;
+/// DetectabilityDb::load() uses it to reject stale or foreign cache files.
+/// Execution-only knobs (threads, retries, checkpointing, cancellation) do
+/// not participate — they never change the produced entries.
+std::string spec_fingerprint(const CharacterizeSpec& spec);
 
 /// A line-per-grid-point progress sink. May capture state; characterize()
 /// serializes invocations, so the callee needs no locking of its own.

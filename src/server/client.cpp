@@ -102,4 +102,40 @@ Json Client::request(const std::string& type, const Json& params) {
   }
 }
 
+std::vector<BatchOutcome> Client::batch(
+    const std::vector<BatchRequest>& requests) {
+  Json items = Json::array();
+  for (const BatchRequest& sub : requests) {
+    Json item = Json::object();
+    item.set("type", Json(sub.type));
+    item.set("params", sub.params);
+    items.push_back(std::move(item));
+  }
+  Json params = Json::object();
+  params.set("requests", std::move(items));
+  // request() supplies the envelope and the busy-retry policy; a batch is
+  // just one more request type at the frame level.
+  const Json result = request("batch", params);
+  const std::vector<Json>& results = result.at("results").items();
+  if (results.size() != requests.size())
+    throw Error("Client: batch response has " +
+                std::to_string(results.size()) + " results for " +
+                std::to_string(requests.size()) + " requests");
+  std::vector<BatchOutcome> outcomes;
+  outcomes.reserve(results.size());
+  for (const Json& item : results) {
+    BatchOutcome outcome;
+    outcome.ok = item.at("ok").as_bool();
+    if (outcome.ok) {
+      outcome.result = item.at("result");
+    } else {
+      const Json& error = item.at("error");
+      outcome.error_code = error.at("code").as_string();
+      outcome.error_message = error.string_or("message", "");
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
 }  // namespace memstress::server

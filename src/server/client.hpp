@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "server/protocol.hpp"
 
@@ -26,6 +27,22 @@ class ServerError : public Error {
 
  private:
   std::string code_;
+};
+
+/// One sub-request inside a Client::batch() call.
+struct BatchRequest {
+  std::string type;
+  Json params = Json::object();
+};
+
+/// Outcome of one batch item, positional with the submitted requests. A
+/// failed item carries its structured error here instead of throwing — by
+/// design one bad sub-request never hides the other results.
+struct BatchOutcome {
+  bool ok = false;
+  Json result;  ///< valid when ok
+  std::string error_code;
+  std::string error_message;
 };
 
 struct ClientConfig {
@@ -48,6 +65,12 @@ class Client {
   /// throws ServerError for any other error response and Error for
   /// transport failures.
   Json request(const std::string& type, const Json& params = Json::object());
+
+  /// Send every sub-request in one "batch" frame (one syscall round trip
+  /// instead of N) and return the positional outcomes. Frame-level errors —
+  /// busy (after the retries), an oversized batch, transport failures —
+  /// still throw; per-item failures come back as BatchOutcome errors.
+  std::vector<BatchOutcome> batch(const std::vector<BatchRequest>& requests);
 
   /// Raw exchange for tests: send exactly `line` (plus the newline) on a
   /// fresh-or-existing connection and return the raw response line. No

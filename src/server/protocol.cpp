@@ -507,6 +507,14 @@ Request parse_request(const std::string& line) {
       throw ProtocolError("\"params\" must be an object");
     request.params = *params;
   }
+  if (const Json* requests = doc.find("requests")) {
+    // Batch convenience shape: {"type":"batch","requests":[...]} — the
+    // sub-request list may ride at the top level instead of inside params.
+    if (request.params.find("requests"))
+      throw ProtocolError(
+          "\"requests\" given both at the top level and in \"params\"");
+    request.params.set("requests", *requests);
+  }
   return request;
 }
 
@@ -517,6 +525,23 @@ std::string make_response(long long id, const Json& result) {
   envelope.set("ok", Json(true));
   envelope.set("result", result);
   return envelope.dump();
+}
+
+std::string make_response_from_payload(long long id,
+                                       const std::string& result_payload) {
+  // Splice an already-serialized result into a fresh envelope without
+  // reparsing it. The id is rendered with format_number, exactly as
+  // make_response does through Json::dump(), so for any (id, result) the
+  // two functions produce byte-identical frames — the invariant that lets
+  // the server cache serialized results.
+  std::string out = "{\"v\":";
+  out += format_number(static_cast<double>(kProtocolVersion));
+  out += ",\"id\":";
+  out += format_number(static_cast<double>(id));
+  out += ",\"ok\":true,\"result\":";
+  out += result_payload;
+  out += '}';
+  return out;
 }
 
 std::string make_error(long long id, const std::string& code,

@@ -9,6 +9,12 @@
 //   request:  {"v":1,"id":7,"type":"coverage","params":{...}}
 //   response: {"v":1,"id":7,"ok":true,"result":{...}}
 //             {"v":1,"id":7,"ok":false,"error":{"code":"busy","message":"..."}}
+//   batch:    {"v":1,"id":8,"type":"batch","requests":[{"type":...},...]}
+//             -> {"v":1,"id":8,"ok":true,"result":{"results":[
+//                  {"ok":true,"result":{...}},
+//                  {"ok":false,"error":{"code":...,"message":...}}, ...]}}
+//             (one positional outcome per sub-request; a bad sub-request
+//             yields a structured per-item error, never poisons the rest)
 //
 // Everything here is deterministic: Json::dump() emits objects in insertion
 // order with a fixed number format, so a payload serialized twice — or once
@@ -156,6 +162,13 @@ Request parse_request(const std::string& line);
 std::string make_response(long long id, const Json& result);
 std::string make_error(long long id, const std::string& code,
                        const std::string& message);
+
+/// Splice an already-serialized result payload (the Json::dump() of the
+/// result) into a success envelope. Byte-identical to
+/// make_response(id, result) for result_payload == result.dump() — the
+/// serving result cache stores payloads and rebuilds frames with this.
+std::string make_response_from_payload(long long id,
+                                       const std::string& result_payload);
 
 /// Decoded response, as the client sees it.
 struct Response {

@@ -53,8 +53,18 @@ struct ServerConfig {
   int queue_depth = 64;  ///< MEMSTRESS_QUEUE_DEPTH (pending connections)
   int request_timeout_ms = 10000;  ///< MEMSTRESS_REQUEST_TIMEOUT_MS
   std::size_t max_frame_bytes = kMaxFrameBytes;  ///< per-line byte cap
+  /// Result-cache entries (MEMSTRESS_CACHE_ENTRIES, 0 disables the cache).
+  int cache_entries = 1024;
+  /// Largest accepted batch "requests" list (MEMSTRESS_BATCH_MAX).
+  int batch_max = 256;
 
   static ServerConfig from_env();
+
+  /// The ServiceInfo slice of this configuration, for constructing the
+  /// MemstressService the server will front.
+  ServiceInfo service_info() const {
+    return ServiceInfo{workers, queue_depth, cache_entries, batch_max};
+  }
 };
 
 /// Bounded MPMC handoff between the acceptor and the worker pool.

@@ -21,14 +21,22 @@
 #include "estimator/detectability.hpp"
 #include "server/protocol.hpp"
 #include "util/cancel.hpp"
+#include "util/lru.hpp"
 
 namespace memstress::server {
 
 /// Static facts reported by the `health` handler (the service cannot know
-/// them itself; the server passes its resolved configuration in).
+/// them itself; the server passes its resolved configuration in), plus the
+/// serving knobs the service owns: the result-cache capacity and the batch
+/// size bound.
 struct ServiceInfo {
   int workers = 0;
   int queue_depth = 0;
+  /// Result-cache entries across all shards (MEMSTRESS_CACHE_ENTRIES);
+  /// 0 disables caching entirely.
+  int cache_entries = 1024;
+  /// Largest accepted "requests" list in a batch frame (MEMSTRESS_BATCH_MAX).
+  int batch_max = 256;
 };
 
 /// Per-request execution context: cooperative cancellation (server
@@ -55,10 +63,24 @@ class MemstressService {
 
   /// Dispatch one request to its handler and return the result document.
   /// Throws ProtocolError for unknown types / bad params (-> "bad_request")
-  /// and Error for library failures (-> "internal").
+  /// and Error for library failures (-> "internal"). Always computes
+  /// directly — the result cache lives in handle_serialized(); tests use
+  /// this as the cache-independent ground truth.
   Json handle(const Request& request, const RequestContext& context) const;
 
+  /// The serving path: returns handle(request, context).dump(), serving
+  /// `coverage`/`dpm`/`schedule` through the result cache (keyed by the
+  /// canonical serialized params, single-flight on concurrent misses) and
+  /// dispatching `batch` across its sub-requests. The returned payload is
+  /// byte-identical to direct computation whether it was a hit, a miss or a
+  /// coalesced wait.
+  std::string handle_serialized(const Request& request,
+                                const RequestContext& context) const;
+
   const estimator::DetectabilityDb& db() const { return *db_; }
+
+  /// The result cache (read-only view for tests, the bench and `health`).
+  const ShardedLruCache& cache() const { return cache_; }
 
   // Individual handlers (public so tests can pin each one).
   Json coverage(const Json& params) const;
@@ -74,10 +96,20 @@ class MemstressService {
   Json sleep_ms(const Json& params, const RequestContext& context) const;
 
  private:
+  /// Serialize the "batch" type: run every sub-request (each through the
+  /// cache path), collecting one positional outcome per item — a bad item
+  /// becomes a structured per-item error instead of failing the frame.
+  std::string batch_serialized(const Json& params,
+                               const RequestContext& context) const;
+
   std::shared_ptr<const estimator::DetectabilityDb> db_;
   estimator::FaultCoverageEstimator estimator_;
   defects::DefectSampler sampler_;
   ServiceInfo info_;
+  /// Result cache for the pure request types. Logically const: a cache
+  /// never changes what the service answers, only how fast — the service is
+  /// shared as shared_ptr<const> across workers and handle() stays const.
+  mutable ShardedLruCache cache_;
 };
 
 }  // namespace memstress::server

@@ -80,8 +80,7 @@ struct TestServer {
   Server server;
 
   explicit TestServer(ServerConfig config = {})
-      : service(make_test_service(
-            ServiceInfo{config.workers, config.queue_depth})),
+      : service(make_test_service(config.service_info())),
         server(std::move(config), service) {
     server.start();
   }
