@@ -35,6 +35,31 @@ void BM_LuFactorSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_LuFactorSolve)->Arg(16)->Arg(40)->Arg(64);
 
+void BM_LuRank1UpdateSolve(benchmark::State& state) {
+  // The batched solver's per-lane fast path: one O(n^3) factor amortized
+  // over Sherman–Morrison solves of rank-1-updated systems. Compare against
+  // BM_LuFactorSolve at the same size for the per-iteration saving.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  analog::DenseMatrix m(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) m.at(r, c) = rng.uniform(-1, 1);
+    m.at(r, r) += 4.0;
+  }
+  std::vector<double> b(n, 1.0);
+  analog::LuWorkspace ws;
+  ws.factor(m);
+  ws.set_update_direction({{0, 1.0}, {n / 2, -1.0}});
+  double scale = 0.0;
+  for (auto _ : state) {
+    scale += 1e-4;  // a different lane conductance every iteration
+    std::vector<double> x = b;
+    ws.solve_updated(scale, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LuRank1UpdateSolve)->Arg(16)->Arg(40)->Arg(64);
+
 void BM_MosCurrent(benchmark::State& state) {
   const analog::MosParams p = analog::nmos_018(2.0);
   double vg = 0.0;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analog/batch.hpp"
 #include "bench/common.hpp"
 #include "defects/sampler.hpp"
 #include "estimator/detectability.hpp"
@@ -208,6 +209,80 @@ int run_chaos_smoke() {
   return ok ? 0 : 1;
 }
 
+/// `--solver-matrix` smoke mode: runs a reduced grid through all three
+/// solver backends and proves the equivalence contract end to end — the
+/// CSVs are byte-identical, the batched backend actually amortizes
+/// factorizations (analog.refactor_avoided > 0), and every lane is
+/// accounted. Registered as the ctest test `bench_solver_smoke` so tier-1
+/// exercises the solver matrix on every build.
+int run_solver_smoke() {
+  bench::print_header("perf_pipeline --solver-matrix",
+                      "solver backend equivalence smoke (exact/incremental/"
+                      "batched)");
+  metrics::set_enabled(true);
+
+  estimator::CharacterizeSpec spec = bench_spec();
+  spec.vdds = {1.0, 1.8};
+  spec.periods = {100e-9};
+  spec.bridge_resistances = {1e3, 30e3};
+  spec.open_resistances = {1e6};
+  spec.threads = 1;
+
+  struct ModeRun {
+    analog::SolverMode mode;
+    double seconds = 0.0;
+    long long refactorizations = 0, avoided = 0, lanes = 0, ejections = 0;
+    std::string csv;
+  };
+  std::vector<ModeRun> runs;
+  for (const auto mode : {analog::SolverMode::Exact,
+                          analog::SolverMode::Incremental,
+                          analog::SolverMode::Batched}) {
+    metrics::reset();
+    spec.solver = mode;
+    const auto t0 = std::chrono::steady_clock::now();
+    const estimator::DetectabilityDb db = estimator::characterize(spec);
+    ModeRun run;
+    run.mode = mode;
+    run.seconds = seconds_since(t0);
+    run.csv = db.to_csv();
+    const metrics::RunReport report = metrics::collect();
+    run.refactorizations = count_of(report, "analog.refactorizations");
+    run.avoided = count_of(report, "analog.refactor_avoided");
+    run.lanes = count_of(report, "analog.batch_lanes");
+    run.ejections = count_of(report, "analog.lane_ejections");
+    std::printf("%-12s %6.2f s  refactorizations=%lld avoided=%lld "
+                "lanes=%lld ejections=%lld\n",
+                analog::solver_mode_name(mode), run.seconds,
+                run.refactorizations, run.avoided, run.lanes, run.ejections);
+    runs.push_back(std::move(run));
+  }
+  metrics::reset();
+
+  const bool identical = runs[1].csv == runs[0].csv && runs[2].csv == runs[0].csv;
+  const bool amortized = runs[2].avoided > 0 && runs[1].avoided > 0;
+  const bool lanes_ran = runs[2].lanes > 0 &&
+                         runs[0].lanes == 0;  // exact never batches
+  std::printf("\nShape checks:\n");
+  std::printf("  CSVs byte-identical across solvers ........ %s\n",
+              identical ? "HOLDS" : "DEVIATES");
+  std::printf("  batched/incremental avoid refactorizations  %s\n",
+              amortized ? "HOLDS" : "DEVIATES");
+  std::printf("  lanes batched only in lockstep modes ...... %s\n",
+              lanes_ran ? "HOLDS" : "DEVIATES");
+  const bool ok = identical && amortized && lanes_ran;
+  std::printf("\nBENCH_JSON {\"bench\":\"perf_pipeline_solver\","
+              "\"solver_exact_s\":%.4f,\"solver_incremental_s\":%.4f,"
+              "\"solver_batched_s\":%.4f,\"solver_speedup\":%.3f,"
+              "\"refactor_avoided\":%lld,\"lane_ejections\":%lld,"
+              "\"solver_csv_identical\":%s,\"ok\":%s}\n",
+              runs[0].seconds, runs[1].seconds, runs[2].seconds,
+              runs[0].seconds / runs[2].seconds, runs[2].avoided,
+              runs[2].ejections, identical ? "true" : "false",
+              ok ? "true" : "false");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,6 +290,8 @@ int main(int argc, char** argv) {
     return run_metrics_smoke();
   if (argc > 1 && std::string(argv[1]) == "--chaos")
     return run_chaos_smoke();
+  if (argc > 1 && std::string(argv[1]) == "--solver-matrix")
+    return run_solver_smoke();
   bench::print_header("perf_pipeline",
                       "parallel characterize / study / DB lookup timings");
   const int threads = default_thread_count();
@@ -313,6 +390,50 @@ int main(int argc, char** argv) {
               1e6 * lookup_indexed_s, lookup_linear_s / lookup_indexed_s,
               hits == indexed_hits ? "IDENTICAL" : "MISMATCH");
 
+  // --- Layer 4: the analog solver backends (ISSUE-6), exact vs lockstep. ---
+  // Timed single-threaded so the comparison isolates the kernel, not the
+  // fan-out; the per-mode Newton/refactorization counts ride along in ops.
+  double solver_s[3] = {0.0, 0.0, 0.0};
+  long long solver_newton[3] = {0, 0, 0};
+  long long solver_refactor[3] = {0, 0, 0};
+  long long solver_avoided = 0, solver_ejections = 0;
+  bool solver_identical = true;
+  {
+    const analog::SolverMode modes[3] = {analog::SolverMode::Exact,
+                                         analog::SolverMode::Incremental,
+                                         analog::SolverMode::Batched};
+    const bool ambient = metrics::enabled();
+    metrics::set_enabled(true);
+    std::string reference;
+    for (int m = 0; m < 3; ++m) {
+      estimator::CharacterizeSpec solver_spec = bench_spec();
+      solver_spec.threads = 1;
+      solver_spec.solver = modes[m];
+      metrics::reset();
+      t0 = std::chrono::steady_clock::now();
+      const estimator::DetectabilityDb db = estimator::characterize(solver_spec);
+      solver_s[m] = seconds_since(t0);
+      const metrics::RunReport r = metrics::collect();
+      solver_newton[m] = count_of(r, "analog.newton_iterations");
+      solver_refactor[m] = count_of(r, "analog.refactorizations");
+      if (modes[m] == analog::SolverMode::Batched) {
+        solver_avoided = count_of(r, "analog.refactor_avoided");
+        solver_ejections = count_of(r, "analog.lane_ejections");
+      }
+      if (m == 0)
+        reference = db.to_csv();
+      else
+        solver_identical = solver_identical && db.to_csv() == reference;
+    }
+    metrics::reset();
+    metrics::set_enabled(ambient);
+    std::printf("solver backends (1 thread): exact %.3f s, incremental %.3f s "
+                "(%.2fx), batched %.3f s (%.2fx)  csv %s\n\n",
+                solver_s[0], solver_s[1], solver_s[0] / solver_s[1],
+                solver_s[2], solver_s[0] / solver_s[2],
+                solver_identical ? "IDENTICAL" : "MISMATCH");
+  }
+
   // --- Counted pass: replay the parallel workload once with metrics on so
   // the BENCH_JSON line carries op counts alongside the timings. The timed
   // sections above ran with metrics in their ambient (normally disabled)
@@ -346,8 +467,10 @@ int main(int argc, char** argv) {
               study_identical ? "HOLDS" : "DEVIATES");
   std::printf("  indexed lookup verdicts identical ......... %s\n",
               hits == indexed_hits ? "HOLDS" : "DEVIATES");
-  std::printf("  indexed lookup faster than linear ......... %s\n\n",
+  std::printf("  indexed lookup faster than linear ......... %s\n",
               lookup_speedup > 1.0 ? "HOLDS" : "DEVIATES");
+  std::printf("  solver backends CSV byte-identical ........ %s\n\n",
+              solver_identical ? "HOLDS" : "DEVIATES");
 
   std::printf(
       "BENCH_JSON {\"bench\":\"perf_pipeline\",\"threads\":%d,"
@@ -359,6 +482,13 @@ int main(int argc, char** argv) {
       "\"study_speedup\":%.3f,\"study_identical\":%s,"
       "\"lookup_queries\":%zu,\"lookup_linear_s\":%.6f,"
       "\"lookup_indexed_s\":%.6f,\"lookup_speedup\":%.3f,"
+      "\"solver_exact_s\":%.4f,\"solver_incremental_s\":%.4f,"
+      "\"solver_batched_s\":%.4f,\"solver_speedup\":%.3f,"
+      "\"solver_newton_exact\":%lld,\"solver_newton_batched\":%lld,"
+      "\"solver_refactorizations_exact\":%lld,"
+      "\"solver_refactorizations_batched\":%lld,"
+      "\"solver_refactor_avoided\":%lld,\"solver_lane_ejections\":%lld,"
+      "\"solver_csv_identical\":%s,"
       "\"ops\":{\"analog_transients\":%lld,\"analog_steps\":%lld,"
       "\"analog_newton_iterations\":%lld,\"tester_analog_cycles\":%lld,"
       "\"db_lookups\":%lld,\"db_index_rebuilds\":%lld,"
@@ -368,12 +498,18 @@ int main(int argc, char** argv) {
       csv_identical ? "true" : "false", study_config.device_count,
       study_serial_s, study_parallel_s, study_speedup,
       study_identical ? "true" : "false", queries.size(), lookup_linear_s,
-      lookup_indexed_s, lookup_speedup,
+      lookup_indexed_s, lookup_speedup, solver_s[0], solver_s[1], solver_s[2],
+      solver_s[0] / solver_s[2], solver_newton[0], solver_newton[2],
+      solver_refactor[0], solver_refactor[2], solver_avoided, solver_ejections,
+      solver_identical ? "true" : "false",
       count_of(report, "analog.transients"), count_of(report, "analog.steps"),
       count_of(report, "analog.newton_iterations"),
       count_of(report, "tester.analog_cycles"),
       count_of(report, "estimator.db_lookups"),
       count_of(report, "estimator.db_index_rebuilds"),
       count_of(report, "study.devices"), count_of(report, "parallel.tasks"));
-  return csv_identical && study_identical && hits == indexed_hits ? 0 : 1;
+  return csv_identical && study_identical && hits == indexed_hits &&
+                 solver_identical
+             ? 0
+             : 1;
 }

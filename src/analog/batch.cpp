@@ -1,0 +1,810 @@
+#include "analog/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+
+namespace memstress::analog {
+
+const char* solver_mode_name(SolverMode mode) {
+  switch (mode) {
+    case SolverMode::Exact: return "exact";
+    case SolverMode::Incremental: return "incremental";
+    case SolverMode::Batched: return "batched";
+  }
+  return "unknown";
+}
+
+SolverMode parse_solver_mode(const std::string& text) {
+  if (text == "exact") return SolverMode::Exact;
+  if (text == "incremental") return SolverMode::Incremental;
+  if (text == "batched") return SolverMode::Batched;
+  throw Error("unknown solver mode '" + text +
+              "' (expected exact, incremental or batched)");
+}
+
+SolverMode solver_mode_from_env() {
+  static const SolverMode mode = [] {
+    const std::string raw = env_string_or("MEMSTRESS_SOLVER", "batched");
+    try {
+      return parse_solver_mode(raw);
+    } catch (const Error&) {
+      log_warn("MEMSTRESS_SOLVER=", raw,
+               " is not a solver mode; using the default (batched)");
+      return SolverMode::Batched;
+    }
+  }();
+  return mode;
+}
+
+namespace {
+
+/// One lane-iteration served by an existing factorization instead of the
+/// scalar path's factor-per-iteration; the headline economy of the kernel.
+metrics::Counter& refactor_avoided_counter() {
+  static metrics::Counter& c = metrics::counter("analog.refactor_avoided");
+  return c;
+}
+metrics::Counter& refactorization_counter() {
+  static metrics::Counter& c = metrics::counter("analog.refactorizations");
+  return c;
+}
+metrics::Counter& lane_ejection_counter() {
+  static metrics::Counter& c = metrics::counter("analog.lane_ejections");
+  return c;
+}
+
+}  // namespace
+
+BatchSimulator::BatchSimulator(const Netlist& netlist, SweptElement swept,
+                               std::vector<double> lane_values,
+                               BatchOptions options)
+    : net_(netlist),
+      swept_(swept),
+      values_(std::move(lane_values)),
+      options_(options) {
+  require(!values_.empty(), "BatchSimulator: at least one lane required");
+  if (swept_.kind == SweptElement::Kind::ResistorOhms) {
+    require(swept_.index < net_.resistors().size(),
+            "BatchSimulator: swept resistor index out of range");
+    for (const double v : values_)
+      require(v > 0.0, "BatchSimulator: lane resistance must be positive");
+  } else {
+    require(swept_.index < net_.breakdowns().size(),
+            "BatchSimulator: swept breakdown index out of range");
+    for (const double v : values_)
+      require(v >= 0.0, "BatchSimulator: lane vbd must be >= 0");
+  }
+  num_nodes_ = net_.node_count() - 1;
+  num_unknowns_ = num_nodes_ + net_.vsources().size();
+}
+
+void BatchSimulator::set_initial(const std::string& node_name, double volts) {
+  require(net_.find_node(node_name) != kGround,
+          "BatchSimulator::set_initial: ground is fixed at 0 V");
+  initial_.emplace_back(node_name, volts);
+}
+
+namespace {
+
+/// All mutable state of one batched run. Lane-major ("SoA") layout for the
+/// voltage vectors: v[u * lanes + l] is unknown u of lane l, so the shared
+/// matrix row sweeps contiguously across lanes in the inner loop.
+struct Runner {
+  // --- immutable-per-run context -------------------------------------
+  Netlist& net;  // private copy owned by the BatchSimulator; retargeted
+  const SweptElement swept;
+  const std::vector<double>& values;
+  const TransientSpec& spec;
+  const std::size_t lanes, num_nodes, num_unknowns;
+  const bool share_jacobian;
+  std::vector<MosParams> run_params;
+  std::vector<std::pair<std::string, double>> initial;
+
+  // --- SoA state ------------------------------------------------------
+  std::vector<double> v;        // current iterate, all lanes
+  std::vector<double> v_piece;  // backward-Euler history (start of piece)
+  std::vector<double> v_backup; // start of nominal interval (for fallback)
+  std::vector<double> residual; // F per lane, recomputed each iteration
+
+  // --- per-lane bookkeeping -------------------------------------------
+  std::vector<char> dead;           // permanently failed
+  std::vector<char> converged;      // within the current piece
+  std::vector<char> piece_failed;   // ejected for the current interval
+  std::vector<double> last_dv;      // worst node update of the last solve
+  std::vector<double> res_norm;     // scaled residual of the last evaluation
+  std::vector<double> res_prev;     // ... of the evaluation before a solve
+  std::vector<char> solved_last;    // lane solved in the previous iteration
+  std::vector<std::size_t> slot_of; // slot the lane is clustered on (shared)
+  std::vector<int> lane_iter;       // applied updates this piece (clamp sched)
+  std::vector<Simulator::Stats> stats;
+  std::vector<SolverFailure> failure;
+  std::vector<std::string> error;
+
+  // --- shared linear algebra ------------------------------------------
+  /// Jacobian slots, one per lane. In the shared mode lanes cluster onto a
+  /// few of them (slot_of) and bridge the swept-value difference with a
+  /// Sherman–Morrison update; in the per-lane mode (incremental / vbd
+  /// sweeps, where the lane difference is not a rank-1 stamp) each lane uses
+  /// exactly its own slot.
+  struct Slot {
+    LuWorkspace ws;
+    bool valid = false;
+    bool fresh = false;  // factored this lockstep iteration
+    double g_ref = 0.0;  // swept-resistor conductance baked into the factor
+    std::vector<double> state;  // node voltages the factor was assembled at
+  };
+  std::vector<Slot> slots;
+  DenseMatrix a_lin;      // linear stamps (excl. swept R, excl. devices)
+  /// Nonzero entries of a_lin in row-major order, so the residual's linear
+  /// product streams over actual stamps instead of scanning the n^2 grid.
+  struct LinEntry {
+    std::size_t u, c;
+    double a;
+  };
+  std::vector<LinEntry> a_lin_nnz;
+  bool a_lin_valid = false;
+  double a_lin_dt = 0.0;
+  DenseMatrix a_scratch;  // full-Jacobian assembly target for refreshes
+  std::vector<double> rhs_scratch;
+  std::vector<double> lane_vec;   // gather/scatter scratch
+  std::vector<double> lane_prev;
+  // Blocked rung-1 scratch: lanes grouped by assigned slot, their negated
+  // residuals packed RHS-innermost for LuSolver::solve_block.
+  std::vector<std::vector<std::size_t>> cluster_members;
+  std::vector<double> block_b;
+  std::vector<double> block_scales;
+  std::vector<unsigned char> block_ok;
+  std::vector<char> handled;  // lane served by a blocked solve this iteration
+
+  /// Lazily created per-lane scalar simulators for ejected intervals; each
+  /// owns a netlist copy fixed at the lane's swept value.
+  struct Fallback {
+    std::unique_ptr<Netlist> net;
+    std::unique_ptr<Simulator> sim;
+  };
+  std::vector<Fallback> fallbacks;
+
+  long refactor_avoided = 0;
+  long refactorizations = 0;
+  long lane_ejections = 0;
+
+  Runner(Netlist& net_in, SweptElement swept_in,
+         const std::vector<double>& values_in, const TransientSpec& spec_in,
+         std::size_t num_nodes_in, std::size_t num_unknowns_in, bool share,
+         std::vector<std::pair<std::string, double>> initial_in)
+      : net(net_in),
+        swept(swept_in),
+        values(values_in),
+        spec(spec_in),
+        lanes(values_in.size()),
+        num_nodes(num_nodes_in),
+        num_unknowns(num_unknowns_in),
+        share_jacobian(share && swept_in.kind ==
+                                    SweptElement::Kind::ResistorOhms),
+        initial(std::move(initial_in)) {
+    run_params.reserve(net.mosfets().size());
+    for (const auto& m : net.mosfets())
+      run_params.push_back(spec.temp_c == 25.0
+                               ? m.params
+                               : at_temperature(m.params, spec.temp_c));
+    const std::size_t total = num_unknowns * lanes;
+    v.assign(total, 0.0);
+    v_piece.assign(total, 0.0);
+    v_backup.assign(total, 0.0);
+    residual.assign(total, 0.0);
+    dead.assign(lanes, 0);
+    converged.assign(lanes, 0);
+    piece_failed.assign(lanes, 0);
+    last_dv.assign(lanes, std::numeric_limits<double>::infinity());
+    res_norm.assign(lanes, std::numeric_limits<double>::infinity());
+    res_prev.assign(lanes, std::numeric_limits<double>::infinity());
+    solved_last.assign(lanes, 0);
+    slot_of.assign(lanes, 0);
+    lane_iter.assign(lanes, 0);
+    stats.resize(lanes);
+    failure.assign(lanes, SolverFailure::NewtonNonConvergence);
+    error.resize(lanes);
+    // One slot per lane in both modes. Shared mode clusters lanes onto a few
+    // of them (slot_of) and bridges the swept-value difference with a rank-1
+    // update; slot l is simply where lane l's own-state refresh lands.
+    slots.resize(lanes);
+    a_lin.resize(num_unknowns);
+    a_scratch.resize(num_unknowns);
+    rhs_scratch.assign(num_unknowns, 0.0);
+    lane_vec.assign(num_unknowns, 0.0);
+    lane_prev.assign(num_unknowns, 0.0);
+    cluster_members.resize(lanes);
+    handled.assign(lanes, 0);
+    fallbacks.resize(lanes);
+  }
+
+  static std::size_t idx(NodeId n) { return static_cast<std::size_t>(n) - 1; }
+  std::size_t at(std::size_t u, std::size_t l) const { return u * lanes + l; }
+  double volt(const std::vector<double>& x, NodeId n, std::size_t l) const {
+    return n == kGround ? 0.0 : x[at(idx(n), l)];
+  }
+
+  bool swept_resistor() const {
+    return swept.kind == SweptElement::Kind::ResistorOhms;
+  }
+
+  /// Point the private netlist's swept element at `value` (so a full
+  /// Jacobian assembled from it describes that lane).
+  void retarget(double value) {
+    if (swept_resistor())
+      net.set_resistor_ohms(swept.index, value);
+    else
+      net.set_breakdown_vbd(swept.index, value);
+  }
+
+  void seed_state() {
+    for (const auto& [name, volts] : initial) {
+      const std::size_t u = idx(net.find_node(name));
+      for (std::size_t l = 0; l < lanes; ++l) v[at(u, l)] = volts;
+    }
+    for (const auto& src : net.vsources()) {
+      if (src.pos != kGround && src.neg == kGround) {
+        const double val = src.wave.value(0.0);
+        const std::size_t u = idx(src.pos);
+        for (std::size_t l = 0; l < lanes; ++l) v[at(u, l)] = val;
+      }
+    }
+    v_piece = v;
+  }
+
+  /// Linear, lane-independent stamps: gmin floor, every resistor except a
+  /// swept one, backward-Euler capacitor conductances (dt-dependent) and
+  /// the voltage-source incidence rows. Devices and the swept element stay
+  /// out — they are evaluated exactly, per lane, in eval_residuals.
+  void build_a_lin(double dt) {
+    if (a_lin_valid && a_lin_dt == dt) return;
+    a_lin.set_zero();
+    for (std::size_t n = 0; n < num_nodes; ++n) a_lin.add(n, n, spec.gmin);
+    const auto& resistors = net.resistors();
+    for (std::size_t i = 0; i < resistors.size(); ++i) {
+      if (swept_resistor() && i == swept.index) continue;
+      const auto& r = resistors[i];
+      const double g = 1.0 / r.ohms;
+      if (r.a != kGround) a_lin.add(idx(r.a), idx(r.a), g);
+      if (r.b != kGround) a_lin.add(idx(r.b), idx(r.b), g);
+      if (r.a != kGround && r.b != kGround) {
+        a_lin.add(idx(r.a), idx(r.b), -g);
+        a_lin.add(idx(r.b), idx(r.a), -g);
+      }
+    }
+    for (const auto& c : net.capacitors()) {
+      const double g = c.farads / dt;
+      if (c.a != kGround) a_lin.add(idx(c.a), idx(c.a), g);
+      if (c.b != kGround) a_lin.add(idx(c.b), idx(c.b), g);
+      if (c.a != kGround && c.b != kGround) {
+        a_lin.add(idx(c.a), idx(c.b), -g);
+        a_lin.add(idx(c.b), idx(c.a), -g);
+      }
+    }
+    const auto& sources = net.vsources();
+    for (std::size_t k = 0; k < sources.size(); ++k) {
+      const auto& src = sources[k];
+      const std::size_t br = num_nodes + k;
+      if (src.pos != kGround) {
+        a_lin.add(idx(src.pos), br, 1.0);
+        a_lin.add(br, idx(src.pos), 1.0);
+      }
+      if (src.neg != kGround) {
+        a_lin.add(idx(src.neg), br, -1.0);
+        a_lin.add(br, idx(src.neg), -1.0);
+      }
+    }
+    a_lin_nnz.clear();
+    for (std::size_t u = 0; u < num_unknowns; ++u)
+      for (std::size_t c = 0; c < num_unknowns; ++c)
+        if (a_lin.at(u, c) != 0.0) a_lin_nnz.push_back({u, c, a_lin.at(u, c)});
+    a_lin_valid = true;
+    a_lin_dt = dt;
+  }
+
+  /// True KCL residual F(v) per lane at time t with step dt: linear part as
+  /// an (A_lin x all-lanes) product, then exact per-lane device currents.
+  /// No linearization anywhere, so |F| small means the lane genuinely
+  /// solves its own circuit — regardless of whose Jacobian produced the
+  /// iterates.
+  void eval_residuals(double t, double dt) {
+    std::fill(residual.begin(), residual.end(), 0.0);
+    for (const LinEntry& e : a_lin_nnz) {
+      double* out = &residual[e.u * lanes];
+      const double* in = &v[e.c * lanes];
+      const double a = e.a;
+      for (std::size_t l = 0; l < lanes; ++l) out[l] += a * in[l];
+    }
+    // Capacitor history currents (the rhs of the companion model).
+    for (const auto& c : net.capacitors()) {
+      const double g = c.farads / dt;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const double ieq = g * (volt(v_piece, c.a, l) - volt(v_piece, c.b, l));
+        if (c.a != kGround) residual[at(idx(c.a), l)] -= ieq;
+        if (c.b != kGround) residual[at(idx(c.b), l)] += ieq;
+      }
+    }
+    // Source constraint rows: (Vpos - Vneg) - V(t), shared across lanes.
+    const auto& sources = net.vsources();
+    for (std::size_t k = 0; k < sources.size(); ++k) {
+      const double val = sources[k].wave.value(t);
+      const std::size_t br = num_nodes + k;
+      for (std::size_t l = 0; l < lanes; ++l) residual[at(br, l)] -= val;
+    }
+    // Exact nonlinear device currents, per lane.
+    const auto& mosfets = net.mosfets();
+    for (std::size_t mi = 0; mi < mosfets.size(); ++mi) {
+      const auto& m = mosfets[mi];
+      const MosParams& params = run_params[mi];
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (converged[l]) continue;
+        const double i0 = mos_current(m.type, params, volt(v, m.d, l),
+                                      volt(v, m.g, l), volt(v, m.s, l));
+        if (m.d != kGround) residual[at(idx(m.d), l)] += i0;
+        if (m.s != kGround) residual[at(idx(m.s), l)] -= i0;
+      }
+    }
+    const auto& breakdowns = net.breakdowns();
+    for (std::size_t bi = 0; bi < breakdowns.size(); ++bi) {
+      const auto& br = breakdowns[bi];
+      const bool is_swept = !swept_resistor() && bi == swept.index;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (converged[l]) continue;
+        const double vbd = is_swept ? values[l] : br.vbd;
+        const double i0 = breakdown_current(
+            volt(v, br.a, l) - volt(v, br.b, l), br.ohms, vbd, br.smooth);
+        if (br.a != kGround) residual[at(idx(br.a), l)] += i0;
+        if (br.b != kGround) residual[at(idx(br.b), l)] -= i0;
+      }
+    }
+    // The swept resistor's exact per-lane current.
+    if (swept_resistor()) {
+      const auto& r = net.resistors()[swept.index];
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (converged[l]) continue;
+        const double i0 =
+            (volt(v, r.a, l) - volt(v, r.b, l)) / values[l];
+        if (r.a != kGround) residual[at(idx(r.a), l)] += i0;
+        if (r.b != kGround) residual[at(idx(r.b), l)] -= i0;
+      }
+    }
+  }
+
+  void gather(const std::vector<double>& soa, std::size_t l,
+              std::vector<double>& out) const {
+    for (std::size_t u = 0; u < num_unknowns; ++u) out[u] = soa[at(u, l)];
+  }
+  void scatter(const std::vector<double>& in, std::size_t l,
+               std::vector<double>& soa) const {
+    for (std::size_t u = 0; u < num_unknowns; ++u) soa[at(u, l)] = in[u];
+  }
+
+  /// Factor slot `s` at reference lane `ref`'s value and state, and (in the
+  /// shared mode) register the rank-1 bridge direction for the other lanes.
+  /// Returns false on a singular Jacobian.
+  bool refresh(Slot& slot, std::size_t ref, double t, double dt) {
+    retarget(values[ref]);
+    gather(v, ref, lane_vec);
+    gather(v_piece, ref, lane_prev);
+    assemble_system(net, run_params, t, dt, spec.gmin, {}, lane_vec,
+                    lane_prev, a_scratch, rhs_scratch);
+    ++refactorizations;
+    if (!slot.ws.factor(a_scratch)) {
+      slot.valid = false;
+      return false;
+    }
+    slot.state.assign(lane_vec.begin(),
+                      lane_vec.begin() + static_cast<long>(num_nodes));
+    if (share_jacobian) {
+      const auto& r = net.resistors()[swept.index];
+      std::vector<std::pair<std::size_t, double>> u;
+      if (r.a != kGround) u.emplace_back(idx(r.a), +1.0);
+      if (r.b != kGround) u.emplace_back(idx(r.b), -1.0);
+      slot.ws.set_update_direction(u);
+      slot.g_ref = 1.0 / values[ref];
+    }
+    slot.valid = true;
+    slot.fresh = true;
+    return true;
+  }
+
+  /// A lane update above this raw |dv| is a "large move": a trajectory-
+  /// shaping step that must be computed from a Jacobian assembled at (or
+  /// very near) the lane's own current state, because a stale or far-away
+  /// factorization can steer a bistable subcircuit into the *other* stable
+  /// solution — converging cleanly to a state the scalar path never visits.
+  /// Below the threshold Newton is locally contracting and the nearby root
+  /// is unique, so frozen-factor polishing is safe.
+  static constexpr double kLargeMove = 0.05;
+  /// How far a lane's state may sit from a slot's assembly state for a
+  /// large move computed through that slot to still be trusted. Lanes
+  /// within this radius cluster around one factorization during the
+  /// common-mode part of a stimulus edge; a lane whose defect-contested
+  /// nodes sit further out factors its own Jacobian instead. Deliberately
+  /// tight: sharing a Jacobian across visibly different states is exactly
+  /// the mechanism that flips basins.
+  static constexpr double kNearState = 0.01;
+
+  double distance_to_slot(const Slot& slot, std::size_t l) const {
+    double d = 0.0;
+    for (std::size_t u = 0; u < num_nodes; ++u)
+      d = std::max(d, std::fabs(v[at(u, l)] - slot.state[u]));
+    return d;
+  }
+
+  /// One damped Newton update of lane `l`; always applies an update (there
+  /// are no rollbacks: an untrustworthy proposal is recomputed within the
+  /// same call). Returns false when the lane needs ejecting (its own
+  /// Jacobian is singular).
+  ///
+  /// Trust ladder, cheapest first:
+  ///  1. The lane's assigned slot (usually stale). Trusted for small moves;
+  ///     the exact-residual convergence test keeps a stale factor honest.
+  ///  2. Any slot factored *this iteration* whose assembly state is within
+  ///     kNearState of this lane (shared mode): trusted even for large
+  ///     moves, so one refresh serves a whole cluster of lanes riding the
+  ///     same common-mode swing.
+  ///  3. The lane's own freshly assembled Jacobian, solved exactly like
+  ///     Simulator::solve_step (x = A^{-1} rhs, delta = x - v): the scalar
+  ///     Newton map itself, trusted unconditionally.
+  /// Stall detection: the lane solved last iteration but its scaled
+  /// residual barely dropped — the frozen Jacobian has gone linearly
+  /// convergent and stopped paying for itself. Such a lane skips straight
+  /// to the own-state rung (what the scalar solver does every iteration).
+  /// Residual decay demanded of a frozen-Jacobian iteration. A fresh factor
+  /// converges quadratically (each polish iteration is nearly free residual
+  /// decay), so a stale factor only pays for itself while it still shrinks
+  /// the residual by a decent ratio; below that, one refactorization
+  /// (~3 lane-iterations' cost) buys back many linear iterations.
+  static constexpr double kStallRatio = 0.3;
+
+  bool is_stalled(std::size_t l, const Slot& slot) const {
+    return solved_last[l] && !slot.fresh &&
+           res_norm[l] > kStallRatio * res_prev[l];
+  }
+
+  bool solve_lane(std::size_t l, double t, double dt,
+                  const double* block_delta = nullptr,
+                  std::size_t block_stride = 1) {
+    Slot* slot = &slots[share_jacobian ? slot_of[l] : l];
+    bool solved = false;
+    if (block_delta != nullptr) {
+      // Rung 1 was already computed by the cluster's blocked solve.
+      for (std::size_t u = 0; u < num_unknowns; ++u)
+        lane_vec[u] = block_delta[u * block_stride];
+      solved = true;
+    } else if (slot->valid && !is_stalled(l, *slot)) {
+      gather(residual, l, lane_vec);
+      for (double& x : lane_vec) x = -x;
+      if (share_jacobian) {
+        const double dg = 1.0 / values[l] - slot->g_ref;
+        // A false return (Sherman–Morrison denominator guard) falls through
+        // to the own-Jacobian rung below.
+        solved = slot->ws.solve_updated(dg, lane_vec);
+      } else {
+        slot->ws.solve(lane_vec);
+        solved = true;
+      }
+    }
+    const auto worst_node = [&] {
+      double worst = 0.0;
+      for (std::size_t u = 0; u < num_nodes; ++u)
+        worst = std::max(worst, std::fabs(lane_vec[u]));
+      return worst;
+    };
+    double worst = solved ? worst_node() : 0.0;
+    bool trusted =
+        solved && (worst <= kLargeMove ||
+                   (slot->fresh && distance_to_slot(*slot, l) <= kNearState));
+    if (!trusted && share_jacobian) {
+      // Rung 2: adopt a cluster-mate's fresh factorization.
+      for (std::size_t s = 0; s < slots.size() && !trusted; ++s) {
+        Slot& cand = slots[s];
+        if (&cand == slot || !cand.valid || !cand.fresh) continue;
+        if (distance_to_slot(cand, l) > kNearState) continue;
+        gather(residual, l, lane_vec);
+        for (double& x : lane_vec) x = -x;
+        const double dg = 1.0 / values[l] - cand.g_ref;
+        if (!cand.ws.solve_updated(dg, lane_vec)) continue;
+        slot_of[l] = s;
+        slot = &cand;
+        worst = worst_node();
+        trusted = true;
+      }
+    }
+    const bool avoided = trusted;  // no factorization of our own needed
+    if (!trusted) {
+      // Rung 3: the exact scalar Newton map from this lane's own state.
+      Slot& own = slots[l];
+      if (!refresh(own, l, t, dt)) return false;
+      if (share_jacobian) slot_of[l] = l;
+      slot = &own;
+      // refresh() left a_scratch/rhs_scratch assembled at this lane's
+      // state; solve for the next iterate directly, like the scalar path.
+      own.ws.solve(rhs_scratch);  // rhs_scratch := x
+      for (std::size_t u = 0; u < num_unknowns; ++u)
+        lane_vec[u] = rhs_scratch[u] - v[at(u, l)];
+      worst = worst_node();
+    }
+    // Damped update, exactly the scalar clamp schedule: node voltages are
+    // clamped, branch currents move freely, the convergence norm uses the
+    // raw (unclamped) node deltas.
+    const double clamp = lane_iter[l] < 25 ? spec.damping : 0.1 * spec.damping;
+    for (std::size_t u = 0; u < num_unknowns; ++u) {
+      double delta = lane_vec[u];
+      if (u < num_nodes) delta = std::clamp(delta, -clamp, clamp);
+      v[at(u, l)] += delta;
+    }
+    last_dv[l] = worst;
+    ++lane_iter[l];
+    ++stats[l].newton_iterations;
+    if (avoided) ++refactor_avoided;
+    return true;
+  }
+
+  /// Lockstep quasi-Newton for one substep piece ending at time t. Lanes
+  /// that fail get piece_failed set (the caller ejects them to the scalar
+  /// ladder); everything else ends converged with v updated and verified by
+  /// the exact-residual test.
+  void lockstep_piece(double t, double dt) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      converged[l] = dead[l] || piece_failed[l];
+      res_prev[l] = std::numeric_limits<double>::infinity();
+      solved_last[l] = 0;
+      lane_iter[l] = 0;
+    }
+    // No up-front refresh: factorizations carried from the previous piece
+    // keep serving as long as every proposed update stays small. The basin
+    // guard lives in solve_lane's trust ladder, so a quiet clock phase costs
+    // zero factorizations while a stimulus edge costs about one
+    // factorization per *cluster* of nearby lanes per iteration.
+    for (int iter = 0; iter < spec.max_newton; ++iter) {
+      eval_residuals(t, dt);
+      for (Slot& slot : slots) slot.fresh = false;
+      bool all_done = true;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (converged[l]) continue;
+        const Slot& slot = slots[share_jacobian ? slot_of[l] : l];
+        if (slot.valid) {
+          double worst = 0.0;
+          for (std::size_t u = 0; u < num_unknowns; ++u)
+            worst = std::max(worst,
+                             std::fabs(residual[at(u, l)]) / slot.ws.row_norm(u));
+          res_norm[l] = worst;
+          if (worst < spec.vtol && last_dv[l] < spec.vtol) {
+            converged[l] = 1;
+            continue;
+          }
+        }
+        all_done = false;
+      }
+      if (all_done) return;
+
+      // Blocked rung-1: group open lanes by assigned slot and push each
+      // multi-lane cluster through one solve_block pass — the triangular
+      // sweeps read the LU once for the whole cluster. Stalled lanes and
+      // lanes on invalid slots skip the block (their rung 1 would be
+      // discarded anyway) and go through the individual ladder below.
+      if (share_jacobian) {
+        // Clusters form naturally through rung-2 adoption: when a lane
+        // borrows a neighbor's fresh factorization, slot_of records the
+        // adoption, and on later iterations every lane still assigned to
+        // that slot rides the same blocked solve.
+        for (auto& m : cluster_members) m.clear();
+        for (std::size_t l = 0; l < lanes; ++l) {
+          handled[l] = 0;
+          if (converged[l]) continue;
+          const Slot& slot = slots[slot_of[l]];
+          if (slot.valid && !is_stalled(l, slot))
+            cluster_members[slot_of[l]].push_back(l);
+        }
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+          const auto& m = cluster_members[s];
+          const std::size_t r = m.size();
+          if (r < 2) continue;
+          block_b.resize(num_unknowns * r);
+          block_scales.resize(r);
+          block_ok.resize(r);
+          for (std::size_t k = 0; k < r; ++k)
+            block_scales[k] = 1.0 / values[m[k]] - slots[s].g_ref;
+          for (std::size_t u = 0; u < num_unknowns; ++u) {
+            const double* in = &residual[u * lanes];
+            double* out = &block_b[u * r];
+            for (std::size_t k = 0; k < r; ++k) out[k] = -in[m[k]];
+          }
+          slots[s].ws.solve_updated_block(block_scales.data(), block_b.data(),
+                                          r, block_ok.data());
+          for (std::size_t k = 0; k < r; ++k) {
+            const std::size_t l = m[k];
+            handled[l] = 1;
+            const double* delta = block_ok[k] ? &block_b[k] : nullptr;
+            if (!solve_lane(l, t, dt, delta, r)) {
+              piece_failed[l] = 1;
+              converged[l] = 1;
+            } else {
+              res_prev[l] = res_norm[l];
+              solved_last[l] = 1;
+            }
+          }
+        }
+      } else {
+        for (std::size_t l = 0; l < lanes; ++l) handled[l] = 0;
+      }
+
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (handled[l]) continue;
+        if (converged[l]) {
+          solved_last[l] = 0;
+          continue;
+        }
+        if (!solve_lane(l, t, dt)) {
+          piece_failed[l] = 1;
+          converged[l] = 1;
+        } else {
+          res_prev[l] = res_norm[l];
+          solved_last[l] = 1;
+        }
+      }
+    }
+    // Newton budget exhausted: eject whatever is still open.
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (!converged[l]) piece_failed[l] = 1;
+    }
+  }
+
+  /// Re-integrate the nominal interval starting at t for lane l with the
+  /// scalar Simulator — the exact halving + rescue ladder of the
+  /// non-batched path. Throws SolverError exactly like Simulator::run.
+  void fallback_interval(std::size_t l, double t, bool edge_step) {
+    Fallback& fb = fallbacks[l];
+    if (!fb.sim) {
+      fb.net = std::make_unique<Netlist>(net);
+      if (swept_resistor())
+        fb.net->set_resistor_ohms(swept.index, values[l]);
+      else
+        fb.net->set_breakdown_vbd(swept.index, values[l]);
+      fb.sim = std::make_unique<Simulator>(*fb.net);
+      for (const auto& [name, volts] : initial)
+        fb.sim->set_initial(name, volts);
+      fb.sim->prepare(spec);
+    }
+    gather(v_backup, l, lane_vec);
+    fb.sim->set_state(lane_vec);
+    fb.sim->advance_interval(t, spec, edge_step);
+    scatter(fb.sim->state(), l, v);
+    ++lane_ejections;
+  }
+};
+
+}  // namespace
+
+std::vector<LaneResult> BatchSimulator::run(
+    const TransientSpec& spec, const std::vector<std::string>& record) {
+  require(spec.t_stop > 0.0 && spec.dt > 0.0, "TransientSpec must be positive");
+  {
+    static metrics::Counter& transients = metrics::counter("analog.transients");
+    static metrics::Counter& groups = metrics::counter("analog.batch_groups");
+    static metrics::Counter& lanes_c = metrics::counter("analog.batch_lanes");
+    transients.add(static_cast<long>(values_.size()));
+    groups.add(1);
+    lanes_c.add(static_cast<long>(values_.size()));
+  }
+
+  Runner r(net_, swept_, values_, spec, num_nodes_, num_unknowns_,
+           options_.share_jacobian, initial_);
+  r.seed_state();
+
+  std::vector<long> record_index;
+  std::vector<bool> record_negate;
+  resolve_record_signals(net_, num_nodes_, record, record_index, record_negate);
+
+  const std::size_t lanes = values_.size();
+  std::vector<LaneResult> results;
+  results.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    results.push_back(LaneResult{});
+    results.back().trace = Trace(record);
+  }
+  std::vector<double> samples(record_index.size());
+  const auto record_point = [&](std::size_t l, double t) {
+    for (std::size_t i = 0; i < record_index.size(); ++i) {
+      const double value = r.v[r.at(static_cast<std::size_t>(record_index[i]), l)];
+      samples[i] = record_negate[i] ? -value : value;
+    }
+    results[l].trace.append(t, samples);
+  };
+  for (std::size_t l = 0; l < lanes; ++l) record_point(l, 0.0);
+
+  const std::vector<bool> has_edge = edge_step_flags(net_, spec);
+
+  double t = 0.0;
+  long step_index = 0;
+  while (t < spec.t_stop - 0.5 * spec.dt) {
+    const bool edge_step =
+        step_index < static_cast<long>(has_edge.size()) &&
+        has_edge[static_cast<std::size_t>(step_index)];
+    const int pieces = edge_step ? std::max(1, spec.edge_substeps) : 1;
+    const double h = spec.dt / pieces;
+    // A step-size change moves every capacitor companion conductance:
+    // invalidate the shared linear matrix and every cached factorization.
+    if (!r.a_lin_valid || r.a_lin_dt != h) {
+      r.build_a_lin(h);
+      for (auto& slot : r.slots) slot.valid = false;
+    }
+    r.v_backup = r.v;
+    std::fill(r.piece_failed.begin(), r.piece_failed.end(), 0);
+
+    for (int piece = 1; piece <= pieces; ++piece) {
+      r.lockstep_piece(t + piece * h, h);
+      // Advance the BE history of the lanes that made it through.
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (r.dead[l] || r.piece_failed[l]) continue;
+        for (std::size_t u = 0; u < num_unknowns_; ++u)
+          r.v_piece[r.at(u, l)] = r.v[r.at(u, l)];
+      }
+    }
+
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (r.dead[l] || !r.piece_failed[l]) continue;
+      try {
+        r.fallback_interval(l, t, edge_step);
+        for (std::size_t u = 0; u < num_unknowns_; ++u)
+          r.v_piece[r.at(u, l)] = r.v[r.at(u, l)];
+        // The fallback left this lane's state off the shared trajectory a
+        // stale residual check must not trust blindly next piece.
+        r.last_dv[l] = std::numeric_limits<double>::infinity();
+      } catch (const SolverError& e) {
+        r.dead[l] = 1;
+        r.failure[l] = e.failure();
+        r.error[l] = e.what();
+      }
+    }
+
+    ++step_index;
+    t += spec.dt;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (r.dead[l]) continue;
+      // Fallback intervals are stepped (and counted) by the lane's scalar
+      // simulator; counting them here too would double-book.
+      if (!r.piece_failed[l]) ++r.stats[l].steps;
+      record_point(l, t);
+    }
+  }
+
+  // Fold per-lane statistics into the results and the process counters.
+  static metrics::Counter& steps_c = metrics::counter("analog.steps");
+  static metrics::Counter& newton_c = metrics::counter("analog.newton_iterations");
+  static metrics::Counter& halvings_c = metrics::counter("analog.halvings");
+  for (std::size_t l = 0; l < lanes; ++l) {
+    LaneResult& out = results[l];
+    out.stats = r.stats[l];
+    if (r.fallbacks[l].sim) {
+      const Simulator::Stats& fs = r.fallbacks[l].sim->stats();
+      out.stats.steps += fs.steps;
+      out.stats.newton_iterations += fs.newton_iterations;
+      out.stats.halvings += fs.halvings;
+    }
+    out.ok = !r.dead[l];
+    if (r.dead[l]) {
+      out.failure = r.failure[l];
+      out.error = r.error[l];
+    }
+    steps_c.add(out.stats.steps);
+    newton_c.add(out.stats.newton_iterations);
+    halvings_c.add(out.stats.halvings);
+  }
+  refactor_avoided_counter().add(r.refactor_avoided);
+  refactorization_counter().add(r.refactorizations);
+  lane_ejection_counter().add(r.lane_ejections);
+  return results;
+}
+
+}  // namespace memstress::analog

@@ -1,0 +1,122 @@
+// Batched lockstep transient kernel for same-topology netlist families.
+//
+// The characterization sweep (estimator::characterize) simulates the same
+// circuit many times while a single element value walks an axis: the
+// defect-resistance of a bridge, the joint resistance of an open, or the
+// breakdown voltage of a gate-oxide pinhole. Every lane of such a family
+// shares the stimulus, the step schedule and (nearly) the Jacobian, so the
+// BatchSimulator integrates all lanes in lockstep with structure-of-arrays
+// state, amortizing the expensive parts of the scalar path:
+//
+//  * One Newton Jacobian is assembled and LU-factored at a reference lane
+//    and reused both across lanes (the per-lane defect-resistor stamp is a
+//    symmetric rank-1 difference, applied exactly with Sherman–Morrison via
+//    LuWorkspace) and across iterations / steps while it keeps working —
+//    quiescent clock phases converge without a single refactorization.
+//  * Convergence is judged per lane with both the classic |dv| < vtol test
+//    and a row-scaled residual check, so a stale or neighboring-lane
+//    Jacobian can never fake convergence: the residual is evaluated against
+//    the lane's own exact device currents.
+//  * A lane the quasi-Newton iteration cannot converge is ejected to the
+//    scalar path for that nominal step: it re-integrates the interval with
+//    Simulator::advance_interval (the exact halving + rescue ladder), then
+//    rejoins the lockstep group. A lane the scalar ladder also gives up on
+//    is recorded as failed (LaneResult::error) without disturbing the rest.
+//
+// The result per lane is bit-for-bit *equivalent* to the scalar Simulator in
+// verdict terms (same step grid, same record schedule, residuals driven to
+// the same tolerance); it is not bit-identical in the last Newton digits,
+// which is why callers that need byte-stable CSVs pin verdicts, not floats
+// (see tests/golden and tests/estimator/test_characterize_modes).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analog/engine.hpp"
+#include "analog/netlist.hpp"
+
+namespace memstress::analog {
+
+/// Solver backend selection for R-axis sweeps, settable per characterize
+/// call and via the MEMSTRESS_SOLVER environment knob.
+enum class SolverMode {
+  Exact,        ///< scalar Simulator per grid point (the pre-batching path)
+  Incremental,  ///< lockstep lanes, per-lane Jacobians reused while they work
+  Batched,      ///< lockstep + shared reference Jacobian + Sherman–Morrison
+};
+
+const char* solver_mode_name(SolverMode mode);
+
+/// Parse "exact" / "incremental" / "batched"; throws Error on anything else.
+SolverMode parse_solver_mode(const std::string& text);
+
+/// The MEMSTRESS_SOLVER environment knob, read once per process and cached
+/// (tests that need a specific mode set CharacterizeSpec::solver instead).
+/// Unset or empty means the default, Batched; an unknown value warns and
+/// falls back to Batched.
+SolverMode solver_mode_from_env();
+
+/// Which single element of the shared topology varies across lanes.
+struct SweptElement {
+  enum class Kind {
+    ResistorOhms,   ///< resistors()[index].ohms (bridge / open sweeps)
+    BreakdownVbd,   ///< breakdowns()[index].vbd (gate-oxide sweeps)
+  };
+  Kind kind = Kind::ResistorOhms;
+  std::size_t index = 0;
+};
+
+struct BatchOptions {
+  /// Share one reference-lane Jacobian across lanes (quasi-Newton with the
+  /// per-lane stamp applied by Sherman–Morrison). When false every lane
+  /// factors its own Jacobian but still reuses it across iterations and
+  /// steps while convergence holds — the "incremental" mode.
+  bool share_jacobian = true;
+};
+
+/// Per-lane outcome of a batched run. On failure (`ok == false`) the trace
+/// is partial and `failure` / `error` carry the same classification and
+/// message the scalar Simulator's SolverError would have.
+struct LaneResult {
+  bool ok = false;
+  /// Recorded waveforms for an ok lane; a placeholder single-signal trace
+  /// (Trace rejects zero signals) when ok == false.
+  Trace trace{std::vector<std::string>{"(none)"}};
+  Simulator::Stats stats;
+  SolverFailure failure = SolverFailure::NewtonNonConvergence;
+  std::string error;
+};
+
+/// Integrates one netlist topology across many swept-element values in
+/// lockstep. The netlist is copied at construction; the original only needs
+/// to stay alive for the constructor call.
+class BatchSimulator {
+ public:
+  BatchSimulator(const Netlist& netlist, SweptElement swept,
+                 std::vector<double> lane_values, BatchOptions options = {});
+
+  /// Initial node voltage, applied identically to every lane (UIC style,
+  /// mirroring Simulator::set_initial).
+  void set_initial(const std::string& node_name, double volts);
+
+  /// Run the transient for every lane; results are indexed like the
+  /// lane_values vector passed at construction.
+  std::vector<LaneResult> run(const TransientSpec& spec,
+                              const std::vector<std::string>& record);
+
+ private:
+  struct Lane;
+  struct Group;
+
+  Netlist net_;  // private copy; swept element retargeted per refresh
+  SweptElement swept_;
+  std::vector<double> values_;
+  BatchOptions options_;
+  std::size_t num_nodes_ = 0;
+  std::size_t num_unknowns_ = 0;
+  std::vector<std::pair<std::string, double>> initial_;
+};
+
+}  // namespace memstress::analog

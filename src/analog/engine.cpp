@@ -48,13 +48,25 @@ void Simulator::set_initial(const std::string& node_name, double volts) {
   set_initial(netlist_.find_node(node_name), volts);
 }
 
-void Simulator::assemble(double t, double dt, double gmin,
-                         const std::vector<double>& v,
-                         const std::vector<double>& v_prev) {
+void assemble_system(const Netlist& netlist,
+                     const std::vector<MosParams>& run_params, double t,
+                     double dt, double gmin,
+                     const std::vector<double>& gmin_target,
+                     const std::vector<double>& v,
+                     const std::vector<double>& v_prev, DenseMatrix& a_,
+                     std::vector<double>& rhs_) {
+  const Netlist& netlist_ = netlist;
+  const std::vector<MosParams>& run_params_ = run_params;
+  const std::vector<double>& gmin_target_ = gmin_target;
+  const std::size_t num_nodes_ = netlist.node_count() - 1;
+
   a_.set_zero();
   std::fill(rhs_.begin(), rhs_.end(), 0.0);
 
   const auto idx = [](NodeId n) { return static_cast<std::size_t>(n) - 1; };
+  const auto voltage_of = [](const std::vector<double>& x, NodeId node) {
+    return node == kGround ? 0.0 : x[static_cast<std::size_t>(node) - 1];
+  };
 
   // gmin keeps floating nodes (e.g. behind an open) well-posed. During DC
   // gmin stepping the conductance pulls toward the initial guess instead of
@@ -170,6 +182,13 @@ void Simulator::assemble(double t, double dt, double gmin,
   }
 }
 
+void Simulator::assemble(double t, double dt, double gmin,
+                         const std::vector<double>& v,
+                         const std::vector<double>& v_prev) {
+  assemble_system(netlist_, run_params_, t, dt, gmin, gmin_target_, v, v_prev,
+                  a_, rhs_);
+}
+
 bool Simulator::solve_step(double t, double dt, const TransientSpec& spec,
                            const std::vector<double>& v_prev,
                            std::vector<double>& v, double damping,
@@ -221,11 +240,12 @@ bool Simulator::solve_step(double t, double dt, const TransientSpec& spec,
   return false;
 }
 
-void Simulator::resolve_record(const std::vector<std::string>& record,
-                               std::vector<long>& index,
-                               std::vector<bool>& negate) const {
+void resolve_record_signals(const Netlist& netlist, std::size_t num_nodes,
+                            const std::vector<std::string>& record,
+                            std::vector<long>& index,
+                            std::vector<bool>& negate) {
   // Record entries are node voltages, or "I(NAME)" branch currents (stored
-  // at unknown index num_nodes_ + source_index; the MNA convention makes
+  // at unknown index num_nodes + source_index; the MNA convention makes
   // the stored branch current flow INTO the positive terminal, so it is
   // negated to report conventional source output current).
   index.clear();
@@ -235,10 +255,10 @@ void Simulator::resolve_record(const std::vector<std::string>& record,
     if (name.size() > 3 && name.rfind("I(", 0) == 0 && name.back() == ')') {
       const std::string source_name = name.substr(2, name.size() - 3);
       bool found = false;
-      const auto& sources = netlist_.vsources();
+      const auto& sources = netlist.vsources();
       for (std::size_t k = 0; k < sources.size(); ++k) {
         if (sources[k].name == source_name) {
-          index.push_back(static_cast<long>(num_nodes_ + k));
+          index.push_back(static_cast<long>(num_nodes + k));
           negate.push_back(true);
           found = true;
           break;
@@ -246,11 +266,17 @@ void Simulator::resolve_record(const std::vector<std::string>& record,
       }
       require(found, "Simulator: unknown source in record entry " + name);
     } else {
-      index.push_back(netlist_.find_node(name) - 1);
+      index.push_back(netlist.find_node(name) - 1);
       negate.push_back(false);
       require(index.back() >= 0, "Simulator: cannot record the ground node");
     }
   }
+}
+
+void Simulator::resolve_record(const std::vector<std::string>& record,
+                               std::vector<long>& index,
+                               std::vector<bool>& negate) const {
+  resolve_record_signals(netlist_, num_nodes_, record, index, negate);
 }
 
 Trace Simulator::solve_dc(const std::vector<std::string>& record, double temp_c) {
@@ -307,51 +333,13 @@ Trace Simulator::solve_dc(const std::vector<std::string>& record, double temp_c)
   return trace;
 }
 
-Trace Simulator::run(const TransientSpec& spec, const std::vector<std::string>& record) {
-  require(spec.t_stop > 0.0 && spec.dt > 0.0, "TransientSpec must be positive");
-  {
-    static metrics::Counter& transients = metrics::counter("analog.transients");
-    transients.add(1);
-  }
-  stats_ = Stats{};
-
-  run_params_.clear();
-  run_params_.reserve(netlist_.mosfets().size());
-  for (const auto& m : netlist_.mosfets())
-    run_params_.push_back(spec.temp_c == 25.0 ? m.params
-                                              : at_temperature(m.params, spec.temp_c));
-
-  std::vector<long> record_index;
-  std::vector<bool> record_negate;
-  resolve_record(record, record_index, record_negate);
-  Trace trace(record);
-
-  // State vector: node voltages then branch currents, seeded from ICs.
-  std::vector<double> v(num_unknowns_, 0.0);
-  for (const auto& [node, volts] : initial_)
-    v[static_cast<std::size_t>(node) - 1] = volts;
-  // Sources pin their nodes from the very first instant: seed them so the
-  // capacitor history at t=0 is consistent with the stimulus.
-  for (const auto& src : netlist_.vsources()) {
-    if (src.pos != kGround && src.neg == kGround)
-      v[static_cast<std::size_t>(src.pos) - 1] = src.wave.value(0.0);
-  }
-
-  std::vector<double> samples(record_index.size());
-  auto record_point = [&](double t) {
-    for (std::size_t i = 0; i < record_index.size(); ++i) {
-      const double value = v[static_cast<std::size_t>(record_index[i])];
-      samples[i] = record_negate[i] ? -value : value;
-    }
-    trace.append(t, samples);
-  };
-  record_point(0.0);
-
+std::vector<bool> edge_step_flags(const Netlist& netlist,
+                                  const TransientSpec& spec) {
   // Event awareness: mark the nominal steps that contain a stimulus
   // breakpoint so they are integrated with fine substeps.
   const long n_steps = static_cast<long>(spec.t_stop / spec.dt + 0.5);
   std::vector<bool> has_edge(static_cast<std::size_t>(n_steps) + 1, false);
-  for (const auto& src : netlist_.vsources()) {
+  for (const auto& src : netlist.vsources()) {
     for (const double bp : src.wave.breakpoint_times()) {
       if (bp <= 0.0 || bp >= spec.t_stop) continue;
       const long step = static_cast<long>(bp / spec.dt);
@@ -364,65 +352,120 @@ Trace Simulator::run(const TransientSpec& spec, const std::vector<std::string>& 
       }
     }
   }
+  return has_edge;
+}
+
+void Simulator::prepare(const TransientSpec& spec) {
+  stats_ = Stats{};
+
+  run_params_.clear();
+  run_params_.reserve(netlist_.mosfets().size());
+  for (const auto& m : netlist_.mosfets())
+    run_params_.push_back(spec.temp_c == 25.0 ? m.params
+                                              : at_temperature(m.params, spec.temp_c));
+
+  // State vector: node voltages then branch currents, seeded from ICs.
+  state_.assign(num_unknowns_, 0.0);
+  for (const auto& [node, volts] : initial_)
+    state_[static_cast<std::size_t>(node) - 1] = volts;
+  // Sources pin their nodes from the very first instant: seed them so the
+  // capacitor history at t=0 is consistent with the stimulus.
+  for (const auto& src : netlist_.vsources()) {
+    if (src.pos != kGround && src.neg == kGround)
+      state_[static_cast<std::size_t>(src.pos) - 1] = src.wave.value(0.0);
+  }
+}
+
+void Simulator::set_state(const std::vector<double>& v) {
+  require(v.size() == num_unknowns_, "Simulator::set_state dimension mismatch");
+  state_ = v;
+}
+
+void Simulator::advance_interval(double t, const TransientSpec& spec,
+                                 bool edge_step) {
+  // Try a full nominal step; on Newton failure, re-integrate the interval
+  // with halved substeps (local, so the recorded grid stays uniform).
+  std::vector<double>& v = state_;
+  const std::vector<double> v_backup = v;
+  bool done = false;
+  int base_pieces = 1;
+  if (edge_step) {
+    base_pieces = std::max(1, spec.edge_substeps);
+  }
+  int halvings = 0;
+  bool rescue = false;
+  while (!done) {
+    const int pieces = base_pieces * (1 << halvings);
+    const double h = spec.dt / pieces;
+    // Rescue pass: bistable flips (a gross defect overpowering a latch)
+    // can defeat plain damped Newton at any step size; a tiny clamp with
+    // a large iteration budget creeps monotonically into the new basin.
+    const double damping = rescue ? 0.02 : spec.damping;
+    const int max_newton = rescue ? 4000 : spec.max_newton;
+    bool ok = true;
+    v = v_backup;
+    std::vector<double> v_hist = v_backup;
+    for (int piece = 1; piece <= pieces && ok; ++piece) {
+      ok = solve_step(t + piece * h, h, spec, v_hist, v, damping, max_newton);
+      v_hist = v;
+    }
+    // In rescue mode allow much deeper halving: with a small enough step
+    // the backward-Euler companion conductance C/h dominates every device
+    // transconductance and the Jacobian cannot go singular even at the
+    // fold point of a flipping latch.
+    const int halving_limit = rescue ? 14 : spec.max_halvings;
+    if (ok) {
+      done = true;
+    } else if (halvings < halving_limit) {
+      ++halvings;
+      ++stats_.halvings;
+    } else {
+      if (rescue)
+        throw SolverError(stats_.last_failure_kind,
+                          "Simulator: Newton failed to converge at t = " +
+                              std::to_string(t) + " (" +
+                              stats_.last_failure + ")");
+      rescue = true;
+      halvings = 6;
+    }
+  }
+  ++stats_.steps;
+}
+
+Trace Simulator::run(const TransientSpec& spec, const std::vector<std::string>& record) {
+  require(spec.t_stop > 0.0 && spec.dt > 0.0, "TransientSpec must be positive");
+  {
+    static metrics::Counter& transients = metrics::counter("analog.transients");
+    transients.add(1);
+  }
+  prepare(spec);
+
+  std::vector<long> record_index;
+  std::vector<bool> record_negate;
+  resolve_record(record, record_index, record_negate);
+  Trace trace(record);
+
+  std::vector<double> samples(record_index.size());
+  auto record_point = [&](double t) {
+    for (std::size_t i = 0; i < record_index.size(); ++i) {
+      const double value = state_[static_cast<std::size_t>(record_index[i])];
+      samples[i] = record_negate[i] ? -value : value;
+    }
+    trace.append(t, samples);
+  };
+  record_point(0.0);
+
+  const std::vector<bool> has_edge = edge_step_flags(netlist_, spec);
 
   double t = 0.0;
   long step_index = 0;
-  std::vector<double> v_prev = v;
-  std::vector<double> v_backup;
   while (t < spec.t_stop - 0.5 * spec.dt) {
-    const double t_next = t + spec.dt;
-    // Try a full nominal step; on Newton failure, re-integrate the interval
-    // with halved substeps (local, so the recorded grid stays uniform).
-    v_prev = v;
-    v_backup = v;
-    bool done = false;
     const bool edge_step =
         step_index < static_cast<long>(has_edge.size()) &&
         has_edge[static_cast<std::size_t>(step_index)];
-    int base_pieces = 1;
-    if (edge_step) {
-      base_pieces = std::max(1, spec.edge_substeps);
-    }
-    int halvings = 0;
-    bool rescue = false;
-    while (!done) {
-      const int pieces = base_pieces * (1 << halvings);
-      const double h = spec.dt / pieces;
-      // Rescue pass: bistable flips (a gross defect overpowering a latch)
-      // can defeat plain damped Newton at any step size; a tiny clamp with
-      // a large iteration budget creeps monotonically into the new basin.
-      const double damping = rescue ? 0.02 : spec.damping;
-      const int max_newton = rescue ? 4000 : spec.max_newton;
-      bool ok = true;
-      v = v_backup;
-      std::vector<double> v_hist = v_backup;
-      for (int piece = 1; piece <= pieces && ok; ++piece) {
-        ok = solve_step(t + piece * h, h, spec, v_hist, v, damping, max_newton);
-        v_hist = v;
-      }
-      // In rescue mode allow much deeper halving: with a small enough step
-      // the backward-Euler companion conductance C/h dominates every device
-      // transconductance and the Jacobian cannot go singular even at the
-      // fold point of a flipping latch.
-      const int halving_limit = rescue ? 14 : spec.max_halvings;
-      if (ok) {
-        done = true;
-      } else if (halvings < halving_limit) {
-        ++halvings;
-        ++stats_.halvings;
-      } else {
-        if (rescue)
-          throw SolverError(stats_.last_failure_kind,
-                            "Simulator: Newton failed to converge at t = " +
-                                std::to_string(t) + " (" +
-                                stats_.last_failure + ")");
-        rescue = true;
-        halvings = 6;
-      }
-    }
-    ++stats_.steps;
+    advance_interval(t, spec, edge_step);
     ++step_index;
-    t = t_next;
+    t += spec.dt;
     record_point(t);
   }
   count_run(stats_);

@@ -61,6 +61,35 @@ struct TransientSpec {
   double temp_c = 25.0;
 };
 
+/// Assemble the full MNA system (Newton Jacobian + right-hand side) for
+/// `netlist` linearized at iterate `v` with backward-Euler capacitor history
+/// `v_prev`. `run_params` are the temperature-adjusted MOSFET parameters
+/// (aligned with netlist.mosfets()); `gmin_target`, when non-empty, makes
+/// the gmin floor pull toward that voltage per node instead of ground (DC
+/// gmin stepping). Exposed as a free function so the batched kernel
+/// (analog/batch.cpp) shares the exact stamp code of the scalar path;
+/// Simulator::assemble delegates here.
+void assemble_system(const Netlist& netlist,
+                     const std::vector<MosParams>& run_params, double t,
+                     double dt, double gmin,
+                     const std::vector<double>& gmin_target,
+                     const std::vector<double>& v,
+                     const std::vector<double>& v_prev, DenseMatrix& a,
+                     std::vector<double>& rhs);
+
+/// Per-nominal-step flags marking which steps of a transient contain a
+/// stimulus breakpoint (and therefore get fine edge substeps).
+std::vector<bool> edge_step_flags(const Netlist& netlist,
+                                  const TransientSpec& spec);
+
+/// Resolve record entries (node names or "I(NAME)" branch currents) to
+/// unknown-vector indices. `negate[i]` marks branch currents, which are
+/// stored flowing into the positive terminal and reported negated.
+void resolve_record_signals(const Netlist& netlist, std::size_t num_nodes,
+                            const std::vector<std::string>& record,
+                            std::vector<long>& index,
+                            std::vector<bool>& negate);
+
 /// Simulates a netlist. The netlist must outlive the simulator.
 class Simulator {
  public:
@@ -83,6 +112,24 @@ class Simulator {
   /// requested signals. Initial conditions (set_initial) seed the solve —
   /// for bistable circuits they select which stable point is found.
   Trace solve_dc(const std::vector<std::string>& record, double temp_c = 25.0);
+
+  /// Manual stepping API, used by the batched kernel's per-lane scalar
+  /// fallback. `prepare` does everything run() does before its step loop
+  /// (reset stats, temperature-adjust the MOSFET models, seed the state
+  /// vector from initial conditions and t=0 source values); `state` /
+  /// `set_state` expose the unknown vector (node voltages then branch
+  /// currents); `advance_interval` integrates one nominal interval
+  /// [t, t + spec.dt] with the exact halving / rescue ladder of run(),
+  /// throwing SolverError when even the rescue pass gives up.
+  void prepare(const TransientSpec& spec);
+  void advance_interval(double t, const TransientSpec& spec, bool edge_step);
+  const std::vector<double>& state() const { return state_; }
+  void set_state(const std::vector<double>& v);
+
+  std::size_t num_unknowns() const { return num_unknowns_; }
+  /// Node-voltage unknowns (the first num_node_unknowns() entries of the
+  /// state vector; the rest are vsource branch currents).
+  std::size_t num_node_unknowns() const { return num_nodes_; }
 
   /// Statistics from the last run (for perf benchmarks / regression tests).
   struct Stats {
@@ -130,6 +177,8 @@ class Simulator {
   std::vector<double> rhs_;
   LuSolver lu_;
   std::unordered_map<NodeId, double> initial_;
+  /// Unknown vector of the in-flight transient (see prepare / state).
+  std::vector<double> state_;
   Stats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "analog/matrix.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -71,6 +72,119 @@ void LuSolver::solve(std::vector<double>& b) const {
     const double* row = &lu_[k * n_];
     for (std::size_t c = k + 1; c < n_; ++c) sum -= row[c] * b[c];
     b[k] = sum / row[k];
+  }
+}
+
+void LuSolver::solve_block(double* b, std::size_t nrhs) const {
+  // Row swaps of the permutation, applied to whole RHS rows.
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (piv_[k] == k) continue;
+    double* a = b + k * nrhs;
+    double* c = b + piv_[k] * nrhs;
+    for (std::size_t j = 0; j < nrhs; ++j) std::swap(a[j], c[j]);
+  }
+  // Forward substitution: row k eliminates into every row below it, the
+  // inner loop streaming across the RHS columns. No zero-skip branches:
+  // LU fill is effectively random, so a data-dependent branch per entry
+  // costs more in mispredictions than the multiply it saves (and x - 0*y
+  // is exact, so skipping zeros never changed the result anyway).
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double* bk = b + k * nrhs;
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double f = lu_[r * n_ + k];
+      double* br = b + r * nrhs;
+      for (std::size_t j = 0; j < nrhs; ++j) br[j] -= f * bk[j];
+    }
+  }
+  // Back substitution.
+  for (std::size_t k = n_; k-- > 0;) {
+    double* bk = b + k * nrhs;
+    const double* row = &lu_[k * n_];
+    for (std::size_t c = k + 1; c < n_; ++c) {
+      const double rc = row[c];
+      const double* bc = b + c * nrhs;
+      for (std::size_t j = 0; j < nrhs; ++j) bk[j] -= rc * bc[j];
+    }
+    // Per-element division (not multiplication by a reciprocal) keeps each
+    // column bitwise identical to the scalar solve() of the same RHS.
+    for (std::size_t j = 0; j < nrhs; ++j) bk[j] /= row[k];
+  }
+}
+
+bool LuWorkspace::factor(const DenseMatrix& a_base) {
+  factored_ = lu_.factor(a_base);
+  u_.clear();
+  z_.clear();
+  utz_ = 0.0;
+  const std::size_t n = a_base.size();
+  row_norms_.assign(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double norm = 0.0;
+    for (std::size_t c = 0; c < n; ++c)
+      norm = std::max(norm, std::fabs(a_base.at(r, c)));
+    // Tiny floor only to keep an (impossible in MNA) all-zero row from
+    // turning the residual guard into a division by zero. The norm must NOT
+    // be floored at a physical scale like 1 S: a high-impedance node row
+    // (gmin + a capacitor companion, ~1e-6 S) needs its residual measured
+    // against its own conductance scale, or micro-amp KCL errors — tens of
+    // millivolts on such a node — would pass the convergence test.
+    row_norms_[r] = std::max(norm, 1e-300);
+  }
+  return factored_;
+}
+
+void LuWorkspace::set_update_direction(
+    const std::vector<std::pair<std::size_t, double>>& u) {
+  require(factored_, "LuWorkspace::set_update_direction before factor");
+  u_ = u;
+  z_.assign(lu_.size(), 0.0);
+  for (const auto& [row, coeff] : u_) {
+    require(row < z_.size(), "LuWorkspace: update row out of range");
+    z_[row] += coeff;
+  }
+  lu_.solve(z_);
+  utz_ = 0.0;
+  for (const auto& [row, coeff] : u_) utz_ += coeff * z_[row];
+}
+
+bool LuWorkspace::solve_updated(double scale, std::vector<double>& b) const {
+  require(factored_, "LuWorkspace::solve_updated before factor");
+  lu_.solve(b);
+  if (scale == 0.0 || u_.empty()) return true;
+  const double denom = 1.0 + scale * utz_;
+  // Guard: |denom| small means A_base + scale u u^T is nearly singular as
+  // seen through the base factorization, and the correction term would be
+  // dominated by amplified rounding error. 1e-8 leaves ~8 clean digits.
+  if (!(std::fabs(denom) > 1e-8)) return false;
+  double uty = 0.0;
+  for (const auto& [row, coeff] : u_) uty += coeff * b[row];
+  const double gain = scale * uty / denom;
+  if (gain == 0.0) return true;
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] -= gain * z_[i];
+  return true;
+}
+
+void LuWorkspace::solve_updated_block(const double* scales, double* b,
+                                      std::size_t nrhs,
+                                      unsigned char* ok) const {
+  require(factored_, "LuWorkspace::solve_updated_block before factor");
+  lu_.solve_block(b, nrhs);
+  for (std::size_t k = 0; k < nrhs; ++k) ok[k] = 1;
+  if (u_.empty()) return;
+  const std::size_t n = lu_.size();
+  for (std::size_t k = 0; k < nrhs; ++k) {
+    const double scale = scales[k];
+    if (scale == 0.0) continue;
+    const double denom = 1.0 + scale * utz_;
+    if (!(std::fabs(denom) > 1e-8)) {
+      ok[k] = 0;  // near-singular through this base; caller refactors
+      continue;
+    }
+    double uty = 0.0;
+    for (const auto& [row, coeff] : u_) uty += coeff * b[row * nrhs + k];
+    const double gain = scale * uty / denom;
+    if (gain == 0.0) continue;
+    for (std::size_t i = 0; i < n; ++i) b[i * nrhs + k] -= gain * z_[i];
   }
 }
 

@@ -57,11 +57,15 @@ void Netlist::add_mosfet(const std::string& name, MosType type, NodeId d, NodeId
   mosfets_.push_back({name, type, d, g, s, params});
 }
 
-double BreakdownResistor::current(double v) const {
-  const auto sp = [this](double x) {
+double breakdown_current(double v, double ohms, double vbd, double smooth) {
+  const auto sp = [smooth](double x) {
     return 0.5 * (x + std::sqrt(x * x + 4.0 * smooth * smooth));
   };
   return (sp(v - vbd) - sp(-v - vbd)) / ohms;
+}
+
+double BreakdownResistor::current(double v) const {
+  return breakdown_current(v, ohms, vbd, smooth);
 }
 
 void Netlist::add_breakdown(const std::string& name, NodeId a, NodeId b,
@@ -89,6 +93,24 @@ void Netlist::set_joint_resistance(const std::string& name, double ohms) {
   require(it != joints_.end(), "Netlist: unknown joint " + name);
   require(ohms > 0.0, "Netlist: joint resistance must be positive");
   resistors_[it->second].ohms = ohms;
+}
+
+std::size_t Netlist::joint_resistor_index(const std::string& name) const {
+  const auto it = joints_.find(name);
+  require(it != joints_.end(), "Netlist: unknown joint " + name);
+  return it->second;
+}
+
+void Netlist::set_resistor_ohms(std::size_t index, double ohms) {
+  require(index < resistors_.size(), "Netlist::set_resistor_ohms out of range");
+  require(ohms > 0.0, "Netlist: resistor ohms must be positive");
+  resistors_[index].ohms = ohms;
+}
+
+void Netlist::set_breakdown_vbd(std::size_t index, double vbd) {
+  require(index < breakdowns_.size(), "Netlist::set_breakdown_vbd out of range");
+  require(vbd >= 0.0, "Netlist: breakdown vbd must be >= 0");
+  breakdowns_[index].vbd = vbd;
 }
 
 std::vector<std::string> Netlist::joint_names() const { return joint_order_; }

@@ -67,6 +67,11 @@ struct BreakdownResistor {
   double current(double v) const;
 };
 
+/// BreakdownResistor::current with an explicit breakdown voltage, for the
+/// batched kernel where vbd is the per-lane swept quantity and the shared
+/// netlist element holds only the reference value.
+double breakdown_current(double v, double ohms, double vbd, double smooth);
+
 class Netlist {
  public:
   Netlist();
@@ -96,6 +101,17 @@ class Netlist {
 
   /// Turn the named joint into a resistive open of `ohms`.
   void set_joint_resistance(const std::string& name, double ohms);
+
+  /// Index (into resistors()) of the resistor backing the named joint.
+  /// Throws Error for an unknown joint. This is how the batched kernel
+  /// locates the swept element of an open-defect R sweep.
+  std::size_t joint_resistor_index(const std::string& name) const;
+
+  /// Overwrite the value of an existing element in place. Used by the
+  /// batched kernel to retarget its private netlist copy at a lane's swept
+  /// value; topology (nodes, element order) never changes.
+  void set_resistor_ohms(std::size_t index, double ohms);
+  void set_breakdown_vbd(std::size_t index, double vbd);
 
   /// All registered joint (open-site) names, in creation order.
   std::vector<std::string> joint_names() const;

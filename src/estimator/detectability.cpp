@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
+#include <tuple>
 
 #include "util/chaos.hpp"
 #include "util/checkpoint.hpp"
@@ -567,17 +569,29 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
       snapshot_locked();
   };
 
-  const auto body = [&](std::size_t i) {
-    {
-      std::lock_guard<std::mutex> lock(state_mutex);
-      if (points[i].state != PointState::kPending) return;  // restored
-    }
+  // Solver backend: exact runs every grid point through the scalar path;
+  // incremental/batched first sweep each (kind, category, vdd, period)
+  // cell's whole R (or vbd) axis through the lockstep kernel, and only the
+  // lanes the kernel could not converge fall back to the scalar rescue
+  // ladder (attempts >= 2). The produced verdicts — and therefore the CSV —
+  // are identical in every mode.
+  const analog::SolverMode mode =
+      spec.solver ? *spec.solver : analog::solver_mode_from_env();
+
+  const auto point_label_of = [&](std::size_t i) {
+    return tasks[i].defect.tag() + " @ " + fmt_fixed(tasks[i].entry.vdd, 2) +
+           " V / " + fmt_time(tasks[i].entry.period);
+  };
+
+  /// Scalar attempt ladder for point i, starting at `start_attempt` with
+  /// `reason` carrying the failure that consumed the earlier attempts (the
+  /// batched kernel's, when it ejected this lane). Attempt k runs at
+  /// rescue_level k-1, exactly as before batching existed.
+  const auto run_point = [&](std::size_t i, int start_attempt,
+                             std::string reason) {
     const CharacterizeTask& task = tasks[i];
-    const std::string point_label =
-        task.defect.tag() + " @ " + fmt_fixed(task.entry.vdd, 2) + " V / " +
-        fmt_time(task.entry.period);
-    std::string reason;
-    for (int attempt = 1; attempt <= spec.max_attempts; ++attempt) {
+    const std::string point_label = point_label_of(i);
+    for (int attempt = start_attempt; attempt <= spec.max_attempts; ++attempt) {
       try {
         chaos::maybe_fail("characterize.point", i, attempt);
         analog::Netlist faulty = golden;
@@ -612,8 +626,129 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
     commit_locked(i, std::move(state), point_label + " -> QUARANTINED");
   };
 
+  const auto body = [&](std::size_t i) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex);
+      if (points[i].state != PointState::kPending) return;  // restored
+    }
+    run_point(i, 1, "");
+  };
+
+  // Batched fan-out: one work item per (kind, category, vdd, period) cell,
+  // carrying that cell's whole swept axis as lanes. Groups are formed in
+  // first-seen task order and each task belongs to exactly one group, so
+  // commits stay indexed by task and the CSV stays byte-identical at every
+  // thread count (and identical to the exact mode's).
+  struct BatchGroup {
+    std::vector<std::size_t> task_indices;
+  };
+  std::vector<BatchGroup> groups;
+  if (mode != analog::SolverMode::Exact) {
+    std::map<std::tuple<int, int, double, double>, std::size_t> group_of;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const DbEntry& e = tasks[i].entry;
+      const auto key = std::make_tuple(static_cast<int>(e.kind), e.category,
+                                       e.vdd, e.period);
+      const auto it = group_of.find(key);
+      if (it == group_of.end()) {
+        group_of.emplace(key, groups.size());
+        groups.push_back(BatchGroup{{i}});
+      } else {
+        groups[it->second].task_indices.push_back(i);
+      }
+    }
+  }
+
+  const auto group_body = [&](std::size_t g) {
+    // Lanes still pending; a resumed run already has verdicts for the rest.
+    std::vector<std::size_t> pending;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex);
+      for (const std::size_t i : groups[g].task_indices)
+        if (points[i].state == PointState::kPending) pending.push_back(i);
+    }
+    if (pending.empty()) return;
+
+    // Attempt-1 chaos hook per lane, exactly like the scalar path: a lane
+    // the chaos harness fails here skips the batch and goes straight to its
+    // attempt-2 rescue, preserving the per-point failure schedule.
+    std::vector<std::size_t> lanes;
+    std::vector<std::pair<std::size_t, std::string>> failed;
+    for (const std::size_t i : pending) {
+      try {
+        chaos::maybe_fail("characterize.point", i, 1);
+        lanes.push_back(i);
+      } catch (const chaos::ChaosError& e) {
+        failed.emplace_back(i, e.what());
+      }
+    }
+
+    if (!lanes.empty()) {
+      const CharacterizeTask& lead = tasks[lanes.front()];
+      analog::Netlist faulty = golden;
+      defects::inject(faulty, lead.defect);
+      // Locate the swept element the injection just produced: bridges append
+      // the last resistor (or breakdown), opens retarget the joint resistor.
+      analog::SweptElement swept;
+      std::vector<double> values;
+      values.reserve(lanes.size());
+      if (lead.entry.kind == DefectKind::Open) {
+        swept.kind = analog::SweptElement::Kind::ResistorOhms;
+        swept.index = faulty.joint_resistor_index(lead.defect.net_a);
+        for (const std::size_t i : lanes)
+          values.push_back(tasks[i].entry.resistance);
+      } else if (lead.defect.breakdown_v > 0.0) {
+        swept.kind = analog::SweptElement::Kind::BreakdownVbd;
+        swept.index = faulty.breakdowns().size() - 1;
+        for (const std::size_t i : lanes) values.push_back(tasks[i].entry.vbd);
+      } else {
+        swept.kind = analog::SweptElement::Kind::ResistorOhms;
+        swept.index = faulty.resistors().size() - 1;
+        for (const std::size_t i : lanes)
+          values.push_back(tasks[i].entry.resistance);
+      }
+      analog::BatchOptions batch_options;
+      batch_options.share_jacobian = mode == analog::SolverMode::Batched;
+      const sram::StressPoint at{lead.entry.vdd, lead.entry.period};
+      const std::vector<tester::BatchAnalogRun> runs =
+          tester::run_march_analog_batch(std::move(faulty), spec.block,
+                                         spec.test, at, swept, values,
+                                         batch_options, spec.ate);
+      for (std::size_t k = 0; k < lanes.size(); ++k) {
+        const std::size_t i = lanes[k];
+        if (!runs[k].ok) {
+          failed.emplace_back(
+              i, std::string(analog::solver_failure_name(runs[k].failure)) +
+                     ": " + runs[k].error);
+          continue;
+        }
+        PointState state;
+        state.state = PointState::kDone;
+        state.detected = !runs[k].log.passed();
+        state.attempts = 1;
+        const std::string line = point_label_of(i) + (state.detected
+                                                          ? " -> DETECTED"
+                                                          : " -> escape");
+        std::lock_guard<std::mutex> lock(state_mutex);
+        commit_locked(i, std::move(state), line);
+      }
+    }
+
+    // Scalar rescue ladder (attempts >= 2) for the lanes that failed their
+    // batched attempt 1 — same escalation, retry accounting and quarantine
+    // the exact mode applies after its attempt 1.
+    for (auto& [i, why] : failed) {
+      if (1 < spec.max_attempts) retries.add(1);
+      run_point(i, 2, std::move(why));
+    }
+  };
+
   try {
-    parallel_for(tasks.size(), body, spec.threads, spec.cancel);
+    if (mode != analog::SolverMode::Exact) {
+      parallel_for(groups.size(), group_body, spec.threads, spec.cancel);
+    } else {
+      parallel_for(tasks.size(), body, spec.threads, spec.cancel);
+    }
   } catch (const CancelledError&) {
     // Cooperative shutdown (SIGINT or an explicit token): flush a final
     // snapshot so the run resumes exactly where it stopped, then unwind.

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -174,6 +175,11 @@ struct CharacterizeSpec {
   /// hardware default. The produced database (and thus its CSV) is
   /// byte-identical at every thread count.
   int threads = 0;
+  /// Analog solver backend for the R-axis sweeps: nullopt follows the
+  /// MEMSTRESS_SOLVER environment knob (default batched). Execution-only —
+  /// the produced database (and thus its CSV) is identical in every mode,
+  /// so the mode participates in neither the spec nor the grid fingerprint.
+  std::optional<analog::SolverMode> solver;
 
   // --- fault tolerance -----------------------------------------------------
   /// Simulation attempts per grid point before quarantine. Attempt k reruns

@@ -68,6 +68,69 @@ AnalogRun run_march_analog(analog::Netlist netlist, const sram::BlockSpec& spec,
   return run;
 }
 
+std::vector<BatchAnalogRun> run_march_analog_batch(
+    analog::Netlist netlist, const sram::BlockSpec& spec,
+    const march::MarchTest& test, const sram::StressPoint& at,
+    analog::SweptElement swept, const std::vector<double>& lane_values,
+    const analog::BatchOptions& batch_options, const AteOptions& options) {
+  require(options.steps_per_cycle >= 16,
+          "run_march_analog_batch: steps_per_cycle too coarse");
+  trace::Span span("tester.run_march_analog_batch");
+  const CompiledMarch compiled = compile_march(netlist, spec, test, at);
+  {
+    static metrics::Counter& marches =
+        metrics::counter("tester.analog_marches");
+    static metrics::Counter& cycles = metrics::counter("tester.analog_cycles");
+    marches.add(static_cast<long long>(lane_values.size()));
+    cycles.add(static_cast<long long>(compiled.cycles.size() *
+                                      lane_values.size()));
+  }
+
+  analog::BatchSimulator sim(netlist, swept, lane_values, batch_options);
+  for (const auto& [name, volts] : initial_block_state(netlist, spec, at.vdd))
+    sim.set_initial(name, volts);
+
+  std::vector<std::string> record;
+  for (int c = 0; c < spec.cols; ++c) record.push_back(nn::net_q(c));
+  for (const auto& extra : options.extra_record) {
+    if (std::find(record.begin(), record.end(), extra) == record.end())
+      record.push_back(extra);
+  }
+
+  analog::TransientSpec spec_t;
+  spec_t.t_stop = compiled.t_stop;
+  spec_t.dt = at.period / options.steps_per_cycle;
+  spec_t.temp_c = at.temp_c;
+  // No rescue escalation here: the batch path is always attempt 1; a failed
+  // lane is retried by the caller on the scalar path at rescue level >= 1.
+
+  std::vector<analog::LaneResult> lanes = sim.run(spec_t, record);
+
+  std::vector<BatchAnalogRun> runs(lanes.size());
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    BatchAnalogRun& out = runs[l];
+    out.sim_stats = lanes[l].stats;
+    out.ok = lanes[l].ok;
+    if (!lanes[l].ok) {
+      out.failure = lanes[l].failure;
+      out.error = lanes[l].error;
+      continue;
+    }
+    for (std::size_t k = 0; k < compiled.cycles.size(); ++k) {
+      const CycleInfo& cycle = compiled.cycles[k];
+      if (!cycle.operation.is_read) continue;
+      const bool observed =
+          analog::digital_at(lanes[l].trace, nn::net_q(cycle.col),
+                             compiled.sample_time(k), at.vdd);
+      if (observed != cycle.operation.value) {
+        out.log.record({static_cast<long>(k), cycle.element, cycle.op,
+                        cycle.row, cycle.col, cycle.operation.value, observed});
+      }
+    }
+  }
+  return runs;
+}
+
 ShmooGrid run_shmoo(const StressOracle& passes, const std::vector<double>& vdds,
                     const std::vector<double>& periods) {
   ShmooGrid grid(vdds, periods);

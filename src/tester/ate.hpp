@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analog/batch.hpp"
 #include "analog/engine.hpp"
 #include "march/engine.hpp"
 #include "sram/block.hpp"
@@ -39,6 +40,32 @@ AnalogRun run_march_analog(analog::Netlist netlist, const sram::BlockSpec& spec,
                            const march::MarchTest& test,
                            const sram::StressPoint& at,
                            const AteOptions& options = {});
+
+/// Per-lane outcome of a batched march: like AnalogRun, but a lane whose
+/// lockstep *and* scalar-fallback solves both failed reports ok == false
+/// with the SolverError classification instead of throwing — the caller
+/// (estimator::characterize) applies its usual retry/rescue policy to just
+/// that lane.
+struct BatchAnalogRun {
+  bool ok = false;
+  march::FailLog log;
+  analog::Simulator::Stats sim_stats;
+  analog::SolverFailure failure = analog::SolverFailure::NewtonNonConvergence;
+  std::string error;
+};
+
+/// Run `test` once per lane of a same-topology family: the netlist carries
+/// the defect already injected, and `swept`/`lane_values` identify the one
+/// element whose value differs between lanes (defect resistance or
+/// breakdown voltage). Stimulus compilation, state seeding and strobe
+/// comparison match run_march_analog exactly; the transient integration
+/// runs through analog::BatchSimulator.
+std::vector<BatchAnalogRun> run_march_analog_batch(
+    analog::Netlist netlist, const sram::BlockSpec& spec,
+    const march::MarchTest& test, const sram::StressPoint& at,
+    analog::SweptElement swept, const std::vector<double>& lane_values,
+    const analog::BatchOptions& batch_options,
+    const AteOptions& options = {});
 
 /// Pass/fail oracle over the stress plane.
 using StressOracle = std::function<bool(const sram::StressPoint&)>;

@@ -118,10 +118,11 @@ CompiledMarch compile_march(analog::Netlist& netlist, const sram::BlockSpec& spe
   return compiled;
 }
 
-void seed_block_state(analog::Simulator& sim, const analog::Netlist& netlist,
-                      const sram::BlockSpec& spec, double vdd) {
+std::vector<std::pair<std::string, double>> initial_block_state(
+    const analog::Netlist& netlist, const sram::BlockSpec& spec, double vdd) {
+  std::vector<std::pair<std::string, double>> pairs;
   auto set = [&](const std::string& name, double volts) {
-    if (netlist.has_node(name)) sim.set_initial(name, volts);
+    if (netlist.has_node(name)) pairs.emplace_back(name, volts);
   };
   for (int r = 0; r < spec.rows; ++r) {
     for (int c = 0; c < spec.cols; ++c) {
@@ -150,6 +151,13 @@ void seed_block_state(analog::Simulator& sim, const analog::Netlist& netlist,
   set("dinb", vdd);
   set("pre", vdd);
   set("wlenb", vdd);
+  return pairs;
+}
+
+void seed_block_state(analog::Simulator& sim, const analog::Netlist& netlist,
+                      const sram::BlockSpec& spec, double vdd) {
+  for (const auto& [name, volts] : initial_block_state(netlist, spec, vdd))
+    sim.set_initial(name, volts);
 }
 
 }  // namespace memstress::tester

@@ -14,6 +14,8 @@
 //          the bitline keeper restores the rail right after wordline close)
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "analog/engine.hpp"
@@ -53,5 +55,10 @@ CompiledMarch compile_march(analog::Netlist& netlist, const sram::BlockSpec& spe
 /// storing 0, bitlines precharged, decoder resolved for address 0).
 void seed_block_state(analog::Simulator& sim, const analog::Netlist& netlist,
                       const sram::BlockSpec& spec, double vdd);
+
+/// The same initial state as (name, volts) pairs, for consumers that are
+/// not a scalar Simulator (the batched kernel seeds every lane with these).
+std::vector<std::pair<std::string, double>> initial_block_state(
+    const analog::Netlist& netlist, const sram::BlockSpec& spec, double vdd);
 
 }  // namespace memstress::tester

@@ -4,10 +4,36 @@
 
 #include <cmath>
 
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace memstress::analog {
 namespace {
+
+TEST(DenseMatrix, AtAssertsOutOfBoundsInDebugBuilds) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "DenseMatrix::at bounds assert is compiled out (NDEBUG)";
+#else
+  DenseMatrix m(2);
+  EXPECT_DEATH(m.at(2, 0), "out of bounds");
+  EXPECT_DEATH(m.at(0, 2), "out of bounds");
+  const DenseMatrix& cm = m;
+  EXPECT_DEATH(cm.at(2, 2), "out of bounds");
+  EXPECT_DEATH(m.add(2, 0, 1.0), "out of bounds");
+#endif
+}
+
+TEST(LuSolver, SolveRejectsMismatchedRhsSize) {
+  DenseMatrix m(2);
+  m.at(0, 0) = 1.0;
+  m.at(1, 1) = 1.0;
+  LuSolver lu;
+  ASSERT_TRUE(lu.factor(m));
+  std::vector<double> too_long{1.0, 2.0, 3.0};
+  EXPECT_THROW(lu.solve(too_long), Error);
+  std::vector<double> too_short{1.0};
+  EXPECT_THROW(lu.solve(too_short), Error);
+}
 
 TEST(DenseMatrix, StartsZeroAndAccumulates) {
   DenseMatrix m(3);
