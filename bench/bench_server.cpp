@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "server/client.hpp"
+#include "server/loadgen.hpp"
 #include "tests/server/server_test_util.hpp"
 #include "util/parallel.hpp"
 
@@ -64,25 +65,38 @@ int run_mixed(int clients, int requests_per_client) {
               requests_per_client);
 
   // A cheap-heavy mix: mostly lookups (the steady-state load a test floor
-  // would generate), with the full Table-1 estimator sprinkled in.
-  const std::vector<std::string> lines = {
-      "{\"v\":1,\"id\":1,\"type\":\"health\"}",
-      "{\"v\":1,\"id\":2,\"type\":\"dpm\",\"params\":"
-      "{\"yield\":0.95,\"defect_coverage\":0.99}}",
-      "{\"v\":1,\"id\":3,\"type\":\"detectability\",\"params\":"
-      "{\"kind\":\"bridge\",\"category\":\"cell-node-bitline\","
-      "\"resistance\":1000,\"vdd\":1.0,\"period\":1e-07}}",
-      "{\"v\":1,\"id\":4,\"type\":\"dpm\",\"params\":"
-      "{\"yield\":0.9,\"defect_coverage\":0.95}}",
-      "{\"v\":1,\"id\":5,\"type\":\"coverage\",\"params\":"
-      "{\"geometry\":{\"x_rows\":128,\"y_columns\":32,\"bits_per_word\":4}}}",
+  // would generate), with the full Table-1 estimator sprinkled in. Each
+  // entry carries its request type so latency is attributed per type — one
+  // aggregate histogram hides a slow estimator behind a sea of fast
+  // health checks.
+  struct MixEntry {
+    const char* type;
+    std::string line;
+  };
+  const std::vector<MixEntry> mix = {
+      {"health", "{\"v\":1,\"id\":1,\"type\":\"health\"}"},
+      {"dpm",
+       "{\"v\":1,\"id\":2,\"type\":\"dpm\",\"params\":"
+       "{\"yield\":0.95,\"defect_coverage\":0.99}}"},
+      {"detectability",
+       "{\"v\":1,\"id\":3,\"type\":\"detectability\",\"params\":"
+       "{\"kind\":\"bridge\",\"category\":\"cell-node-bitline\","
+       "\"resistance\":1000,\"vdd\":1.0,\"period\":1e-07}}"},
+      {"dpm",
+       "{\"v\":1,\"id\":4,\"type\":\"dpm\",\"params\":"
+       "{\"yield\":0.9,\"defect_coverage\":0.95}}"},
+      {"coverage",
+       "{\"v\":1,\"id\":5,\"type\":\"coverage\",\"params\":"
+       "{\"geometry\":{\"x_rows\":128,\"y_columns\":32,"
+       "\"bits_per_word\":4}}}"},
   };
   std::vector<std::string> expected;
-  for (const auto& line : lines)
-    expected.push_back(fixture.expected_response(line));
+  for (const auto& entry : mix)
+    expected.push_back(fixture.expected_response(entry.line));
 
   std::atomic<long> mismatches{0};
   std::atomic<long> transport_errors{0};
+  server::LatencyRecorder recorder;
   std::vector<std::vector<double>> latencies(
       static_cast<std::size_t>(clients));
   const auto start = std::chrono::steady_clock::now();
@@ -95,10 +109,12 @@ int run_mixed(int clients, int requests_per_client) {
         server::Client client(fixture.client_config());
         for (int r = 0; r < requests_per_client; ++r) {
           const std::size_t pick = static_cast<std::size_t>(c + r) %
-                                   lines.size();
+                                   mix.size();
           const auto sent = std::chrono::steady_clock::now();
-          const std::string response = client.roundtrip(lines[pick]);
-          mine.push_back(seconds_since(sent));
+          const std::string response = client.roundtrip(mix[pick].line);
+          const double took = seconds_since(sent);
+          mine.push_back(took);
+          recorder.record(mix[pick].type, took);
           if (response != expected[pick]) mismatches.fetch_add(1);
         }
       } catch (const Error& e) {
@@ -119,6 +135,7 @@ int run_mixed(int clients, int requests_per_client) {
   const double rps = elapsed_s > 0.0 ? completed / elapsed_s : 0.0;
   const double p50_ms = percentile_ms(all, 0.50);
   const double p99_ms = percentile_ms(all, 0.99);
+  const server::TrafficReport report = recorder.report();
   const bool identical = mismatches.load() == 0 &&
                          transport_errors.load() == 0 &&
                          completed ==
@@ -130,8 +147,13 @@ int run_mixed(int clients, int requests_per_client) {
               elapsed_s);
   std::printf("  throughput ................................ %.0f req/s\n",
               rps);
-  std::printf("  latency p50 / p99 ......................... %.3f / %.3f ms\n",
+  std::printf("  latency p50 / p99 (all types) ............. %.3f / %.3f ms\n",
               p50_ms, p99_ms);
+  for (const server::TypeLatency& entry : report.types)
+    std::printf("    %-13s p50/p99/p999 .............. %.3f / %.3f / %.3f ms"
+                " (%lld reqs)\n",
+                entry.type.c_str(), entry.p50_ms, entry.p99_ms, entry.p999_ms,
+                entry.count);
   std::printf("  responses identical to direct calls ....... %s\n\n",
               identical ? "HOLDS" : "DEVIATES");
 
@@ -140,10 +162,12 @@ int run_mixed(int clients, int requests_per_client) {
               "\"clients\":%d,\"requests_per_client\":%d,"
               "\"completed\":%ld,\"elapsed_s\":%.4f,\"rps\":%.1f,"
               "\"p50_ms\":%.4f,\"p99_ms\":%.4f,"
+              "\"per_type\":%s,"
               "\"mismatches\":%ld,\"transport_errors\":%ld,"
               "\"identical\":%s}\n",
               fixture.server.config().workers, clients, requests_per_client,
-              completed, elapsed_s, rps, p50_ms, p99_ms, mismatches.load(),
+              completed, elapsed_s, rps, p50_ms, p99_ms,
+              report.to_json().dump().c_str(), mismatches.load(),
               transport_errors.load(), identical ? "true" : "false");
   return identical ? 0 : 1;
 }

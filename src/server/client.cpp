@@ -1,5 +1,6 @@
 #include "server/client.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -86,16 +87,28 @@ Json Client::request(const std::string& type, const Json& params) {
   envelope.set("params", params);
   const std::string line = envelope.dump();
 
+  const auto started = std::chrono::steady_clock::now();
+  const auto budget_exhausted = [&](int upcoming_sleep_ms) {
+    if (config_.retry_budget_ms <= 0) return false;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - started);
+    return elapsed.count() + upcoming_sleep_ms >= config_.retry_budget_ms;
+  };
   int backoff_ms = config_.backoff_initial_ms;
   for (int attempt = 0;; ++attempt) {
     const Response response = parse_response(exchange(line));
     if (response.ok) return response.result;
-    if (response.error_code == "busy" && attempt < config_.max_retries) {
+    if (response.error_code == "busy" && attempt < config_.max_retries &&
+        !budget_exhausted(backoff_ms)) {
       // The server closed the connection after the busy reply; back off,
-      // then reconnect and try again.
+      // then reconnect and try again. The backoff doubles up to
+      // backoff_max_ms, and the whole retry loop is bounded by
+      // retry_budget_ms — overload throttles the caller, never wedges it.
       disconnect();
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms *= 2;
+      backoff_ms = std::min(backoff_ms * 2,
+                            std::max(config_.backoff_max_ms,
+                                     config_.backoff_initial_ms));
       continue;
     }
     throw ServerError(response.error_code, response.error_message);

@@ -51,6 +51,12 @@ struct ClientConfig {
   int timeout_ms = 10000;      ///< connect + per-response receive timeout
   int max_retries = 6;         ///< busy-retry attempts before giving up
   int backoff_initial_ms = 5;  ///< doubles per retry: 5, 10, 20, ...
+  int backoff_max_ms = 250;    ///< per-sleep ceiling for the doubling
+  /// Hard wall-clock budget for one request() call including every busy
+  /// retry and backoff sleep. When the budget would be exceeded the busy
+  /// error surfaces instead of another retry — under sustained overload a
+  /// caller is throttled, never wedged. 0 disables the cap.
+  int retry_budget_ms = 30000;
 };
 
 class Client {

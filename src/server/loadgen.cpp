@@ -1,0 +1,173 @@
+#include "server/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/metrics.hpp"
+
+namespace memstress::server {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+    : exponent_(exponent) {
+  require(n > 0, "ZipfSampler: need at least one item");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (double& value : cdf_) value /= total;
+  cdf_.back() = 1.0;  // guard against rounding shortfall at the tail
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+Pacer::Pacer(double rate_per_s, std::chrono::steady_clock::time_point start)
+    : start_(start) {
+  require(rate_per_s > 0.0, "Pacer: rate must be positive");
+  interval_ = std::chrono::nanoseconds(
+      static_cast<long long>(1e9 / rate_per_s));
+  if (interval_.count() <= 0) interval_ = std::chrono::nanoseconds(1);
+}
+
+std::chrono::steady_clock::time_point Pacer::next_deadline() {
+  const auto deadline = start_ + interval_ * issued_;
+  ++issued_;
+  return deadline;
+}
+
+std::chrono::milliseconds Pacer::behind() const {
+  const auto due = start_ + interval_ * issued_;
+  const auto now = std::chrono::steady_clock::now();
+  if (now <= due) return std::chrono::milliseconds(0);
+  return std::chrono::duration_cast<std::chrono::milliseconds>(now - due);
+}
+
+double exact_quantile_ms(const std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0.0;
+  std::size_t index =
+      static_cast<std::size_t>(q * static_cast<double>(sorted_seconds.size()));
+  if (index >= sorted_seconds.size()) index = sorted_seconds.size() - 1;
+  return sorted_seconds[index] * 1e3;
+}
+
+Json TrafficReport::to_json() const {
+  Json document = Json::object();
+  for (const TypeLatency& entry : types) {
+    Json node = Json::object();
+    node.set("count", Json(entry.count));
+    node.set("errors", Json(entry.errors));
+    Json by_code = Json::object();
+    for (const auto& [code, count] : entry.errors_by_code)
+      by_code.set(code, Json(count));
+    node.set("errors_by_code", std::move(by_code));
+    node.set("mean_ms", Json(entry.mean_ms));
+    node.set("p50_ms", Json(entry.p50_ms));
+    node.set("p99_ms", Json(entry.p99_ms));
+    node.set("p999_ms", Json(entry.p999_ms));
+    node.set("max_ms", Json(entry.max_ms));
+    document.set(entry.type, std::move(node));
+  }
+  return document;
+}
+
+SloVerdict TrafficReport::evaluate(const SloSpec& slo) const {
+  SloVerdict verdict;
+  const auto format_ms = [](double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.3f", value);
+    return std::string(buffer);
+  };
+  const auto check = [&](const TypeLatency& entry, const char* name,
+                         double observed, double limit) {
+    if (limit <= 0.0 || observed <= limit) return;
+    verdict.pass = false;
+    verdict.violations.push_back(entry.type + ": " + name + " " +
+                                 format_ms(observed) + "ms > " +
+                                 format_ms(limit) + "ms");
+  };
+  for (const TypeLatency& entry : types) {
+    check(entry, "p50", entry.p50_ms, slo.p50_ms);
+    check(entry, "p99", entry.p99_ms, slo.p99_ms);
+    check(entry, "p999", entry.p999_ms, slo.p999_ms);
+    const long long total = entry.count + entry.errors;
+    if (slo.max_error_fraction > 0.0 && total > 0) {
+      const double fraction =
+          static_cast<double>(entry.errors) / static_cast<double>(total);
+      if (fraction > slo.max_error_fraction) {
+        verdict.pass = false;
+        char buffer[96];
+        std::snprintf(buffer, sizeof buffer,
+                      "%s: error fraction %.4f > %.4f", entry.type.c_str(),
+                      fraction, slo.max_error_fraction);
+        verdict.violations.push_back(buffer);
+      }
+    }
+  }
+  return verdict;
+}
+
+long long TrafficReport::total_count() const {
+  long long total = 0;
+  for (const TypeLatency& entry : types) total += entry.count;
+  return total;
+}
+
+long long TrafficReport::total_errors() const {
+  long long total = 0;
+  for (const TypeLatency& entry : types) total += entry.errors;
+  return total;
+}
+
+LatencyRecorder::LatencyRecorder(std::string metrics_prefix)
+    : metrics_prefix_(std::move(metrics_prefix)) {}
+
+void LatencyRecorder::record(const std::string& type, double seconds) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    types_[type].latencies.push_back(seconds);
+  }
+  if (!metrics_prefix_.empty())
+    metrics::histogram(metrics_prefix_ + type).record(seconds);
+}
+
+void LatencyRecorder::record_error(const std::string& type,
+                                   const std::string& code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++types_[type].errors_by_code[code];
+}
+
+TrafficReport LatencyRecorder::report() const {
+  TrafficReport report;
+  std::lock_guard<std::mutex> lock(mutex_);
+  report.types.reserve(types_.size());
+  for (const auto& [type, samples] : types_) {
+    TypeLatency entry;
+    entry.type = type;
+    entry.count = static_cast<long long>(samples.latencies.size());
+    entry.errors_by_code = samples.errors_by_code;
+    for (const auto& [code, count] : samples.errors_by_code)
+      entry.errors += count;
+    if (!samples.latencies.empty()) {
+      std::vector<double> sorted = samples.latencies;
+      std::sort(sorted.begin(), sorted.end());
+      double sum = 0.0;
+      for (double value : sorted) sum += value;
+      entry.mean_ms = sum / static_cast<double>(sorted.size()) * 1e3;
+      entry.p50_ms = exact_quantile_ms(sorted, 0.5);
+      entry.p99_ms = exact_quantile_ms(sorted, 0.99);
+      entry.p999_ms = exact_quantile_ms(sorted, 0.999);
+      entry.max_ms = sorted.back() * 1e3;
+    }
+    report.types.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace memstress::server

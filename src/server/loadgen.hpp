@@ -1,0 +1,151 @@
+// Load-generation toolkit shared by bench_server, bench_soak and the tests
+// that pin their report schema.
+//
+// Three orthogonal pieces:
+//   * ZipfSampler — deterministic zipf-skewed index sampling, the classic
+//     "few hot keys, long cold tail" production traffic shape that makes a
+//     result cache earn (or lose) its keep.
+//   * Pacer — an open-loop send schedule: request k is due at start + k/rate
+//     regardless of how fast responses come back, so a slow server faces a
+//     growing backlog exactly like it would behind real users, instead of
+//     the closed-loop mercy of one-in-flight-per-client.
+//   * LatencyRecorder / TrafficReport — thread-safe per-request-type latency
+//     and error accounting with exact p50/p99/p999 (sorted samples, not
+//     buckets), SLO evaluation, and a deterministic JSON rendering that the
+//     BENCH_JSON/SOAK_JSON trailers embed and a schema test pins.
+//
+// Everything is seeded/deterministic: two runs with the same seed draw the
+// same request sequence, so soak failures reproduce.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace memstress::server {
+
+/// Zipf(s) over {0, 1, ..., n-1}: P(i) proportional to 1/(i+1)^s. s = 0 is
+/// uniform; s around 1 is the classic web-traffic skew. Sampling is a
+/// binary search over the precomputed CDF — O(log n), allocation-free.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+  /// Draw one index using the caller's RNG stream.
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(index <= i), back() == 1
+  double exponent_ = 0.0;
+};
+
+/// Open-loop pacing: next_deadline() hands out the send time of request k
+/// (start + k/rate) and advances. The caller sleeps until the deadline when
+/// early; when the deadline is already past the request is late — it still
+/// goes out immediately, and lateness is visible via behind().
+class Pacer {
+ public:
+  Pacer(double rate_per_s, std::chrono::steady_clock::time_point start);
+
+  std::chrono::steady_clock::time_point next_deadline();
+
+  /// How far the schedule has drifted past "now" (0 when on time) — a
+  /// growing value means the system under test cannot keep up with the
+  /// offered rate.
+  std::chrono::milliseconds behind() const;
+
+  long long issued() const { return issued_; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::nanoseconds interval_{0};
+  long long issued_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Per-request-type accounting.
+
+/// Aggregated outcome for one request type.
+struct TypeLatency {
+  std::string type;
+  long long count = 0;   ///< completed (successful) requests
+  long long errors = 0;  ///< error outcomes (sum of errors_by_code)
+  std::map<std::string, long long> errors_by_code;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// SLO thresholds applied per request type (<= 0 disables that check).
+struct SloSpec {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_error_fraction = 0.0;  ///< errors / (count + errors)
+};
+
+struct SloVerdict {
+  bool pass = true;
+  std::vector<std::string> violations;  ///< "type: p99 12.3ms > 10ms" lines
+};
+
+/// The report every trailer embeds. `types` is sorted by type name so the
+/// JSON is deterministic for a given set of samples.
+struct TrafficReport {
+  std::vector<TypeLatency> types;
+
+  /// Deterministic document:
+  ///   {"<type>":{"count":N,"errors":N,"errors_by_code":{...},
+  ///              "mean_ms":X,"p50_ms":X,"p99_ms":X,"p999_ms":X,
+  ///              "max_ms":X}, ...}
+  /// Types in sorted order, error codes in sorted order — the schema is
+  /// pinned by LoadgenReport tests so dashboards can rely on it.
+  Json to_json() const;
+
+  SloVerdict evaluate(const SloSpec& slo) const;
+
+  long long total_count() const;
+  long long total_errors() const;
+};
+
+/// Exact percentile over an already-sorted latency vector, in milliseconds.
+/// Index convention min(size-1, floor(q*size)) — shared with bench_server's
+/// historical numbers so trend lines stay comparable.
+double exact_quantile_ms(const std::vector<double>& sorted_seconds, double q);
+
+/// Thread-safe recorder: many client threads record, one reporter collects.
+/// Latency samples are also mirrored into util/metrics histograms named
+/// "<metrics_prefix><type>" when a prefix is given (and metrics are on), so
+/// the NDJSON metrics stream shows live per-type p50/p99/p999 mid-run.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::string metrics_prefix = "");
+
+  void record(const std::string& type, double seconds);
+  void record_error(const std::string& type, const std::string& code);
+
+  TrafficReport report() const;
+
+ private:
+  struct TypeSamples {
+    std::vector<double> latencies;
+    std::map<std::string, long long> errors_by_code;
+  };
+
+  std::string metrics_prefix_;
+  mutable std::mutex mutex_;
+  std::map<std::string, TypeSamples> types_;
+};
+
+}  // namespace memstress::server

@@ -1,5 +1,6 @@
 #include "server/protocol.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
@@ -200,6 +201,24 @@ std::string Json::dump() const {
 
 namespace {
 
+std::atomic<ParseTraceFn>& parse_trace_hook() {
+  static std::atomic<ParseTraceFn> hook{nullptr};
+  return hook;
+}
+
+inline void trace_parse(ParseEvent event, std::size_t pos) {
+  if (ParseTraceFn fn = parse_trace_hook().load(std::memory_order_relaxed))
+    fn(event, pos);
+}
+
+}  // namespace
+
+void set_parse_trace(ParseTraceFn hook) {
+  parse_trace_hook().store(hook, std::memory_order_relaxed);
+}
+
+namespace {
+
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
@@ -214,6 +233,7 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& message) const {
+    trace_parse(ParseEvent::Fail, pos_);
     throw ProtocolError(message + " at byte " + std::to_string(pos_));
   }
 
@@ -256,22 +276,42 @@ class Parser {
       case '[': return parse_array();
       case '"': return Json(parse_string());
       case 't':
-        if (consume_literal("true")) return Json(true);
+        if (consume_literal("true")) {
+          trace_parse(ParseEvent::Literal, pos_);
+          return Json(true);
+        }
         fail("invalid literal");
       case 'f':
-        if (consume_literal("false")) return Json(false);
+        if (consume_literal("false")) {
+          trace_parse(ParseEvent::Literal, pos_);
+          return Json(false);
+        }
         fail("invalid literal");
       case 'n':
-        if (consume_literal("null")) return Json(nullptr);
+        if (consume_literal("null")) {
+          trace_parse(ParseEvent::Literal, pos_);
+          return Json(nullptr);
+        }
         fail("invalid literal");
       default:
         if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
-        fail(std::string("unexpected character '") + c + "'");
+        // Render non-printable/non-ASCII offenders as hex: the raw byte
+        // would make the *error response* invalid UTF-8 (found by the
+        // regression corpus — see seed-bom-garbage.txt).
+        if (c >= 0x20 && c < 0x7f) {
+          fail(std::string("unexpected character '") + c + "'");
+        } else {
+          char hex[16];
+          std::snprintf(hex, sizeof hex, "0x%02x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          fail(std::string("unexpected byte ") + hex);
+        }
     }
   }
 
   Json parse_object() {
     expect('{');
+    trace_parse(ParseEvent::Object, pos_);
     Json object = Json::object();
     skip_whitespace();
     if (!at_end() && peek() == '}') {
@@ -282,6 +322,7 @@ class Parser {
       skip_whitespace();
       if (at_end() || peek() != '"') fail("expected object key string");
       std::string key = parse_string();
+      trace_parse(ParseEvent::Key, pos_);
       skip_whitespace();
       expect(':');
       skip_whitespace();
@@ -298,6 +339,7 @@ class Parser {
 
   Json parse_array() {
     expect('[');
+    trace_parse(ParseEvent::Array, pos_);
     Json array = Json::array();
     skip_whitespace();
     if (!at_end() && peek() == ']') {
@@ -346,6 +388,7 @@ class Parser {
       pos_ = start;
       fail("number out of range");
     }
+    trace_parse(ParseEvent::Number, pos_);
     return Json(value);
   }
 
@@ -380,6 +423,7 @@ class Parser {
     if (code < min_code) fail("overlong UTF-8 sequence");
     if (code > 0x10FFFF || (code >= 0xD800 && code <= 0xDFFF))
       fail("invalid UTF-8 code point");
+    trace_parse(ParseEvent::Utf8, pos_);
     out.append(text_, start, pos_ - start);
   }
 
@@ -422,6 +466,7 @@ class Parser {
 
   std::string parse_string() {
     expect('"');
+    trace_parse(ParseEvent::String, pos_);
     std::string out;
     for (;;) {
       if (at_end()) fail("unterminated string");
@@ -432,6 +477,7 @@ class Parser {
       }
       if (c == '\\') {
         ++pos_;
+        trace_parse(ParseEvent::Escape, pos_);
         const char esc = next();
         switch (esc) {
           case '"': out += '"'; break;

@@ -144,6 +144,34 @@ class Json {
 std::string format_number(double value);
 
 // ---------------------------------------------------------------------------
+// Parser instrumentation seam.
+//
+// The coverage-guided fuzzer (tests/fuzz/) needs a signal for "this input
+// drove the parser somewhere new". When a build has SanitizerCoverage it
+// uses edge coverage; otherwise it installs this hook and buckets on the
+// (event, position) pairs the parser reports. Uninstalled (the production
+// state) the seam costs one relaxed atomic load per structural event.
+
+/// One structural step inside Json::parse().
+enum class ParseEvent : int {
+  Object = 0,   ///< entered an object
+  Key,          ///< finished an object key
+  Array,        ///< entered an array
+  String,       ///< entered a string value
+  Escape,       ///< decoded a backslash escape
+  Utf8,         ///< validated a multi-byte UTF-8 sequence
+  Number,       ///< parsed a number token
+  Literal,      ///< parsed true/false/null
+  Fail,         ///< about to throw a ProtocolError
+};
+
+using ParseTraceFn = void (*)(ParseEvent event, std::size_t pos);
+
+/// Install (or with nullptr remove) the process-wide parse trace hook. The
+/// hook must be cheap and reentrant-safe; it runs inside the parser.
+void set_parse_trace(ParseTraceFn hook);
+
+// ---------------------------------------------------------------------------
 // Envelope.
 
 struct Request {

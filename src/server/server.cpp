@@ -32,6 +32,8 @@ ServerConfig ServerConfig::from_env() {
       "MEMSTRESS_CACHE_ENTRIES", 0, 1 << 22, config.cache_entries));
   config.batch_max = static_cast<int>(
       env_int_or("MEMSTRESS_BATCH_MAX", 1, 65536, config.batch_max));
+  config.metrics_stream_ms = static_cast<int>(env_int_or(
+      "MEMSTRESS_METRICS_STREAM_MS", 10, 3600000, config.metrics_stream_ms));
   return config;
 }
 
@@ -148,6 +150,14 @@ void Server::start() {
     }
   });
   acceptor_ = std::thread([this] { accept_loop(); });
+  if (metrics::stream_configured()) {
+    // A configured stream implies the operator wants live numbers: turn
+    // recording on (the env toggle alone would leave every snapshot empty)
+    // and emit one RunReport line per interval until stop().
+    metrics::set_enabled(true);
+    metrics_streamer_ = std::make_unique<metrics::SnapshotStreamer>(
+        config_.metrics_stream_ms, "memstressd");
+  }
   log_info("memstressd: listening on ", config_.address, ":", port_, " (",
            config_.workers, " workers, queue depth ", config_.queue_depth,
            ")");
@@ -320,6 +330,7 @@ void Server::stop() {
   }
   if (pool_runner_.joinable()) pool_runner_.join();
   pool_.reset();
+  metrics_streamer_.reset();  // emits the final end-of-run snapshot
 }
 
 void Server::serve_until_cancelled() {

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "server/service.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace memstress::server {
@@ -53,6 +54,10 @@ struct ServerConfig {
   int queue_depth = 64;  ///< MEMSTRESS_QUEUE_DEPTH (pending connections)
   int request_timeout_ms = 10000;  ///< MEMSTRESS_REQUEST_TIMEOUT_MS
   std::size_t max_frame_bytes = kMaxFrameBytes;  ///< per-line byte cap
+  /// NDJSON metrics snapshot period when MEMSTRESS_METRICS_STREAM is set
+  /// (MEMSTRESS_METRICS_STREAM_MS). The server then also force-enables
+  /// metrics — a stream of empty reports helps nobody.
+  int metrics_stream_ms = 1000;
   /// Result-cache entries (MEMSTRESS_CACHE_ENTRIES, 0 disables the cache).
   int cache_entries = 1024;
   /// Largest accepted batch "requests" list (MEMSTRESS_BATCH_MAX).
@@ -127,6 +132,9 @@ class Server {
   std::thread acceptor_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread pool_runner_;  ///< hosts the blocking parallel_for drain job
+  /// Periodic NDJSON metrics emitter; null unless MEMSTRESS_METRICS_STREAM
+  /// (or metrics::set_stream_target) configured a target before start().
+  std::unique_ptr<metrics::SnapshotStreamer> metrics_streamer_;
 
   /// fd each worker is currently reading, so stop() can shutdown(SHUT_RD)
   /// idle connections instead of waiting out their receive timeout.

@@ -1,11 +1,21 @@
 #include "util/metrics.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "util/env.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 #include "util/trace.hpp"
 
@@ -24,6 +34,29 @@ void set_enabled(bool on) {
   detail::enabled_flag().store(on, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Bucket index for a recorded value: 8 log buckets per decade starting at
+/// 1e-12. Non-positive values land in bucket 0 (latencies and sizes are
+/// positive; a zero must still be counted somewhere).
+int bucket_index(double value) {
+  if (!(value > Histogram::kBucketFloor)) return 0;
+  const double position =
+      (std::log10(value) + 12.0) * Histogram::kBucketsPerDecade;
+  const int index = static_cast<int>(position);
+  return std::clamp(index, 0, Histogram::kBucketCount - 1);
+}
+
+/// Geometric midpoint of a bucket — the representative value quantile()
+/// reports for samples that landed in it.
+double bucket_mid(int index) {
+  const double decades =
+      (index + 0.5) / Histogram::kBucketsPerDecade - 12.0;
+  return std::pow(10.0, decades);
+}
+
+}  // namespace
+
 void Histogram::record(double value) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -36,6 +69,26 @@ void Histogram::record(double value) {
   }
   ++stats_.count;
   stats_.sum += value;
+  ++stats_.buckets[static_cast<std::size_t>(bucket_index(value))];
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The endpoints are tracked exactly — answer them without bucket error.
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank of the q-th sample (1-based, ceil) — p999 of 1000 samples is the
+  // 1000th, not an extrapolation past the data.
+  const long long rank = std::max<long long>(
+      1, static_cast<long long>(std::ceil(q * static_cast<double>(count))));
+  long long seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (seen >= rank)
+      return std::clamp(bucket_mid(i), min, max);
+  }
+  return max;
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -204,7 +257,10 @@ std::string RunReport::to_json() const {
            ",\"sum\":" + json_number(h.stats.sum) +
            ",\"min\":" + json_number(h.stats.min) +
            ",\"max\":" + json_number(h.stats.max) +
-           ",\"mean\":" + json_number(h.stats.mean()) + "}";
+           ",\"mean\":" + json_number(h.stats.mean()) +
+           ",\"p50\":" + json_number(h.stats.quantile(0.50)) +
+           ",\"p99\":" + json_number(h.stats.quantile(0.99)) +
+           ",\"p999\":" + json_number(h.stats.quantile(0.999)) + "}";
   }
   out += "},\"spans\":[";
   for (std::size_t i = 0; i < spans.size(); ++i) {
@@ -252,6 +308,170 @@ std::string RunReport::to_table() const {
     for (const auto& line : notes) out += "  " + line + "\n";
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// NDJSON stream.
+
+namespace {
+
+/// Resolved stream target. `fd` is -1 when unconfigured; `owned` says
+/// whether close() is ours (paths yes, inherited numeric fds no).
+struct StreamState {
+  std::mutex mutex;
+  std::string target;     // as configured, for diagnostics
+  int fd = -1;
+  bool owned = false;
+  bool env_loaded = false;
+  bool write_failed_warned = false;
+  long long seq = 0;
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+};
+
+StreamState& stream_state() {
+  static StreamState s;
+  return s;
+}
+
+bool all_digits(const std::string& text) {
+  if (text.empty()) return false;
+  for (const char c : text)
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+/// Open `target` (must be called with the state mutex held). Failures warn
+/// and leave the stream unconfigured — observability must never take the
+/// process down.
+void open_target_locked(StreamState& state, const std::string& target) {
+  if (state.fd >= 0 && state.owned) ::close(state.fd);
+  state.fd = -1;
+  state.owned = false;
+  state.target = target;
+  state.write_failed_warned = false;
+  state.seq = 0;  // lines are numbered per target, starting at 1
+  if (target.empty()) return;
+  if (all_digits(target) && target.size() <= 9) {
+    state.fd = std::stoi(target);
+    state.owned = false;
+    return;
+  }
+  const int fd =
+      ::open(target.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    log_warn("metrics: cannot open MEMSTRESS_METRICS_STREAM target \"",
+             target, "\"; stream disabled");
+    return;
+  }
+  state.fd = fd;
+  state.owned = true;
+}
+
+/// Lazily pick up the environment target exactly once (programmatic
+/// set_stream_target wins by setting env_loaded first).
+void ensure_env_loaded_locked(StreamState& state) {
+  if (state.env_loaded) return;
+  state.env_loaded = true;
+  const std::string target = env_string_or("MEMSTRESS_METRICS_STREAM", "");
+  if (!target.empty()) open_target_locked(state, target);
+}
+
+bool write_line(int fd, const std::string& line) {
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + sent, line.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool stream_configured() {
+  StreamState& state = stream_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  ensure_env_loaded_locked(state);
+  return state.fd >= 0;
+}
+
+void set_stream_target(const std::string& target) {
+  StreamState& state = stream_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.env_loaded = true;  // programmatic choice overrides the env
+  open_target_locked(state, target);
+}
+
+bool emit_stream_snapshot(const std::string& label) {
+  // Collect outside the stream lock: collect() takes the registry lock and
+  // instrumented code paths must never wait on a slow stream write.
+  const std::string report = collect().to_json();
+  StreamState& state = stream_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  ensure_env_loaded_locked(state);
+  if (state.fd < 0) return false;
+  const long long uptime_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - state.start)
+          .count();
+  std::string line = "{\"stream\":\"metrics\",\"seq\":" +
+                     std::to_string(++state.seq) +
+                     ",\"uptime_ms\":" + std::to_string(uptime_ms);
+  if (!label.empty()) line += ",\"label\":" + json_string(label);
+  line += ",\"report\":" + report + "}\n";
+  if (!write_line(state.fd, line)) {
+    if (!state.write_failed_warned) {
+      state.write_failed_warned = true;
+      log_warn("metrics: write to MEMSTRESS_METRICS_STREAM target \"",
+               state.target, "\" failed; further failures are silent");
+    }
+    return false;
+  }
+  return true;
+}
+
+struct SnapshotStreamer::Impl {
+  std::mutex mutex;
+  std::condition_variable wake;
+  bool stop = false;
+  std::string label;
+  std::thread thread;
+};
+
+SnapshotStreamer::SnapshotStreamer(int interval_ms, std::string label) {
+  if (!stream_configured()) return;  // no target: spawn nothing
+  impl_ = std::make_unique<Impl>();
+  impl_->label = std::move(label);
+  Impl* impl = impl_.get();
+  const auto interval =
+      std::chrono::milliseconds(std::max(interval_ms, 10));
+  impl->thread = std::thread([impl, interval] {
+    std::unique_lock<std::mutex> lock(impl->mutex);
+    for (;;) {
+      if (impl->wake.wait_for(lock, interval, [impl] { return impl->stop; }))
+        return;
+      lock.unlock();
+      emit_stream_snapshot(impl->label);
+      lock.lock();
+    }
+  });
+}
+
+SnapshotStreamer::~SnapshotStreamer() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  impl_->thread.join();
+  // Final frame so a consumer always sees the end-of-run totals.
+  emit_stream_snapshot(impl_->label);
 }
 
 }  // namespace memstress::metrics

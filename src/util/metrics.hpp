@@ -17,8 +17,10 @@
 // use. core::PipelineConfig::metrics surfaces the same switch per pipeline.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -51,10 +53,21 @@ class Counter {
   std::atomic<long long> value_{0};
 };
 
-/// A named value distribution (count / sum / min / max). Coarse-grained —
-/// guarded by a mutex, so record per task or per run, not per inner-loop op.
+/// A named value distribution (count / sum / min / max plus log-scaled
+/// buckets for quantile estimates). Coarse-grained — guarded by a mutex, so
+/// record per task or per run, not per inner-loop op.
+///
+/// Quantiles come from a fixed array of logarithmic buckets (8 per decade
+/// covering 1e-12 .. 1e4, the span from nanosecond latencies to hour-long
+/// runs), so p50/p99/p999 are estimates with ~15% relative resolution and
+/// O(1) memory — good enough to alarm on an SLO, not for billing.
 class Histogram {
  public:
+  /// Log-bucket geometry shared by record() and quantile().
+  static constexpr int kBucketsPerDecade = 8;
+  static constexpr int kBucketCount = 128;      // 16 decades
+  static constexpr double kBucketFloor = 1e-12; // bucket 0 lower edge
+
   void record(double value);
 
   struct Snapshot {
@@ -62,7 +75,11 @@ class Histogram {
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    std::array<long long, kBucketCount> buckets{};
     double mean() const { return count > 0 ? sum / count : 0.0; }
+    /// Estimated value at quantile q in [0, 1] (0 when empty). Clamped to
+    /// the observed [min, max] so a one-sample histogram answers exactly.
+    double quantile(double q) const;
   };
   Snapshot snapshot() const;
 
@@ -129,5 +146,44 @@ struct RunReport {
 
 /// Snapshot the registry and span tree into a report.
 RunReport collect();
+
+// ---------------------------------------------------------------------------
+// NDJSON metrics stream: periodic RunReport snapshots a dashboard can tail.
+//
+// The target is MEMSTRESS_METRICS_STREAM=<path|fd> (a file opened in append
+// mode, or a numeric file descriptor the process inherited), read once at
+// first use; set_stream_target() overrides it programmatically. Each
+// emitted line is one self-contained JSON document:
+//   {"stream":"metrics","seq":N,"uptime_ms":M,"label":"...","report":{...}}
+// so `tail -f` piped into any NDJSON consumer sees complete frames. The
+// stream is additive observability: nothing in the library changes behavior
+// because a stream is attached.
+
+/// True when a stream target is configured (env or programmatic).
+bool stream_configured();
+
+/// Override MEMSTRESS_METRICS_STREAM: a path, a numeric fd, or "" to
+/// disable. Replaces (and closes, when owned) any previous target.
+void set_stream_target(const std::string& target);
+
+/// Append one snapshot line to the stream. Returns false when no target is
+/// configured or the write failed (warn-once). `label` tags the line so
+/// multi-phase runs (e.g. bench_soak's load vs drain phases) are separable.
+bool emit_stream_snapshot(const std::string& label = "");
+
+/// RAII background emitter: one snapshot every `interval_ms` plus a final
+/// one at destruction, so even a short-lived process leaves a complete
+/// stream. No thread is spawned when no target is configured.
+class SnapshotStreamer {
+ public:
+  explicit SnapshotStreamer(int interval_ms, std::string label = "");
+  ~SnapshotStreamer();
+  SnapshotStreamer(const SnapshotStreamer&) = delete;
+  SnapshotStreamer& operator=(const SnapshotStreamer&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace memstress::metrics

@@ -1,0 +1,239 @@
+// Coverage-guided protocol fuzzer for the memstressd serving path.
+//
+// Flow: replay every regression artifact first (all must come back green —
+// once a bug, always a test), then run a fixed-seed mutation loop over a
+// corpus seeded with one request of every type. Inputs that light new
+// coverage slots join the corpus; inputs that break the serving oracle are
+// minimized and written to tests/server/corpus/regressions/, where the
+// tier-1 ProtocolCorpus test replays them forever after.
+//
+// Usage: fuzz_protocol [--iterations N] [--seed S] [--hang-ms MS]
+//                      [--artifacts DIR] [--replay-only]
+//
+// The last stdout line is machine-readable:
+//   FUZZ_JSON {"bench":"fuzz_protocol", ...}
+// Exit code 0 = replay green and no new findings.
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "tests/fuzz/fuzz_engine.hpp"
+#include "tests/server/server_test_util.hpp"
+
+using namespace memstress;
+namespace fs = std::filesystem;
+
+namespace {
+
+// The input being executed right now, exported for the crash handler: if
+// the process dies on a signal, the artifact still lands on disk.
+std::string g_current_input;
+char g_signal_artifact_path[512] = {0};
+
+void write_signal_artifact(int signo) {
+  if (g_signal_artifact_path[0] == '\0') return;
+  const int fd = ::open(g_signal_artifact_path,
+                        O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    (void)!::write(fd, g_current_input.data(), g_current_input.size());
+    (void)!::write(fd, "\n", 1);
+    ::close(fd);
+  }
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+std::string read_file_frame(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::size_t newline = data.find('\n');
+  if (newline != std::string::npos) data.resize(newline);
+  return data;
+}
+
+struct Findings {
+  long crash = 0;
+  long hang = 0;
+  long badresp = 0;
+  long total() const { return crash + hang + badresp; }
+  void count(fuzz::Verdict verdict) {
+    if (verdict == fuzz::Verdict::Crash) ++crash;
+    if (verdict == fuzz::Verdict::Hang) ++hang;
+    if (verdict == fuzz::Verdict::BadResponse) ++badresp;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long iterations = 10000;
+  std::uint64_t seed = 1;
+  int hang_ms = 2000;
+  bool replay_only = false;
+  fs::path artifacts =
+      fs::path(MEMSTRESS_SOURCE_DIR) / "tests" / "server" / "corpus" /
+      "regressions";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
+      iterations = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--hang-ms") == 0 && i + 1 < argc) {
+      hang_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--artifacts") == 0 && i + 1 < argc) {
+      artifacts = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay-only") == 0) {
+      replay_only = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  fs::create_directories(artifacts);
+  std::snprintf(g_signal_artifact_path, sizeof g_signal_artifact_path,
+                "%s/crash-signal-%d.txt", artifacts.c_str(),
+                static_cast<int>(::getpid()));
+  std::signal(SIGSEGV, &write_signal_artifact);
+  std::signal(SIGABRT, &write_signal_artifact);
+  std::signal(SIGBUS, &write_signal_artifact);
+
+  const auto service = server::make_test_service();
+  fuzz::CoverageMap map;
+  Findings findings;
+  std::vector<std::string> corpus = fuzz::builtin_seeds();
+
+  // Phase 1: regression replay. Every artifact must produce a structured
+  // response (verdict ok) — these are all fixed bugs. Replay also primes
+  // the coverage map so the mutation loop only chases genuinely new edges.
+  long replayed = 0;
+  long replay_failures = 0;
+  std::vector<fs::path> artifact_files;
+  for (const auto& entry : fs::directory_iterator(artifacts))
+    if (entry.is_regular_file() && entry.path().extension() == ".txt")
+      artifact_files.push_back(entry.path());
+  std::sort(artifact_files.begin(), artifact_files.end());
+  for (const fs::path& path : artifact_files) {
+    const std::string frame = read_file_frame(path);
+    g_current_input = frame;
+    const fuzz::RunOutcome outcome =
+        fuzz::run_one(*service, frame, map, hang_ms);
+    map.merge_new();
+    ++replayed;
+    corpus.push_back(frame);
+    if (outcome.verdict != fuzz::Verdict::Ok) {
+      ++replay_failures;
+      std::fprintf(stderr, "REPLAY RED %s: %s (%s)\n",
+                   path.filename().c_str(),
+                   fuzz::verdict_name(outcome.verdict),
+                   outcome.detail.c_str());
+    }
+  }
+  std::printf("fuzz_protocol: replayed %ld regression artifacts, %ld red\n",
+              replayed, replay_failures);
+
+  // Prime coverage with the builtin seeds too.
+  for (const std::string& seed_input : fuzz::builtin_seeds()) {
+    g_current_input = seed_input;
+    fuzz::run_one(*service, seed_input, map, hang_ms);
+    map.merge_new();
+  }
+
+  // Phase 2: the mutation loop.
+  long executed = 0;
+  long coverage_adds = 0;
+  std::vector<std::string> written;
+  if (!replay_only) {
+    Rng rng(seed);
+    constexpr std::size_t kMaxCorpus = 4096;
+    constexpr std::size_t kMaxArtifacts = 16;
+    for (long i = 0; i < iterations; ++i) {
+      const std::string& base = corpus[rng.below(corpus.size())];
+      const std::string& donor = corpus[rng.below(corpus.size())];
+      const std::string input =
+          fuzz::clamp_cost(fuzz::mutate(base, donor, rng));
+      g_current_input = input;
+      const fuzz::RunOutcome outcome =
+          fuzz::run_one(*service, input, map, hang_ms);
+      ++executed;
+      if (outcome.verdict != fuzz::Verdict::Ok) {
+        findings.count(outcome.verdict);
+        const std::string minimized = fuzz::clamp_cost(
+            fuzz::minimize(*service, input, outcome.verdict, map, hang_ms));
+        map.merge_new();
+        if (written.size() < kMaxArtifacts) {
+          const std::string name =
+              std::string(fuzz::verdict_name(outcome.verdict)) + "-" +
+              fuzz::content_hash(minimized) + ".txt";
+          const fs::path path = artifacts / name;
+          if (!fs::exists(path)) {
+            std::ofstream out(path, std::ios::binary);
+            out.write(minimized.data(),
+                      static_cast<std::streamsize>(minimized.size()));
+            out.put('\n');
+            written.push_back(name);
+            std::fprintf(stderr,
+                         "FINDING %s: %s\n  input: %s\n  detail: %s\n",
+                         fuzz::verdict_name(outcome.verdict), name.c_str(),
+                         minimized.c_str(), outcome.detail.c_str());
+          }
+        }
+        continue;
+      }
+      const std::size_t fresh = map.merge_new();
+      if (fresh > 0) {
+        ++coverage_adds;
+        if (corpus.size() < kMaxCorpus) corpus.push_back(input);
+      }
+      if ((i + 1) % 2000 == 0)
+        std::printf("  %ld/%ld executed, corpus %zu, coverage %zu slots, "
+                    "%ld findings\n",
+                    i + 1, iterations, corpus.size(), map.covered(),
+                    findings.total());
+    }
+  }
+
+  const bool all_green = replay_failures == 0 && findings.total() == 0;
+  std::printf("\n  regression artifacts replayed ............. %ld\n",
+              replayed);
+  std::printf("  mutated inputs executed ................... %ld\n",
+              executed);
+  std::printf("  final corpus size ......................... %zu\n",
+              corpus.size());
+  std::printf("  coverage slots lit ........................ %zu\n",
+              map.covered());
+  std::printf("  corpus-joining inputs (new coverage) ...... %ld\n",
+              coverage_adds);
+  std::printf("  findings crash/hang/badresp ............... %ld / %ld / "
+              "%ld\n",
+              findings.crash, findings.hang, findings.badresp);
+  std::printf("  verdict ................................... %s\n\n",
+              all_green ? "GREEN" : "RED");
+
+  std::string artifact_list = "[";
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    if (i > 0) artifact_list += ",";
+    artifact_list += "\"" + written[i] + "\"";
+  }
+  artifact_list += "]";
+  std::printf("FUZZ_JSON {\"bench\":\"fuzz_protocol\",\"iterations\":%ld,"
+              "\"seed\":%llu,\"executed\":%ld,\"replayed\":%ld,"
+              "\"replay_failures\":%ld,\"corpus\":%zu,"
+              "\"coverage_slots\":%zu,\"coverage_adds\":%ld,"
+              "\"findings\":{\"crash\":%ld,\"hang\":%ld,\"badresp\":%ld},"
+              "\"artifacts_written\":%s,\"all_green\":%s}\n",
+              iterations, static_cast<unsigned long long>(seed), executed,
+              replayed, replay_failures, corpus.size(), map.covered(),
+              coverage_adds, findings.crash, findings.hang, findings.badresp,
+              artifact_list.c_str(), all_green ? "true" : "false");
+  return all_green ? 0 : 1;
+}

@@ -1,0 +1,154 @@
+// Unit tests for the fuzz engine itself: deterministic mutation, coverage
+// bookkeeping, the cost clamp, the serving oracle and the minimizer. The
+// engine guards the protocol stack — these tests guard the engine.
+#include "tests/fuzz/fuzz_engine.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/server/server_test_util.hpp"
+
+namespace memstress::fuzz {
+namespace {
+
+TEST(FuzzMutator, DeterministicForAGivenSeed) {
+  const std::string input = "{\"v\":1,\"id\":1,\"type\":\"health\"}";
+  const std::string donor = builtin_seeds().back();
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(mutate(input, donor, a), mutate(input, donor, b));
+}
+
+TEST(FuzzMutator, ProducesDiverseOutputs) {
+  const std::string input = "{\"v\":1,\"id\":1,\"type\":\"health\"}";
+  Rng rng(7);
+  int changed = 0;
+  for (int i = 0; i < 100; ++i)
+    if (mutate(input, input, rng) != input) ++changed;
+  EXPECT_GT(changed, 90);  // near-always actually mutates
+}
+
+TEST(FuzzMutator, RespectsTheSizeCap) {
+  std::string input(7000, 'a');
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_LE(mutate(input, input, rng).size(), 8192u);
+}
+
+TEST(FuzzCoverage, MergeCountsOnlyNewSlots) {
+  CoverageMap map;
+  map.hit(1);
+  map.hit(2);
+  EXPECT_EQ(map.merge_new(), 2u);
+  map.hit(2);
+  map.hit(3);
+  EXPECT_EQ(map.merge_new(), 1u);  // only slot 3 is new
+  EXPECT_EQ(map.covered(), 3u);
+  EXPECT_EQ(map.merge_new(), 0u);  // current map was cleared by the merge
+}
+
+TEST(FuzzClamp, RewritesRunawayMonteCarloBudgets) {
+  EXPECT_EQ(clamp_cost("{\"monte_carlo_defects\":500000}"),
+            "{\"monte_carlo_defects\":2000}");
+  EXPECT_EQ(clamp_cost("{\"monte_carlo_defects\": 99999,\"seed\":1}"),
+            "{\"monte_carlo_defects\": 2000,\"seed\":1}");
+  // Small budgets and validation-rejected huge ones stay untouched.
+  EXPECT_EQ(clamp_cost("{\"monte_carlo_defects\":300}"),
+            "{\"monte_carlo_defects\":300}");
+  EXPECT_EQ(clamp_cost("{\"monte_carlo_defects\":20000000}"),
+            "{\"monte_carlo_defects\":20000000}");
+  // Unrelated numbers are never rewritten.
+  EXPECT_EQ(clamp_cost("{\"resistance\":100000}"),
+            "{\"resistance\":100000}");
+}
+
+TEST(FuzzHarness, ValidRequestOfEveryTypeIsOk) {
+  const auto service = server::make_test_service();
+  CoverageMap map;
+  for (const std::string& seed : builtin_seeds()) {
+    const RunOutcome outcome = run_one(*service, seed, map, 2000);
+    EXPECT_EQ(outcome.verdict, Verdict::Ok)
+        << seed << " -> " << outcome.detail;
+    map.merge_new();
+  }
+  EXPECT_GT(map.covered(), 0u) << "no run lit any coverage slot";
+}
+
+TEST(FuzzHarness, GarbageBytesStillGetAStructuredAnswer) {
+  const auto service = server::make_test_service();
+  CoverageMap map;
+  const RunOutcome outcome =
+      run_one(*service, std::string("\xff\xfe\x00garbage", 10), map, 2000);
+  EXPECT_EQ(outcome.verdict, Verdict::Ok) << outcome.detail;
+  EXPECT_NE(outcome.response.find("parse_error"), std::string::npos);
+}
+
+TEST(FuzzHarness, DistinctInputsLightDistinctSlots) {
+  const auto service = server::make_test_service();
+  CoverageMap map;
+  run_one(*service, "{\"v\":1,\"id\":1,\"type\":\"health\"}", map, 2000);
+  map.merge_new();
+  // A structurally different input (array envelope) must add coverage.
+  const std::size_t before = map.covered();
+  run_one(*service, "[1,2,3]", map, 2000);
+  map.merge_new();
+  EXPECT_GT(map.covered(), before);
+}
+
+TEST(FuzzMinimize, ShrinksWhilePreservingTheVerdict) {
+  // Synthetic finding: the oracle treats a response with a newline as
+  // BadResponse — there is no real such bug, so manufacture the verdict
+  // with a harness-level check instead: minimize an unparseable frame down
+  // while it keeps failing to parse as a request (parse_error responses
+  // are verdict Ok, so use a Crash-free proxy: minimize on Ok verdict).
+  // Minimizing an Ok input must strip it to the smallest input that still
+  // answers structurally — which is the empty frame (parse_error).
+  const auto service = server::make_test_service();
+  CoverageMap map;
+  const std::string input =
+      "{\"v\":1,\"id\":1,\"type\":\"health\",\"params\":{}}";
+  const std::string minimized =
+      minimize(*service, input, Verdict::Ok, map, 2000);
+  EXPECT_LT(minimized.size(), input.size());
+  EXPECT_EQ(run_one(*service, minimized, map, 2000).verdict, Verdict::Ok);
+}
+
+TEST(FuzzArtifacts, ContentHashIsStableAndCollisionAware) {
+  EXPECT_EQ(content_hash("abc"), content_hash("abc"));
+  EXPECT_NE(content_hash("abc"), content_hash("abd"));
+  EXPECT_EQ(content_hash("").size(), 16u);
+}
+
+TEST(FuzzSmoke, ThousandIterationsFindNothingOnTheCurrentStack) {
+  // A miniature fixed-seed fuzz run inside tier-1: mutate from the builtin
+  // seeds and require zero findings. The full 10k smoke runs via ctest as
+  // fuzz_smoke; this inline version catches engine regressions (e.g. an
+  // oracle that starts flagging healthy responses) even when the fuzz
+  // label is not scheduled.
+  const auto service = server::make_test_service();
+  CoverageMap map;
+  std::vector<std::string> corpus = builtin_seeds();
+  Rng rng(42);
+  long findings = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string input = clamp_cost(
+        mutate(corpus[rng.below(corpus.size())],
+               corpus[rng.below(corpus.size())], rng));
+    const RunOutcome outcome = run_one(*service, input, map, 2000);
+    if (outcome.verdict != Verdict::Ok) {
+      ++findings;
+      ADD_FAILURE() << verdict_name(outcome.verdict) << ": "
+                    << outcome.detail << "\n  input: " << input;
+    }
+    if (map.merge_new() > 0 && corpus.size() < 512) {
+      corpus.push_back(input);
+    }
+  }
+  EXPECT_EQ(findings, 0);
+  EXPECT_GT(map.covered(), 50u);  // the loop actually explored
+}
+
+}  // namespace
+}  // namespace memstress::fuzz

@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include "defects/sampler.hpp"
+#include "server/client.hpp"
 #include "estimator/coverage.hpp"
 #include "estimator/detectability.hpp"
 #include "layout/sram_layout.hpp"
@@ -121,5 +122,41 @@ struct RawConnection {
   bool connected() const { return fd >= 0; }
   void finish_writing() const { ::shutdown(fd, SHUT_WR); }
 };
+
+/// In-process replica of Server::process_line for the fuzzer and the
+/// regression-corpus replay: same parse -> handle_serialized -> envelope
+/// path, same structured error mapping, no sockets and no chaos site. Any
+/// exception escaping THIS function is a protocol-stack bug by definition —
+/// that is exactly the oracle the fuzz harness enforces.
+inline std::string handle_line_inprocess(const MemstressService& service,
+                                         const std::string& line,
+                                         int timeout_ms = 2000) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const ProtocolError& e) {
+    return make_error(0, "parse_error", std::string("request:1: ") + e.what());
+  }
+  RequestContext context;
+  context.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(timeout_ms);
+  try {
+    const std::string payload = service.handle_serialized(request, context);
+    if (context.past_deadline())
+      return make_error(request.id, "timeout", "request:1: deadline of " +
+                                                   std::to_string(timeout_ms) +
+                                                   " ms exceeded");
+    return make_response_from_payload(request.id, payload);
+  } catch (const ProtocolError& e) {
+    return make_error(request.id, "bad_request",
+                      std::string("request:1: ") + e.what());
+  } catch (const CancelledError& e) {
+    return make_error(request.id, "shutting_down",
+                      std::string("request:1: ") + e.what());
+  } catch (const Error& e) {
+    return make_error(request.id, "internal",
+                      std::string("request:1: ") + e.what());
+  }
+}
 
 }  // namespace memstress::server

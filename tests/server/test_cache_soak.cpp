@@ -1,0 +1,169 @@
+// Adversarial traffic against the serving result cache: zipf-skewed key
+// reuse with a cache far too small for the working set (constant eviction
+// churn), concurrent single-flight misses whose computation FAILS, and the
+// same storm replayed at the wire level. Run under
+// -DMEMSTRESS_SANITIZE=thread via check_parallel, these are the races the
+// soak harness would otherwise only find at 2 a.m.
+//
+// The invariant throughout: no matter how the cache shuffles hits, misses,
+// coalesced waits and evictions, every answer is byte-identical to the
+// cache-independent direct computation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/loadgen.hpp"
+#include "server_test_util.hpp"
+#include "util/rng.hpp"
+
+namespace memstress::server {
+namespace {
+
+/// 32 distinct dpm requests (cheap to compute, cacheable) — the working
+/// set each storm draws from with zipf skew.
+std::vector<std::string> dpm_working_set() {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 32; ++i) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "{\"v\":1,\"id\":%d,\"type\":\"dpm\",\"params\":"
+                  "{\"yield\":0.%02d,\"defect_coverage\":0.9%02d}}",
+                  i + 1, 50 + i, i);
+    lines.emplace_back(line);
+  }
+  return lines;
+}
+
+class CacheAdversarial : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheAdversarial, ZipfHammerUnderEvictionStaysByteIdentical) {
+  const int workers = GetParam();
+  // 8 cache entries for a 32-key working set: the tail constantly evicts
+  // the head, so hits, misses, coalesced waits and evictions all interleave.
+  ServiceInfo info;
+  info.cache_entries = 8;
+  const auto service = make_test_service(info);
+
+  const std::vector<std::string> lines = dpm_working_set();
+  std::vector<std::string> expected;
+  std::vector<Request> requests;
+  for (const auto& line : lines) {
+    const Request request = parse_request(line);
+    expected.push_back(service->handle(request, {}).dump());
+    requests.push_back(request);
+  }
+
+  std::atomic<long> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < workers; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<std::uint64_t>(t));
+      const ZipfSampler zipf(lines.size(), 1.1);
+      for (int i = 0; i < 800; ++i) {
+        const std::size_t pick = zipf.sample(rng);
+        const std::string payload =
+            service->handle_serialized(requests[pick], {});
+        if (payload != expected[pick]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto stats = service->cache().stats();
+  EXPECT_GT(stats.evictions, 0) << "cache was not actually under pressure";
+  EXPECT_GT(stats.hits, 0);
+}
+
+TEST_P(CacheAdversarial, SingleFlightFailuresSurfaceToEveryWaiter) {
+  const int workers = GetParam();
+  ServiceInfo info;
+  info.cache_entries = 8;
+  const auto service = make_test_service(info);
+
+  // A cacheable request whose computation throws (the Monte-Carlo budget
+  // guard). Concurrent misses coalesce on the same in-flight slot — every
+  // waiter must see the error, and the failure must NOT be cached: valid
+  // traffic on the same cache afterwards still computes fine.
+  const Request failing = parse_request(
+      "{\"v\":1,\"id\":1,\"type\":\"schedule\",\"params\":"
+      "{\"cells\":4096,\"monte_carlo_defects\":2000000,\"seed\":1}}");
+
+  std::atomic<long> threw{0};
+  std::atomic<long> wrong_outcomes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < workers; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        try {
+          (void)service->handle_serialized(failing, {});
+          wrong_outcomes.fetch_add(1);  // must never succeed
+        } catch (const ProtocolError&) {
+          threw.fetch_add(1);
+        } catch (...) {
+          wrong_outcomes.fetch_add(1);  // wrong exception type
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(wrong_outcomes.load(), 0);
+  EXPECT_EQ(threw.load(), static_cast<long>(workers) * 50);
+
+  // The cache is intact for valid traffic after the failure storm.
+  const Request valid = parse_request(
+      "{\"v\":1,\"id\":2,\"type\":\"dpm\",\"params\":"
+      "{\"yield\":0.95,\"defect_coverage\":0.99}}");
+  const std::string direct = service->handle(valid, {}).dump();
+  EXPECT_EQ(service->handle_serialized(valid, {}), direct);
+  EXPECT_EQ(service->handle_serialized(valid, {}), direct);
+}
+
+TEST_P(CacheAdversarial, WireLevelZipfStormWithTinyCacheStaysCorrect) {
+  const int workers = GetParam();
+  ServerConfig config;
+  config.workers = workers;
+  config.cache_entries = 4;  // even harsher churn at the wire level
+  TestServer fixture(config);
+
+  const std::vector<std::string> lines = dpm_working_set();
+  std::vector<std::string> expected;
+  for (const auto& line : lines)
+    expected.push_back(fixture.expected_response(line));
+
+  std::atomic<long> mismatches{0};
+  std::atomic<long> transport_errors{0};
+  const int client_count = 3;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < client_count; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        Rng rng(77 + static_cast<std::uint64_t>(c));
+        const ZipfSampler zipf(lines.size(), 1.1);
+        Client client(fixture.client_config());
+        for (int i = 0; i < 200; ++i) {
+          const std::size_t pick = zipf.sample(rng);
+          if (client.roundtrip(lines[pick]) != expected[pick])
+            mismatches.fetch_add(1);
+        }
+      } catch (const Error&) {
+        transport_errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  fixture.server.stop();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(transport_errors.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, CacheAdversarial,
+                         ::testing::Values(1, 2, 8));
+
+}  // namespace
+}  // namespace memstress::server

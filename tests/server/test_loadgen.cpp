@@ -1,0 +1,177 @@
+// Tests for the load-generation toolkit (server/loadgen.hpp): zipf
+// sampling, open-loop pacing, per-type latency accounting — and the exact
+// JSON schema of TrafficReport, which BENCH_JSON/SOAK_JSON trailers embed.
+// The schema pin is deliberate: dashboards and trend scripts parse these
+// trailers, so a field rename must fail a test, not a downstream parser.
+#include "server/loadgen.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace memstress::server {
+namespace {
+
+TEST(LoadgenZipf, PrefersLowIndices) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(42);
+  std::vector<long long> counts(zipf.size(), 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  // With s = 1 over 100 items, index 0 carries ~19% of the mass; the tail
+  // item ~0.2%. Generous bounds keep this deterministic-seed test stable.
+  EXPECT_GT(counts[0], 3000);
+  EXPECT_GT(counts[0], counts[10] * 5);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(LoadgenZipf, ZeroExponentIsUniform) {
+  ZipfSampler zipf(20, 0.0);
+  Rng rng(7);
+  std::vector<long long> counts(zipf.size(), 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_GT(counts[i], 700) << "index " << i;
+    EXPECT_LT(counts[i], 1300) << "index " << i;
+  }
+}
+
+TEST(LoadgenZipf, DeterministicForAGivenSeed) {
+  ZipfSampler zipf(64, 1.2);
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(zipf.sample(a), zipf.sample(b));
+}
+
+TEST(LoadgenZipf, SingleItemAlwaysSamplesZero) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(LoadgenPacer, DeadlinesAreEvenlySpaced) {
+  const auto start = std::chrono::steady_clock::now();
+  Pacer pacer(1000.0, start);  // one request per millisecond
+  const auto d0 = pacer.next_deadline();
+  const auto d1 = pacer.next_deadline();
+  const auto d2 = pacer.next_deadline();
+  EXPECT_EQ(d0, start);
+  EXPECT_EQ(d1 - d0, std::chrono::milliseconds(1));
+  EXPECT_EQ(d2 - d1, std::chrono::milliseconds(1));
+  EXPECT_EQ(pacer.issued(), 3);
+}
+
+TEST(LoadgenPacer, BehindGrowsWhenScheduleIsInThePast) {
+  // A schedule that started one second ago at 1000 req/s is ~1000 requests
+  // behind "now" before anything was issued.
+  const auto start =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  Pacer pacer(1000.0, start);
+  EXPECT_GE(pacer.behind().count(), 900);
+}
+
+TEST(LoadgenQuantile, MatchesBenchServerConvention) {
+  std::vector<double> sorted = {0.001, 0.002, 0.003, 0.004};
+  EXPECT_DOUBLE_EQ(exact_quantile_ms(sorted, 0.5), 0.003 * 1e3);
+  EXPECT_DOUBLE_EQ(exact_quantile_ms(sorted, 0.99), 0.004 * 1e3);
+  EXPECT_DOUBLE_EQ(exact_quantile_ms({}, 0.5), 0.0);
+}
+
+TEST(LoadgenRecorder, SeparatesTypesAndCountsErrors) {
+  LatencyRecorder recorder;
+  recorder.record("dpm", 0.010);
+  recorder.record("dpm", 0.020);
+  recorder.record("health", 0.001);
+  recorder.record_error("health", "busy");
+  recorder.record_error("health", "busy");
+  recorder.record_error("health", "timeout");
+
+  const TrafficReport report = recorder.report();
+  ASSERT_EQ(report.types.size(), 2u);
+  EXPECT_EQ(report.types[0].type, "dpm");  // sorted order
+  EXPECT_EQ(report.types[0].count, 2);
+  EXPECT_EQ(report.types[0].errors, 0);
+  EXPECT_EQ(report.types[1].type, "health");
+  EXPECT_EQ(report.types[1].count, 1);
+  EXPECT_EQ(report.types[1].errors, 3);
+  EXPECT_EQ(report.types[1].errors_by_code.at("busy"), 2);
+  EXPECT_EQ(report.types[1].errors_by_code.at("timeout"), 1);
+  EXPECT_EQ(report.total_count(), 3);
+  EXPECT_EQ(report.total_errors(), 3);
+}
+
+TEST(LoadgenRecorder, MirrorsIntoMetricsHistogramsWhenPrefixed) {
+  metrics::reset();
+  metrics::set_enabled(true);
+  LatencyRecorder recorder("soak.latency.");
+  recorder.record("coverage", 0.25);
+  recorder.record("coverage", 0.5);
+  const metrics::RunReport report = metrics::collect();
+  bool found = false;
+  for (const auto& h : report.histograms) {
+    if (h.name == "soak.latency.coverage") {
+      found = true;
+      EXPECT_EQ(h.stats.count, 2);
+    }
+  }
+  EXPECT_TRUE(found);
+  metrics::set_enabled(false);
+  metrics::reset();
+}
+
+// The pinned schema. Samples are chosen binary-exact (powers of two in
+// seconds) so every derived millisecond value renders without floating
+// noise; if this test fails, a BENCH_JSON/SOAK_JSON consumer somewhere
+// breaks too — change them together, deliberately.
+TEST(LoadgenReport, JsonSchemaIsPinned) {
+  LatencyRecorder recorder;
+  recorder.record("dpm", 0.5);
+  recorder.record("dpm", 0.25);
+  recorder.record("dpm", 1.0);
+  recorder.record("dpm", 2.0);
+  recorder.record("health", 0.000244140625);  // 2^-12 s
+  recorder.record_error("health", "busy");
+  recorder.record_error("health", "busy");
+  recorder.record_error("health", "timeout");
+
+  const std::string expected =
+      "{\"dpm\":{\"count\":4,\"errors\":0,\"errors_by_code\":{},"
+      "\"mean_ms\":937.5,\"p50_ms\":1000,\"p99_ms\":2000,\"p999_ms\":2000,"
+      "\"max_ms\":2000},"
+      "\"health\":{\"count\":1,\"errors\":3,"
+      "\"errors_by_code\":{\"busy\":2,\"timeout\":1},"
+      "\"mean_ms\":0.244140625,\"p50_ms\":0.244140625,"
+      "\"p99_ms\":0.244140625,\"p999_ms\":0.244140625,"
+      "\"max_ms\":0.244140625}}";
+  EXPECT_EQ(recorder.report().to_json().dump(), expected);
+}
+
+TEST(LoadgenSlo, ViolationsNameTheTypeAndThreshold) {
+  LatencyRecorder recorder;
+  recorder.record("dpm", 0.5);
+  recorder.record("dpm", 2.0);
+  recorder.record("health", 0.001);
+  recorder.record_error("health", "busy");
+  const TrafficReport report = recorder.report();
+
+  SloSpec slo;
+  slo.p99_ms = 1500.0;
+  slo.max_error_fraction = 0.25;
+  const SloVerdict verdict = report.evaluate(slo);
+  EXPECT_FALSE(verdict.pass);
+  ASSERT_EQ(verdict.violations.size(), 2u);
+  EXPECT_EQ(verdict.violations[0], "dpm: p99 2000.000ms > 1500.000ms");
+  EXPECT_EQ(verdict.violations[1],
+            "health: error fraction 0.5000 > 0.2500");
+
+  // Disabled thresholds (<= 0) never fire.
+  const SloVerdict lax = report.evaluate(SloSpec{});
+  EXPECT_TRUE(lax.pass);
+  EXPECT_TRUE(lax.violations.empty());
+}
+
+}  // namespace
+}  // namespace memstress::server

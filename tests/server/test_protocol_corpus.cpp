@@ -1,0 +1,88 @@
+// Replays every regression artifact in tests/server/corpus/regressions/
+// through the full in-process request path. The corpus is append-only:
+// hand-written seeds pin historically tricky protocol edges, and
+// fuzz_protocol drops minimized crash/hang inputs here — so every bug the
+// fuzzer ever found stays fixed, enforced in tier-1 on every build.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server_test_util.hpp"
+
+namespace memstress::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpus_dir() {
+  return fs::path(MEMSTRESS_SOURCE_DIR) / "tests" / "server" / "corpus" /
+         "regressions";
+}
+
+/// The replay convention from corpus/README.md: one frame per file, the
+/// first line only, trailing newline stripped. Bytes are read raw — several
+/// seeds are deliberately invalid UTF-8 or carry NULs.
+std::string read_frame(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::size_t newline = data.find('\n');
+  if (newline != std::string::npos) data.resize(newline);
+  if (!data.empty() && data.back() == '\r') data.pop_back();
+  return data;
+}
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(corpus_dir()))
+    if (entry.is_regular_file() && entry.path().extension() == ".txt")
+      files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ProtocolCorpus, EveryRegressionArtifactReplaysStructured) {
+  const auto service = make_test_service();
+  const std::vector<fs::path> files = corpus_files();
+  ASSERT_GE(files.size(), 13u) << "seed corpus went missing from "
+                               << corpus_dir();
+  for (const fs::path& path : files) {
+    const std::string frame = read_frame(path);
+    std::string response;
+    ASSERT_NO_THROW(response = handle_line_inprocess(*service, frame))
+        << path.filename();
+    ASSERT_FALSE(response.empty()) << path.filename();
+    EXPECT_EQ(response.find('\n'), std::string::npos) << path.filename();
+
+    // The response must itself be a clean protocol frame: parseable JSON
+    // with the ok/error envelope.
+    Json doc;
+    ASSERT_NO_THROW(doc = Json::parse(response))
+        << path.filename() << " produced unparseable: " << response;
+    ASSERT_TRUE(doc.is_object()) << path.filename();
+    bool ok = false;
+    ASSERT_NO_THROW(ok = doc.at("ok").as_bool()) << path.filename();
+    if (!ok) {
+      ASSERT_NO_THROW(doc.at("error").at("code").as_string())
+          << path.filename() << " error without a code: " << response;
+    }
+  }
+}
+
+TEST(ProtocolCorpus, ReplayIsDeterministic) {
+  const auto service = make_test_service();
+  for (const fs::path& path : corpus_files()) {
+    const std::string frame = read_frame(path);
+    const std::string first = handle_line_inprocess(*service, frame);
+    const std::string second = handle_line_inprocess(*service, frame);
+    EXPECT_EQ(first, second) << path.filename();
+  }
+}
+
+}  // namespace
+}  // namespace memstress::server

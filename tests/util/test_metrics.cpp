@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "util/parallel.hpp"
@@ -142,6 +147,96 @@ TEST(MetricsReport, EmptyReportExplainsTheToggle) {
   reset();
   const std::string table = collect().to_table();
   EXPECT_NE(table.find("MEMSTRESS_METRICS"), std::string::npos);
+}
+
+TEST(MetricsHistogram, QuantilesFromLogBucketsBracketTheTruth) {
+  MetricsGuard guard;
+  Histogram& h = histogram("test.quantiles");
+  // 1000 samples 1ms..1000ms: true p50 = 500ms, p99 = 990ms. Log buckets
+  // give ~15% relative resolution — assert the estimates land in a window,
+  // and the clamp pins the exact extremes.
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-3);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1000);
+  EXPECT_NEAR(s.quantile(0.5), 0.5, 0.15);
+  EXPECT_NEAR(s.quantile(0.99), 0.99, 0.25);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), s.min);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), s.max);
+  EXPECT_GE(s.quantile(0.999), s.quantile(0.99));
+  EXPECT_GE(s.quantile(0.99), s.quantile(0.5));
+}
+
+TEST(MetricsHistogram, SingleSampleAnswersExactlyAtEveryQuantile) {
+  MetricsGuard guard;
+  Histogram& h = histogram("test.quantile_single");
+  h.record(0.125);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.125);   // clamped to [min, max]
+  EXPECT_DOUBLE_EQ(s.quantile(0.999), 0.125);
+  EXPECT_DOUBLE_EQ(Histogram::Snapshot{}.quantile(0.5), 0.0);  // empty
+}
+
+TEST(MetricsReport, JsonHistogramsCarryQuantileFields) {
+  MetricsGuard guard;
+  histogram("test.json_quantiles").record(0.5);
+  const std::string json = collect().to_json();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+}
+
+TEST(MetricsStream, EmitsSelfContainedNdjsonLines) {
+  MetricsGuard guard;
+  const std::string path =
+      ::testing::TempDir() + "metrics_stream_test.ndjson";
+  std::remove(path.c_str());
+  set_stream_target(path);
+  ASSERT_TRUE(stream_configured());
+  counter("test.stream_counter").add(3);
+  EXPECT_TRUE(emit_stream_snapshot("phase-a"));
+  EXPECT_TRUE(emit_stream_snapshot());
+  set_stream_target("");  // disable + close
+  EXPECT_FALSE(stream_configured());
+  EXPECT_FALSE(emit_stream_snapshot());
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("{\"stream\":\"metrics\",\"seq\":1,"),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"label\":\"phase-a\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"test.stream_counter\":3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"seq\":2,"), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"label\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsStream, StreamerEmitsPeriodicAndFinalSnapshots) {
+  MetricsGuard guard;
+  const std::string path =
+      ::testing::TempDir() + "metrics_streamer_test.ndjson";
+  std::remove(path.c_str());
+  set_stream_target(path);
+  counter("test.streamer_counter").add(1);
+  {
+    SnapshotStreamer streamer(20, "soak");
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  }  // destructor emits the final snapshot
+  set_stream_target("");
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"label\":\"soak\""), std::string::npos);
+    ++count;
+  }
+  EXPECT_GE(count, 2u);  // at least one periodic tick plus the final one
+  std::remove(path.c_str());
 }
 
 }  // namespace
