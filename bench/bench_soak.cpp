@@ -10,8 +10,11 @@
 //
 // Usage: bench_soak [--smoke] [--seconds N | --minutes N] [--clients N]
 //                   [--rate R] [--chaos [RATE]] [--kill-resume]
-//                   [--churn N] [--seed S] [--stream PATH]
+//                   [--churn N] [--seed S] [--stream PATH] [--coordinator]
 //   --smoke        short deterministic chaos + kill/resume soak for ctest
+//   --coordinator  distributed smoke instead of the traffic soak: a short
+//                  chaos + mid-run SIGKILL characterize over a local worker
+//                  fleet, byte-checked against the single-node oracle
 //   --rate R       open-loop pacing at R requests/s total (0 = closed loop,
 //                  one in flight per client)
 //   --chaos        seeded fault injection at the server's chaos site
@@ -42,7 +45,10 @@
 #include <thread>
 #include <vector>
 
+#include "march/library.hpp"
 #include "server/client.hpp"
+#include "server/coordinator.hpp"
+#include "server/fleet.hpp"
 #include "server/loadgen.hpp"
 #include "tests/server/server_test_util.hpp"
 #include "util/chaos.hpp"
@@ -457,10 +463,86 @@ int run_soak(const SoakOptions& opt) {
   return pass ? 0 : 1;
 }
 
+// -----------------------------------------------------------------------
+// --coordinator: the distributed smoke. A chaos-seeded characterize over a
+// 3-worker local fleet with one worker SIGKILLed mid-run; the merged CSV
+// (including its chaos quarantine rows — chaos verdicts are keyed on the
+// global grid index) must match the single-node oracle byte for byte.
+//
+// Must run before any soak threads exist: LocalWorkerFleet fork()s and the
+// parent must still be single-threaded.
+int run_coordinator_soak(std::uint64_t seed) {
+  estimator::CharacterizeSpec spec;
+  spec.block.rows = 2;
+  spec.block.cols = 1;
+  spec.test = march::test_11n();
+  spec.vdds = {1.0, 1.8};
+  spec.periods = {100e-9};
+  spec.bridge_resistances = {1e3};
+  spec.open_resistances = {1e6};
+  spec.gox_vbds = {1.7};
+  spec.threads = 1;
+  const double chaos_rate = 0.3;
+
+  chaos::configure(chaos_rate, seed);
+  const estimator::DetectabilityDb expected = estimator::characterize(spec);
+  chaos::disable();
+
+  server::ServerConfig worker_config;
+  worker_config.request_timeout_ms = 120000;
+  server::LocalWorkerFleet fleet(3,
+                                 [chaos_rate, seed] {
+                                   chaos::configure(chaos_rate, seed);
+                                   return server::make_test_service();
+                                 },
+                                 worker_config);
+  server::CoordinatorConfig config;
+  config.workers = fleet.endpoints();
+  config.characterize_shard_points = 3;
+  config.max_shard_attempts = 30;  // chaos re-rolls per attempt
+  config.backoff_initial_ms = 2;
+  config.backoff_max_ms = 20;
+  server::Coordinator coordinator(config);
+
+  metrics::set_enabled(true);
+  metrics::Counter& dispatched = metrics::counter("coord.shards_dispatched");
+  const long long before = dispatched.value();
+  std::thread killer([&] {
+    while (dispatched.value() - before < 2)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    fleet.kill(0);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const estimator::DetectabilityDb db = coordinator.characterize(spec);
+  const double elapsed_s = seconds_since(start);
+  killer.join();
+  metrics::set_enabled(false);
+
+  const server::CoordinatorStats& stats = coordinator.stats();
+  const bool identical = db.to_csv() == expected.to_csv();
+  const bool pass = identical && stats.complete() && stats.workers_dead == 1;
+  std::printf("bench_soak --coordinator: %.3f s, %ld dispatches, %ld "
+              "requeued, %ld dead worker(s)\n",
+              elapsed_s, stats.shards_dispatched, stats.shards_requeued,
+              stats.workers_dead);
+  std::printf("  merged bytes identical under chaos + kill . %s\n\n",
+              pass ? "HOLDS" : "DEVIATES");
+  std::printf("SOAK_JSON {\"bench\":\"soak\",\"mode\":\"coordinator\","
+              "\"chaos_rate\":%.2f,\"seed\":%llu,\"elapsed_s\":%.4f,"
+              "\"dispatched\":%ld,\"requeued\":%ld,\"workers_dead\":%ld,"
+              "\"identical\":%s,\"pass\":%s}\n",
+              chaos_rate, static_cast<unsigned long long>(seed), elapsed_s,
+              stats.shards_dispatched, stats.shards_requeued,
+              stats.workers_dead, identical ? "true" : "false",
+              pass ? "true" : "false");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   SoakOptions opt;
+  bool coordinator_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       opt.seconds = 4.0;
@@ -489,11 +571,14 @@ int main(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--stream") == 0 && i + 1 < argc) {
       opt.stream = argv[++i];
+    } else if (std::strcmp(argv[i], "--coordinator") == 0) {
+      coordinator_mode = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
     }
   }
+  if (coordinator_mode) return run_coordinator_soak(opt.seed);
   if (opt.clients < 1) opt.clients = 1;
   return run_soak(opt);
 }

@@ -503,71 +503,21 @@ std::size_t restore_points(const std::string& path, const std::string& payload,
   return count;
 }
 
-}  // namespace
-
-DetectabilityDb characterize(const CharacterizeSpec& spec,
-                             const ProgressFn& progress) {
-  trace::Span span("estimator.characterize");
-  require(spec.max_attempts >= 1, "characterize: max_attempts must be >= 1");
+/// Execute grid points [begin, end) of the canonical task list — the shared
+/// sweep body behind characterize() (full grid, checkpoint cadence) and
+/// characterize_range() (one distributed shard). Verdicts land in `points`
+/// at their *global* index; `after_commit_locked` (may be empty) runs under
+/// the state mutex after every commit, which is where characterize() hangs
+/// its snapshot cadence. Chaos sites key on the global grid index, so no
+/// shard layout can change an injected failure schedule.
+void sweep_tasks(const CharacterizeSpec& spec,
+                 const std::vector<CharacterizeTask>& tasks, std::size_t begin,
+                 std::size_t end, std::vector<PointState>& points,
+                 std::mutex& state_mutex, std::size_t& completed,
+                 const ProgressFn& progress,
+                 const std::function<void()>& after_commit_locked) {
   const analog::Netlist golden = sram::build_block(spec.block);
-  std::vector<CharacterizeTask> tasks = build_tasks(spec);
-  {
-    static metrics::Counter& points =
-        metrics::counter("estimator.characterize_points");
-    points.add(static_cast<long long>(tasks.size()));
-  }
   static metrics::Counter& retries = metrics::counter("robust.retries");
-  static metrics::Counter& checkpoints_written =
-      metrics::counter("robust.checkpoints_written");
-  static metrics::Counter& checkpoints_resumed =
-      metrics::counter("robust.checkpoints_resumed");
-
-  const std::string fingerprint = grid_fingerprint(spec, tasks);
-  const std::string ckpt_path =
-      spec.checkpoint_path.empty()
-          ? checkpoint::default_path("characterize-" + fingerprint)
-          : spec.checkpoint_path;
-  const long interval = spec.checkpoint_interval > 0
-                            ? spec.checkpoint_interval
-                            : checkpoint::default_interval(32);
-
-  // Every grid point is an independent transient simulation; fan them out.
-  // Results are indexed by task, so completion order never matters; the
-  // state mutex guards the slots, the snapshot cadence and the serialized
-  // progress callback.
-  std::vector<PointState> points(tasks.size());
-  std::mutex state_mutex;
-  std::size_t completed = 0;
-
-  if (!ckpt_path.empty()) {
-    if (const auto payload = checkpoint::load(ckpt_path)) {
-      const std::size_t restored =
-          restore_points(ckpt_path, *payload, fingerprint, points);
-      if (restored > 0) {
-        checkpoints_resumed.add(1);
-        log_info("characterize: resumed ", restored, "/", tasks.size(),
-                 " grid points from ", ckpt_path);
-      }
-    }
-  }
-
-  const auto snapshot_locked = [&] {
-    if (ckpt_path.empty()) return;
-    checkpoint::save(ckpt_path, serialize_points(fingerprint, points));
-    checkpoints_written.add(1);
-    // Simulated-crash hook: death tests kill the run right after a snapshot
-    // lands, then assert a resumed run completes byte-identically.
-    chaos::crash_point("characterize.checkpoint");
-  };
-
-  const auto commit_locked = [&](std::size_t i, PointState state,
-                                 const std::string& progress_line) {
-    points[i] = std::move(state);
-    ++completed;
-    if (progress) progress(progress_line);
-    if (interval > 0 && completed % static_cast<std::size_t>(interval) == 0)
-      snapshot_locked();
-  };
 
   // Solver backend: exact runs every grid point through the scalar path;
   // incremental/batched first sweep each (kind, category, vdd, period)
@@ -581,6 +531,14 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
   const auto point_label_of = [&](std::size_t i) {
     return tasks[i].defect.tag() + " @ " + fmt_fixed(tasks[i].entry.vdd, 2) +
            " V / " + fmt_time(tasks[i].entry.period);
+  };
+
+  const auto commit_locked = [&](std::size_t i, PointState state,
+                                 const std::string& progress_line) {
+    points[i] = std::move(state);
+    ++completed;
+    if (progress) progress(progress_line);
+    if (after_commit_locked) after_commit_locked();
   };
 
   /// Scalar attempt ladder for point i, starting at `start_attempt` with
@@ -638,14 +596,16 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
   // carrying that cell's whole swept axis as lanes. Groups are formed in
   // first-seen task order and each task belongs to exactly one group, so
   // commits stay indexed by task and the CSV stays byte-identical at every
-  // thread count (and identical to the exact mode's).
+  // thread count (and identical to the exact mode's). A shard boundary that
+  // splits a cell's axis across two ranges merely shrinks the lockstep
+  // batch — the batched kernel is verdict-identical at any lane subset.
   struct BatchGroup {
     std::vector<std::size_t> task_indices;
   };
   std::vector<BatchGroup> groups;
   if (mode != analog::SolverMode::Exact) {
     std::map<std::tuple<int, int, double, double>, std::size_t> group_of;
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
       const DbEntry& e = tasks[i].entry;
       const auto key = std::make_tuple(static_cast<int>(e.kind), e.category,
                                        e.vdd, e.period);
@@ -743,12 +703,78 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
     }
   };
 
-  try {
-    if (mode != analog::SolverMode::Exact) {
-      parallel_for(groups.size(), group_body, spec.threads, spec.cancel);
-    } else {
-      parallel_for(tasks.size(), body, spec.threads, spec.cancel);
+  if (mode != analog::SolverMode::Exact) {
+    parallel_for(groups.size(), group_body, spec.threads, spec.cancel);
+  } else {
+    parallel_for(
+        end - begin, [&](std::size_t k) { body(begin + k); }, spec.threads,
+        spec.cancel);
+  }
+}
+
+}  // namespace
+
+DetectabilityDb characterize(const CharacterizeSpec& spec,
+                             const ProgressFn& progress) {
+  trace::Span span("estimator.characterize");
+  require(spec.max_attempts >= 1, "characterize: max_attempts must be >= 1");
+  std::vector<CharacterizeTask> tasks = build_tasks(spec);
+  {
+    static metrics::Counter& points =
+        metrics::counter("estimator.characterize_points");
+    points.add(static_cast<long long>(tasks.size()));
+  }
+  static metrics::Counter& checkpoints_written =
+      metrics::counter("robust.checkpoints_written");
+  static metrics::Counter& checkpoints_resumed =
+      metrics::counter("robust.checkpoints_resumed");
+
+  const std::string fingerprint = grid_fingerprint(spec, tasks);
+  const std::string ckpt_path =
+      spec.checkpoint_path.empty()
+          ? checkpoint::default_path("characterize-" + fingerprint)
+          : spec.checkpoint_path;
+  const long interval = spec.checkpoint_interval > 0
+                            ? spec.checkpoint_interval
+                            : checkpoint::default_interval(32);
+
+  // Every grid point is an independent transient simulation; fan them out.
+  // Results are indexed by task, so completion order never matters; the
+  // state mutex guards the slots, the snapshot cadence and the serialized
+  // progress callback.
+  std::vector<PointState> points(tasks.size());
+  std::mutex state_mutex;
+  std::size_t completed = 0;
+
+  if (!ckpt_path.empty()) {
+    if (const auto payload = checkpoint::load(ckpt_path)) {
+      const std::size_t restored =
+          restore_points(ckpt_path, *payload, fingerprint, points);
+      if (restored > 0) {
+        checkpoints_resumed.add(1);
+        log_info("characterize: resumed ", restored, "/", tasks.size(),
+                 " grid points from ", ckpt_path);
+      }
     }
+  }
+
+  const auto snapshot_locked = [&] {
+    if (ckpt_path.empty()) return;
+    checkpoint::save(ckpt_path, serialize_points(fingerprint, points));
+    checkpoints_written.add(1);
+    // Simulated-crash hook: death tests kill the run right after a snapshot
+    // lands, then assert a resumed run completes byte-identically.
+    chaos::crash_point("characterize.checkpoint");
+  };
+
+  const auto after_commit_locked = [&] {
+    if (interval > 0 && completed % static_cast<std::size_t>(interval) == 0)
+      snapshot_locked();
+  };
+
+  try {
+    sweep_tasks(spec, tasks, 0, tasks.size(), points, state_mutex, completed,
+                progress, after_commit_locked);
   } catch (const CancelledError&) {
     // Cooperative shutdown (SIGINT or an explicit token): flush a final
     // snapshot so the run resumes exactly where it stopped, then unwind.
@@ -789,6 +815,51 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
   }
   if (!ckpt_path.empty()) checkpoint::remove(ckpt_path);
   return db;
+}
+
+std::vector<GridPoint> characterize_grid(const CharacterizeSpec& spec) {
+  const std::vector<CharacterizeTask> tasks = build_tasks(spec);
+  std::vector<GridPoint> grid;
+  grid.reserve(tasks.size());
+  for (const CharacterizeTask& t : tasks)
+    grid.push_back({t.defect.tag(), t.entry});
+  return grid;
+}
+
+std::vector<PointVerdict> characterize_range(const CharacterizeSpec& spec,
+                                             std::size_t begin, std::size_t end,
+                                             const ProgressFn& progress) {
+  trace::Span span("estimator.characterize_range");
+  require(spec.max_attempts >= 1,
+          "characterize_range: max_attempts must be >= 1");
+  const std::vector<CharacterizeTask> tasks = build_tasks(spec);
+  require(begin <= end && end <= tasks.size(),
+          "characterize_range: shard [" + std::to_string(begin) + ", " +
+              std::to_string(end) + ") out of bounds for a grid of " +
+              std::to_string(tasks.size()) + " points");
+  {
+    static metrics::Counter& points_counter =
+        metrics::counter("estimator.characterize_points");
+    points_counter.add(static_cast<long long>(end - begin));
+  }
+  std::vector<PointState> points(tasks.size());
+  std::mutex state_mutex;
+  std::size_t completed = 0;
+  sweep_tasks(spec, tasks, begin, end, points, state_mutex, completed,
+              progress, nullptr);
+  std::vector<PointVerdict> verdicts;
+  verdicts.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const PointState& p = points[i];
+    PointVerdict v;
+    v.index = i;
+    v.quarantined = p.state == PointState::kQuarantined;
+    v.detected = p.detected;
+    v.attempts = p.attempts;
+    v.reason = p.reason;
+    verdicts.push_back(std::move(v));
+  }
+  return verdicts;
 }
 
 CornerOutcomes corner_outcomes(const DetectabilityDb& db, const Defect& defect,

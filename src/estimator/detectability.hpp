@@ -226,6 +226,40 @@ using ProgressFn = std::function<void(const std::string&)>;
 DetectabilityDb characterize(const CharacterizeSpec& spec,
                              const ProgressFn& progress = nullptr);
 
+/// One point of the canonical characterization grid, in the exact order
+/// characterize() commits database entries (entry.detected is left false —
+/// the grid is a cheap enumeration, no simulation runs). Distributed runs
+/// shard this order and merge shard verdicts back positionally, which is
+/// what makes the merged CSV byte-identical to a single-node sweep.
+struct GridPoint {
+  std::string defect_tag;  ///< Defect::tag() of the injected defect
+  DbEntry entry;
+};
+
+/// Enumerate the canonical grid for a spec without simulating anything.
+std::vector<GridPoint> characterize_grid(const CharacterizeSpec& spec);
+
+/// Verdict for one grid point, as produced by characterize_range().
+struct PointVerdict {
+  std::size_t index = 0;  ///< global grid index (canonical order)
+  bool quarantined = false;
+  bool detected = false;  ///< meaningful only when !quarantined
+  int attempts = 0;
+  std::string reason;  ///< last failure message when quarantined
+};
+
+/// Characterize only grid points [begin, end) of the canonical grid — the
+/// worker half of the distributed sweep. Executes exactly the same batched
+/// grouping, retry escalation and quarantine policy as characterize(), and
+/// keys chaos injection by the *global* grid index, so any partition of the
+/// grid into ranges reproduces the single-node verdicts bit for bit.
+/// No checkpointing (shards are cheap to re-run; the coordinator retries
+/// whole shards instead). spec.cancel is honoured.
+std::vector<PointVerdict> characterize_range(const CharacterizeSpec& spec,
+                                             std::size_t begin, std::size_t end,
+                                             const ProgressFn& progress =
+                                                 nullptr);
+
 /// Pass/fail outcome at the paper's standard stress corners.
 struct CornerOutcomes {
   bool vlv = false;      ///< 1.0 V at the slow (10 MHz) rate

@@ -45,16 +45,17 @@ void Client::ensure_connected() {
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     const std::string reason = std::strerror(errno);
     disconnect();
-    throw Error("Client: cannot connect to " + config_.address + ":" +
-                std::to_string(config_.port) + ": " + reason);
+    throw ConnectionLost("Client: cannot connect to " + config_.address + ":" +
+                         std::to_string(config_.port) + ": " + reason);
   }
 }
 
 std::string Client::exchange(const std::string& line) {
   ensure_connected();
   if (!write_all(fd_, line + "\n")) {
+    // EPIPE/ECONNRESET on send: the peer is gone, not slow.
     disconnect();
-    throw Error("Client: send failed");
+    throw ConnectionLost("Client: send failed (connection lost)");
   }
   LineReader reader(fd_, kMaxFrameBytes);
   const Frame frame = reader.read_line();
@@ -67,11 +68,14 @@ std::string Client::exchange(const std::string& line) {
                   std::to_string(config_.timeout_ms) +
                   " ms waiting for a response");
     case Frame::Status::Eof:
+      // The peer closed (possibly mid-frame, short read) before a full
+      // response line arrived — a died-while-serving signal.
       disconnect();
-      throw Error("Client: connection closed before a response arrived");
+      throw ConnectionLost(
+          "Client: connection closed before a response arrived");
     default:
       disconnect();
-      throw Error("Client: receive failed");
+      throw ConnectionLost("Client: receive failed (connection lost)");
   }
 }
 

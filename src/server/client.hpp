@@ -29,6 +29,18 @@ class ServerError : public Error {
   std::string code_;
 };
 
+/// The transport died underneath a call: connect refused, ECONNRESET/EPIPE
+/// on send, or the connection closing mid-frame before a full response
+/// line arrived. Distinct from a receive *timeout* (plain Error) on
+/// purpose — a coordinator treats a lost connection as "worker died,
+/// requeue its shards now" while a timeout only means "worker slow, maybe
+/// hedge". The client always disconnects before throwing, so the next
+/// call reconnects from scratch.
+class ConnectionLost : public Error {
+ public:
+  using Error::Error;
+};
+
 /// One sub-request inside a Client::batch() call.
 struct BatchRequest {
   std::string type;

@@ -1,0 +1,72 @@
+// LocalWorkerFleet: fork()ed memstressd workers for single-machine
+// distributed runs (examples, benches, chaos tests).
+//
+// Each worker is a real separate process running a real Server on an
+// ephemeral port — SIGKILLing one exercises exactly the ConnectionLost /
+// requeue / quarantine paths a remote worker crash would, with no mocks in
+// between. The child writes its bound port over a pipe, then parks in a
+// pause() loop until it is killed; workers are never respawned (the
+// coordinator's probe loop is what decides a worker is gone).
+//
+// fork() safety: construct the fleet while the parent is still
+// single-threaded (before any Coordinator run, thread pool, or other
+// std::thread) — forking a multithreaded process clones only the calling
+// thread and inherits locks in whatever state the other threads left them.
+// The chaos tests run under TSan, which enforces the same rule loudly.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "server/coordinator.hpp"
+#include "server/server.hpp"
+
+namespace memstress::server {
+
+/// Builds the service a worker process serves. Runs *in the child after
+/// fork()*, so per-worker state (databases, chaos configuration) is
+/// constructed fresh in each worker.
+using ServiceFactory =
+    std::function<std::shared_ptr<const MemstressService>()>;
+
+class LocalWorkerFleet {
+ public:
+  /// Fork `count` workers, each serving `factory()` under `config` (the
+  /// port is forced ephemeral per worker). Throws Error when a worker
+  /// fails to start.
+  LocalWorkerFleet(int count, ServiceFactory factory,
+                   ServerConfig config = ServerConfig{});
+  ~LocalWorkerFleet();
+  LocalWorkerFleet(const LocalWorkerFleet&) = delete;
+  LocalWorkerFleet& operator=(const LocalWorkerFleet&) = delete;
+
+  int count() const { return static_cast<int>(workers_.size()); }
+  int port(int i) const;
+  pid_t pid(int i) const;
+  /// False once kill(i) has reaped the worker. (A worker that died on its
+  /// own still reads true — the coordinator, not the fleet, is the
+  /// authority on liveness.)
+  bool alive(int i) const;
+
+  /// Every live worker, ready to drop into CoordinatorConfig::workers.
+  std::vector<WorkerEndpoint> endpoints() const;
+
+  /// SIGKILL worker i and reap it. Idempotent.
+  void kill(int i);
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int port = 0;
+    bool alive = false;
+  };
+
+  const Worker& checked(int i) const;
+
+  std::vector<Worker> workers_;
+};
+
+}  // namespace memstress::server

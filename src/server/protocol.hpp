@@ -15,6 +15,12 @@
 //                  {"ok":false,"error":{"code":...,"message":...}}, ...]}}
 //             (one positional outcome per sub-request; a bad sub-request
 //             yields a structured per-item error, never poisons the rest)
+//   shards:   the distributed request types `characterize_range` and
+//             `study_shard` (see server/shard_codec.hpp for the spec/config
+//             documents) execute one shard of the canonical grid or study
+//             population and return positional verdicts/masks; they are
+//             dispatched by the coordinator (server/coordinator.hpp), never
+//             cached, and byte-deterministic like everything else.
 //
 // Everything here is deterministic: Json::dump() emits objects in insertion
 // order with a fixed number format, so a payload serialized twice — or once

@@ -1,5 +1,6 @@
 #include "server/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -34,6 +35,10 @@ ServerConfig ServerConfig::from_env() {
       env_int_or("MEMSTRESS_BATCH_MAX", 1, 65536, config.batch_max));
   config.metrics_stream_ms = static_cast<int>(env_int_or(
       "MEMSTRESS_METRICS_STREAM_MS", 10, 3600000, config.metrics_stream_ms));
+  config.bind_retries = static_cast<int>(
+      env_int_or("MEMSTRESS_BIND_RETRIES", 0, 10000, config.bind_retries));
+  config.bind_retry_ms = static_cast<int>(
+      env_int_or("MEMSTRESS_BIND_RETRY_MS", 1, 60000, config.bind_retry_ms));
   return config;
 }
 
@@ -122,9 +127,34 @@ void Server::start() {
     listen_fd_ = -1;
     throw Error("Server: invalid listen address \"" + config_.address + "\"");
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    const std::string reason = std::strerror(errno);
+  // Rapid stop/start on a pinned port can race the kernel's release of the
+  // previous listener even with SO_REUSEADDR (kill/resume tests and daemon
+  // restarts hit this). Retry EADDRINUSE on a bounded schedule, warning
+  // once; any other bind failure — and an ephemeral-port request — is
+  // immediately fatal as before.
+  const int attempts =
+      config_.port > 0 ? std::max(1, config_.bind_retries + 1) : 1;
+  bool warned = false;
+  for (int attempt = 1;; ++attempt) {
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+        0)
+      break;
+    const int bind_errno = errno;
+    if (bind_errno == EADDRINUSE && attempt < attempts) {
+      if (!warned) {
+        static metrics::Counter& retried =
+            metrics::counter("server.bind_retries");
+        retried.add(1);
+        warned = true;
+        log_warn("memstressd: ", config_.address, ":", config_.port,
+                 " still in use; retrying bind up to ", attempts - attempt,
+                 " more times every ", config_.bind_retry_ms, " ms");
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.bind_retry_ms));
+      continue;
+    }
+    const std::string reason = std::strerror(bind_errno);
     close_fd(listen_fd_);
     listen_fd_ = -1;
     throw Error("Server: cannot bind " + config_.address + ":" +

@@ -62,6 +62,15 @@ struct ServerConfig {
   int cache_entries = 1024;
   /// Largest accepted batch "requests" list (MEMSTRESS_BATCH_MAX).
   int batch_max = 256;
+  /// Bounded bind retry for EADDRINUSE on a pinned port
+  /// (MEMSTRESS_BIND_RETRIES / MEMSTRESS_BIND_RETRY_MS). A restart can race
+  /// the kernel's release of the old listener even with SO_REUSEADDR (the
+  /// old fd may still be closing, or a previous process just exited);
+  /// start() retries the bind every bind_retry_ms up to bind_retries times
+  /// — warning once, not per attempt — before giving up. Ephemeral ports
+  /// (port == 0) never retry: a fresh bind cannot collide with itself.
+  int bind_retries = 20;
+  int bind_retry_ms = 50;
 
   static ServerConfig from_env();
 

@@ -1,10 +1,15 @@
 #include "server/service.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <thread>
 
 #include "estimator/dpm.hpp"
 #include "estimator/schedule.hpp"
 #include "layout/critical_area.hpp"
+#include "server/shard_codec.hpp"
+#include "study/study.hpp"
+#include "util/checkpoint.hpp"
 #include "util/metrics.hpp"
 
 namespace memstress::server {
@@ -235,6 +240,98 @@ Json MemstressService::sleep_ms(const Json& params,
   return out;
 }
 
+namespace {
+
+/// Validate the "begin"/"end" fields of a shard request against the size of
+/// the sharded domain. Both must be non-negative integers with
+/// begin <= end <= limit; anything else is a structured bad_request.
+std::pair<std::size_t, std::size_t> shard_bounds(const Json& params,
+                                                 std::size_t limit,
+                                                 const char* what) {
+  const double begin_raw = params.at("begin").as_number();
+  const double end_raw = params.at("end").as_number();
+  if (begin_raw < 0.0 || end_raw < begin_raw ||
+      begin_raw != std::floor(begin_raw) || end_raw != std::floor(end_raw))
+    throw ProtocolError(
+        "\"begin\"/\"end\" must be integers with 0 <= begin <= end");
+  if (end_raw > static_cast<double>(limit))
+    throw ProtocolError("shard [" + format_number(begin_raw) + ", " +
+                        format_number(end_raw) + ") out of bounds for " +
+                        std::to_string(limit) + " " + what);
+  return {static_cast<std::size_t>(begin_raw),
+          static_cast<std::size_t>(end_raw)};
+}
+
+}  // namespace
+
+Json MemstressService::characterize_range(const Json& params,
+                                          const RequestContext& context) const {
+  static metrics::Counter& shards =
+      metrics::counter("server.characterize_shards");
+  shards.add(1);
+  estimator::CharacterizeSpec spec =
+      characterize_spec_from_json(params.at("spec"));
+  spec.cancel = context.cancel;
+  // Enumerating the grid is cheap (no simulation); it bounds-checks the
+  // shard and lets the response echo the grid size so the coordinator can
+  // cross-check its own enumeration.
+  const std::vector<estimator::GridPoint> grid =
+      estimator::characterize_grid(spec);
+  const auto [begin, end] = shard_bounds(params, grid.size(), "grid points");
+  const std::vector<estimator::PointVerdict> verdicts =
+      estimator::characterize_range(spec, begin, end);
+  // Positional verdict codes (0 escape / 1 detected / 2 quarantined) keep
+  // the frame compact; quarantined points carry their reason separately.
+  Json verdict_list = Json::array();
+  Json quarantine = Json::array();
+  for (const estimator::PointVerdict& v : verdicts) {
+    verdict_list.push_back(Json(v.quarantined ? 2 : (v.detected ? 1 : 0)));
+    if (v.quarantined) {
+      Json q = Json::object();
+      q.set("index", Json(v.index));
+      q.set("attempts", Json(v.attempts));
+      q.set("reason", Json(v.reason));
+      quarantine.push_back(std::move(q));
+    }
+  }
+  Json out = Json::object();
+  out.set("begin", Json(begin));
+  out.set("end", Json(end));
+  out.set("grid", Json(grid.size()));
+  out.set("verdicts", std::move(verdict_list));
+  out.set("quarantine", std::move(quarantine));
+  return out;
+}
+
+Json MemstressService::study_shard(const Json& params,
+                                   const RequestContext& context) const {
+  static metrics::Counter& shards = metrics::counter("server.study_shards");
+  shards.add(1);
+  study::StudyConfig config = study_config_from_json(params.at("config"));
+  config.cancel = context.cancel;
+  const std::string expected = params.string_or("db_crc", "");
+  if (!expected.empty()) {
+    char actual[16];
+    std::snprintf(actual, sizeof actual, "%08x",
+                  checkpoint::crc32(db_->to_csv()));
+    if (expected != actual)
+      throw ProtocolError("database mismatch: this worker serves db_crc " +
+                          std::string(actual) + ", coordinator expected " +
+                          expected);
+  }
+  const auto [begin, end] = shard_bounds(
+      params, static_cast<std::size_t>(config.device_count), "devices");
+  const std::vector<int> masks =
+      study::run_study_range(config, *db_, sampler_, begin, end);
+  Json mask_list = Json::array();
+  for (const int m : masks) mask_list.push_back(Json(m));
+  Json out = Json::object();
+  out.set("begin", Json(begin));
+  out.set("end", Json(end));
+  out.set("masks", std::move(mask_list));
+  return out;
+}
+
 Json MemstressService::handle(const Request& request,
                               const RequestContext& context) const {
   if (request.type == "coverage") return coverage(request.params);
@@ -244,6 +341,10 @@ Json MemstressService::handle(const Request& request,
   if (request.type == "metrics") return metrics();
   if (request.type == "health") return health();
   if (request.type == "sleep") return sleep_ms(request.params, context);
+  if (request.type == "characterize_range")
+    return characterize_range(request.params, context);
+  if (request.type == "study_shard")
+    return study_shard(request.params, context);
   if (request.type == "batch")
     // Round-trip through the parser so handle() keeps returning a document.
     // dump(parse(s)) == s for anything this codebase serializes, so this

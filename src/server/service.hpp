@@ -89,6 +89,20 @@ class MemstressService {
   Json detectability(const Json& params) const;
   Json metrics() const;
   Json health() const;
+  /// Distributed worker half: characterize grid points [begin, end) of the
+  /// canonical grid for the spec in params ("spec"/"begin"/"end") and
+  /// return positional verdicts. Honours the request context so a draining
+  /// server cancels the sweep. Never cached — a shard is executed work, not
+  /// a lookup.
+  Json characterize_range(const Json& params,
+                          const RequestContext& context) const;
+  /// Distributed worker half of the Monte-Carlo study: evaluate devices
+  /// [begin, end) against this service's database and return packed
+  /// outcome masks. params carries "config"/"begin"/"end" and optionally
+  /// "db_crc" — the CRC32 of the coordinator's DetectabilityDb CSV; a
+  /// mismatch is a bad_request, catching a worker loaded with the wrong
+  /// database before it silently skews the tallies.
+  Json study_shard(const Json& params, const RequestContext& context) const;
   /// Test/diagnostic helper: sleeps up to params.ms milliseconds in small
   /// slices, stopping early at cancellation or the deadline. Exists so the
   /// backpressure, timeout and drain paths are testable without a slow

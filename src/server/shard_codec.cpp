@@ -1,0 +1,170 @@
+#include "server/shard_codec.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analog/batch.hpp"
+#include "march/march.hpp"
+
+namespace memstress::server {
+
+namespace {
+
+/// Largest accepted grid-axis length. The default spec's axes are all well
+/// under this; the cap exists so a malicious or corrupted frame cannot ask
+/// a worker for a billion-point sweep.
+constexpr std::size_t kMaxAxisValues = 10000;
+
+Json axis_to_json(const std::vector<double>& values) {
+  Json out = Json::array();
+  for (const double v : values) out.push_back(Json(v));
+  return out;
+}
+
+std::vector<double> axis_from_json(const Json& json, const char* name,
+                                   bool require_positive) {
+  const Json& axis = json.at(name);
+  const std::vector<Json>& items = axis.items();
+  if (items.empty())
+    throw ProtocolError(std::string("\"") + name + "\" must be non-empty");
+  if (items.size() > kMaxAxisValues)
+    throw ProtocolError(std::string("\"") + name + "\" has " +
+                        std::to_string(items.size()) +
+                        " values (limit " + std::to_string(kMaxAxisValues) +
+                        ")");
+  std::vector<double> values;
+  values.reserve(items.size());
+  for (const Json& item : items) {
+    const double v = item.as_number();
+    if (!std::isfinite(v) || (require_positive && v <= 0.0))
+      throw ProtocolError(std::string("\"") + name +
+                          "\" values must be finite" +
+                          (require_positive ? " and positive" : ""));
+    values.push_back(v);
+  }
+  return values;
+}
+
+long long int_field(const Json& json, const char* name, long long lo,
+                    long long hi, long long fallback) {
+  const long long value = json.int_or(name, fallback);
+  if (value < lo || value > hi)
+    throw ProtocolError(std::string("\"") + name + "\" must be in [" +
+                        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  return value;
+}
+
+}  // namespace
+
+Json characterize_spec_to_json(const estimator::CharacterizeSpec& spec) {
+  Json out = Json::object();
+  out.set("test_name", Json(spec.test.name));
+  out.set("test_notation", Json(spec.test.to_string()));
+  out.set("rows", Json(spec.block.rows));
+  out.set("cols", Json(spec.block.cols));
+  out.set("steps_per_cycle", Json(spec.ate.steps_per_cycle));
+  out.set("vdds", axis_to_json(spec.vdds));
+  out.set("periods", axis_to_json(spec.periods));
+  out.set("bridge_resistances", axis_to_json(spec.bridge_resistances));
+  out.set("open_resistances", axis_to_json(spec.open_resistances));
+  out.set("gox_vbds", axis_to_json(spec.gox_vbds));
+  out.set("gox_resistance", Json(spec.gox_resistance));
+  out.set("max_attempts", Json(spec.max_attempts));
+  out.set("threads", Json(spec.threads));
+  if (spec.solver)
+    out.set("solver", Json(analog::solver_mode_name(*spec.solver)));
+  return out;
+}
+
+estimator::CharacterizeSpec characterize_spec_from_json(const Json& json) {
+  estimator::CharacterizeSpec spec;
+  const std::string name = json.at("test_name").as_string();
+  const std::string notation = json.at("test_notation").as_string();
+  if (name.empty() || name.size() > 256)
+    throw ProtocolError("\"test_name\" must be 1..256 characters");
+  if (notation.size() > 4096)
+    throw ProtocolError("\"test_notation\" is too long");
+  try {
+    spec.test = march::parse_march(name, notation);
+  } catch (const Error& e) {
+    throw ProtocolError(std::string("bad \"test_notation\": ") + e.what());
+  }
+  spec.block.rows = static_cast<int>(int_field(json, "rows", 2, 4096, 2));
+  spec.block.cols = static_cast<int>(int_field(json, "cols", 1, 4096, 1));
+  spec.ate.steps_per_cycle =
+      static_cast<int>(int_field(json, "steps_per_cycle", 8, 4096,
+                                 spec.ate.steps_per_cycle));
+  spec.vdds = axis_from_json(json, "vdds", /*require_positive=*/true);
+  spec.periods = axis_from_json(json, "periods", /*require_positive=*/true);
+  spec.bridge_resistances =
+      axis_from_json(json, "bridge_resistances", /*require_positive=*/true);
+  spec.open_resistances =
+      axis_from_json(json, "open_resistances", /*require_positive=*/true);
+  spec.gox_vbds = axis_from_json(json, "gox_vbds", /*require_positive=*/true);
+  spec.gox_resistance = json.at("gox_resistance").as_number();
+  if (!std::isfinite(spec.gox_resistance) || spec.gox_resistance <= 0.0)
+    throw ProtocolError("\"gox_resistance\" must be finite and positive");
+  spec.max_attempts =
+      static_cast<int>(int_field(json, "max_attempts", 1, 10, 3));
+  spec.threads = static_cast<int>(int_field(json, "threads", 0, 256, 1));
+  if (const Json* solver = json.find("solver")) {
+    try {
+      spec.solver = analog::parse_solver_mode(solver->as_string());
+    } catch (const Error& e) {
+      throw ProtocolError(std::string("bad \"solver\": ") + e.what());
+    }
+  }
+  // Shards never checkpoint: the coordinator retries whole shards instead.
+  spec.checkpoint_path.clear();
+  spec.checkpoint_interval = -1;
+  return spec;
+}
+
+Json study_config_to_json(const study::StudyConfig& config) {
+  Json out = Json::object();
+  out.set("device_count", Json(config.device_count));
+  out.set("instances_per_chip", Json(config.instances_per_chip));
+  out.set("bits_per_instance", Json(config.bits_per_instance));
+  out.set("area_per_cell_um2", Json(config.area_per_cell_um2));
+  out.set("slow_period", Json(config.slow_period));
+  out.set("vlv_period", Json(config.vlv_period));
+  out.set("fast_period", Json(config.fast_period));
+  out.set("seed", Json(static_cast<long long>(config.seed)));
+  out.set("threads", Json(config.threads));
+  return out;
+}
+
+study::StudyConfig study_config_from_json(const Json& json) {
+  study::StudyConfig config;
+  config.device_count = int_field(json, "device_count", 1, 100000000,
+                                  config.device_count);
+  config.instances_per_chip = static_cast<int>(
+      int_field(json, "instances_per_chip", 1, 1024, config.instances_per_chip));
+  config.bits_per_instance = int_field(json, "bits_per_instance", 1,
+                                       1LL << 40, config.bits_per_instance);
+  config.area_per_cell_um2 = json.at("area_per_cell_um2").as_number();
+  config.slow_period = json.at("slow_period").as_number();
+  config.vlv_period = json.at("vlv_period").as_number();
+  config.fast_period = json.at("fast_period").as_number();
+  if (!std::isfinite(config.area_per_cell_um2) ||
+      config.area_per_cell_um2 <= 0.0)
+    throw ProtocolError("\"area_per_cell_um2\" must be finite and positive");
+  for (const auto& [value, name] :
+       {std::pair<double, const char*>{config.slow_period, "slow_period"},
+        {config.vlv_period, "vlv_period"},
+        {config.fast_period, "fast_period"}}) {
+    if (!std::isfinite(value) || value <= 0.0)
+      throw ProtocolError(std::string("\"") + name +
+                          "\" must be finite and positive");
+  }
+  // Json numbers are doubles; a seed above 2^53 would not round-trip.
+  const long long seed = int_field(json, "seed", 0, 1LL << 53, 2005);
+  config.seed = static_cast<std::uint64_t>(seed);
+  config.threads = static_cast<int>(int_field(json, "threads", 0, 256, 1));
+  config.checkpoint_path.clear();
+  config.checkpoint_interval = -1;
+  return config;
+}
+
+}  // namespace memstress::server

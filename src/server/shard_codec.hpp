@@ -1,0 +1,43 @@
+// JSON codecs for the distributed shard request types.
+//
+// `characterize_range` and `study_shard` move a CharacterizeSpec / a
+// StudyConfig over the wire so a worker can execute one shard of the
+// canonical grid or population. Only the *result-shaping* slice of each
+// struct travels — exactly the fields spec_fingerprint() / the study
+// checkpoint fingerprint cover (march test, block geometry, solver
+// resolution, every grid axis, the population knobs and the seed) plus the
+// execution knobs the coordinator wants to control on the worker (threads,
+// max_attempts, solver backend). Checkpoint/cancel knobs never travel:
+// shards are cheap to re-run and the coordinator retries whole shards.
+//
+// Round-trip contract: from_json(to_json(x)) produces a spec/config whose
+// fingerprint — and therefore whose verdicts — match x exactly. The Json
+// number model is a double, which round-trips every axis value bit for bit
+// (dump() prints shortest-round-trip decimals).
+//
+// Blocks with non-default transistor aspect ratios are out of scope, as
+// they are for the CSV cache: spec_fingerprint() does not cover them
+// either, so the single-node and distributed paths agree on the contract.
+#pragma once
+
+#include "estimator/detectability.hpp"
+#include "server/protocol.hpp"
+#include "study/study.hpp"
+
+namespace memstress::server {
+
+/// Serialize the result-shaping slice of a CharacterizeSpec.
+Json characterize_spec_to_json(const estimator::CharacterizeSpec& spec);
+
+/// Parse and validate a spec document. Throws ProtocolError (-> a
+/// structured "bad_request") on missing fields, out-of-range values or
+/// oversized axes — a worker never starts an absurd sweep.
+estimator::CharacterizeSpec characterize_spec_from_json(const Json& json);
+
+/// Serialize the result-shaping slice of a StudyConfig.
+Json study_config_to_json(const study::StudyConfig& config);
+
+/// Parse and validate a study config document (ProtocolError on bad data).
+study::StudyConfig study_config_from_json(const Json& json);
+
+}  // namespace memstress::server

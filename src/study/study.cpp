@@ -117,6 +117,36 @@ DeviceRecord unpack_record(int mask) {
   return r;
 }
 
+/// Draw and evaluate one device from its child stream — the shared body
+/// behind run_study and run_study_range. Counter updates are order-free
+/// atomic sums, identical at any thread count or shard layout.
+DeviceRecord evaluate_one(std::uint64_t seed, double lambda,
+                          const StudyConfig& config,
+                          const estimator::DetectabilityDb& db,
+                          const defects::DefectSampler& sampler) {
+  DeviceRecord record;
+  Rng rng(seed);
+  const unsigned n = rng.poisson(lambda);
+  if (n == 0) return record;
+  static metrics::Counter& defects_counter = metrics::counter("study.defects");
+  static metrics::Counter& defective_counter =
+      metrics::counter("study.defective_devices");
+  defects_counter.add(n);
+  defective_counter.add(1);
+  std::vector<Defect> defect_list;
+  defect_list.reserve(n);
+  for (unsigned i = 0; i < n; ++i) defect_list.push_back(sampler.sample(rng));
+  const DeviceOutcome outcome = evaluate_device(defect_list, config, db);
+  record.defective = true;
+  record.standard_fail = outcome.standard_fail;
+  record.escape = outcome.escape;
+  record.vlv_fail = outcome.vlv_fail;
+  record.vmax_fail = outcome.vmax_fail;
+  record.atspeed_fail = outcome.atspeed_fail;
+  record.interesting = outcome.interesting();
+  return record;
+}
+
 /// CRC32 over the config knobs that shape per-device outcomes plus the
 /// database CSV: a checkpoint never resumes against a different experiment.
 std::string study_fingerprint(const StudyConfig& config,
@@ -258,31 +288,7 @@ StudyResult run_study(const StudyConfig& config,
       std::lock_guard<std::mutex> lock(state_mutex);
       if (done[d]) return;  // restored from a checkpoint
     }
-    DeviceRecord record;
-    Rng rng(seeds[d]);
-    const unsigned n = rng.poisson(lambda);
-    if (n > 0) {
-      // Atomic accumulation: the totals are order-free sums over a fixed
-      // per-device workload, so they match at every thread count.
-      static metrics::Counter& defects_counter =
-          metrics::counter("study.defects");
-      static metrics::Counter& defective_counter =
-          metrics::counter("study.defective_devices");
-      defects_counter.add(n);
-      defective_counter.add(1);
-      std::vector<Defect> defect_list;
-      defect_list.reserve(n);
-      for (unsigned i = 0; i < n; ++i)
-        defect_list.push_back(sampler.sample(rng));
-      const DeviceOutcome outcome = evaluate_device(defect_list, config, db);
-      record.defective = true;
-      record.standard_fail = outcome.standard_fail;
-      record.escape = outcome.escape;
-      record.vlv_fail = outcome.vlv_fail;
-      record.vmax_fail = outcome.vmax_fail;
-      record.atspeed_fail = outcome.atspeed_fail;
-      record.interesting = outcome.interesting();
-    }
+    DeviceRecord record = evaluate_one(seeds[d], lambda, config, db, sampler);
     std::lock_guard<std::mutex> lock(state_mutex);
     records[d] = record;
     done[d] = 1;
@@ -305,9 +311,64 @@ StudyResult run_study(const StudyConfig& config,
   }
   if (!ckpt_path.empty()) checkpoint::remove(ckpt_path);
 
+  std::vector<int> masks;
+  masks.reserve(records.size());
+  for (const DeviceRecord& record : records)
+    masks.push_back(pack_record(record));
+  return reduce_study(config, masks);
+}
+
+std::vector<int> run_study_range(const StudyConfig& config,
+                                 const estimator::DetectabilityDb& db,
+                                 const defects::DefectSampler& sampler,
+                                 std::size_t begin, std::size_t end) {
+  require(config.device_count > 0,
+          "run_study_range: device_count must be positive");
+  const std::size_t devices = static_cast<std::size_t>(config.device_count);
+  require(begin <= end && end <= devices,
+          "run_study_range: shard [" + std::to_string(begin) + ", " +
+              std::to_string(end) + ") out of bounds for " +
+              std::to_string(devices) + " devices");
+  trace::Span span("study.run_range");
+  {
+    static metrics::Counter& device_counter = metrics::counter("study.devices");
+    device_counter.add(static_cast<long long>(end - begin));
+  }
+  const double lambda =
+      sampler.fab().expected_defects(config.chip_area_um2());
+
+  // The seed schedule is always drawn for the whole population, serially,
+  // so device d's child stream is the same no matter which shard runs it.
+  std::vector<std::uint64_t> seeds(devices);
+  {
+    Rng master(config.seed);
+    for (auto& seed : seeds) seed = master();
+  }
+
+  std::vector<int> masks(end - begin, 0);
+  const auto body = [&](std::size_t k) {
+    masks[k] = pack_record(
+        evaluate_one(seeds[begin + k], lambda, config, db, sampler));
+  };
+  parallel_for(end - begin, body, config.threads, config.cancel);
+  return masks;
+}
+
+StudyResult reduce_study(const StudyConfig& config,
+                         const std::vector<int>& masks) {
+  require(config.device_count > 0,
+          "reduce_study: device_count must be positive");
+  require(masks.size() == static_cast<std::size_t>(config.device_count),
+          "reduce_study: got " + std::to_string(masks.size()) +
+              " masks for a population of " +
+              std::to_string(config.device_count) + " devices");
   StudyResult result;
-  result.devices = config.device_count;
-  for (const DeviceRecord& record : records) {
+  for (const int mask : masks) {
+    if (mask < 0) continue;  // unresolved device: excluded from every tally
+    require(mask <= 127, "reduce_study: bad outcome mask " +
+                             std::to_string(mask));
+    ++result.devices;
+    const DeviceRecord record = unpack_record(mask);
     if (!record.defective) continue;
     ++result.defective;
 

@@ -119,6 +119,25 @@ StudyResult run_study(const StudyConfig& config,
                       const estimator::DetectabilityDb& db,
                       const defects::DefectSampler& sampler);
 
+/// Evaluate devices [begin, end) of the population — the worker half of the
+/// distributed study. The full serial seed schedule is drawn up front
+/// (cheap), so device d's RNG child stream is identical under any shard
+/// layout and the masks match a single-node run bit for bit. Returns one
+/// packed outcome mask (0..127, the checkpoint bit layout) per device in
+/// the range. No checkpointing — the coordinator retries whole shards.
+std::vector<int> run_study_range(const StudyConfig& config,
+                                 const estimator::DetectabilityDb& db,
+                                 const defects::DefectSampler& sampler,
+                                 std::size_t begin, std::size_t end);
+
+/// Reduce per-device outcome masks (canonical device order, as produced by
+/// run_study_range) into a StudyResult. A negative mask marks an unresolved
+/// device — a shard the coordinator exhausted its retries on — and is
+/// excluded from every tally; `result.devices` counts only resolved
+/// devices, so a fully resolved run reproduces run_study() exactly.
+StudyResult reduce_study(const StudyConfig& config,
+                         const std::vector<int>& masks);
+
 /// Evaluate a single device's defect list against the stress suite
 /// (exposed separately for tests and for bitmap demos of single devices).
 DeviceOutcome evaluate_device(const std::vector<defects::Defect>& defect_list,

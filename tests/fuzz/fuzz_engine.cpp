@@ -192,6 +192,18 @@ extern "C" void __sanitizer_cov_trace_pc_guard(std::uint32_t* guard) {
   if (sink != nullptr) sink->hit(*guard);
 }
 
+// GCC's spelling (-fsanitize-coverage=trace-pc) calls this one with no
+// guard id; hash the call site's address into the slot space instead.
+// Collisions with guard/fallback slots only under-count coverage — safe
+// for steering mutation, which is all the map is for.
+extern "C" void __sanitizer_cov_trace_pc() {
+  CoverageMap* sink = g_sink;
+  if (sink == nullptr) return;
+  const auto pc =
+      reinterpret_cast<std::uintptr_t>(__builtin_return_address(0));
+  sink->hit(static_cast<std::uint32_t>((pc >> 4) ^ (pc >> 17)));
+}
+
 // ---------------------------------------------------------------------------
 // Harness + oracle.
 

@@ -39,6 +39,7 @@ class MisbehavingServer {
   enum class Mode {
     StallMidResponse,  ///< send half a frame, then go silent
     AlwaysBusy,        ///< answer "busy" and close, forever
+    DieMidResponse,    ///< send half a frame, then close — a server crash
   };
 
   explicit MisbehavingServer(Mode mode) : mode_(mode) {
@@ -87,6 +88,14 @@ class MisbehavingServer {
       const ssize_t n = ::read(fd, buffer, sizeof buffer);
       if (n <= 0) return;
       seen.append(buffer, static_cast<std::size_t>(n));
+    }
+    if (mode_ == Mode::DieMidResponse) {
+      // Half a frame, then the close() in the caller — the wire view of a
+      // server killed mid-write. The client must classify this as
+      // ConnectionLost, not wait out its receive timeout.
+      const std::string partial = "{\"v\":1,\"id\":1,\"ok\":tr";
+      (void)::write(fd, partial.data(), partial.size());
+      return;
     }
     if (mode_ == Mode::StallMidResponse) {
       // Half a frame: the client has bytes but no newline, so only its
@@ -167,6 +176,67 @@ TEST(ClientTimeout, RetryBudgetCapsTotalWallTimeUnderSustainedBusy) {
   }
   const double elapsed = seconds_since(start);
   EXPECT_LT(elapsed, 2.0);  // budget + one in-flight exchange, not minutes
+}
+
+TEST(ClientConnectionLost, ServerDyingMidResponseIsTypedConnectionLost) {
+  // The coordinator's died-vs-slow distinction: a connection that closes
+  // mid-frame is ConnectionLost (requeue the shard now), never a generic
+  // timeout-shaped Error (just retry later).
+  MisbehavingServer server(MisbehavingServer::Mode::DieMidResponse);
+  ClientConfig config;
+  config.port = server.port();
+  config.timeout_ms = 5000;
+  Client client(config);
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    client.request("health");
+    FAIL() << "a mid-frame close must throw";
+  } catch (const ConnectionLost&) {
+    // typed as intended
+  } catch (const Error& e) {
+    FAIL() << "expected ConnectionLost, got plain Error: " << e.what();
+  }
+  // Classified by the close, not by waiting out the receive deadline.
+  EXPECT_LT(seconds_since(start), 2.0);
+}
+
+TEST(ClientConnectionLost, ConnectRefusedIsTypedConnectionLost) {
+  // Grab a port that refuses connections: bind + listen, note the port,
+  // close — nothing is listening there for the duration of the test.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const int dead_port = ntohs(addr.sin_port);
+  ::close(fd);
+
+  ClientConfig config;
+  config.port = dead_port;
+  config.timeout_ms = 1000;
+  Client client(config);
+  EXPECT_THROW(client.request("health"), ConnectionLost);
+}
+
+TEST(ClientConnectionLost, ReceiveTimeoutStaysAPlainError) {
+  // The inverse pin: a slow (stalled) server is NOT ConnectionLost — the
+  // transport is alive, so a coordinator must not requeue onto survivors.
+  MisbehavingServer server(MisbehavingServer::Mode::StallMidResponse);
+  ClientConfig config;
+  config.port = server.port();
+  config.timeout_ms = 200;
+  Client client(config);
+  try {
+    client.request("health");
+    FAIL() << "a stalled response must time out";
+  } catch (const ConnectionLost& e) {
+    FAIL() << "timeout misclassified as ConnectionLost: " << e.what();
+  } catch (const Error&) {
+    // the intended classification
+  }
 }
 
 TEST(ClientTimeout, BackoffSleepsAreCappedAtBackoffMax) {

@@ -1,0 +1,139 @@
+// run_study_range() + reduce_study(): the worker and merge halves of the
+// distributed study. Shard layout must be invisible — the full serial seed
+// schedule is drawn up front, so device d's RNG stream is the same whether
+// it runs in a 1-device shard or the whole population at once.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "defects/sampler.hpp"
+#include "layout/sram_layout.hpp"
+#include "study/study.hpp"
+#include "util/error.hpp"
+
+namespace memstress::study {
+namespace {
+
+using estimator::DbEntry;
+using estimator::DetectabilityDb;
+using layout::BridgeCategory;
+using layout::OpenCategory;
+
+defects::DefectSampler make_sampler() {
+  const auto model = layout::generate_sram_layout(8, 8);
+  sram::BlockSpec block;
+  block.rows = 2;
+  block.cols = 1;
+  return defects::DefectSampler(
+      defects::aggregate_sites(layout::extract_bridges(model),
+                               layout::extract_opens(model)),
+      defects::FabModel{}, block);
+}
+
+/// Every category at every stress corner, detectability split so all the
+/// interesting outcome classes (standard fail, VLV-only, escapes) occur.
+DetectabilityDb mixed_db() {
+  DetectabilityDb db;
+  const auto add = [&db](defects::DefectKind kind, int category, bool detected,
+                         double vdd, double period) {
+    DbEntry e;
+    e.kind = kind;
+    e.category = category;
+    e.resistance = 1e4;
+    e.vdd = vdd;
+    e.period = period;
+    e.detected = detected;
+    db.add(e);
+  };
+  for (int cat = 0; cat <= static_cast<int>(BridgeCategory::Other); ++cat)
+    for (const double vdd : {1.0, 1.65, 1.8, 1.95})
+      for (const double period : {100e-9, 25e-9, 15e-9})
+        add(defects::DefectKind::Bridge, cat, vdd < 1.2 || cat % 3 == 0, vdd,
+            period);
+  for (int cat = 0; cat <= static_cast<int>(OpenCategory::Other); ++cat)
+    for (const double vdd : {1.0, 1.65, 1.8, 1.95})
+      for (const double period : {100e-9, 25e-9, 15e-9})
+        add(defects::DefectKind::Open, cat, vdd > 1.9 && cat % 2 == 0, vdd,
+            period);
+  return db;
+}
+
+StudyConfig small_config() {
+  StudyConfig config;
+  config.device_count = 400;
+  config.seed = 99;
+  config.threads = 1;
+  return config;
+}
+
+void expect_equal(const StudyResult& a, const StudyResult& b) {
+  EXPECT_EQ(a.devices, b.devices);
+  EXPECT_EQ(a.defective, b.defective);
+  EXPECT_EQ(a.standard_fails, b.standard_fails);
+  EXPECT_EQ(a.escapes, b.escapes);
+  EXPECT_EQ(a.escapes_standard_only, b.escapes_standard_only);
+  EXPECT_EQ(a.escapes_with_vlv, b.escapes_with_vlv);
+  EXPECT_EQ(a.escapes_with_vmax, b.escapes_with_vmax);
+  EXPECT_EQ(a.escapes_with_atspeed, b.escapes_with_atspeed);
+  EXPECT_EQ(a.venn.total(), b.venn.total());
+  EXPECT_EQ(a.venn.vlv_only, b.venn.vlv_only);
+  EXPECT_EQ(a.summary(), b.summary());
+}
+
+TEST(StudyRange, ShardedMasksReduceToTheFullRunResult) {
+  const StudyConfig config = small_config();
+  const DetectabilityDb db = mixed_db();
+  const StudyResult full = run_study(config, db, make_sampler());
+  ASSERT_GT(full.defective, 0);
+
+  const std::size_t devices = static_cast<std::size_t>(config.device_count);
+  for (const std::size_t shard : {std::size_t{1}, std::size_t{37}, devices}) {
+    std::vector<int> masks;
+    for (std::size_t begin = 0; begin < devices; begin += shard) {
+      const std::size_t end = std::min(devices, begin + shard);
+      const std::vector<int> part =
+          run_study_range(config, db, make_sampler(), begin, end);
+      EXPECT_EQ(part.size(), end - begin);
+      masks.insert(masks.end(), part.begin(), part.end());
+    }
+    expect_equal(reduce_study(config, masks), full);
+  }
+}
+
+TEST(StudyRange, UnresolvedDevicesAreExcludedFromEveryTally) {
+  const StudyConfig config = small_config();
+  const DetectabilityDb db = mixed_db();
+  const std::size_t devices = static_cast<std::size_t>(config.device_count);
+
+  std::vector<int> masks =
+      run_study_range(config, db, make_sampler(), 0, devices);
+  const StudyResult full = reduce_study(config, masks);
+  // Drop the first 100 devices as an unresolved shard: the remaining
+  // tallies must match a reduce over only the resolved suffix.
+  std::vector<int> holes = masks;
+  for (std::size_t d = 0; d < 100; ++d) holes[d] = -1;
+  const StudyResult partial = reduce_study(config, holes);
+  EXPECT_EQ(partial.devices, full.devices - 100);
+  EXPECT_LE(partial.defective, full.defective);
+  // Re-filling the holes restores the full result exactly.
+  expect_equal(reduce_study(config, masks), full);
+}
+
+TEST(StudyRange, RejectsBadBoundsAndMaskCounts) {
+  const StudyConfig config = small_config();
+  const DetectabilityDb db = mixed_db();
+  EXPECT_THROW(run_study_range(config, db, make_sampler(), 5, 4), Error);
+  EXPECT_THROW(run_study_range(config, db, make_sampler(), 0,
+                               static_cast<std::size_t>(config.device_count) +
+                                   1),
+               Error);
+  EXPECT_THROW(reduce_study(config, std::vector<int>(3, 0)), Error);
+  EXPECT_THROW(reduce_study(config, std::vector<int>(
+                                        static_cast<std::size_t>(
+                                            config.device_count),
+                                        128)),
+               Error);
+}
+
+}  // namespace
+}  // namespace memstress::study
