@@ -263,6 +263,17 @@ int run_solver_smoke() {
   const bool amortized = runs[2].avoided > 0 && runs[1].avoided > 0;
   const bool lanes_ran = runs[2].lanes > 0 &&
                          runs[0].lanes == 0;  // exact never batches
+  // Amortization quality, not just existence: the share of factorizations
+  // the batched backend avoided. A solver regression that quietly falls
+  // back to per-lane refactorization keeps avoided > 0 but craters the
+  // rate, so the floor makes it fail loudly here instead of surfacing as
+  // an unexplained wall-clock drift.
+  const double avoided_rate =
+      runs[2].avoided + runs[2].refactorizations > 0
+          ? static_cast<double>(runs[2].avoided) /
+                static_cast<double>(runs[2].avoided + runs[2].refactorizations)
+          : 0.0;
+  const bool rate_floor = avoided_rate >= 0.5;
   std::printf("\nShape checks:\n");
   std::printf("  CSVs byte-identical across solvers ........ %s\n",
               identical ? "HOLDS" : "DEVIATES");
@@ -270,15 +281,18 @@ int run_solver_smoke() {
               amortized ? "HOLDS" : "DEVIATES");
   std::printf("  lanes batched only in lockstep modes ...... %s\n",
               lanes_ran ? "HOLDS" : "DEVIATES");
-  const bool ok = identical && amortized && lanes_ran;
+  std::printf("  batched avoided-refactor rate >= 0.5 ...... %s (%.3f)\n",
+              rate_floor ? "HOLDS" : "DEVIATES", avoided_rate);
+  const bool ok = identical && amortized && lanes_ran && rate_floor;
   std::printf("\nBENCH_JSON {\"bench\":\"perf_pipeline_solver\","
               "\"solver_exact_s\":%.4f,\"solver_incremental_s\":%.4f,"
               "\"solver_batched_s\":%.4f,\"solver_speedup\":%.3f,"
-              "\"refactor_avoided\":%lld,\"lane_ejections\":%lld,"
+              "\"refactor_avoided\":%lld,\"refactor_avoided_rate\":%.4f,"
+              "\"batch_lanes\":%lld,\"lane_ejections\":%lld,"
               "\"solver_csv_identical\":%s,\"ok\":%s}\n",
               runs[0].seconds, runs[1].seconds, runs[2].seconds,
-              runs[0].seconds / runs[2].seconds, runs[2].avoided,
-              runs[2].ejections, identical ? "true" : "false",
+              runs[0].seconds / runs[2].seconds, runs[2].avoided, avoided_rate,
+              runs[2].lanes, runs[2].ejections, identical ? "true" : "false",
               ok ? "true" : "false");
   return ok ? 0 : 1;
 }
@@ -396,7 +410,7 @@ int main(int argc, char** argv) {
   double solver_s[3] = {0.0, 0.0, 0.0};
   long long solver_newton[3] = {0, 0, 0};
   long long solver_refactor[3] = {0, 0, 0};
-  long long solver_avoided = 0, solver_ejections = 0;
+  long long solver_avoided = 0, solver_ejections = 0, solver_lanes = 0;
   bool solver_identical = true;
   {
     const analog::SolverMode modes[3] = {analog::SolverMode::Exact,
@@ -419,6 +433,7 @@ int main(int argc, char** argv) {
       if (modes[m] == analog::SolverMode::Batched) {
         solver_avoided = count_of(r, "analog.refactor_avoided");
         solver_ejections = count_of(r, "analog.lane_ejections");
+        solver_lanes = count_of(r, "analog.batch_lanes");
       }
       if (m == 0)
         reference = db.to_csv();
@@ -487,7 +502,8 @@ int main(int argc, char** argv) {
       "\"solver_newton_exact\":%lld,\"solver_newton_batched\":%lld,"
       "\"solver_refactorizations_exact\":%lld,"
       "\"solver_refactorizations_batched\":%lld,"
-      "\"solver_refactor_avoided\":%lld,\"solver_lane_ejections\":%lld,"
+      "\"solver_refactor_avoided\":%lld,\"solver_refactor_avoided_rate\":%.4f,"
+      "\"solver_batch_lanes\":%lld,\"solver_lane_ejections\":%lld,"
       "\"solver_csv_identical\":%s,"
       "\"ops\":{\"analog_transients\":%lld,\"analog_steps\":%lld,"
       "\"analog_newton_iterations\":%lld,\"tester_analog_cycles\":%lld,"
@@ -500,8 +516,12 @@ int main(int argc, char** argv) {
       study_identical ? "true" : "false", queries.size(), lookup_linear_s,
       lookup_indexed_s, lookup_speedup, solver_s[0], solver_s[1], solver_s[2],
       solver_s[0] / solver_s[2], solver_newton[0], solver_newton[2],
-      solver_refactor[0], solver_refactor[2], solver_avoided, solver_ejections,
-      solver_identical ? "true" : "false",
+      solver_refactor[0], solver_refactor[2], solver_avoided,
+      solver_avoided + solver_refactor[2] > 0
+          ? static_cast<double>(solver_avoided) /
+                static_cast<double>(solver_avoided + solver_refactor[2])
+          : 0.0,
+      solver_lanes, solver_ejections, solver_identical ? "true" : "false",
       count_of(report, "analog.transients"), count_of(report, "analog.steps"),
       count_of(report, "analog.newton_iterations"),
       count_of(report, "tester.analog_cycles"),

@@ -1,0 +1,144 @@
+// Cross-technology ablation: the same reduced stress campaign through every
+// TechnologyModel backend — sram6t (analog transistor-level simulation),
+// stt_mram (closed-form MTJ fault models) and undervolt (software fault
+// injection over the SRAM grid) — timing each characterization, comparing
+// the VLV-vs-nominal coverage split the backends predict, and re-checking
+// the determinism contract (threads 1 vs 4 CSVs byte-identical) per
+// backend.
+//
+// The last stdout line is machine-readable for trend tracking:
+//   BENCH_JSON {"bench":"tech_ablation", ...}
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "estimator/coverage.hpp"
+#include "estimator/detectability.hpp"
+#include "tech/model.hpp"
+
+using namespace memstress;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Per-technology reduced specs. The closed-form backends run their full
+/// default grids (milliseconds); the analog backend gets the same reduced
+/// grid bench_perf_pipeline times, so the smoke stays seconds-scale.
+estimator::CharacterizeSpec spec_for(tech::Technology technology) {
+  estimator::CharacterizeSpec spec = tech::default_characterize_spec(technology);
+  spec.block = bench::standard_block();
+  if (technology == tech::Technology::Sram6T) {
+    spec.vdds = {1.0, 1.8};
+    spec.periods = {100e-9, 25e-9};
+    spec.bridge_resistances = {1e3, 90e3};
+    spec.open_resistances = {3e4, 1e6};
+    spec.gox_vbds = {1.7};
+  }
+  return spec;
+}
+
+struct TechRun {
+  tech::Technology technology;
+  std::size_t grid_points = 0;
+  double seconds = 0.0;
+  double detected_fraction = 0.0;
+  double vlv_dc = 0.0;   ///< defect coverage at the VLV corner
+  double vnom_dc = 0.0;  ///< defect coverage at the nominal corner
+  bool deterministic = false;
+};
+
+TechRun run_one(tech::Technology technology) {
+  TechRun run;
+  run.technology = technology;
+
+  estimator::CharacterizeSpec spec = spec_for(technology);
+  spec.threads = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  const estimator::DetectabilityDb db = estimator::characterize(spec);
+  run.seconds = seconds_since(t0);
+  run.grid_points = db.size();
+
+  std::size_t detected = 0;
+  for (const auto& e : db.entries()) detected += e.detected ? 1 : 0;
+  run.detected_fraction =
+      db.size() > 0 ? static_cast<double>(detected) / db.size() : 0.0;
+
+  // Determinism re-check per backend: a different thread count must yield
+  // the same bytes (canonical grid order + positional commits).
+  estimator::CharacterizeSpec threaded = spec_for(technology);
+  threaded.threads = 4;
+  run.deterministic = estimator::characterize(threaded).to_csv() == db.to_csv();
+
+  const estimator::FaultCoverageEstimator est(
+      db, estimator::PopulationModel::calibrate(), defects::FabModel{},
+      defects::MtjFabModel{});
+  const estimator::EstimatorReport report =
+      est.table1(estimator::MemoryGeometry{128, 32, 4, 1});
+  for (const auto& row : report.rows) {
+    if (row.vdd == bench::Corners::vlv_v) run.vlv_dc = row.defect_coverage;
+    if (row.vdd == bench::Corners::vnom_v) run.vnom_dc = row.defect_coverage;
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("tech_ablation",
+                      "one campaign through every TechnologyModel backend");
+
+  std::vector<TechRun> runs;
+  for (const auto technology :
+       {tech::Technology::Sram6T, tech::Technology::SttMram,
+        tech::Technology::Undervolt}) {
+    std::printf("\n[%s]\n", tech::technology_name(technology));
+    const TechRun run = run_one(technology);
+    std::printf("  %zu grid points in %.3f s  detected %.1f%%  "
+                "DC(VLV)=%.4f DC(Vnom)=%.4f  csv %s\n",
+                run.grid_points, run.seconds, 100.0 * run.detected_fraction,
+                run.vlv_dc, run.vnom_dc,
+                run.deterministic ? "IDENTICAL" : "MISMATCH");
+    runs.push_back(run);
+  }
+
+  // Shape checks. Physics, not tuning: every backend must separate the VLV
+  // corner from nominal (the paper's core claim), stay non-degenerate
+  // (detecting nothing or everything means a broken model), and honour the
+  // byte-identity contract.
+  bool deterministic = true, nondegenerate = true;
+  for (const TechRun& run : runs) {
+    deterministic = deterministic && run.deterministic;
+    nondegenerate = nondegenerate && run.detected_fraction > 0.0 &&
+                    run.detected_fraction < 1.0;
+  }
+  const bool vlv_separates = runs[0].vlv_dc > runs[0].vnom_dc &&
+                             runs[2].vlv_dc > runs[2].vnom_dc;
+  std::printf("\nShape checks:\n");
+  std::printf("  per-backend CSVs thread-invariant ......... %s\n",
+              deterministic ? "HOLDS" : "DEVIATES");
+  std::printf("  no backend degenerate (0%% or 100%%) ........ %s\n",
+              nondegenerate ? "HOLDS" : "DEVIATES");
+  std::printf("  VLV > Vnom coverage (sram6t, undervolt) ... %s\n",
+              vlv_separates ? "HOLDS" : "DEVIATES");
+
+  const bool ok = deterministic && nondegenerate && vlv_separates;
+  std::printf("\nBENCH_JSON {\"bench\":\"tech_ablation\","
+              "\"sram6t_points\":%zu,\"sram6t_s\":%.4f,"
+              "\"sram6t_detected\":%.4f,"
+              "\"stt_mram_points\":%zu,\"stt_mram_s\":%.4f,"
+              "\"stt_mram_detected\":%.4f,"
+              "\"undervolt_points\":%zu,\"undervolt_s\":%.4f,"
+              "\"undervolt_detected\":%.4f,"
+              "\"deterministic\":%s,\"ok\":%s}\n",
+              runs[0].grid_points, runs[0].seconds, runs[0].detected_fraction,
+              runs[1].grid_points, runs[1].seconds, runs[1].detected_fraction,
+              runs[2].grid_points, runs[2].seconds, runs[2].detected_fraction,
+              deterministic ? "true" : "false", ok ? "true" : "false");
+  return ok ? 0 : 1;
+}

@@ -18,6 +18,8 @@
 //   MEMSTRESS_CACHE_ENTRIES       result-cache entries     (default 1024,
 //                                 0 disables caching)
 //   MEMSTRESS_BATCH_MAX           max sub-requests per batch (default 256)
+//   MEMSTRESS_TECHNOLOGY          backend the node characterizes and serves:
+//                                 sram6t (default), stt_mram or undervolt
 //
 // Usage: ./build/examples/memstressd [db_cache_path]
 #include <cstdio>
@@ -26,7 +28,9 @@
 
 #include "core/pipeline.hpp"
 #include "server/server.hpp"
+#include "tech/model.hpp"
 #include "util/cancel.hpp"
+#include "util/env.hpp"
 #include "util/signal_guard.hpp"
 
 using namespace memstress;
@@ -34,14 +38,24 @@ using namespace memstress;
 namespace {
 
 int run(int argc, char** argv) {
+  const tech::Technology technology =
+      tech::parse_technology(env_string_or("MEMSTRESS_TECHNOLOGY", "sram6t"));
   core::PipelineConfig config;
+  config.technology = technology;
+  config.characterization = tech::default_characterize_spec(technology);
+  config.test = config.characterization.test;
   config.block.rows = 2;
   config.block.cols = 1;
   config.db_cache_path =
-      argc > 1 ? argv[1] : "memstress_detectability_cache.csv";
+      argc > 1 ? argv[1]
+      : technology == tech::Technology::Sram6T
+          ? "memstress_detectability_cache.csv"
+          : std::string("memstress_detectability_cache_") +
+                tech::technology_name(technology) + ".csv";
   core::StressEvaluationPipeline pipeline(std::move(config));
 
-  std::printf("memstressd: preparing detectability database (%s)...\n",
+  std::printf("memstressd: preparing %s detectability database (%s)...\n",
+              tech::technology_name(technology),
               pipeline.config().db_cache_path.c_str());
   const auto db = pipeline.share_database();
   std::printf("memstressd: %zu characterized grid points ready\n", db->size());
@@ -52,7 +66,7 @@ int run(int argc, char** argv) {
       estimator::PopulationModel::calibrate(pipeline.config().layout_rows,
                                             pipeline.config().layout_cols),
       pipeline.config().fab, pipeline.make_sampler(),
-      server_config.service_info());
+      server_config.service_info(), pipeline.config().mtj_fab);
 
   server::Server daemon(server_config, service);
   daemon.start();

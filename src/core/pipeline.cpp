@@ -17,6 +17,7 @@ StressEvaluationPipeline::StressEvaluationPipeline(PipelineConfig config)
   opens_ = layout::extract_opens(layout_, config_.extraction);
   config_.characterization.block = config_.block;
   config_.characterization.test = config_.test;
+  config_.characterization.technology = config_.technology;
 }
 
 const estimator::DetectabilityDb& StressEvaluationPipeline::database() {
@@ -79,10 +80,15 @@ estimator::FaultCoverageEstimator StressEvaluationPipeline::make_estimator() {
       share_database(),
       estimator::PopulationModel::calibrate(config_.layout_rows,
                                             config_.layout_cols),
-      config_.fab);
+      config_.fab, config_.mtj_fab);
 }
 
 defects::DefectSampler StressEvaluationPipeline::make_sampler() const {
+  // The STT-MRAM technology samples defective junctions from the MTJ fab
+  // model; the SRAM-grid technologies (analog and undervolt) share the IFA
+  // site population.
+  if (config_.technology == tech::Technology::SttMram)
+    return defects::DefectSampler(config_.mtj_fab, config_.block);
   return defects::DefectSampler(defects::aggregate_sites(bridges_, opens_),
                                 config_.fab, config_.block);
 }

@@ -38,6 +38,16 @@ struct PipelineConfig {
   defects::FabModel fab{};
   march::MarchTest test = march::test_11n();
 
+  /// Memory technology the whole pipeline evaluates: Sram6T (analog),
+  /// SttMram (MTJ fault models; pair with march::march_hammer() and the MTJ
+  /// fab model below) or Undervolt (software fault injection over the SRAM
+  /// grid). Copied into `characterization.technology`.
+  tech::Technology technology = tech::Technology::Sram6T;
+
+  /// MTJ fab statistics for the SttMram technology (estimator bins, sampler
+  /// distribution). Ignored by the other technologies.
+  defects::MtjFabModel mtj_fab{};
+
   /// Characterization grids; `block` and `test` above are copied in.
   estimator::CharacterizeSpec characterization{};
 

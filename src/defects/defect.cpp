@@ -10,6 +10,15 @@ namespace nn = memstress::layout;
 using layout::BridgeCategory;
 using layout::OpenCategory;
 
+const char* mtj_category_name(MtjFaultCategory category) {
+  switch (category) {
+    case MtjFaultCategory::Retention: return "retention";
+    case MtjFaultCategory::Transition: return "transition";
+    case MtjFaultCategory::ReadDisturb: return "read-disturb";
+  }
+  throw Error("mtj_category_name: unknown category");
+}
+
 std::string Defect::tag() const {
   if (kind == DefectKind::Bridge) {
     std::string text = "bridge[" +
@@ -19,12 +28,19 @@ std::string Defect::tag() const {
     if (breakdown_v > 0.0) text += " Vbd=" + fmt_fixed(breakdown_v, 2) + " V";
     return text;
   }
+  if (kind == DefectKind::Mtj) {
+    return "mtj[" + std::string(mtj_category_name(mtj_category)) + "] " +
+           net_a + " Rp=" + fmt_resistance(resistance);
+  }
   return "open[" + std::string(layout::open_category_name(open_category)) + "] " +
          net_a + " R=" + fmt_resistance(resistance);
 }
 
 void inject(analog::Netlist& netlist, const Defect& defect) {
   require(defect.resistance > 0.0, "inject: defect resistance must be positive");
+  require(defect.kind != DefectKind::Mtj,
+          "inject: MTJ defects are not analog-injectable; the stt_mram "
+          "technology model evaluates them with closed-form MTJ physics");
   if (defect.kind == DefectKind::Bridge) {
     const analog::NodeId a = netlist.find_node(defect.net_a);
     const analog::NodeId b = netlist.find_node(defect.net_b);
@@ -112,6 +128,23 @@ Defect representative_open(OpenCategory category, const sram::BlockSpec& spec,
       throw Error("representative_open: no representative for Other");
   }
   return d;
+}
+
+Defect representative_mtj(MtjFaultCategory category,
+                          const sram::BlockSpec& spec, double resistance) {
+  (void)spec;
+  Defect d;
+  d.kind = DefectKind::Mtj;
+  d.mtj_category = category;
+  d.resistance = resistance;
+  d.net_a = nn::net_cell_t(0, 0);
+  return d;
+}
+
+std::vector<MtjFaultCategory> simulatable_mtj_categories(
+    const sram::BlockSpec&) {
+  return {MtjFaultCategory::Retention, MtjFaultCategory::Transition,
+          MtjFaultCategory::ReadDisturb};
 }
 
 std::vector<BridgeCategory> simulatable_bridge_categories(

@@ -15,11 +15,25 @@
 
 namespace memstress::defects {
 
-enum class DefectKind : unsigned char { Bridge, Open };
+enum class DefectKind : unsigned char { Bridge, Open, Mtj };
+
+/// Fault classes of a defective magnetic tunnel junction (STT-MRAM cell).
+/// The defect parameter is the junction's parallel-state resistance R_P;
+/// which class a given R_P deviation lands in depends on the stimulus:
+/// a thin barrier loses data over a pause (retention), a thick one starves
+/// the write current (transition), a leaky one flips under repeated reads
+/// (read disturb). Characterized separately because each class has its own
+/// stress-condition physics.
+enum class MtjFaultCategory : unsigned char { Retention, Transition,
+                                              ReadDisturb };
+
+/// "retention" / "transition" / "read-disturb".
+const char* mtj_category_name(MtjFaultCategory category);
 
 struct Defect {
   DefectKind kind = DefectKind::Bridge;
   // Bridge: the two shorted nets. Open: `net_a` holds the joint name.
+  // Mtj: `net_a` holds the cell name.
   std::string net_a;
   std::string net_b;
   double resistance = 0.0;
@@ -29,6 +43,7 @@ struct Defect {
   // Category indices allow DB lookups without re-deriving from names.
   layout::BridgeCategory bridge_category = layout::BridgeCategory::Other;
   layout::OpenCategory open_category = layout::OpenCategory::Other;
+  MtjFaultCategory mtj_category = MtjFaultCategory::Retention;
 
   /// "bridge[cell-true-false] cell0_0_t~cell0_0_f R=90 kOhm" style tag.
   std::string tag() const;
@@ -47,6 +62,17 @@ Defect representative_bridge(layout::BridgeCategory category,
 /// Same for open sites.
 Defect representative_open(layout::OpenCategory category,
                            const sram::BlockSpec& spec, double resistance);
+
+/// Representative defective MTJ: one junction of the block, its
+/// parallel-state resistance deviated to `resistance`. Not injectable into
+/// the analog netlist — the stt_mram technology model evaluates it with
+/// closed-form MTJ physics instead.
+Defect representative_mtj(MtjFaultCategory category,
+                          const sram::BlockSpec& spec, double resistance);
+
+/// All MTJ fault categories (every block hosts all of them).
+std::vector<MtjFaultCategory> simulatable_mtj_categories(
+    const sram::BlockSpec& spec);
 
 /// All bridge categories that have a representative in a block of this
 /// geometry (BitlineBitline needs >= 2 columns, AddressAddress >= 2 bits).

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "defects/defect.hpp"
 #include "util/error.hpp"
 
 namespace memstress::defects {
@@ -28,6 +29,27 @@ double FabModel::expected_defects(double area_um2) const {
 }
 
 double FabModel::yield(double area_um2) const {
+  return std::exp(-expected_defects(area_um2));
+}
+
+double MtjFabModel::sample_resistance(Rng& rng) const {
+  return rng.log_normal(r_log_mu, r_log_sigma);
+}
+
+MtjFaultCategory MtjFabModel::sample_category(Rng& rng) const {
+  const double roll = rng.uniform(0.0, 1.0);
+  if (roll < retention_fraction) return MtjFaultCategory::Retention;
+  if (roll < retention_fraction + transition_fraction)
+    return MtjFaultCategory::Transition;
+  return MtjFaultCategory::ReadDisturb;
+}
+
+double MtjFabModel::expected_defects(double area_um2) const {
+  require(area_um2 >= 0.0, "MtjFabModel::expected_defects: negative area");
+  return area_um2 * defect_density_per_um2;
+}
+
+double MtjFabModel::yield(double area_um2) const {
   return std::exp(-expected_defects(area_um2));
 }
 

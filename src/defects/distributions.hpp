@@ -14,6 +14,8 @@
 
 namespace memstress::defects {
 
+enum class MtjFaultCategory : unsigned char;  // defect.hpp
+
 /// Discrete resistance bin with its probability mass — Table 1's fault
 /// coverage columns are evaluated on exactly these bins.
 struct ResistanceBin {
@@ -68,6 +70,49 @@ struct FabModel {
   double expected_defects(double area_um2) const;
 
   /// Poisson yield Y = exp(-A * D0): the probability a chip has no defect.
+  double yield(double area_um2) const;
+};
+
+/// STT-MRAM fab statistics. The single defect parameter is the junction's
+/// deviated parallel-state resistance R_P: thin/pinholed barriers land below
+/// the healthy 3.2 kOhm, thick barriers and void contacts above it. Which
+/// fault class (retention / transition / read-disturb) a junction exhibits
+/// is decided jointly by R_P and the stimulus; the mix fractions below give
+/// the population split the sampler draws from.
+struct MtjFabModel {
+  /// Defective-R_P bins (sum of probabilities = 1). The bin centers sit on
+  /// the SttMramSpec resistance sweep axis so the Table-1 coverage columns
+  /// can be read straight out of the detectability DB. The healthy 3.2 kOhm
+  /// point is deliberately absent: a junction at nominal R_P is not a defect.
+  std::vector<ResistanceBin> resistance_bins{
+      {1.0e3, 0.10}, {1.3e3, 0.14}, {1.6e3, 0.13},
+      {2.0e3, 0.11}, {2.6e3, 0.08}, {4.2e3, 0.09},
+      {5.6e3, 0.12}, {8.0e3, 0.13}, {1.2e4, 0.10}};
+
+  /// Continuous R_P sampler: log-normal around the healthy resistance
+  /// (ln 3200 ~ 8.07) with a moderate spread — MgO barrier thickness varies
+  /// exponentially with deposition noise.
+  double r_log_mu = 8.07;
+  double r_log_sigma = 0.45;
+
+  /// Fault-class mix of the defective-junction population.
+  double retention_fraction = 0.40;
+  double transition_fraction = 0.35;  ///< remainder is read-disturb
+
+  /// Defective junctions per um^2 of MTJ array area. MTJ stacks are younger
+  /// than 0.18 um CMOS, so the density is set above the SRAM conductor one.
+  double defect_density_per_um2 = 1.2e-7;
+
+  /// Sample one deviated parallel-state resistance (continuous model).
+  double sample_resistance(Rng& rng) const;
+
+  /// Sample the fault class per the mix fractions.
+  MtjFaultCategory sample_category(Rng& rng) const;
+
+  /// Expected defective-junction count for `area_um2` of array area.
+  double expected_defects(double area_um2) const;
+
+  /// Poisson yield over the MTJ array.
   double yield(double area_um2) const;
 };
 

@@ -52,7 +52,19 @@ DefectSampler::DefectSampler(SitePopulation population, FabModel fab,
   for (const auto& [cat, w] : population_.opens) open_weights_.push_back(w);
 }
 
+DefectSampler::DefectSampler(MtjFabModel mtj, sram::BlockSpec spec)
+    : mtj_fab_(mtj), spec_(spec), mtj_mode_(true) {
+  require(mtj_fab_.retention_fraction >= 0.0 &&
+              mtj_fab_.transition_fraction >= 0.0 &&
+              mtj_fab_.retention_fraction + mtj_fab_.transition_fraction <= 1.0,
+          "DefectSampler: MTJ category mix fractions out of range");
+}
+
 Defect DefectSampler::sample(Rng& rng) const {
+  if (mtj_mode_) {
+    return representative_mtj(mtj_fab_.sample_category(rng), spec_,
+                              mtj_fab_.sample_resistance(rng));
+  }
   const bool is_bridge =
       !bridge_weights_.empty() &&
       (open_weights_.empty() || rng.chance(fab_.bridge_fraction));

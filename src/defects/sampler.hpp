@@ -32,17 +32,26 @@ class DefectSampler {
  public:
   DefectSampler(SitePopulation population, FabModel fab, sram::BlockSpec spec);
 
+  /// MTJ-mode sampler: every drawn defect is one defective junction whose
+  /// fault class and parallel-state resistance come from the MTJ fab model
+  /// (there is no IFA site population — the junction array is uniform).
+  DefectSampler(MtjFabModel mtj, sram::BlockSpec spec);
+
   Defect sample(Rng& rng) const;
 
   const SitePopulation& population() const { return population_; }
   const FabModel& fab() const { return fab_; }
+  const MtjFabModel& mtj_fab() const { return mtj_fab_; }
+  bool mtj_mode() const { return mtj_mode_; }
 
  private:
   SitePopulation population_;
   FabModel fab_;
+  MtjFabModel mtj_fab_;
   sram::BlockSpec spec_;
   std::vector<double> bridge_weights_;
   std::vector<double> open_weights_;
+  bool mtj_mode_ = false;
 };
 
 }  // namespace memstress::defects

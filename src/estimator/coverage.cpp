@@ -156,15 +156,20 @@ std::string EstimatorReport::to_csv() const {
 
 FaultCoverageEstimator::FaultCoverageEstimator(DetectabilityDb db,
                                                PopulationModel population,
-                                               defects::FabModel fab)
+                                               defects::FabModel fab,
+                                               defects::MtjFabModel mtj_fab)
     : db_(std::make_shared<const DetectabilityDb>(std::move(db))),
       population_(std::move(population)),
-      fab_(fab) {}
+      fab_(fab),
+      mtj_fab_(std::move(mtj_fab)) {}
 
 FaultCoverageEstimator::FaultCoverageEstimator(
     std::shared_ptr<const DetectabilityDb> db, PopulationModel population,
-    defects::FabModel fab)
-    : db_(std::move(db)), population_(std::move(population)), fab_(fab) {
+    defects::FabModel fab, defects::MtjFabModel mtj_fab)
+    : db_(std::move(db)),
+      population_(std::move(population)),
+      fab_(fab),
+      mtj_fab_(std::move(mtj_fab)) {
   require(db_ != nullptr, "FaultCoverageEstimator: null database");
 }
 
@@ -233,6 +238,46 @@ double FaultCoverageEstimator::bridge_defect_coverage(
   return coverage / mass;
 }
 
+double FaultCoverageEstimator::mtj_fault_coverage(
+    const MemoryGeometry& geometry, double resistance,
+    const sram::StressPoint& at) const {
+  (void)geometry;  // all MTJ fault classes are cell-local
+  const defects::MtjFaultCategory categories[] = {
+      defects::MtjFaultCategory::Retention,
+      defects::MtjFaultCategory::Transition,
+      defects::MtjFaultCategory::ReadDisturb};
+  const double weights[] = {
+      mtj_fab_.retention_fraction, mtj_fab_.transition_fraction,
+      1.0 - mtj_fab_.retention_fraction - mtj_fab_.transition_fraction};
+  double covered = 0.0;
+  double total = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    bool hit;
+    try {
+      hit = db_->detected(DefectKind::Mtj, static_cast<int>(categories[k]),
+                          resistance, at.vdd, at.period);
+    } catch (const Error&) {
+      continue;  // fault class not characterized: skip its weight
+    }
+    total += weights[k];
+    if (hit) covered += weights[k];
+  }
+  require(total > 0.0, "mtj_fault_coverage: no characterized MTJ categories");
+  return covered / total;
+}
+
+double FaultCoverageEstimator::mtj_defect_coverage(
+    const MemoryGeometry& geometry, const sram::StressPoint& at) const {
+  double coverage = 0.0;
+  double mass = 0.0;
+  for (const auto& bin : mtj_fab_.resistance_bins) {
+    coverage += bin.probability * mtj_fault_coverage(geometry, bin.ohms, at);
+    mass += bin.probability;
+  }
+  require(mass > 0.0, "mtj_defect_coverage: empty resistance bins");
+  return coverage / mass;
+}
+
 EstimatorReport FaultCoverageEstimator::table1(const MemoryGeometry& geometry,
                                                double vlv_period,
                                                double production_period) const {
@@ -242,10 +287,18 @@ EstimatorReport FaultCoverageEstimator::table1(const MemoryGeometry& geometry,
         metrics::counter("estimator.table1_reports");
     reports.add(1);
   }
+  // An STT-MRAM database reads out of the MTJ columns: deviated-R_P bins,
+  // fault-class-mix coverage, MTJ fab defect density. SRAM-6T and undervolt
+  // databases (same bridge/open grid) use the bridge columns.
+  const bool is_mtj = db_->technology() == tech::Technology::SttMram;
+  const std::vector<defects::ResistanceBin>& bins =
+      is_mtj ? mtj_fab_.resistance_bins : fab_.bridge_bins;
+
   EstimatorReport report;
-  for (const auto& bin : fab_.bridge_bins) report.resistance_bins.push_back(bin.ohms);
+  for (const auto& bin : bins) report.resistance_bins.push_back(bin.ohms);
   report.yield = poisson_yield(geometry.conductor_area_um2(),
-                               fab_.defect_density_per_um2);
+                               is_mtj ? mtj_fab_.defect_density_per_um2
+                                      : fab_.defect_density_per_um2);
   report.quarantined = db_->quarantine().size();
 
   // Quarantined grid points have unknown verdicts: bracket the coverage by
@@ -255,9 +308,9 @@ EstimatorReport FaultCoverageEstimator::table1(const MemoryGeometry& geometry,
   std::unique_ptr<FaultCoverageEstimator> best;
   if (report.quarantined > 0) {
     worst = std::make_unique<FaultCoverageEstimator>(
-        db_->with_quarantine_assumed(false), population_, fab_);
+        db_->with_quarantine_assumed(false), population_, fab_, mtj_fab_);
     best = std::make_unique<FaultCoverageEstimator>(
-        db_->with_quarantine_assumed(true), population_, fab_);
+        db_->with_quarantine_assumed(true), population_, fab_, mtj_fab_);
   }
 
   const struct {
@@ -275,14 +328,20 @@ EstimatorReport FaultCoverageEstimator::table1(const MemoryGeometry& geometry,
     row.label = corner.label;
     row.vdd = corner.vdd;
     const sram::StressPoint at{corner.vdd, corner.period};
-    for (const auto& bin : fab_.bridge_bins)
+    for (const auto& bin : bins)
       row.fc_by_resistance.push_back(
-          bridge_fault_coverage(geometry, bin.ohms, at));
-    row.defect_coverage = bridge_defect_coverage(geometry, at);
+          is_mtj ? mtj_fault_coverage(geometry, bin.ohms, at)
+                 : bridge_fault_coverage(geometry, bin.ohms, at));
+    row.defect_coverage = is_mtj ? mtj_defect_coverage(geometry, at)
+                                 : bridge_defect_coverage(geometry, at);
     row.dpm_value = dpm(report.yield, row.defect_coverage);
     if (worst) {
-      row.defect_coverage_lo = worst->bridge_defect_coverage(geometry, at);
-      row.defect_coverage_hi = best->bridge_defect_coverage(geometry, at);
+      row.defect_coverage_lo =
+          is_mtj ? worst->mtj_defect_coverage(geometry, at)
+                 : worst->bridge_defect_coverage(geometry, at);
+      row.defect_coverage_hi =
+          is_mtj ? best->mtj_defect_coverage(geometry, at)
+                 : best->bridge_defect_coverage(geometry, at);
       // Higher coverage ships fewer defects, so the DPM bounds cross over.
       row.dpm_lo = dpm(report.yield, row.defect_coverage_hi);
       row.dpm_hi = dpm(report.yield, row.defect_coverage_lo);

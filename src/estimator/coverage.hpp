@@ -98,14 +98,16 @@ struct EstimatorReport {
 class FaultCoverageEstimator {
  public:
   FaultCoverageEstimator(DetectabilityDb db, PopulationModel population,
-                         defects::FabModel fab);
+                         defects::FabModel fab,
+                         defects::MtjFabModel mtj_fab = {});
 
   /// Shared-database constructor: many estimators (one per server worker or
   /// per request) reference one immutable DetectabilityDb without copying
   /// its entry list. Lookups are thread-safe, so concurrent table1() calls
   /// over the same database are fine.
   FaultCoverageEstimator(std::shared_ptr<const DetectabilityDb> db,
-                         PopulationModel population, defects::FabModel fab);
+                         PopulationModel population, defects::FabModel fab,
+                         defects::MtjFabModel mtj_fab = {});
 
   /// Fault coverage for bridges of one resistance at one stress condition
   /// (site-weight-averaged detectability over all bridge categories).
@@ -121,11 +123,25 @@ class FaultCoverageEstimator {
   double bridge_defect_coverage(const MemoryGeometry& geometry,
                                 const sram::StressPoint& at) const;
 
+  /// STT-MRAM fault coverage at one deviated R_P: fault-class-mix weighted
+  /// detectability (all MTJ fault classes are cell-local, so geometry scales
+  /// the population, never the per-cell mix).
+  double mtj_fault_coverage(const MemoryGeometry& geometry, double resistance,
+                            const sram::StressPoint& at) const;
+
+  /// STT-MRAM defect coverage: mtj_fault_coverage weighted by the MTJ fab
+  /// model's deviated-R_P bins.
+  double mtj_defect_coverage(const MemoryGeometry& geometry,
+                             const sram::StressPoint& at) const;
+
   /// Reproduce Table 1 for a geometry: one row per supply voltage, each
   /// evaluated at its production schedule — VLV at the slow 10 MHz rate it
   /// requires, the Vmin/Vnom/Vmax legs at the production rate (the paper's
   /// own recommendation: "VLV at low frequency, Vnom and Vmax at high
-  /// frequency"). Bins come from the fab model.
+  /// frequency"). Bins come from the fab model. A database produced by the
+  /// STT-MRAM backend dispatches to the MTJ columns (deviated-R_P bins, MTJ
+  /// fab defect density) automatically; SRAM-6T and undervolt databases use
+  /// the bridge columns.
   EstimatorReport table1(const MemoryGeometry& geometry,
                          double vlv_period = 100e-9,
                          double production_period = 25e-9) const;
@@ -136,6 +152,7 @@ class FaultCoverageEstimator {
   std::shared_ptr<const DetectabilityDb> db_;
   PopulationModel population_;
   defects::FabModel fab_;
+  defects::MtjFabModel mtj_fab_;
 };
 
 }  // namespace memstress::estimator

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "tech/model.hpp"
 #include "util/chaos.hpp"
 #include "util/checkpoint.hpp"
 #include "util/csv.hpp"
@@ -27,12 +28,14 @@ using defects::DefectKind;
 DetectabilityDb::DetectabilityDb(const DetectabilityDb& other)
     : entries_(other.entries_),
       quarantine_(other.quarantine_),
-      fingerprint_(other.fingerprint_) {}
+      fingerprint_(other.fingerprint_),
+      technology_(other.technology_) {}
 
 DetectabilityDb& DetectabilityDb::operator=(const DetectabilityDb& other) {
   entries_ = other.entries_;
   quarantine_ = other.quarantine_;
   fingerprint_ = other.fingerprint_;
+  technology_ = other.technology_;
   std::lock_guard<std::mutex> lock(index_mutex_);
   index_.reset();
   return *this;
@@ -41,12 +44,14 @@ DetectabilityDb& DetectabilityDb::operator=(const DetectabilityDb& other) {
 DetectabilityDb::DetectabilityDb(DetectabilityDb&& other) noexcept
     : entries_(std::move(other.entries_)),
       quarantine_(std::move(other.quarantine_)),
-      fingerprint_(std::move(other.fingerprint_)) {}
+      fingerprint_(std::move(other.fingerprint_)),
+      technology_(other.technology_) {}
 
 DetectabilityDb& DetectabilityDb::operator=(DetectabilityDb&& other) noexcept {
   entries_ = std::move(other.entries_);
   quarantine_ = std::move(other.quarantine_);
   fingerprint_ = std::move(other.fingerprint_);
+  technology_ = other.technology_;
   std::lock_guard<std::mutex> lock(index_mutex_);
   index_.reset();
   return *this;
@@ -65,6 +70,7 @@ void DetectabilityDb::add_quarantine(QuarantineEntry entry) {
 DetectabilityDb DetectabilityDb::with_quarantine_assumed(bool detected) const {
   DetectabilityDb db;
   db.fingerprint_ = fingerprint_;
+  db.technology_ = technology_;
   db.entries_ = entries_;
   db.entries_.reserve(entries_.size() + quarantine_.size());
   for (const QuarantineEntry& q : quarantine_) {
@@ -160,9 +166,18 @@ bool DetectabilityDb::detected(DefectKind kind, int category, double resistance,
 
 bool DetectabilityDb::detected(const Defect& defect,
                                const sram::StressPoint& at) const {
-  const int category = defect.kind == DefectKind::Bridge
-                           ? static_cast<int>(defect.bridge_category)
-                           : static_cast<int>(defect.open_category);
+  int category = 0;
+  switch (defect.kind) {
+    case DefectKind::Bridge:
+      category = static_cast<int>(defect.bridge_category);
+      break;
+    case DefectKind::Open:
+      category = static_cast<int>(defect.open_category);
+      break;
+    case DefectKind::Mtj:
+      category = static_cast<int>(defect.mtj_category);
+      break;
+  }
   return detected(defect.kind, category, defect.resistance, at.vdd, at.period,
                   defect.breakdown_v);
 }
@@ -185,6 +200,11 @@ std::string DetectabilityDb::to_csv() const {
   // without one (hand-built, pre-fingerprint) serialize exactly as before.
   std::string prefix;
   if (!fingerprint_.empty()) prefix = "#fingerprint=" + fingerprint_ + "\n";
+  // Non-default technologies stamp a provenance line of their own; Sram6T
+  // stays implicit so legacy SRAM cache files remain byte-identical.
+  if (technology_ != tech::Technology::Sram6T)
+    prefix += std::string("#technology=") + tech::technology_name(technology_) +
+              "\n";
   CsvWriter csv(
       {"kind", "category", "resistance", "vbd", "vdd", "period", "detected"});
   const auto num = [](double value) {
@@ -192,10 +212,18 @@ std::string DetectabilityDb::to_csv() const {
     std::snprintf(buffer, sizeof buffer, "%.9g", value);
     return std::string(buffer);
   };
+  const auto kind_name = [](DefectKind kind) {
+    switch (kind) {
+      case DefectKind::Bridge: return "bridge";
+      case DefectKind::Open: return "open";
+      case DefectKind::Mtj: return "mtj";
+    }
+    throw Error("DetectabilityDb: unknown defect kind");
+  };
   for (const auto& e : entries_) {
-    csv.add_row({e.kind == DefectKind::Bridge ? "bridge" : "open",
-                 std::to_string(e.category), num(e.resistance), num(e.vbd),
-                 num(e.vdd), num(e.period), e.detected ? "1" : "0"});
+    csv.add_row({kind_name(e.kind), std::to_string(e.category),
+                 num(e.resistance), num(e.vbd), num(e.vdd), num(e.period),
+                 e.detected ? "1" : "0"});
   }
   return prefix + csv.to_string();
 }
@@ -246,14 +274,28 @@ DetectabilityDb DetectabilityDb::from_csv(
   // CSV parser sees the text. The whole file is rejected on a provenance
   // problem — a wrong-grid cache must never be half-trusted.
   static const std::string kFingerprintTag = "#fingerprint=";
+  static const std::string kTechnologyTag = "#technology=";
   std::string fingerprint;
+  tech::Technology technology = tech::Technology::Sram6T;
   std::string body = csv_text;
-  if (csv_text.compare(0, kFingerprintTag.size(), kFingerprintTag) == 0) {
-    std::size_t end = csv_text.find('\n');
-    if (end == std::string::npos) end = csv_text.size();
-    fingerprint = csv_text.substr(kFingerprintTag.size(),
-                                  end - kFingerprintTag.size());
-    body = end < csv_text.size() ? csv_text.substr(end + 1) : std::string();
+  while (!body.empty() && body[0] == '#') {
+    std::size_t end = body.find('\n');
+    if (end == std::string::npos) end = body.size();
+    const std::string line = body.substr(0, end);
+    if (line.compare(0, kFingerprintTag.size(), kFingerprintTag) == 0) {
+      fingerprint = line.substr(kFingerprintTag.size());
+    } else if (line.compare(0, kTechnologyTag.size(), kTechnologyTag) == 0) {
+      try {
+        technology = tech::parse_technology(line.substr(kTechnologyTag.size()));
+      } catch (const Error&) {
+        throw Error("DetectabilityDb: row 1: unknown technology line \"" +
+                    line + "\"");
+      }
+    } else {
+      throw Error("DetectabilityDb: row 1: unknown provenance line \"" + line +
+                  "\"");
+    }
+    body = end < body.size() ? body.substr(end + 1) : std::string();
   }
   if (!expected_fingerprint.empty()) {
     require(!fingerprint.empty(),
@@ -271,6 +313,7 @@ DetectabilityDb DetectabilityDb::from_csv(
           "kind,category,resistance,vbd,vdd,period,detected)");
   DetectabilityDb db;
   db.fingerprint_ = std::move(fingerprint);
+  db.technology_ = technology;
   for (std::size_t r = 0; r < content.rows.size(); ++r) {
     const auto& row = content.rows[r];
     require(row.size() == 7,
@@ -278,10 +321,12 @@ DetectabilityDb DetectabilityDb::from_csv(
                 std::to_string(row.size()) +
                 " fields, expected 7 (truncated cache file?)");
     DbEntry e;
-    require(row[0] == "bridge" || row[0] == "open",
+    require(row[0] == "bridge" || row[0] == "open" || row[0] == "mtj",
             "DetectabilityDb: row " + std::to_string(r + 1) +
                 ": unknown kind \"" + row[0] + "\"");
-    e.kind = row[0] == "bridge" ? DefectKind::Bridge : DefectKind::Open;
+    e.kind = row[0] == "bridge" ? DefectKind::Bridge
+             : row[0] == "open" ? DefectKind::Open
+                                : DefectKind::Mtj;
     e.category = parse_csv_int(row[1], r + 1, "category");
     e.resistance = parse_csv_double(row[2], r + 1, "resistance");
     e.vbd = parse_csv_double(row[3], r + 1, "vbd");
@@ -338,70 +383,18 @@ std::string spec_fingerprint(const CharacterizeSpec& spec) {
   append_axis("vbd", spec.gox_vbds);
   std::snprintf(buffer, sizeof buffer, "|rgox %.9g", spec.gox_resistance);
   canon += buffer;
+  // The technology id plus its backend parameters: a cached SRAM-6T
+  // database can never satisfy an STT-MRAM (or undervolt) spec, and a
+  // parameter tweak inside one backend re-characterizes just like an axis
+  // change would.
+  canon += "|tech ";
+  canon += tech::technology_name(spec.technology);
+  tech::model_for(spec.technology).append_fingerprint(spec, canon);
   std::snprintf(buffer, sizeof buffer, "%08x", checkpoint::crc32(canon));
   return buffer;
 }
 
 namespace {
-
-/// One grid point of the characterization sweep: a defect to inject and the
-/// entry (minus its `detected` bit) it will produce. Tasks are generated in
-/// the canonical serial grid order and committed to the database in that
-/// same order, so the resulting CSV is byte-identical at any thread count.
-struct CharacterizeTask {
-  Defect defect;
-  DbEntry entry;
-};
-
-std::vector<CharacterizeTask> build_tasks(const CharacterizeSpec& spec) {
-  std::vector<CharacterizeTask> tasks;
-  const auto push = [&tasks](const Defect& defect, DefectKind kind,
-                             int category, double resistance, double vbd,
-                             double vdd, double period) {
-    DbEntry e;
-    e.kind = kind;
-    e.category = category;
-    e.resistance = resistance;
-    e.vbd = vbd;
-    e.vdd = vdd;
-    e.period = period;
-    tasks.push_back({defect, e});
-  };
-
-  for (const auto category : defects::simulatable_bridge_categories(spec.block)) {
-    if (category == layout::BridgeCategory::CellGateOxide) {
-      // Gate-oxide bridges sweep breakdown voltage at a fixed post-breakdown
-      // resistance.
-      for (const double vbd : spec.gox_vbds) {
-        Defect defect = defects::representative_bridge(category, spec.block,
-                                                       spec.gox_resistance);
-        defect.breakdown_v = vbd;
-        for (const double vdd : spec.vdds)
-          for (const double period : spec.periods)
-            push(defect, DefectKind::Bridge, static_cast<int>(category),
-                 spec.gox_resistance, vbd, vdd, period);
-      }
-      continue;
-    }
-    for (const double r : spec.bridge_resistances) {
-      const Defect defect = defects::representative_bridge(category, spec.block, r);
-      for (const double vdd : spec.vdds)
-        for (const double period : spec.periods)
-          push(defect, DefectKind::Bridge, static_cast<int>(category), r, 0.0,
-               vdd, period);
-    }
-  }
-  for (const auto category : defects::simulatable_open_categories(spec.block)) {
-    for (const double r : spec.open_resistances) {
-      const Defect defect = defects::representative_open(category, spec.block, r);
-      for (const double vdd : spec.vdds)
-        for (const double period : spec.periods)
-          push(defect, DefectKind::Open, static_cast<int>(category), r, 0.0,
-               vdd, period);
-    }
-  }
-  return tasks;
-}
 
 /// Result slot for one grid point, guarded by the sweep's state mutex.
 struct PointState {
@@ -412,15 +405,19 @@ struct PointState {
 };
 
 /// CRC32 over the canonical grid description: a checkpoint written for one
-/// grid never resumes a different one.
+/// grid never resumes a different one. The technology id and its backend
+/// parameters participate — the same grid evaluated under different physics
+/// must not share snapshots.
 std::string grid_fingerprint(const CharacterizeSpec& spec,
-                             const std::vector<CharacterizeTask>& tasks) {
+                             const std::vector<GridPoint>& grid) {
   std::string canon = spec.test.to_string() + "|" +
                       std::to_string(spec.block.rows) + "x" +
                       std::to_string(spec.block.cols) + "|spc" +
-                      std::to_string(spec.ate.steps_per_cycle);
+                      std::to_string(spec.ate.steps_per_cycle) + "|tech " +
+                      tech::technology_name(spec.technology);
+  tech::model_for(spec.technology).append_fingerprint(spec, canon);
   char buffer[160];
-  for (const CharacterizeTask& t : tasks) {
+  for (const GridPoint& t : grid) {
     std::snprintf(buffer, sizeof buffer, "|%d %d %.9g %.9g %.9g %.9g",
                   static_cast<int>(t.entry.kind), t.entry.category,
                   t.entry.resistance, t.entry.vbd, t.entry.vdd,
@@ -511,12 +508,12 @@ std::size_t restore_points(const std::string& path, const std::string& payload,
 /// its snapshot cadence. Chaos sites key on the global grid index, so no
 /// shard layout can change an injected failure schedule.
 void sweep_tasks(const CharacterizeSpec& spec,
-                 const std::vector<CharacterizeTask>& tasks, std::size_t begin,
+                 const std::vector<GridPoint>& grid,
+                 const tech::TechnologyModel& model, std::size_t begin,
                  std::size_t end, std::vector<PointState>& points,
                  std::mutex& state_mutex, std::size_t& completed,
                  const ProgressFn& progress,
                  const std::function<void()>& after_commit_locked) {
-  const analog::Netlist golden = sram::build_block(spec.block);
   static metrics::Counter& retries = metrics::counter("robust.retries");
 
   // Solver backend: exact runs every grid point through the scalar path;
@@ -524,13 +521,17 @@ void sweep_tasks(const CharacterizeSpec& spec,
   // cell's whole R (or vbd) axis through the lockstep kernel, and only the
   // lanes the kernel could not converge fall back to the scalar rescue
   // ladder (attempts >= 2). The produced verdicts — and therefore the CSV —
-  // are identical in every mode.
+  // are identical in every mode. Closed-form backends report batched() =
+  // false, so every mode takes the identical per-point path.
   const analog::SolverMode mode =
       spec.solver ? *spec.solver : analog::solver_mode_from_env();
+  const std::unique_ptr<tech::SweepContext> ctx = model.make_context(spec, mode);
+  const bool use_batch =
+      model.batched() && mode != analog::SolverMode::Exact;
 
   const auto point_label_of = [&](std::size_t i) {
-    return tasks[i].defect.tag() + " @ " + fmt_fixed(tasks[i].entry.vdd, 2) +
-           " V / " + fmt_time(tasks[i].entry.period);
+    return grid[i].defect_tag + " @ " + fmt_fixed(grid[i].entry.vdd, 2) +
+           " V / " + fmt_time(grid[i].entry.period);
   };
 
   const auto commit_locked = [&](std::size_t i, PointState state,
@@ -547,21 +548,13 @@ void sweep_tasks(const CharacterizeSpec& spec,
   /// rescue_level k-1, exactly as before batching existed.
   const auto run_point = [&](std::size_t i, int start_attempt,
                              std::string reason) {
-    const CharacterizeTask& task = tasks[i];
     const std::string point_label = point_label_of(i);
     for (int attempt = start_attempt; attempt <= spec.max_attempts; ++attempt) {
       try {
         chaos::maybe_fail("characterize.point", i, attempt);
-        analog::Netlist faulty = golden;
-        defects::inject(faulty, task.defect);
-        tester::AteOptions ate = spec.ate;
-        ate.rescue_level = attempt - 1;
-        const sram::StressPoint at{task.entry.vdd, task.entry.period};
-        const tester::AnalogRun run = tester::run_march_analog(
-            std::move(faulty), spec.block, spec.test, at, ate);
         PointState state;
         state.state = PointState::kDone;
-        state.detected = !run.log.passed();
+        state.detected = ctx->simulate_point(i, attempt - 1);
         state.attempts = attempt;
         const std::string line =
             point_label + (state.detected ? " -> DETECTED" : " -> escape");
@@ -603,10 +596,10 @@ void sweep_tasks(const CharacterizeSpec& spec,
     std::vector<std::size_t> task_indices;
   };
   std::vector<BatchGroup> groups;
-  if (mode != analog::SolverMode::Exact) {
+  if (use_batch) {
     std::map<std::tuple<int, int, double, double>, std::size_t> group_of;
     for (std::size_t i = begin; i < end; ++i) {
-      const DbEntry& e = tasks[i].entry;
+      const DbEntry& e = grid[i].entry;
       const auto key = std::make_tuple(static_cast<int>(e.kind), e.category,
                                        e.vdd, e.period);
       const auto it = group_of.find(key);
@@ -644,47 +637,16 @@ void sweep_tasks(const CharacterizeSpec& spec,
     }
 
     if (!lanes.empty()) {
-      const CharacterizeTask& lead = tasks[lanes.front()];
-      analog::Netlist faulty = golden;
-      defects::inject(faulty, lead.defect);
-      // Locate the swept element the injection just produced: bridges append
-      // the last resistor (or breakdown), opens retarget the joint resistor.
-      analog::SweptElement swept;
-      std::vector<double> values;
-      values.reserve(lanes.size());
-      if (lead.entry.kind == DefectKind::Open) {
-        swept.kind = analog::SweptElement::Kind::ResistorOhms;
-        swept.index = faulty.joint_resistor_index(lead.defect.net_a);
-        for (const std::size_t i : lanes)
-          values.push_back(tasks[i].entry.resistance);
-      } else if (lead.defect.breakdown_v > 0.0) {
-        swept.kind = analog::SweptElement::Kind::BreakdownVbd;
-        swept.index = faulty.breakdowns().size() - 1;
-        for (const std::size_t i : lanes) values.push_back(tasks[i].entry.vbd);
-      } else {
-        swept.kind = analog::SweptElement::Kind::ResistorOhms;
-        swept.index = faulty.resistors().size() - 1;
-        for (const std::size_t i : lanes)
-          values.push_back(tasks[i].entry.resistance);
-      }
-      analog::BatchOptions batch_options;
-      batch_options.share_jacobian = mode == analog::SolverMode::Batched;
-      const sram::StressPoint at{lead.entry.vdd, lead.entry.period};
-      const std::vector<tester::BatchAnalogRun> runs =
-          tester::run_march_analog_batch(std::move(faulty), spec.block,
-                                         spec.test, at, swept, values,
-                                         batch_options, spec.ate);
+      const std::vector<tech::LaneResult> runs = ctx->simulate_batch(lanes);
       for (std::size_t k = 0; k < lanes.size(); ++k) {
         const std::size_t i = lanes[k];
         if (!runs[k].ok) {
-          failed.emplace_back(
-              i, std::string(analog::solver_failure_name(runs[k].failure)) +
-                     ": " + runs[k].error);
+          failed.emplace_back(i, runs[k].error);
           continue;
         }
         PointState state;
         state.state = PointState::kDone;
-        state.detected = !runs[k].log.passed();
+        state.detected = runs[k].detected;
         state.attempts = 1;
         const std::string line = point_label_of(i) + (state.detected
                                                           ? " -> DETECTED"
@@ -703,7 +665,7 @@ void sweep_tasks(const CharacterizeSpec& spec,
     }
   };
 
-  if (mode != analog::SolverMode::Exact) {
+  if (use_batch) {
     parallel_for(groups.size(), group_body, spec.threads, spec.cancel);
   } else {
     parallel_for(
@@ -718,7 +680,8 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
                              const ProgressFn& progress) {
   trace::Span span("estimator.characterize");
   require(spec.max_attempts >= 1, "characterize: max_attempts must be >= 1");
-  std::vector<CharacterizeTask> tasks = build_tasks(spec);
+  const tech::TechnologyModel& model = tech::model_for(spec.technology);
+  const std::vector<GridPoint> tasks = model.build_grid(spec);
   {
     static metrics::Counter& points =
         metrics::counter("estimator.characterize_points");
@@ -773,8 +736,8 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
   };
 
   try {
-    sweep_tasks(spec, tasks, 0, tasks.size(), points, state_mutex, completed,
-                progress, after_commit_locked);
+    sweep_tasks(spec, tasks, model, 0, tasks.size(), points, state_mutex,
+                completed, progress, after_commit_locked);
   } catch (const CancelledError&) {
     // Cooperative shutdown (SIGINT or an explicit token): flush a final
     // snapshot so the run resumes exactly where it stopped, then unwind.
@@ -788,6 +751,7 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
 
   DetectabilityDb db;
   db.set_fingerprint(spec_fingerprint(spec));
+  db.set_technology(spec.technology);
   static metrics::Counter& quarantined =
       metrics::counter("robust.quarantined_points");
   for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -799,7 +763,7 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
       continue;
     }
     QuarantineEntry q;
-    q.defect_tag = tasks[i].defect.tag();
+    q.defect_tag = tasks[i].defect_tag;
     q.kind = tasks[i].entry.kind;
     q.category = tasks[i].entry.category;
     q.resistance = tasks[i].entry.resistance;
@@ -818,12 +782,7 @@ DetectabilityDb characterize(const CharacterizeSpec& spec,
 }
 
 std::vector<GridPoint> characterize_grid(const CharacterizeSpec& spec) {
-  const std::vector<CharacterizeTask> tasks = build_tasks(spec);
-  std::vector<GridPoint> grid;
-  grid.reserve(tasks.size());
-  for (const CharacterizeTask& t : tasks)
-    grid.push_back({t.defect.tag(), t.entry});
-  return grid;
+  return tech::model_for(spec.technology).build_grid(spec);
 }
 
 std::vector<PointVerdict> characterize_range(const CharacterizeSpec& spec,
@@ -832,7 +791,8 @@ std::vector<PointVerdict> characterize_range(const CharacterizeSpec& spec,
   trace::Span span("estimator.characterize_range");
   require(spec.max_attempts >= 1,
           "characterize_range: max_attempts must be >= 1");
-  const std::vector<CharacterizeTask> tasks = build_tasks(spec);
+  const tech::TechnologyModel& model = tech::model_for(spec.technology);
+  const std::vector<GridPoint> tasks = model.build_grid(spec);
   require(begin <= end && end <= tasks.size(),
           "characterize_range: shard [" + std::to_string(begin) + ", " +
               std::to_string(end) + ") out of bounds for a grid of " +
@@ -845,7 +805,7 @@ std::vector<PointVerdict> characterize_range(const CharacterizeSpec& spec,
   std::vector<PointState> points(tasks.size());
   std::mutex state_mutex;
   std::size_t completed = 0;
-  sweep_tasks(spec, tasks, begin, end, points, state_mutex, completed,
+  sweep_tasks(spec, tasks, model, begin, end, points, state_mutex, completed,
               progress, nullptr);
   std::vector<PointVerdict> verdicts;
   verdicts.reserve(end - begin);

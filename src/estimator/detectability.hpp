@@ -22,6 +22,7 @@
 #include "march/march.hpp"
 #include "sram/behavioral.hpp"
 #include "sram/block.hpp"
+#include "tech/technology.hpp"
 #include "tester/ate.hpp"
 #include "util/cancel.hpp"
 
@@ -80,6 +81,13 @@ class DetectabilityDb {
   void set_fingerprint(std::string fingerprint) {
     fingerprint_ = std::move(fingerprint);
   }
+
+  /// Which technology backend produced the entries. Sram6T for hand-built
+  /// and legacy databases; persisted to the CSV as a "#technology=<name>"
+  /// line (only when non-default, so legacy SRAM cache files stay
+  /// byte-identical).
+  tech::Technology technology() const { return technology_; }
+  void set_technology(tech::Technology technology) { technology_ = technology; }
 
   /// Per-run quarantine list: grid points whose simulation failed after all
   /// retries. Not persisted by to_csv()/save() — a cache file only ever
@@ -141,6 +149,7 @@ class DetectabilityDb {
   std::vector<DbEntry> entries_;
   std::vector<QuarantineEntry> quarantine_;
   std::string fingerprint_;
+  tech::Technology technology_ = tech::Technology::Sram6T;
   mutable std::mutex index_mutex_;
   mutable std::shared_ptr<const Index> index_;  ///< null until first lookup
 };
@@ -152,6 +161,17 @@ class DetectabilityDb {
 struct CharacterizeSpec {
   sram::BlockSpec block;
   march::MarchTest test;
+  /// Physics backend that turns grid points into verdicts. Sram6T runs the
+  /// analog fault simulation; SttMram and Undervolt are closed-form models
+  /// (see tech/model.hpp). The technology participates in spec_fingerprint()
+  /// so a cached database from one backend can never satisfy another's spec.
+  tech::Technology technology = tech::Technology::Sram6T;
+  /// STT-MRAM backend parameters (used only when technology == SttMram).
+  tech::SttMramSpec mtj;
+  /// Undervolt-injection parameters (used only when technology == Undervolt).
+  /// The defect grid itself is the SRAM-6T one — same sites, same axes — so
+  /// the injected population is directly comparable to the analog one.
+  tech::UndervoltSpec undervolt;
   std::vector<double> vdds{1.0, 1.65, 1.8, 1.95};
   /// 100 ns = the 10 MHz VLV-compatible rate; 25 ns = the production rate
   /// for Vmin/Vnom/Vmax; 15 ns = the tester's at-speed floor.

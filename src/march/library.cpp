@@ -38,6 +38,12 @@ MarchTest test_11n() {
                      "{*(w0); ^(r0,w1); ^(r1,w0,r0); v(r0,w1,r1); v(r1,w0)}");
 }
 
+MarchTest march_hammer() {
+  return parse_march("Hammer15N",
+                     "{*(w0); ^(r0,w1); ^(r1,r1,r1,r1,r1,r1,r1,r1); "
+                     "v(r1,w0,r0); *(r0)}");
+}
+
 std::vector<MarchTest> all_tests() {
   return {mats_plus(),  mats_plus_plus(), march_c_minus(), march_a(),
           march_b(),    march_ss(),       test_11n()};

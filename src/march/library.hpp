@@ -33,6 +33,15 @@ MarchTest march_ss();
 /// {*(w0); ^(r0,w1); ^(r1,w0,r0); v(r0,w1,r1); v(r1,w0)}.
 MarchTest test_11n();
 
+/// Hammer15N — the STT-MRAM march-plus-hammer stimulus:
+/// {*(w0); ^(r0,w1); ^(r1,r1,r1,r1,r1,r1,r1,r1); v(r1,w0,r0); *(r0)}.
+/// The 8-deep consecutive-read element is the read-disturb hammer (8 back-
+/// to-back reads of the same cell accumulate switching probability); the
+/// write/read pairs around it cover transition and retention faults.
+/// Deliberately not part of all_tests(): SRAM sweeps and benches keep their
+/// classical test set.
+MarchTest march_hammer();
+
 /// All library tests (for parameterized sweeps and the ablation bench).
 std::vector<MarchTest> all_tests();
 

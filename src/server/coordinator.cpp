@@ -419,6 +419,7 @@ estimator::DetectabilityDb Coordinator::characterize(
 
   estimator::DetectabilityDb db;
   db.set_fingerprint(estimator::spec_fingerprint(spec));
+  db.set_technology(spec.technology);
   static metrics::Counter& quarantined =
       metrics::counter("robust.quarantined_points");
   for (std::size_t i = 0; i < grid.size(); ++i) {

@@ -20,9 +20,10 @@ using estimator::MemoryGeometry;
 MemstressService::MemstressService(
     std::shared_ptr<const estimator::DetectabilityDb> db,
     estimator::PopulationModel population, defects::FabModel fab,
-    defects::DefectSampler sampler, ServiceInfo info)
+    defects::DefectSampler sampler, ServiceInfo info,
+    defects::MtjFabModel mtj_fab)
     : db_(std::move(db)),
-      estimator_(db_, std::move(population), fab),
+      estimator_(db_, std::move(population), fab, mtj_fab),
       sampler_(std::move(sampler)),
       info_(info),
       cache_(info.cache_entries > 0
@@ -91,12 +92,31 @@ defects::DefectKind parse_kind(const Json& params) {
   const std::string kind = params.at("kind").as_string();
   if (kind == "bridge") return defects::DefectKind::Bridge;
   if (kind == "open") return defects::DefectKind::Open;
-  throw ProtocolError("\"kind\" must be \"bridge\" or \"open\"");
+  if (kind == "mtj") return defects::DefectKind::Mtj;
+  throw ProtocolError("\"kind\" must be \"bridge\", \"open\" or \"mtj\"");
 }
 
 }  // namespace
 
+void MemstressService::require_technology(const Json& params) const {
+  const Json* technology = params.find("technology");
+  if (!technology) return;
+  tech::Technology requested;
+  try {
+    requested = tech::parse_technology(technology->as_string());
+  } catch (const Error& e) {
+    throw ProtocolError(std::string("bad \"technology\": ") + e.what());
+  }
+  if (requested != db_->technology())
+    throw ProtocolError(
+        "this node serves a \"" +
+        std::string(tech::technology_name(db_->technology())) +
+        "\" detectability database, request asked for \"" +
+        std::string(tech::technology_name(requested)) + "\"");
+}
+
 Json MemstressService::coverage(const Json& params) const {
+  require_technology(params);
   const MemoryGeometry geometry = parse_geometry(params);
   const double vlv_period = params.number_or("vlv_period", 100e-9);
   const double production_period =
@@ -127,6 +147,7 @@ Json MemstressService::dpm(const Json& params) const {
 }
 
 Json MemstressService::schedule(const Json& params) const {
+  require_technology(params);
   estimator::ScheduleSpec spec;
   spec.cells = params.int_or("cells", spec.cells);
   spec.yield = params.number_or("yield", spec.yield);
@@ -167,15 +188,34 @@ int parse_category(const Json& params, defects::DefectKind kind) {
   if (value.type() != Json::Type::String)
     return static_cast<int>(value.as_number());
   const std::string& name = value.as_string();
-  const int count = kind == defects::DefectKind::Bridge
-                        ? static_cast<int>(layout::BridgeCategory::Other) + 1
-                        : static_cast<int>(layout::OpenCategory::Other) + 1;
+  int count = 0;
+  switch (kind) {
+    case defects::DefectKind::Bridge:
+      count = static_cast<int>(layout::BridgeCategory::Other) + 1;
+      break;
+    case defects::DefectKind::Open:
+      count = static_cast<int>(layout::OpenCategory::Other) + 1;
+      break;
+    case defects::DefectKind::Mtj:
+      count = static_cast<int>(defects::MtjFaultCategory::ReadDisturb) + 1;
+      break;
+  }
   for (int i = 0; i < count; ++i) {
-    const char* candidate =
-        kind == defects::DefectKind::Bridge
-            ? layout::bridge_category_name(
-                  static_cast<layout::BridgeCategory>(i))
-            : layout::open_category_name(static_cast<layout::OpenCategory>(i));
+    const char* candidate = nullptr;
+    switch (kind) {
+      case defects::DefectKind::Bridge:
+        candidate =
+            layout::bridge_category_name(static_cast<layout::BridgeCategory>(i));
+        break;
+      case defects::DefectKind::Open:
+        candidate =
+            layout::open_category_name(static_cast<layout::OpenCategory>(i));
+        break;
+      case defects::DefectKind::Mtj:
+        candidate =
+            defects::mtj_category_name(static_cast<defects::MtjFaultCategory>(i));
+        break;
+    }
     if (name == candidate) return i;
   }
   throw ProtocolError("unknown category \"" + name + "\"");
@@ -184,6 +224,7 @@ int parse_category(const Json& params, defects::DefectKind kind) {
 }  // namespace
 
 Json MemstressService::detectability(const Json& params) const {
+  require_technology(params);
   const defects::DefectKind kind = parse_kind(params);
   const int category = parse_category(params, kind);
   const double resistance = params.at("resistance").as_number();
@@ -208,6 +249,7 @@ Json MemstressService::health() const {
   Json out = Json::object();
   out.set("status", Json("ok"));
   out.set("protocol_version", Json(kProtocolVersion));
+  out.set("technology", Json(tech::technology_name(db_->technology())));
   out.set("db_entries", Json(db_->size()));
   out.set("quarantined", Json(db_->quarantine().size()));
   out.set("conditions", Json(db_->conditions().size()));
@@ -307,6 +349,7 @@ Json MemstressService::study_shard(const Json& params,
                                    const RequestContext& context) const {
   static metrics::Counter& shards = metrics::counter("server.study_shards");
   shards.add(1);
+  require_technology(params);
   study::StudyConfig config = study_config_from_json(params.at("config"));
   config.cancel = context.cancel;
   const std::string expected = params.string_or("db_crc", "");

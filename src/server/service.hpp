@@ -56,10 +56,13 @@ struct RequestContext {
 
 class MemstressService {
  public:
+  /// mtj_fab feeds the estimator's MTJ columns when `db` was characterized
+  /// by the stt_mram backend; the default model matches the library default,
+  /// so sram6t/undervolt deployments never need to pass it.
   MemstressService(std::shared_ptr<const estimator::DetectabilityDb> db,
                    estimator::PopulationModel population,
                    defects::FabModel fab, defects::DefectSampler sampler,
-                   ServiceInfo info = {});
+                   ServiceInfo info = {}, defects::MtjFabModel mtj_fab = {});
 
   /// Dispatch one request to its handler and return the result document.
   /// Throws ProtocolError for unknown types / bad params (-> "bad_request")
@@ -115,6 +118,12 @@ class MemstressService {
   /// becomes a structured per-item error instead of failing the frame.
   std::string batch_serialized(const Json& params,
                                const RequestContext& context) const;
+
+  /// Enforce the optional "technology" request field: when present it must
+  /// name the technology of the database this node serves, otherwise the
+  /// request is a bad_request. Absent = caller takes whatever the node has
+  /// (the pre-technology protocol), so old clients keep working.
+  void require_technology(const Json& params) const;
 
   std::shared_ptr<const estimator::DetectabilityDb> db_;
   estimator::FaultCoverageEstimator estimator_;

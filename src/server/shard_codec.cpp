@@ -6,6 +6,7 @@
 
 #include "analog/batch.hpp"
 #include "march/march.hpp"
+#include "tech/technology.hpp"
 
 namespace memstress::server {
 
@@ -55,6 +56,72 @@ long long int_field(const Json& json, const char* name, long long lo,
   return value;
 }
 
+/// A finite, strictly positive number field (required when its enclosing
+/// object is present — the sub-objects carry full parameter sets so a spec
+/// round-trips without relying on both sides compiling the same defaults).
+double positive_field(const Json& json, const char* name) {
+  const double value = json.at(name).as_number();
+  if (!std::isfinite(value) || value <= 0.0)
+    throw ProtocolError(std::string("\"") + name +
+                        "\" must be finite and positive");
+  return value;
+}
+
+Json mtj_to_json(const tech::SttMramSpec& mtj) {
+  Json out = Json::object();
+  out.set("r_parallel", Json(mtj.r_parallel));
+  out.set("tmr", Json(mtj.tmr));
+  out.set("delta_nominal", Json(mtj.delta_nominal));
+  out.set("v_c0", Json(mtj.v_c0));
+  out.set("access_resistance", Json(mtj.access_resistance));
+  out.set("pulse_fraction", Json(mtj.pulse_fraction));
+  out.set("read_fraction", Json(mtj.read_fraction));
+  out.set("retention_time", Json(mtj.retention_time));
+  out.set("attempt_time", Json(mtj.attempt_time));
+  out.set("resistances", axis_to_json(mtj.resistances));
+  return out;
+}
+
+tech::SttMramSpec mtj_from_json(const Json& json) {
+  tech::SttMramSpec mtj;
+  mtj.r_parallel = positive_field(json, "r_parallel");
+  mtj.tmr = positive_field(json, "tmr");
+  mtj.delta_nominal = positive_field(json, "delta_nominal");
+  mtj.v_c0 = positive_field(json, "v_c0");
+  mtj.access_resistance = positive_field(json, "access_resistance");
+  mtj.pulse_fraction = positive_field(json, "pulse_fraction");
+  mtj.read_fraction = positive_field(json, "read_fraction");
+  mtj.retention_time = positive_field(json, "retention_time");
+  mtj.attempt_time = positive_field(json, "attempt_time");
+  mtj.resistances =
+      axis_from_json(json, "resistances", /*require_positive=*/true);
+  return mtj;
+}
+
+Json undervolt_to_json(const tech::UndervoltSpec& uv) {
+  Json out = Json::object();
+  out.set("v_safe", Json(uv.v_safe));
+  out.set("v_cliff", Json(uv.v_cliff));
+  out.set("margin_nominal", Json(uv.margin_nominal));
+  out.set("sigma", Json(uv.sigma));
+  out.set("r_char_bridge", Json(uv.r_char_bridge));
+  out.set("r_char_open", Json(uv.r_char_open));
+  return out;
+}
+
+tech::UndervoltSpec undervolt_from_json(const Json& json) {
+  tech::UndervoltSpec uv;
+  uv.v_safe = positive_field(json, "v_safe");
+  uv.v_cliff = positive_field(json, "v_cliff");
+  uv.margin_nominal = positive_field(json, "margin_nominal");
+  uv.sigma = positive_field(json, "sigma");
+  uv.r_char_bridge = positive_field(json, "r_char_bridge");
+  uv.r_char_open = positive_field(json, "r_char_open");
+  if (uv.v_cliff >= uv.v_safe)
+    throw ProtocolError("\"v_cliff\" must be below \"v_safe\"");
+  return uv;
+}
+
 }  // namespace
 
 Json characterize_spec_to_json(const estimator::CharacterizeSpec& spec) {
@@ -74,6 +141,14 @@ Json characterize_spec_to_json(const estimator::CharacterizeSpec& spec) {
   out.set("threads", Json(spec.threads));
   if (spec.solver)
     out.set("solver", Json(analog::solver_mode_name(*spec.solver)));
+  out.set("technology", Json(tech::technology_name(spec.technology)));
+  // Backend parameter packs travel only for the technology that reads them,
+  // keeping sram6t frames byte-identical to the pre-technology protocol
+  // (plus the one "technology" field).
+  if (spec.technology == tech::Technology::SttMram)
+    out.set("mtj", mtj_to_json(spec.mtj));
+  if (spec.technology == tech::Technology::Undervolt)
+    out.set("undervolt", undervolt_to_json(spec.undervolt));
   return out;
 }
 
@@ -114,6 +189,27 @@ estimator::CharacterizeSpec characterize_spec_from_json(const Json& json) {
     } catch (const Error& e) {
       throw ProtocolError(std::string("bad \"solver\": ") + e.what());
     }
+  }
+  // Absent field = sram6t: pre-technology coordinators keep working against
+  // new workers, and their shards land on the backend they always meant.
+  if (const Json* technology = json.find("technology")) {
+    try {
+      spec.technology = tech::parse_technology(technology->as_string());
+    } catch (const Error& e) {
+      throw ProtocolError(std::string("bad \"technology\": ") + e.what());
+    }
+  }
+  if (const Json* mtj = json.find("mtj")) {
+    if (spec.technology != tech::Technology::SttMram)
+      throw ProtocolError(
+          "\"mtj\" parameters require \"technology\": \"stt_mram\"");
+    spec.mtj = mtj_from_json(*mtj);
+  }
+  if (const Json* undervolt = json.find("undervolt")) {
+    if (spec.technology != tech::Technology::Undervolt)
+      throw ProtocolError(
+          "\"undervolt\" parameters require \"technology\": \"undervolt\"");
+    spec.undervolt = undervolt_from_json(*undervolt);
   }
   // Shards never checkpoint: the coordinator retries whole shards instead.
   spec.checkpoint_path.clear();

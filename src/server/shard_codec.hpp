@@ -5,9 +5,10 @@
 // canonical grid or population. Only the *result-shaping* slice of each
 // struct travels — exactly the fields spec_fingerprint() / the study
 // checkpoint fingerprint cover (march test, block geometry, solver
-// resolution, every grid axis, the population knobs and the seed) plus the
-// execution knobs the coordinator wants to control on the worker (threads,
-// max_attempts, solver backend). Checkpoint/cancel knobs never travel:
+// resolution, every grid axis, the technology backend and its parameter
+// pack, the population knobs and the seed) plus the execution knobs the
+// coordinator wants to control on the worker (threads, max_attempts,
+// solver backend). Checkpoint/cancel knobs never travel:
 // shards are cheap to re-run and the coordinator retries whole shards.
 //
 // Round-trip contract: from_json(to_json(x)) produces a spec/config whose

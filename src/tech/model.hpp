@@ -1,0 +1,98 @@
+// The TechnologyModel interface: how a (defect site, stress condition,
+// sweep point) becomes a detectability verdict.
+//
+// estimator::characterize() owns everything technology-agnostic — canonical
+// grid order, thread fan-out, retry escalation, chaos hooks, checkpointing,
+// quarantine — and delegates the physics to the model selected by
+// CharacterizeSpec::technology:
+//
+//   Sram6T     transistor-level analog transient per grid point (the
+//              original flow, refactored behind this interface),
+//   SttMram    closed-form magnetic-tunnel-junction fault models,
+//   Undervolt  closed-form SRAM noise-margin/bit-error-rate collapse model
+//              over the *same* defect grid as Sram6T.
+//
+// Adding a backend means implementing TechnologyModel + SweepContext and
+// registering it in model_for() — the estimator, study layer, server and
+// coordinator pick it up unchanged (see TUTORIAL §12).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analog/batch.hpp"
+#include "estimator/detectability.hpp"
+#include "tech/technology.hpp"
+
+namespace memstress::tech {
+
+/// Outcome of one lane of a batched simulation. `error` is the
+/// pre-formatted failure message (solver failure name + detail) when !ok.
+struct LaneResult {
+  bool ok = false;
+  bool detected = false;
+  std::string error;
+};
+
+/// Per-sweep simulation state (e.g. the golden netlist for the analog
+/// backend). One context serves one characterize()/characterize_range()
+/// call; its methods must be safe to call from many threads at once.
+class SweepContext {
+ public:
+  virtual ~SweepContext() = default;
+
+  /// Scalar verdict for global grid point `index`, attempt escalation
+  /// `rescue_level` (0 on the first attempt). Throws analog::SolverError on
+  /// a typed solver failure — the estimator's retry ladder catches it.
+  virtual bool simulate_point(std::size_t index, int rescue_level) = 0;
+
+  /// Lockstep verdicts for `lanes` (global grid indices sharing one
+  /// (kind, category, vdd, period) cell). Called only when the model
+  /// reports batched(); failed lanes carry their formatted error and fall
+  /// back to the estimator's scalar rescue ladder.
+  virtual std::vector<LaneResult> simulate_batch(
+      const std::vector<std::size_t>& lanes) = 0;
+};
+
+class TechnologyModel {
+ public:
+  virtual ~TechnologyModel() = default;
+
+  virtual Technology technology() const = 0;
+
+  /// Enumerate the canonical characterization grid (detected bits left
+  /// false). The estimator commits entries in exactly this order at every
+  /// thread count, solver mode and shard layout.
+  virtual std::vector<estimator::GridPoint> build_grid(
+      const estimator::CharacterizeSpec& spec) const = 0;
+
+  /// Build the per-sweep simulation state. `mode` is the resolved solver
+  /// mode (backends without a lockstep kernel may ignore it).
+  virtual std::unique_ptr<SweepContext> make_context(
+      const estimator::CharacterizeSpec& spec,
+      analog::SolverMode mode) const = 0;
+
+  /// Whether make_context()'s simulate_batch is a real lockstep kernel.
+  /// false forces the per-point path in every solver mode, which also makes
+  /// cross-solver-mode CSV identity trivial for closed-form backends.
+  virtual bool batched() const = 0;
+
+  /// Append the technology-specific parameters that shape the produced
+  /// entries to the spec_fingerprint() canonical string.
+  virtual void append_fingerprint(const estimator::CharacterizeSpec& spec,
+                                  std::string& canon) const = 0;
+};
+
+/// The registered model for a technology. Models are stateless singletons.
+const TechnologyModel& model_for(Technology technology);
+
+/// A CharacterizeSpec pre-loaded with the technology's conventional grid:
+/// SttMram swaps the stimulus for the march-plus-hammer test; Undervolt
+/// extends the Vdd axis below VLV ({0.6 .. 0.9} prepended) so the
+/// bit-error-rate cliff is actually swept. block/ate/threads and the other
+/// execution knobs are left at their defaults for the caller to fill in.
+estimator::CharacterizeSpec default_characterize_spec(Technology technology);
+
+}  // namespace memstress::tech

@@ -1,0 +1,61 @@
+// STT-MRAM backend: closed-form magnetic-tunnel-junction fault models.
+//
+// The cell is one MTJ in series with an access transistor; its health is
+// parameterized by the parallel-state resistance R_P (the swept defect
+// axis). Three fault classes, per the Delft STT-MRAM fault-model survey
+// (arXiv 2001.05463):
+//
+//   retention     thin/pinholed barrier -> low R_P -> low thermal-stability
+//                 factor Delta -> data flips during the enforced pause;
+//   transition    thick barrier / void contact -> high R_P starves the write
+//                 current below the pulse-width-corrected critical current;
+//   read-disturb  marginal Delta junctions flip under the hammer element's
+//                 back-to-back reads with probability exp(-Delta(1 - I/Ic)).
+//
+// All three are deterministic threshold models (probability >= 1/2 decides
+// "detected"), so verdicts are identical at every thread count, solver mode
+// and shard layout by construction.
+#pragma once
+
+#include "march/march.hpp"
+#include "tech/model.hpp"
+#include "tech/technology.hpp"
+
+namespace memstress::tech {
+
+/// Effective thermal-stability factor of a junction whose parallel-state
+/// resistance deviated to `r`: Delta tracks the barrier volume, which the
+/// resistance-area product follows as ~(R / R_P0)^1.5.
+double mtj_delta_eff(const SttMramSpec& spec, double r);
+
+/// Critical switching current at this Delta (static, no pulse correction):
+/// I_c0 = (v_c0 / R_P0) * (Delta / Delta0).
+double mtj_critical_current(const SttMramSpec& spec, double delta_eff);
+
+/// Longest run of back-to-back reads any march element applies to one cell
+/// — the read-disturb hammer depth N of the stimulus (1 for hammer-free
+/// tests: every read is still one disturb attempt).
+int hammer_read_count(const march::MarchTest& test);
+
+/// Retention: the enforced data-hold pause flips the cell with p >= 1/2
+/// when retention_time >= tau0 * exp(Delta_biased) * ln 2, where the
+/// standby bias at `vdd` tilts the barrier by 15% at the nominal 1.8 V.
+bool mtj_retention_detected(const SttMramSpec& spec, double r, double vdd);
+
+/// Transition/write failure: the write current vdd / (R + R_access) falls
+/// below the pulse-width-corrected critical current
+/// I_c0 * (1 - ln(t_pulse / tau0) / Delta) -> the cell never switches and
+/// the march's read-after-write catches it. Low vdd is the screen: marginal
+/// junctions write fine at Vmax but starve at VLV.
+bool mtj_transition_detected(const SttMramSpec& spec, double r, double vdd,
+                             double period);
+
+/// Read disturb: each read at I_r = read_fraction * vdd / (R + R_access)
+/// flips the cell with p = exp(-Delta(1 - I_r/I_c)); N hammer reads detect
+/// when 1 - (1-p)^N >= 1/2.
+bool mtj_read_disturb_detected(const SttMramSpec& spec, double r, double vdd,
+                               int hammer_reads);
+
+const TechnologyModel& stt_mram_model();
+
+}  // namespace memstress::tech

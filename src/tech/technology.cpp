@@ -1,0 +1,24 @@
+#include "tech/technology.hpp"
+
+#include "util/error.hpp"
+
+namespace memstress::tech {
+
+const char* technology_name(Technology technology) {
+  switch (technology) {
+    case Technology::Sram6T: return "sram6t";
+    case Technology::SttMram: return "stt_mram";
+    case Technology::Undervolt: return "undervolt";
+  }
+  throw Error("technology_name: unknown technology");
+}
+
+Technology parse_technology(const std::string& name) {
+  if (name == "sram6t") return Technology::Sram6T;
+  if (name == "stt_mram") return Technology::SttMram;
+  if (name == "undervolt") return Technology::Undervolt;
+  throw Error("parse_technology: unknown technology \"" + name +
+              "\" (expected sram6t, stt_mram or undervolt)");
+}
+
+}  // namespace memstress::tech

@@ -1,0 +1,71 @@
+// Memory-technology identifiers and the per-technology parameter blocks.
+//
+// This header is deliberately dependency-free (strings and vectors only) so
+// estimator/detectability.hpp can embed a Technology selector and the
+// backend parameter blocks inside CharacterizeSpec without creating an
+// include cycle with the tech library. The TechnologyModel interface that
+// turns these parameters into detectability verdicts lives in tech/model.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memstress::tech {
+
+/// Which physics backend characterizes a (defect site, stress condition,
+/// sweep point) into a detectability verdict.
+enum class Technology : unsigned char {
+  Sram6T,     ///< transistor-level analog simulation of the SRAM-6T block
+  SttMram,    ///< closed-form MTJ fault models (retention/transition/disturb)
+  Undervolt,  ///< software fault injection: SRAM bit-error-rate cliff model
+};
+
+/// "sram6t" / "stt_mram" / "undervolt" — the wire and CSV spelling.
+const char* technology_name(Technology technology);
+
+/// Inverse of technology_name(). Throws Error on an unknown name.
+Technology parse_technology(const std::string& name);
+
+/// STT-MRAM backend parameters: one magnetic tunnel junction per cell, its
+/// health described by the parallel-state resistance R_P (the swept defect
+/// parameter), the TMR ratio and the thermal-stability factor Delta. The
+/// defaults describe a 3.2 kOhm / TMR 120% / Delta 60 junction, which is the
+/// ballpark the Delft STT-MRAM fault-model survey works in.
+struct SttMramSpec {
+  double r_parallel = 3.2e3;  ///< healthy parallel-state resistance [ohm]
+  double tmr = 1.2;           ///< R_AP = R_P * (1 + tmr)
+  double delta_nominal = 60.0;  ///< healthy thermal-stability factor
+  /// Critical switching voltage across a healthy junction at Delta-nominal
+  /// (sets I_c0 = v_c0 / r_parallel scaled by Delta).
+  double v_c0 = 0.45;
+  double access_resistance = 2.5e3;  ///< series access-transistor resistance
+  double pulse_fraction = 0.5;  ///< write-pulse width as a fraction of period
+  double read_fraction = 0.25;  ///< read voltage = read_fraction * vdd
+  double retention_time = 1e-3;  ///< data-hold pause the stimulus enforces [s]
+  double attempt_time = 1e-9;    ///< thermal attempt time tau0 [s]
+  /// Defective-R_P sweep axis. Low values are thin/pinholed barriers (weak
+  /// retention, read-disturb prone); high values are thick barriers or void
+  /// contacts (write failures). The healthy 3.2 kOhm point anchors the grid.
+  std::vector<double> resistances{1.0e3, 1.3e3, 1.6e3, 2.0e3, 2.6e3,
+                                  3.2e3, 4.2e3, 5.6e3, 8.0e3, 1.2e4};
+
+  bool operator==(const SttMramSpec&) const = default;
+};
+
+/// Undervolt-injection backend parameters: the SRAM-6T defect grid is kept,
+/// but verdicts come from a static-noise-margin collapse model instead of
+/// analog simulation — the margin shrinks linearly below v_safe, hits zero
+/// at v_cliff, and the defect degrades whatever margin is left; the
+/// bit-error rate over the march then decides detection.
+struct UndervoltSpec {
+  double v_safe = 1.0;    ///< VLV: margins fully healthy at/above this supply
+  double v_cliff = 0.55;  ///< supply where the healthy margin collapses to 0
+  double margin_nominal = 0.22;  ///< healthy static noise margin at v_safe [V]
+  double sigma = 0.035;   ///< cell-to-cell margin spread [V]
+  double r_char_bridge = 8e3;  ///< bridge severity characteristic resistance
+  double r_char_open = 4e5;    ///< open RC characteristic resistance (at-speed)
+
+  bool operator==(const UndervoltSpec&) const = default;
+};
+
+}  // namespace memstress::tech

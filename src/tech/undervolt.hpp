@@ -1,0 +1,45 @@
+// Undervolt-injection backend: a software fault injector over the SRAM-6T
+// defect grid.
+//
+// Instead of simulating the cell's transistors, the model collapses each
+// defect to a static-noise-margin degradation and sweeps Vdd through the
+// bit-error-rate cliff below VLV (arXiv 1912.00154's software-injected
+// campaigns): the healthy margin shrinks linearly from v_safe down to zero
+// at v_cliff, the defect eats a category/resistance-dependent fraction of
+// what is left, and the Gaussian cell-to-cell spread turns the remaining
+// margin into a BER. A march run over the block detects the defect when the
+// expected error count BER * (cells * ops-per-cell) reaches 1/2.
+//
+// Because the grid enumeration is *exactly* the SRAM-6T one, the emitted
+// detectability population is directly comparable, row for row, with the
+// analog ("hardware") campaign — the point of the exercise.
+#pragma once
+
+#include "tech/model.hpp"
+#include "tech/technology.hpp"
+
+namespace memstress::tech {
+
+/// Healthy static noise margin at `vdd`: linear collapse from v_safe down
+/// to zero at v_cliff, mild (35%/V) headroom growth above v_safe.
+double undervolt_healthy_margin(const UndervoltSpec& spec, double vdd);
+
+/// Fractional margin degradation [0, 1] the grid entry's defect inflicts:
+/// bridges load the cell as r_char / (R + r_char) scaled by a per-category
+/// severity (gate-oxide bridges are inert until vdd exceeds their breakdown
+/// voltage); opens add RC delay that bites harder at faster periods.
+double undervolt_degradation(const UndervoltSpec& spec,
+                             const estimator::DbEntry& entry);
+
+/// Bit error rate of a cell with this much margin left:
+/// 0.5 * erfc(margin / (sigma * sqrt 2)).
+double undervolt_ber(const UndervoltSpec& spec, double margin);
+
+/// Detection verdict for one grid entry under a march applying `ops` total
+/// cell operations (cells x ops-per-cell).
+bool undervolt_detected(const UndervoltSpec& spec,
+                        const estimator::DbEntry& entry, double ops);
+
+const TechnologyModel& undervolt_model();
+
+}  // namespace memstress::tech

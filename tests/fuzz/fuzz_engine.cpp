@@ -26,6 +26,13 @@ const std::vector<std::string>& dictionary() {
       "\"monte_carlo_defects\":", "\"seed\":", "\"kind\":", "\"category\":",
       "\"resistance\":", "\"vdd\":", "\"period\":", "\"ms\":",
       "\"bridge\"", "\"open\"", "\"cell-node-bitline\"",
+      // Technology backend selection and its parameter packs.
+      "\"technology\":", "\"sram6t\"", "\"stt_mram\"", "\"undervolt\"",
+      "\"mtj\"", "\"mtj\":", "\"undervolt\":", "\"resistances\":",
+      "\"r_parallel\":", "\"tmr\":", "\"delta_nominal\":", "\"v_c0\":",
+      "\"retention_time\":", "\"v_safe\":", "\"v_cliff\":",
+      "\"margin_nominal\":", "\"retention\"", "\"transition\"",
+      "\"read-disturb\"",
       // Literals and boundary values the parser special-cases.
       "true", "false", "null", "0", "-1", "1e309", "-1e309", "1e-309",
       "9007199254740993", "2147483648", "0.5", "1000000", "\\u0000",
@@ -366,6 +373,14 @@ std::vector<std::string> builtin_seeds() {
       "{\"v\":1,\"id\":6,\"type\":\"schedule\",\"params\":"
       "{\"cells\":4096,\"monte_carlo_defects\":300,\"seed\":42}}",
       "{\"v\":1,\"id\":7,\"type\":\"sleep\",\"params\":{\"ms\":1}}",
+      // Technology-qualified requests: a matching assertion and the
+      // cross-technology mismatch (the test service serves sram6t).
+      "{\"v\":1,\"id\":9,\"type\":\"coverage\",\"params\":"
+      "{\"technology\":\"sram6t\"}}",
+      "{\"v\":1,\"id\":10,\"type\":\"detectability\",\"params\":"
+      "{\"technology\":\"stt_mram\",\"kind\":\"mtj\","
+      "\"category\":\"retention\",\"resistance\":1300,\"vdd\":1.0,"
+      "\"period\":1e-07}}",
       "{\"v\":1,\"id\":8,\"type\":\"batch\",\"requests\":"
       "[{\"type\":\"health\"},{\"type\":\"dpm\",\"params\":"
       "{\"yield\":0.9,\"defect_coverage\":0.95}}]}",

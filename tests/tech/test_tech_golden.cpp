@@ -1,0 +1,90 @@
+// Golden pins for the closed-form technology backends: the Table-1 coverage
+// and DPM columns of the full default STT-MRAM and undervolt campaigns,
+// pinned to 17 significant digits. Both backends are pure deterministic
+// arithmetic, so these must reproduce bit-for-bit on every platform; any
+// drift means the physics changed and the constants need a reviewed update.
+//
+// Regenerate after an intentional model change with
+//   MEMSTRESS_REGEN_GOLDEN=1 ./test_tech --gtest_filter='TechGolden.*'
+// and paste the printed rows.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "estimator/coverage.hpp"
+#include "estimator/detectability.hpp"
+#include "tech/model.hpp"
+
+namespace memstress::estimator {
+namespace {
+
+struct GoldenRow {
+  double vdd;
+  double defect_coverage;
+  double dpm_value;
+};
+
+MemoryGeometry golden_geometry() { return MemoryGeometry{128, 32, 4, 1}; }
+
+EstimatorReport report_for(tech::Technology technology) {
+  CharacterizeSpec spec = tech::default_characterize_spec(technology);
+  spec.block.rows = 2;
+  spec.block.cols = 1;
+  spec.threads = 1;
+  const DetectabilityDb db = characterize(spec);
+  const FaultCoverageEstimator estimator(db, PopulationModel::calibrate(),
+                                         defects::FabModel{},
+                                         defects::MtjFabModel{});
+  return estimator.table1(golden_geometry());
+}
+
+void check_rows(const EstimatorReport& report, const GoldenRow* golden,
+                std::size_t count) {
+  if (std::getenv("MEMSTRESS_REGEN_GOLDEN") != nullptr) {
+    for (const CoverageRow& row : report.rows)
+      std::printf("    {%.17g, %.17g, %.17g},\n", row.vdd, row.defect_coverage,
+                  row.dpm_value);
+    return;
+  }
+  ASSERT_EQ(report.rows.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_DOUBLE_EQ(report.rows[i].vdd, golden[i].vdd) << "row " << i;
+    EXPECT_DOUBLE_EQ(report.rows[i].defect_coverage,
+                     golden[i].defect_coverage)
+        << "row " << i;
+    EXPECT_DOUBLE_EQ(report.rows[i].dpm_value, golden[i].dpm_value)
+        << "row " << i;
+  }
+}
+
+TEST(TechGolden, SttMramTable1) {
+  // Hammer15N over the default MTJ grid. Note the inverted stress profile
+  // vs SRAM: the retention + read-disturb classes are caught best at the
+  // *elevated* corners (bias tilts the barrier), so VLV trails here.
+  const GoldenRow golden[] = {
+      {1, 0.28650000000000003, 1541.8879554472965},
+      {1.6499999999999999, 0.33850000000000002, 1429.5952657343846},
+      {1.8, 0.33850000000000002, 1429.5952657343846},
+      {1.95, 0.33850000000000002, 1429.5952657343846},
+  };
+  check_rows(report_for(tech::Technology::SttMram), golden,
+             sizeof(golden) / sizeof(golden[0]));
+}
+
+TEST(TechGolden, UndervoltTable1) {
+  // BER-cliff injection over the SRAM defect grid: the VLV corner sits on
+  // the collapsing-margin slope and doubles the nominal-corner coverage —
+  // the paper's Table-1 shape, reproduced by software fault injection.
+  const GoldenRow golden[] = {
+      {1, 0.71115022103594971, 416.3745925419571},
+      {1.6499999999999999, 0.34168654600050063, 948.7007700699213},
+      {1.8, 0.34168654600050063, 948.7007700699213},
+      {1.95, 0.34128617899741442, 949.27746821193978},
+  };
+  check_rows(report_for(tech::Technology::Undervolt), golden,
+             sizeof(golden) / sizeof(golden[0]));
+}
+
+}  // namespace
+}  // namespace memstress::estimator
